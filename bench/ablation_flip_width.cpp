@@ -1,0 +1,58 @@
+// Ablation: register width assumed by the bit-flip model.
+//
+// The paper's LLFI flips bits of LLVM values that are mostly i32; our VM
+// registers are 64-bit, and several workloads (sha, crc32) mask arithmetic
+// to 32 bits, so flips in the high 32 bits are often architecturally masked.
+// This bench quantifies that substitution artifact by confining flips to the
+// low k bits (k = 64, 32, 16).
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace onebit;
+  const std::size_t n = bench::experimentsPerCampaign(300);
+  bench::printHeaderNote("Ablation: flip width (64 vs 32 vs 16 bits)", n);
+
+  const unsigned widths[] = {64, 32, 16};
+  util::TextTable table({"program", "technique", "model",
+                         "SDC% w=64", "SDC% w=32", "SDC% w=16",
+                         "Benign% w=64", "Benign% w=32"});
+  std::uint64_t salt = 90000;
+  for (const auto& [name, w] : bench::loadWorkloads()) {
+    for (const fi::Technique tech :
+         {fi::Technique::Read, fi::Technique::Write}) {
+      for (const unsigned maxMbf : {1U, 3U}) {
+        std::vector<double> sdc;
+        std::vector<double> benign;
+        for (const unsigned width : widths) {
+          fi::FaultSpec spec =
+              maxMbf == 1
+                  ? fi::FaultSpec::singleBit(tech)
+                  : fi::FaultSpec::multiBit(tech, maxMbf,
+                                            fi::WinSize::fixed(1));
+          spec.flipWidth = width;
+          fi::CampaignConfig config;
+          config.spec = spec;
+          config.experiments = n;
+          config.seed = util::hashCombine(bench::masterSeed(), salt++);
+          const fi::CampaignResult r = fi::runCampaign(w, config);
+          sdc.push_back(r.sdc().fraction);
+          benign.push_back(
+              r.counts.proportion(stats::Outcome::Benign).fraction);
+        }
+        table.addRow({name, tech == fi::Technique::Read ? "read" : "write",
+                      maxMbf == 1 ? "single" : "m=3,w=1",
+                      util::fmtPercent(sdc[0]), util::fmtPercent(sdc[1]),
+                      util::fmtPercent(sdc[2]), util::fmtPercent(benign[0]),
+                      util::fmtPercent(benign[1])});
+      }
+    }
+  }
+  bench::emitTable(table);
+  std::printf(
+      "\nReading: on 32-bit-masked workloads (sha, crc32) the 64-bit flip "
+      "model inflates the\nBenign rate (high-bit flips are masked), which "
+      "widens the single-vs-multi SDC gap; the\n32-bit model is the closer "
+      "match to the paper's setup.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: compiler optimization level of the injected IR.
+//
+// LLFI injects into IR produced by a normal (optimizing) compilation; our
+// MiniC code generator emits naive -O0-style IR. This bench compares the
+// fault-injection profile of both variants: optimization removes
+// Move/temporary traffic, shrinking the candidate space and shifting the
+// outcome mix — the kind of sensitivity a fault-injection methodology has to
+// report (cf. Schirmeier et al., "Avoiding pitfalls in fault-injection based
+// comparison of program susceptibility to soft errors", DSN 2015, cited as
+// [31] in the paper).
+#include "bench_common.hpp"
+#include "opt/passes.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace onebit;
+  const std::size_t n = bench::experimentsPerCampaign(300);
+  bench::printHeaderNote("Ablation: -O0 vs -O1 IR under single-bit injection",
+                         n);
+
+  util::TextTable table({"program", "cand. write O0", "cand. write O1",
+                         "shrink", "SDC% O0", "SDC% O1", "Detected% O0",
+                         "Detected% O1"});
+  std::uint64_t salt = 97000;
+  for (const auto& info : progs::allPrograms()) {
+    if (!bench::programSelected(info.name)) continue;
+    const fi::Workload raw(progs::compileProgram(info, false));
+    const fi::Workload optd(progs::compileProgram(info, true));
+    const fi::FaultSpec spec = fi::FaultSpec::singleBit(fi::Technique::Write);
+    const fi::CampaignResult r0 = bench::campaign(raw, spec, n, salt);
+    const fi::CampaignResult r1 = bench::campaign(optd, spec, n, salt);
+    ++salt;
+    const auto c0 = raw.candidates(fi::Technique::Write);
+    const auto c1 = optd.candidates(fi::Technique::Write);
+    table.addRow(
+        {info.name, std::to_string(c0), std::to_string(c1),
+         util::fmtPercent(1.0 - static_cast<double>(c1) /
+                                    static_cast<double>(c0)),
+         util::fmtPercent(r0.sdc().fraction),
+         util::fmtPercent(r1.sdc().fraction),
+         util::fmtPercent(
+             r0.counts.proportion(stats::Outcome::Detected).fraction),
+         util::fmtPercent(
+             r1.counts.proportion(stats::Outcome::Detected).fraction)});
+  }
+  bench::emitTable(table);
+  std::printf(
+      "\nReading: optimization removes masked temporary traffic (Moves, "
+      "foldable constants),\nso the surviving candidates carry more live "
+      "state — SDC/Detected rates shift even\nthough the programs compute "
+      "identical outputs. Fault-injection results are a property\nof the "
+      "(program, compiler) pair, not the program alone.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared helpers for the paper-artifact bench harnesses.
+//
+// Every binary prints the rows/series of one table or figure from the paper.
+// Scale knobs (all optional):
+//   ONEBIT_EXPERIMENTS  experiments per campaign (default varies per bench)
+//   ONEBIT_SEED         master seed (default 2017, the paper's year)
+//   ONEBIT_PROGRAMS     comma-separated subset of Table II program names
+//   ONEBIT_CSV          1 = emit tables as CSV (for plotting scripts)
+//   ONEBIT_FLIP_WIDTH   integer-register width of the flip model
+//                       (default 32 = paper-faithful; 64 = raw VM width)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "progs/registry.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace onebit::bench {
+
+struct NamedWorkload {
+  std::string name;
+  fi::Workload workload;
+};
+
+inline std::uint64_t masterSeed() {
+  return static_cast<std::uint64_t>(util::envInt("ONEBIT_SEED", 2017));
+}
+
+inline std::size_t experimentsPerCampaign(std::size_t fallback) {
+  return static_cast<std::size_t>(
+      util::envInt("ONEBIT_EXPERIMENTS", static_cast<std::int64_t>(fallback)));
+}
+
+inline bool programSelected(const std::string& name) {
+  const std::string filter = util::envStr("ONEBIT_PROGRAMS", "");
+  if (filter.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= filter.size()) {
+    const std::size_t comma = filter.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? filter.size() : comma;
+    if (filter.substr(pos, end - pos) == name) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+/// Compile and profile all (selected) Table II workloads.
+inline std::vector<NamedWorkload> loadWorkloads() {
+  std::vector<NamedWorkload> out;
+  for (const auto& info : progs::allPrograms()) {
+    if (!programSelected(info.name)) continue;
+    out.push_back({info.name, fi::Workload(progs::compileProgram(info))});
+  }
+  return out;
+}
+
+/// Integer flip width used by the paper-artifact harnesses. Defaults to 32
+/// (the paper's LLVM i32 registers); ONEBIT_FLIP_WIDTH=64 selects the raw
+/// VM register width instead.
+inline unsigned flipWidth() {
+  return static_cast<unsigned>(util::envInt("ONEBIT_FLIP_WIDTH", 32));
+}
+
+inline fi::CampaignResult campaign(const fi::Workload& w,
+                                   const fi::FaultSpec& spec, std::size_t n,
+                                   std::uint64_t seedSalt) {
+  fi::CampaignConfig config;
+  config.spec = spec;
+  config.spec.flipWidth = flipWidth();
+  config.experiments = n;
+  config.seed = util::hashCombine(masterSeed(), seedSalt);
+  return fi::runCampaign(w, config);
+}
+
+/// Print a table as aligned text, or CSV when ONEBIT_CSV=1 (for plotting).
+inline void emitTable(const util::TextTable& table) {
+  if (util::envInt("ONEBIT_CSV", 0) != 0) {
+    std::fputs(table.renderCsv().c_str(), stdout);
+  } else {
+    std::fputs(table.render().c_str(), stdout);
+  }
+}
+
+inline void printHeaderNote(const char* artifact, std::size_t n) {
+  std::printf("== %s ==\n", artifact);
+  std::printf("(%zu experiments per campaign; scale with ONEBIT_EXPERIMENTS; "
+              "error bars are 95%% CIs)\n\n",
+              n);
+}
+
+}  // namespace onebit::bench

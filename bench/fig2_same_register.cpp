@@ -1,0 +1,41 @@
+// Fig. 2 (a, b): SDC percentage when injecting 1..30 errors into the SAME
+// instruction/register (win-size = 0), per program and technique.
+#include "bench_common.hpp"
+#include "fi/grid.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace onebit;
+  const std::size_t n = bench::experimentsPerCampaign(200);
+  bench::printHeaderNote(
+      "Fig. 2: SDC% vs max-MBF, same register (win-size = 0)", n);
+
+  const auto workloads = bench::loadWorkloads();
+  for (const fi::Technique tech :
+       {fi::Technique::Read, fi::Technique::Write}) {
+    std::printf("--- (%c) %s ---\n",
+                tech == fi::Technique::Read ? 'a' : 'b',
+                fi::techniqueName(tech).data());
+    const auto specs = fi::sameRegisterCampaigns(tech);
+    std::vector<std::string> header = {"program"};
+    for (const auto& s : specs) header.push_back("m=" + std::to_string(s.maxMbf));
+    util::TextTable table(header);
+    std::uint64_t salt = tech == fi::Technique::Read ? 1000 : 2000;
+    for (const auto& [name, w] : workloads) {
+      std::vector<std::string> row = {name};
+      for (const auto& spec : specs) {
+        const fi::CampaignResult r = bench::campaign(w, spec, n, salt++);
+        row.push_back(util::fmtPercent(r.sdc().fraction));
+      }
+      table.addRow(std::move(row));
+    }
+    bench::emitTable(table);
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper check (Fig. 2 / RQ2): for most programs the single bit-flip "
+      "column (m=1) is\npessimistic or within noise of every multi-bit "
+      "column; exceptions cluster on programs\nwith low detection rates "
+      "(basicmath, crc32 in the paper).\n");
+  return 0;
+}

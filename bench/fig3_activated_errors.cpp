@@ -1,0 +1,49 @@
+// Fig. 3 (a, b): distribution of the number of ACTIVATED errors before a
+// crash, when intending to inject 30 (max-MBF = 30), aggregated over all
+// win-size values — the RQ1 analysis.
+#include "bench_common.hpp"
+#include "pruning/activation_study.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace onebit;
+  const std::size_t n = bench::experimentsPerCampaign(100);
+  bench::printHeaderNote(
+      "Fig. 3: activated errors before crash (max-MBF = 30)", n);
+
+  const auto workloads = bench::loadWorkloads();
+  for (const fi::Technique tech :
+       {fi::Technique::Read, fi::Technique::Write}) {
+    std::printf("--- (%c) %s ---\n",
+                tech == fi::Technique::Read ? 'a' : 'b',
+                fi::techniqueName(tech).data());
+    util::TextTable table(
+        {"program", "crashes", "1-5 errors", "6-10 errors", ">10 errors"});
+    pruning::ActivationBuckets total;
+    std::uint64_t salt = tech == fi::Technique::Read ? 3000 : 4000;
+    for (const auto& [name, w] : workloads) {
+      const pruning::ActivationBuckets b = pruning::activationStudy(
+          w, tech, n, util::hashCombine(bench::masterSeed(), salt++),
+          bench::flipWidth());
+      total.upToFive += b.upToFive;
+      total.sixToTen += b.sixToTen;
+      total.moreThanTen += b.moreThanTen;
+      table.addRow({name, std::to_string(b.total()),
+                    util::fmtPercent(b.fracUpToFive()),
+                    util::fmtPercent(b.fracSixToTen()),
+                    util::fmtPercent(b.fracMoreThanTen())});
+    }
+    table.addRow({"== all ==", std::to_string(total.total()),
+                  util::fmtPercent(total.fracUpToFive()),
+                  util::fmtPercent(total.fracSixToTen()),
+                  util::fmtPercent(total.fracMoreThanTen())});
+    bench::emitTable(table);
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper check (Fig. 3 / RQ1): crashes activate at most 5 errors in "
+      "~96%% (read) and ~78%%\n(write) of experiments; ~99%% (read) / ~92%% "
+      "(write) activate fewer than 10 — justifying\nmax-MBF <= 10 as the "
+      "practical bound (30 only probes the tail).\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Fig. 4 / Fig. 5 / Table III from one grid computation:
+//   * Fig. 4: SDC% for multi-register injections, inject-on-read
+//   * Fig. 5: same for inject-on-write
+//   * Table III: the (max-MBF, win-size) pair with the highest SDC% per
+//     program and technique, compared against the single bit-flip model.
+//
+// One binary computes all three because they share the same 81-campaign
+// grid per program/technique (1 single-bit + 8 win-sizes x 10 max-MBF).
+#include <map>
+
+#include "bench_common.hpp"
+#include "pruning/pessimistic_pairs.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace onebit;
+
+struct ProgramGrid {
+  std::string name;
+  pruning::PessimisticPairResult result;
+};
+
+void printFigure(const char* title, const std::vector<ProgramGrid>& grids) {
+  std::printf("--- %s ---\n", title);
+  // One row per program/win-size, SDC% per max-MBF column (the bar series
+  // of the figure).
+  std::vector<std::string> header = {"program", "win-size", "m=1"};
+  for (const unsigned m : fi::FaultSpec::paperMaxMbf()) {
+    header.push_back("m=" + std::to_string(m));
+  }
+  util::TextTable table(header);
+  for (const auto& grid : grids) {
+    // Group campaigns by win-size label.
+    std::map<std::string, std::vector<const pruning::CampaignSdc*>> byWin;
+    double singleSdc = 0.0;
+    for (const auto& c : grid.result.all) {
+      if (c.spec.isSingleBit()) {
+        singleSdc = c.sdc.fraction;
+        continue;
+      }
+      byWin[c.spec.winSize.label()].push_back(&c);
+    }
+    for (const auto& [win, cells] : byWin) {
+      std::vector<std::string> row = {grid.name, win,
+                                      util::fmtPercent(singleSdc)};
+      for (const unsigned m : fi::FaultSpec::paperMaxMbf()) {
+        const pruning::CampaignSdc* found = nullptr;
+        for (const auto* c : cells) {
+          if (c->spec.maxMbf == m) found = c;
+        }
+        row.push_back(found != nullptr
+                          ? util::fmtPercent(found->sdc.fraction)
+                          : "-");
+      }
+      table.addRow(std::move(row));
+    }
+  }
+  bench::emitTable(table);
+  std::printf("\n");
+}
+
+void printTableThree(
+    const std::vector<ProgramGrid>& read,
+    const std::vector<ProgramGrid>& write) {
+  std::printf(
+      "--- Table III: configurations with the highest SDC%% among all "
+      "multi-bit campaigns ---\n");
+  util::TextTable table({"program", "read max-MBF", "read win-size",
+                         "read best SDC% (valid.)", "read single SDC%",
+                         "write max-MBF", "write win-size",
+                         "write best SDC% (valid.)", "write single SDC%"});
+  int pessimisticCampaignsRead = 0;
+  int pessimisticCampaignsWrite = 0;
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    const auto& r = read[i].result;
+    const auto& w = write[i].result;
+    pessimisticCampaignsRead += r.singleIsPessimistic() ? 1 : 0;
+    pessimisticCampaignsWrite += w.singleIsPessimistic() ? 1 : 0;
+    table.addRow({read[i].name, std::to_string(r.bestSpec.maxMbf),
+                  r.bestSpec.winSize.label(),
+                  util::fmtPercent(r.validatedBestSdc.fraction),
+                  util::fmtPercent(r.singleSdc.fraction),
+                  std::to_string(w.bestSpec.maxMbf),
+                  w.bestSpec.winSize.label(),
+                  util::fmtPercent(w.validatedBestSdc.fraction),
+                  util::fmtPercent(w.singleSdc.fraction)});
+  }
+  bench::emitTable(table);
+  std::printf(
+      "\n(best SDC%% columns are unbiased two-stage re-validations of the "
+      "grid argmax; the raw\ngrid maximum overstates SDC%% at small campaign "
+      "sizes - winner's curse.)\n");
+  std::printf(
+      "RQ2: single bit-flip model pessimistic (within 1pp) for %d/%zu "
+      "programs (read), %d/%zu (write).\n",
+      pessimisticCampaignsRead, read.size(), pessimisticCampaignsWrite,
+      write.size());
+
+  // RQ3: how many flips reach the highest SDC%?
+  int atMostThreeRead = 0;
+  int atMostThreeWrite = 0;
+  for (const auto& g : read) {
+    atMostThreeRead += g.result.bestSpec.maxMbf <= 3 ? 1 : 0;
+  }
+  for (const auto& g : write) {
+    atMostThreeWrite += g.result.bestSpec.maxMbf <= 3 ? 1 : 0;
+  }
+  std::printf(
+      "RQ3: best multi-bit config needs <=3 flips for %d/%zu programs "
+      "(read) and %d/%zu (write).\n",
+      atMostThreeRead, read.size(), atMostThreeWrite, write.size());
+  std::printf(
+      "Paper check: read favors 2 flips at large win-sizes; write favors "
+      "2-3 flips at small\nwin-sizes (Table III), and the single-bit model "
+      "fails to be pessimistic mostly under\ninject-on-write (RQ2).\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::experimentsPerCampaign(80);
+  bench::printHeaderNote(
+      "Fig. 4 + Fig. 5 + Table III: multi-register injections", n);
+
+  const auto workloads = bench::loadWorkloads();
+  std::vector<ProgramGrid> read;
+  std::vector<ProgramGrid> write;
+  std::uint64_t salt = 50000;
+  for (const auto& [name, w] : workloads) {
+    read.push_back(
+        {name, pruning::findPessimisticPair(
+                   w, fi::Technique::Read, n,
+                   util::hashCombine(bench::masterSeed(), salt++), 3,
+                   bench::flipWidth())});
+  }
+  for (const auto& [name, w] : workloads) {
+    write.push_back(
+        {name, pruning::findPessimisticPair(
+                   w, fi::Technique::Write, n,
+                   util::hashCombine(bench::masterSeed(), salt++), 3,
+                   bench::flipWidth())});
+  }
+
+  printFigure("Fig. 4: SDC%, multi-register, inject-on-read", read);
+  printFigure("Fig. 5: SDC%, multi-register, inject-on-write", write);
+  printTableThree(read, write);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// §III-A motivation: "80-90% of randomly injected faults are often not even
+// activated". Compares the blind random-register fault model against
+// LLFI-style inject-on-read (which activates every injected fault by
+// construction) on all 15 workloads.
+#include "bench_common.hpp"
+#include "fi/random_reg_hook.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace onebit;
+  const std::size_t n = bench::experimentsPerCampaign(400);
+  bench::printHeaderNote(
+      "Motivation (§III-A): blind random-register faults vs inject-on-read",
+      n);
+
+  util::TextTable table({"program", "not activated", "activated", "SDC%",
+                         "Detected%", "read-model SDC%"});
+  std::uint64_t salt = 95000;
+  for (const auto& [name, w] : bench::loadWorkloads()) {
+    std::size_t activated = 0;
+    stats::OutcomeCounts counts;
+    util::Rng rng(util::hashCombine(bench::masterSeed(), salt++));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t t = rng.below(w.golden().instructions);
+      fi::RandomRegisterHook hook(t, rng.next());
+      const vm::ExecResult faulty =
+          vm::execute(w.module(), w.faultyLimits(), &hook);
+      activated += hook.activated() ? 1 : 0;
+      counts.add(fi::classify(faulty, w.golden()));
+    }
+    // Reference: LLFI-style single-bit inject-on-read campaign.
+    const fi::CampaignResult readRef = bench::campaign(
+        w, fi::FaultSpec::singleBit(fi::Technique::Read), n, salt++);
+
+    const double actFrac = static_cast<double>(activated) /
+                           static_cast<double>(n);
+    table.addRow({name, util::fmtPercent(1.0 - actFrac),
+                  util::fmtPercent(actFrac),
+                  util::fmtPercent(counts.proportion(stats::Outcome::SDC)
+                                       .fraction),
+                  util::fmtPercent(
+                      counts.proportion(stats::Outcome::Detected).fraction),
+                  util::fmtPercent(readRef.sdc().fraction)});
+  }
+  bench::emitTable(table);
+  std::printf(
+      "\nPaper check (§III-A): the majority of blind register faults never "
+      "activate (the paper\ncites 80-90%% on real ISAs), which is exactly why "
+      "LLFI restricts injections to live\nregisters via inject-on-read / "
+      "inject-on-write.\n");
+  return 0;
+}

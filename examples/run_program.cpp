@@ -1,0 +1,53 @@
+// Run one (or all) of the registered Table II benchmark programs on the VM
+// and print the golden profile: dynamic instructions, candidate counts and
+// the program output.
+//
+//   ./run_program           # all programs
+//   ./run_program crc32     # just one
+#include <cstdio>
+#include <cstring>
+
+#include "fi/experiment.hpp"
+#include "progs/registry.hpp"
+
+namespace {
+
+void show(const onebit::progs::ProgramInfo& info) {
+  using namespace onebit;
+  const ir::Module mod = progs::compileProgram(info);
+  const fi::Workload workload(mod);
+  const vm::ExecResult& g = workload.golden();
+  std::printf("=== %s (%s/%s) ===\n", info.name.c_str(), info.suite.c_str(),
+              info.package.c_str());
+  std::printf("%s\n", info.description.c_str());
+  std::printf("MiniC lines: %zu, IR instructions: %zu\n",
+              progs::sourceLines(info), mod.instrCount());
+  std::printf("dynamic instructions: %llu\n",
+              static_cast<unsigned long long>(g.instructions));
+  std::printf("candidates: read=%llu write=%llu\n",
+              static_cast<unsigned long long>(
+                  workload.candidates(fi::Technique::Read)),
+              static_cast<unsigned long long>(
+                  workload.candidates(fi::Technique::Write)));
+  std::printf("--- output ---\n%s--------------\n\n", g.output.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace onebit;
+  if (argc > 1) {
+    const progs::ProgramInfo* info = progs::findProgram(argv[1]);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown program '%s'; known programs:\n", argv[1]);
+      for (const auto& p : progs::allPrograms()) {
+        std::fprintf(stderr, "  %s\n", p.name.c_str());
+      }
+      return 1;
+    }
+    show(*info);
+    return 0;
+  }
+  for (const auto& p : progs::allPrograms()) show(p);
+  return 0;
+}

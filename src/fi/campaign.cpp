@@ -1,0 +1,42 @@
+#include "fi/campaign.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace onebit::fi {
+
+CampaignResult runCampaign(const Workload& workload,
+                           const CampaignConfig& config) {
+  CampaignResult result;
+  result.config = config;
+
+  const std::uint64_t candidates = workload.candidates(config.spec.technique);
+  std::vector<ExperimentResult> outcomes(config.experiments);
+
+  auto runOne = [&](std::size_t i) {
+    const FaultPlan plan = FaultPlan::forExperiment(config.spec, candidates,
+                                                    config.seed, i);
+    outcomes[i] = runExperiment(workload, plan);
+  };
+
+  const std::size_t threads =
+      config.threads == 0 ? std::thread::hardware_concurrency()
+                          : config.threads;
+  if (threads > 1 && config.experiments > 1) {
+    util::ThreadPool pool(threads);
+    pool.parallelFor(config.experiments, runOne);
+  } else {
+    for (std::size_t i = 0; i < config.experiments; ++i) runOne(i);
+  }
+
+  for (const ExperimentResult& r : outcomes) {
+    result.counts.add(r.outcome);
+    const unsigned bucket = std::min(r.activations, kMaxActivationBucket);
+    ++result.activationHist[static_cast<std::size_t>(r.outcome)][bucket];
+  }
+  return result;
+}
+
+}  // namespace onebit::fi

@@ -1,0 +1,41 @@
+// Campaigns: N independent experiments under one fault model (§III-E).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/experiment.hpp"
+
+namespace onebit::fi {
+
+struct CampaignConfig {
+  FaultSpec spec;
+  std::size_t experiments = 1000;
+  std::uint64_t seed = 0x0b17f11e;  ///< campaign master seed
+  std::size_t threads = 0;          ///< 0 = hardware concurrency
+};
+
+/// Histogram of activation counts by outcome (rows: outcome, cols: number of
+/// activated errors, saturating at kMaxActivationBucket).
+inline constexpr unsigned kMaxActivationBucket = 31;
+
+struct CampaignResult {
+  CampaignConfig config;
+  stats::OutcomeCounts counts;
+  /// activationHist[outcome][k] = experiments with that outcome that
+  /// activated k errors (k saturates at kMaxActivationBucket).
+  std::array<std::array<std::uint32_t, kMaxActivationBucket + 1>,
+             stats::kOutcomeCount>
+      activationHist{};
+
+  [[nodiscard]] stats::Proportion sdc() const {
+    return counts.proportion(stats::Outcome::SDC);
+  }
+};
+
+/// Run a campaign: experiments i = 0..N-1 each derive their own fault plan
+/// from (seed, i), so results are independent of thread scheduling.
+CampaignResult runCampaign(const Workload& workload,
+                           const CampaignConfig& config);
+
+}  // namespace onebit::fi

@@ -1,0 +1,54 @@
+#include "fi/experiment.hpp"
+
+#include <stdexcept>
+
+namespace onebit::fi {
+
+Workload::Workload(ir::Module mod, std::uint64_t hangFactor)
+    : mod_(std::move(mod)) {
+  vm::ExecLimits goldenLimits;
+  golden_ = vm::execute(mod_, goldenLimits, nullptr);
+  if (golden_.status != vm::ExecStatus::Ok) {
+    throw std::runtime_error(
+        "workload golden run did not terminate normally (trap: " +
+        std::string(vm::trapName(golden_.trap)) + ")");
+  }
+  faultyLimits_ = goldenLimits;
+  faultyLimits_.maxInstructions =
+      golden_.instructions * hangFactor + 10'000ULL;
+}
+
+stats::Outcome classify(const vm::ExecResult& faulty,
+                        const vm::ExecResult& golden) noexcept {
+  switch (faulty.status) {
+    case vm::ExecStatus::Trapped:
+      return stats::Outcome::Detected;
+    case vm::ExecStatus::FuelExhausted:
+      return stats::Outcome::Hang;
+    case vm::ExecStatus::Ok:
+      break;
+  }
+  if (faulty.output.empty() && !golden.output.empty()) {
+    return stats::Outcome::NoOutput;
+  }
+  // Bit-wise output comparison (§III-E, SDC definition).
+  if (faulty.output == golden.output && !faulty.outputTruncated) {
+    return stats::Outcome::Benign;
+  }
+  return stats::Outcome::SDC;
+}
+
+ExperimentResult runExperiment(const Workload& workload,
+                               const FaultPlan& plan) {
+  InjectorHook hook(plan);
+  const vm::ExecResult faulty =
+      vm::execute(workload.module(), workload.faultyLimits(), &hook);
+  ExperimentResult result;
+  result.outcome = classify(faulty, workload.golden());
+  result.trap = faulty.trap;
+  result.activations = hook.activations();
+  result.instructions = faulty.instructions;
+  return result;
+}
+
+}  // namespace onebit::fi

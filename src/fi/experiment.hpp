@@ -1,0 +1,61 @@
+// Workload (golden-run cache) and single fault-injection experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fi/fault_plan.hpp"
+#include "fi/injector_hook.hpp"
+#include "ir/module.hpp"
+#include "stats/outcome_counts.hpp"
+#include "vm/interpreter.hpp"
+
+namespace onebit::fi {
+
+/// A program + input pair (the paper's "workload"), with its fault-free
+/// profile: golden output, dynamic instruction count, and per-technique
+/// candidate counts (Table II's "candidate instructions for fault
+/// injection").
+class Workload {
+ public:
+  /// Takes ownership of the module and runs the golden execution once.
+  /// `hangFactor` scales the faulty-run instruction budget relative to the
+  /// golden run (LLFI uses one to two orders of magnitude; we default to
+  /// 50x + slack).
+  explicit Workload(ir::Module mod, std::uint64_t hangFactor = 50);
+
+  [[nodiscard]] const ir::Module& module() const noexcept { return mod_; }
+  [[nodiscard]] const vm::ExecResult& golden() const noexcept {
+    return golden_;
+  }
+  [[nodiscard]] std::uint64_t candidates(Technique t) const noexcept {
+    return t == Technique::Read ? golden_.readCandidates
+                                : golden_.writeCandidates;
+  }
+  [[nodiscard]] const vm::ExecLimits& faultyLimits() const noexcept {
+    return faultyLimits_;
+  }
+
+ private:
+  ir::Module mod_;
+  vm::ExecResult golden_;
+  vm::ExecLimits faultyLimits_;
+};
+
+/// Result of one fault-injection experiment.
+struct ExperimentResult {
+  stats::Outcome outcome = stats::Outcome::Benign;
+  vm::TrapKind trap = vm::TrapKind::None;  ///< set when outcome == Detected
+  unsigned activations = 0;  ///< bit-flip errors actually applied (RQ1)
+  std::uint64_t instructions = 0;
+};
+
+/// Classify a faulty run against the golden run (§III-E taxonomy).
+stats::Outcome classify(const vm::ExecResult& faulty,
+                        const vm::ExecResult& golden) noexcept;
+
+/// Execute one experiment described by `plan` on `workload`.
+ExperimentResult runExperiment(const Workload& workload,
+                               const FaultPlan& plan);
+
+}  // namespace onebit::fi

@@ -1,0 +1,44 @@
+// A FaultPlan fixes everything random about one fault-injection experiment:
+// where the first error lands, the concrete win-size draw, and the RNG
+// stream that picks operands and bit positions for each subsequent flip.
+// Plans are pure data — the same plan always reproduces the same run.
+#pragma once
+
+#include <cstdint>
+
+#include "fi/fault_spec.hpp"
+
+namespace onebit::fi {
+
+struct FaultPlan {
+  Technique technique = Technique::Read;
+  unsigned maxMbf = 1;
+  /// Candidate index (within the technique's candidate stream of the golden
+  /// run) of the first injection — LLFI's "time" coordinate.
+  std::uint64_t firstIndex = 0;
+  /// Concrete dynamic-instruction distance between consecutive injections
+  /// (already sampled if the spec used RND(α,β)). 0 = all flips target the
+  /// same register of the same dynamic instruction.
+  std::uint64_t window = 0;
+  /// Seed of the stream choosing operand positions and bit positions.
+  std::uint64_t seed = 0;
+  /// Bit width flips are confined to (see FaultSpec::flipWidth).
+  unsigned flipWidth = 64;
+
+  /// Build the plan for experiment `expIndex` of a campaign: draws the first
+  /// injection index uniformly from [0, candidateCount) and samples the
+  /// window, all from a deterministic (campaignSeed, expIndex) stream.
+  static FaultPlan forExperiment(const FaultSpec& spec,
+                                 std::uint64_t candidateCount,
+                                 std::uint64_t campaignSeed,
+                                 std::uint64_t expIndex);
+
+  /// Build a plan with a pinned first-injection location (used by the
+  /// transition study, §IV-C3, which replays multi-bit experiments from the
+  /// exact locations of earlier single-bit experiments).
+  static FaultPlan atLocation(const FaultSpec& spec, std::uint64_t firstIndex,
+                              std::uint64_t campaignSeed,
+                              std::uint64_t expIndex);
+};
+
+}  // namespace onebit::fi

@@ -1,0 +1,42 @@
+#include "fi/fault_spec.hpp"
+
+namespace onebit::fi {
+
+std::string_view techniqueName(Technique t) noexcept {
+  return t == Technique::Read ? "inject-on-read" : "inject-on-write";
+}
+
+std::uint64_t WinSize::sample(util::Rng& rng) const {
+  if (kind == Kind::Fixed) return value;
+  return lo + rng.below(hi - lo + 1);
+}
+
+std::string WinSize::label() const {
+  if (kind == Kind::Fixed) return std::to_string(value);
+  return "RND(" + std::to_string(lo) + "-" + std::to_string(hi) + ")";
+}
+
+std::string FaultSpec::label() const {
+  const std::string tech =
+      technique == Technique::Read ? "read" : "write";
+  if (isSingleBit()) return tech + "/single";
+  return tech + "/m=" + std::to_string(maxMbf) + ",w=" + winSize.label();
+}
+
+const std::vector<unsigned>& FaultSpec::paperMaxMbf() {
+  static const std::vector<unsigned> values = {2, 3, 4, 5, 6, 7, 8, 9, 10, 30};
+  return values;
+}
+
+const std::vector<WinSize>& FaultSpec::paperWinSizes() {
+  static const std::vector<WinSize> values = {
+      WinSize::fixed(0),          WinSize::fixed(1),
+      WinSize::fixed(4),          WinSize::random(2, 10),
+      WinSize::fixed(10),         WinSize::random(11, 100),
+      WinSize::fixed(100),        WinSize::random(101, 1000),
+      WinSize::fixed(1000),
+  };
+  return values;
+}
+
+}  // namespace onebit::fi

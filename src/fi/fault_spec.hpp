@@ -1,0 +1,74 @@
+// Fault model configuration: technique, max-MBF and win-size (§III-C).
+//
+// A FaultSpec describes one error *cluster* of the paper's systematic error
+// space exploration: the fault-injection technique, the maximum number of
+// bit flips per run (max-MBF), and the dynamic-instruction distance between
+// consecutive injections (win-size), which may be a fixed value or a
+// per-experiment random draw from a range (the RND(α,β) entries of Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace onebit::fi {
+
+enum class Technique : unsigned char {
+  Read,   ///< inject-on-read (flip a source-register operand)
+  Write,  ///< inject-on-write (flip the destination register)
+};
+
+std::string_view techniqueName(Technique t) noexcept;
+
+/// The win-size parameter: fixed or RND(lo,hi) drawn once per experiment.
+struct WinSize {
+  enum class Kind : unsigned char { Fixed, Random } kind = Kind::Fixed;
+  std::uint64_t value = 0;  ///< Fixed
+  std::uint64_t lo = 0;     ///< Random, inclusive
+  std::uint64_t hi = 0;     ///< Random, inclusive
+
+  static WinSize fixed(std::uint64_t v) { return {Kind::Fixed, v, 0, 0}; }
+  static WinSize random(std::uint64_t lo, std::uint64_t hi) {
+    return {Kind::Random, 0, lo, hi};
+  }
+
+  /// Draw the concrete window for one experiment.
+  std::uint64_t sample(util::Rng& rng) const;
+
+  /// "0", "100", "RND(2-10)", ... (Table I spelling).
+  [[nodiscard]] std::string label() const;
+
+  bool operator==(const WinSize&) const = default;
+};
+
+struct FaultSpec {
+  Technique technique = Technique::Read;
+  unsigned maxMbf = 1;  ///< 1 = the single bit-flip model
+  WinSize winSize{};    ///< meaningful only when maxMbf > 1
+  /// Register width the bit-flip model assumes for INTEGER values. Our VM
+  /// registers are 64-bit; the paper's LLVM integer values were mostly i32.
+  /// Set to 32 to confine integer flips to the low 32 bits (the paper-
+  /// faithful model; see bench/ablation_flip_width). f64 values always use
+  /// the full 64 bits, as in the paper.
+  unsigned flipWidth = 64;
+
+  [[nodiscard]] bool isSingleBit() const noexcept { return maxMbf <= 1; }
+
+  /// e.g. "read/single", "write/m=3,w=RND(2-10)".
+  [[nodiscard]] std::string label() const;
+
+  static FaultSpec singleBit(Technique t) { return {t, 1, {}}; }
+  static FaultSpec multiBit(Technique t, unsigned maxMbf, WinSize w) {
+    return {t, maxMbf, w};
+  }
+
+  /// Table I max-MBF values: 2,3,4,5,6,7,8,9,10,30.
+  static const std::vector<unsigned>& paperMaxMbf();
+  /// Table I win-size values: 0,1,4,RND(2-10),10,RND(11-100),100,
+  /// RND(101-1000),1000.
+  static const std::vector<WinSize>& paperWinSizes();
+};
+
+}  // namespace onebit::fi

@@ -1,0 +1,45 @@
+#include "fi/grid.hpp"
+
+namespace onebit::fi {
+
+std::vector<FaultSpec> paperCampaigns(Technique t) {
+  std::vector<FaultSpec> specs;
+  specs.push_back(FaultSpec::singleBit(t));
+  for (const unsigned m : FaultSpec::paperMaxMbf()) {
+    for (const WinSize& w : FaultSpec::paperWinSizes()) {
+      specs.push_back(FaultSpec::multiBit(t, m, w));
+    }
+  }
+  return specs;
+}
+
+std::vector<FaultSpec> paperCampaigns() {
+  std::vector<FaultSpec> specs = paperCampaigns(Technique::Read);
+  const std::vector<FaultSpec> write = paperCampaigns(Technique::Write);
+  specs.insert(specs.end(), write.begin(), write.end());
+  return specs;
+}
+
+std::vector<FaultSpec> multiRegisterCampaigns(Technique t) {
+  std::vector<FaultSpec> specs;
+  specs.push_back(FaultSpec::singleBit(t));
+  for (const WinSize& w : FaultSpec::paperWinSizes()) {
+    const bool isZero = w.kind == WinSize::Kind::Fixed && w.value == 0;
+    if (isZero) continue;
+    for (const unsigned m : FaultSpec::paperMaxMbf()) {
+      specs.push_back(FaultSpec::multiBit(t, m, w));
+    }
+  }
+  return specs;
+}
+
+std::vector<FaultSpec> sameRegisterCampaigns(Technique t) {
+  std::vector<FaultSpec> specs;
+  specs.push_back(FaultSpec::singleBit(t));
+  for (const unsigned m : FaultSpec::paperMaxMbf()) {
+    specs.push_back(FaultSpec::multiBit(t, m, WinSize::fixed(0)));
+  }
+  return specs;
+}
+
+}  // namespace onebit::fi

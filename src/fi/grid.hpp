@@ -1,0 +1,26 @@
+// The paper's campaign grid (§III-E): per program, 182 campaigns =
+// 2 techniques x (1 single-bit + 10 max-MBF x 9 win-size values).
+#pragma once
+
+#include <vector>
+
+#include "fi/fault_spec.hpp"
+
+namespace onebit::fi {
+
+/// All 91 fault specs for one technique, single-bit first, then the
+/// max-MBF x win-size grid in Table I order.
+std::vector<FaultSpec> paperCampaigns(Technique t);
+
+/// The full 182-campaign grid (read first, then write).
+std::vector<FaultSpec> paperCampaigns();
+
+/// The multi-register subset (win-size > 0) used by Fig. 4 / Fig. 5:
+/// for each win-size > 0, max-MBF in {1(single), 2..10, 30}.
+std::vector<FaultSpec> multiRegisterCampaigns(Technique t);
+
+/// The same-register subset (win-size = 0) used by Fig. 2:
+/// max-MBF in {1(single), 2..10, 30}.
+std::vector<FaultSpec> sameRegisterCampaigns(Technique t);
+
+}  // namespace onebit::fi

@@ -1,0 +1,114 @@
+#include "fi/injector_hook.hpp"
+
+#include "util/bitops.hpp"
+
+namespace onebit::fi {
+
+namespace {
+
+/// Does this instruction consume f64 operands? Doubles are 64-bit registers
+/// in LLVM too, so FaultPlan::flipWidth (which models the paper's i32
+/// integer registers) must not constrain them.
+bool readsF64(const ir::Instr& in) noexcept {
+  switch (in.op) {
+    case ir::Opcode::FAdd: case ir::Opcode::FSub: case ir::Opcode::FMul:
+    case ir::Opcode::FDiv: case ir::Opcode::FCmpEq: case ir::Opcode::FCmpNe:
+    case ir::Opcode::FCmpLt: case ir::Opcode::FCmpLe: case ir::Opcode::FCmpGt:
+    case ir::Opcode::FCmpGe: case ir::Opcode::FPToSI:
+    case ir::Opcode::Intrinsic:
+      return true;
+    case ir::Opcode::Print:
+      return in.printKind == ir::PrintKind::F64;
+    default:
+      return false;
+  }
+}
+
+unsigned effectiveWidth(unsigned flipWidth, bool isF64) noexcept {
+  if (isF64) return 64;
+  return flipWidth == 0 ? 64U : flipWidth;
+}
+
+}  // namespace
+
+InjectorHook::InjectorHook(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+bool InjectorHook::shouldInject(std::uint64_t candidateIndex,
+                                std::uint64_t instrIndex) const noexcept {
+  if (injectionsPlanned_ >= plan_.maxMbf) return false;
+  if (!sawFirst_) return candidateIndex == plan_.firstIndex;
+  // window == 0 never reaches here (all flips are applied at the first hit).
+  return instrIndex >= nextMinInstr_;
+}
+
+void InjectorHook::armNext(std::uint64_t instrIndex) noexcept {
+  nextMinInstr_ = instrIndex + plan_.window;
+}
+
+void InjectorHook::onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
+                          const ir::Instr& instr,
+                          std::span<std::uint64_t> values,
+                          std::span<const bool> isReg) {
+  if (plan_.technique != Technique::Read) return;
+  if (!shouldInject(readIndex, instrIndex)) return;
+
+  // Pick one register operand uniformly.
+  unsigned regCount = 0;
+  for (const bool r : isReg) regCount += r ? 1U : 0U;
+  if (regCount == 0) return;  // defensive; interpreter only calls with >= 1
+  unsigned pick = static_cast<unsigned>(rng_.below(regCount));
+  int opIndex = -1;
+  for (std::size_t i = 0; i < isReg.size(); ++i) {
+    if (isReg[i] && pick-- == 0) {
+      opIndex = static_cast<int>(i);
+      break;
+    }
+  }
+
+  const unsigned width = effectiveWidth(plan_.flipWidth, readsF64(instr));
+  std::uint64_t mask;
+  unsigned flips;
+  if (!sawFirst_ && plan_.window == 0 && plan_.maxMbf > 1) {
+    // Same-register mode: all max-MBF flips at once, distinct bits.
+    const auto bits = util::pickDistinctBits(rng_, width, plan_.maxMbf);
+    mask = util::maskFromBits(bits);
+    flips = static_cast<unsigned>(bits.size());
+  } else {
+    mask = 1ULL << rng_.below(width);
+    flips = 1;
+  }
+  values[static_cast<std::size_t>(opIndex)] ^= mask;
+  sawFirst_ = true;
+  injectionsPlanned_ += flips;
+  activations_ += flips;
+  records_.push_back({readIndex, instrIndex, opIndex, mask});
+  armNext(instrIndex);
+}
+
+void InjectorHook::onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
+                           const ir::Instr& instr, std::uint64_t& value) {
+  if (plan_.technique != Technique::Write) return;
+  if (!shouldInject(writeIndex, instrIndex)) return;
+
+  const unsigned width =
+      effectiveWidth(plan_.flipWidth, instr.type == ir::Type::F64);
+  std::uint64_t mask;
+  unsigned flips;
+  if (!sawFirst_ && plan_.window == 0 && plan_.maxMbf > 1) {
+    const auto bits = util::pickDistinctBits(rng_, width, plan_.maxMbf);
+    mask = util::maskFromBits(bits);
+    flips = static_cast<unsigned>(bits.size());
+  } else {
+    mask = 1ULL << rng_.below(width);
+    flips = 1;
+  }
+  value ^= mask;
+  sawFirst_ = true;
+  injectionsPlanned_ += flips;
+  activations_ += flips;
+  records_.push_back({writeIndex, instrIndex, -1, mask});
+  armNext(instrIndex);
+}
+
+}  // namespace onebit::fi

@@ -1,0 +1,65 @@
+// InjectorHook — the extended-LLFI fault injector (§III-C).
+//
+// Executes a FaultPlan against the VM hook interface:
+//  * waits for the plan's first candidate index in the chosen technique's
+//    candidate stream,
+//  * flips a random bit of a random register operand (inject-on-read) or of
+//    the destination register (inject-on-write),
+//  * then schedules each following injection at the first candidate at least
+//    `window` dynamic instructions after the previous one, until max-MBF
+//    injections have been applied or the run ends.
+// window == 0 reproduces the paper's "same instruction/register" mode: all
+// max-MBF flips hit distinct bits of the same register at once (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/fault_plan.hpp"
+#include "vm/interpreter.hpp"
+
+namespace onebit::fi {
+
+/// One applied injection (for logs, tests and the transition study).
+struct InjectionRecord {
+  std::uint64_t candidateIndex = 0;  ///< index in the technique's stream
+  std::uint64_t instrIndex = 0;      ///< dynamic instruction number
+  int operandIndex = -1;             ///< source operand (-1 for writes)
+  std::uint64_t flipMask = 0;        ///< bits flipped
+};
+
+class InjectorHook final : public vm::ExecHook {
+ public:
+  explicit InjectorHook(const FaultPlan& plan);
+
+  void onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
+              const ir::Instr& instr, std::span<std::uint64_t> values,
+              std::span<const bool> isReg) override;
+  void onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
+               const ir::Instr& instr, std::uint64_t& value) override;
+
+  /// Number of bit-flip errors actually applied (activated), the quantity
+  /// RQ1 / Fig. 3 studies.
+  [[nodiscard]] unsigned activations() const noexcept { return activations_; }
+
+  [[nodiscard]] const std::vector<InjectionRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  /// Whether the candidate at (candidateIndex, instrIndex) should receive an
+  /// injection now.
+  bool shouldInject(std::uint64_t candidateIndex,
+                    std::uint64_t instrIndex) const noexcept;
+  void armNext(std::uint64_t instrIndex) noexcept;
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  unsigned injectionsPlanned_ = 0;  ///< flips applied counts toward max-MBF
+  unsigned activations_ = 0;
+  bool sawFirst_ = false;
+  std::uint64_t nextMinInstr_ = 0;  ///< arm threshold after first injection
+  std::vector<InjectionRecord> records_;
+};
+
+}  // namespace onebit::fi

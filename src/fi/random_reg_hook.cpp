@@ -1,0 +1,40 @@
+#include "fi/random_reg_hook.hpp"
+
+namespace onebit::fi {
+
+RandomRegisterHook::RandomRegisterHook(std::uint64_t targetInstr,
+                                       std::uint64_t seed)
+    : targetInstr_(targetInstr), rng_(seed) {}
+
+void RandomRegisterHook::arm(std::uint64_t instrIndex) noexcept {
+  if (landed_ || instrIndex < targetInstr_) return;
+  landed_ = true;
+  reg_ = static_cast<ir::Reg>(rng_.below(kArchRegisters));
+  mask_ = 1ULL << rng_.below(64);
+}
+
+void RandomRegisterHook::onRead(std::uint64_t, std::uint64_t instrIndex,
+                                const ir::Instr& instr,
+                                std::span<std::uint64_t> values,
+                                std::span<const bool> isReg) {
+  arm(instrIndex);
+  if (!landed_ || overwritten_) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (isReg[i] && instr.operands[i].reg == reg_) {
+      values[i] ^= mask_;
+      activated_ = true;
+    }
+  }
+}
+
+void RandomRegisterHook::onWrite(std::uint64_t, std::uint64_t instrIndex,
+                                 const ir::Instr& instr, std::uint64_t&) {
+  arm(instrIndex);
+  if (!landed_ || overwritten_) return;
+  if (instr.dest == reg_) {
+    // The register is rewritten: the stuck fault is flushed.
+    overwritten_ = true;
+  }
+}
+
+}  // namespace onebit::fi

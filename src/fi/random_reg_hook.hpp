@@ -1,0 +1,69 @@
+// The classic "blind" register fault model (§III-A motivation).
+//
+// Traditional hardware-style fault injection flips a bit of a random
+// architectural register at a random time, with no regard for liveness. The
+// paper motivates inject-on-read/inject-on-write by noting that 80-90% of
+// such faults are never activated (the register is overwritten first, or
+// never used again). This hook emulates the blind model on the VM:
+//
+//   * at dynamic instruction T, pick a register id r uniformly from a
+//     synthetic architectural file of kArchRegisters registers and a bit
+//     mask;
+//   * from then on, every read of r observes the flipped value (the fault
+//     sits in the register) until an instruction writes r, which overwrites
+//     and thereby deactivates the fault;
+//   * the fault is "activated" iff some instruction actually consumed the
+//     corrupted value.
+//
+// Approximations (documented in DESIGN.md): register ids are function-local
+// virtual registers, so r >= numRegs of the running function plays the role
+// of an unused architectural register; writes via Const/FrameAddr do not
+// deactivate (they are not write candidates), slightly over-counting
+// activation.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "vm/interpreter.hpp"
+
+namespace onebit::fi {
+
+/// Size of the synthetic architectural register file the blind model draws
+/// from (x86-64 has 16 GPRs + 16 vector registers; our functions use up to
+/// ~60 virtual registers).
+inline constexpr unsigned kArchRegisters = 64;
+
+class RandomRegisterHook final : public vm::ExecHook {
+ public:
+  /// The fault lands at dynamic instruction `targetInstr`; `seed` picks the
+  /// register and bit.
+  RandomRegisterHook(std::uint64_t targetInstr, std::uint64_t seed);
+
+  void onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
+              const ir::Instr& instr, std::span<std::uint64_t> values,
+              std::span<const bool> isReg) override;
+  void onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
+               const ir::Instr& instr, std::uint64_t& value) override;
+
+  /// The corrupted register value was consumed by at least one instruction.
+  [[nodiscard]] bool activated() const noexcept { return activated_; }
+  /// The fault was injected (the run reached the target instruction).
+  [[nodiscard]] bool landed() const noexcept { return landed_; }
+  /// The fault was overwritten before (further) use.
+  [[nodiscard]] bool overwritten() const noexcept { return overwritten_; }
+  [[nodiscard]] ir::Reg targetRegister() const noexcept { return reg_; }
+
+ private:
+  void arm(std::uint64_t instrIndex) noexcept;
+
+  std::uint64_t targetInstr_;
+  util::Rng rng_;
+  ir::Reg reg_ = ir::kNoReg;
+  std::uint64_t mask_ = 0;
+  bool landed_ = false;
+  bool activated_ = false;
+  bool overwritten_ = false;
+};
+
+}  // namespace onebit::fi

@@ -1,0 +1,214 @@
+#include "ir/builder.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace onebit::ir {
+
+std::uint32_t IRBuilder::createFunction(std::string name, Type returnType,
+                                        std::uint32_t numParams) {
+  Function f;
+  f.name = std::move(name);
+  f.returnType = returnType;
+  f.numParams = numParams;
+  f.numRegs = numParams;  // params occupy the first registers
+  mod_->functions.push_back(std::move(f));
+  fn_ = static_cast<std::uint32_t>(mod_->functions.size() - 1);
+  block_ = 0;
+  return fn_;
+}
+
+void IRBuilder::setFunction(std::uint32_t id) {
+  assert(id < mod_->functions.size());
+  fn_ = id;
+  block_ = 0;
+}
+
+std::uint32_t IRBuilder::createBlock(std::string name) {
+  fn().blocks.push_back(BasicBlock{std::move(name), {}});
+  return static_cast<std::uint32_t>(fn().blocks.size() - 1);
+}
+
+Reg IRBuilder::newReg() { return fn().numRegs++; }
+
+std::int64_t IRBuilder::allocFrame(std::int64_t bytes, std::int64_t align) {
+  auto& f = fn();
+  f.frameBytes = (f.frameBytes + align - 1) / align * align;
+  const std::int64_t offset = f.frameBytes;
+  f.frameBytes += bytes;
+  return offset;
+}
+
+Instr& IRBuilder::append(Instr instr) {
+  auto& blocks = fn().blocks;
+  assert(block_ < blocks.size());
+  blocks[block_].instrs.push_back(std::move(instr));
+  return blocks[block_].instrs.back();
+}
+
+Reg IRBuilder::emitBin(Opcode op, Operand a, Operand b, Type resultType) {
+  Instr in;
+  in.op = op;
+  in.type = resultType;
+  in.dest = newReg();
+  in.operands = {a, b};
+  return append(std::move(in)).dest;
+}
+
+Reg IRBuilder::emitUn(Opcode op, Operand a, Type resultType) {
+  Instr in;
+  in.op = op;
+  in.type = resultType;
+  in.dest = newReg();
+  in.operands = {a};
+  return append(std::move(in)).dest;
+}
+
+Reg IRBuilder::emitConst(std::uint64_t raw, Type t) {
+  Instr in;
+  in.op = Opcode::Const;
+  in.type = t;
+  in.dest = newReg();
+  in.imm = raw;
+  return append(std::move(in)).dest;
+}
+
+Reg IRBuilder::emitLoad(Operand addr, unsigned width, Type t) {
+  Instr in;
+  in.op = Opcode::Load;
+  in.type = t;
+  in.dest = newReg();
+  in.operands = {addr};
+  in.width = width;
+  return append(std::move(in)).dest;
+}
+
+void IRBuilder::emitStore(Operand addr, Operand value, unsigned width) {
+  Instr in;
+  in.op = Opcode::Store;
+  in.operands = {addr, value};
+  in.width = width;
+  append(std::move(in));
+}
+
+Reg IRBuilder::emitFrameAddr(std::int64_t offset) {
+  Instr in;
+  in.op = Opcode::FrameAddr;
+  in.type = Type::I64;
+  in.dest = newReg();
+  in.offset = offset;
+  return append(std::move(in)).dest;
+}
+
+void IRBuilder::emitBr(std::uint32_t block) {
+  Instr in;
+  in.op = Opcode::Br;
+  in.target0 = block;
+  append(std::move(in));
+}
+
+void IRBuilder::emitCondBr(Operand cond, std::uint32_t thenBlock,
+                           std::uint32_t elseBlock) {
+  Instr in;
+  in.op = Opcode::CondBr;
+  in.operands = {cond};
+  in.target0 = thenBlock;
+  in.target1 = elseBlock;
+  append(std::move(in));
+}
+
+Reg IRBuilder::emitCall(std::uint32_t callee, std::vector<Operand> args,
+                        Type retType) {
+  Instr in;
+  in.op = Opcode::Call;
+  in.type = retType;
+  in.callee = callee;
+  in.operands = std::move(args);
+  in.dest = retType == Type::Void ? kNoReg : newReg();
+  return append(std::move(in)).dest;
+}
+
+void IRBuilder::emitRetVoid() {
+  Instr in;
+  in.op = Opcode::Ret;
+  append(std::move(in));
+}
+
+void IRBuilder::emitRet(Operand value) {
+  Instr in;
+  in.op = Opcode::Ret;
+  in.operands = {value};
+  append(std::move(in));
+}
+
+Reg IRBuilder::emitIntrinsic(IntrinsicKind kind, std::vector<Operand> args) {
+  Instr in;
+  in.op = Opcode::Intrinsic;
+  in.type = Type::F64;
+  in.dest = newReg();
+  in.intrinsic = kind;
+  in.operands = std::move(args);
+  return append(std::move(in)).dest;
+}
+
+void IRBuilder::emitPrint(Operand value, PrintKind kind) {
+  Instr in;
+  in.op = Opcode::Print;
+  in.operands = {value};
+  in.printKind = kind;
+  append(std::move(in));
+}
+
+Reg IRBuilder::emitAlloc(Operand sizeBytes) {
+  Instr in;
+  in.op = Opcode::Alloc;
+  in.type = Type::I64;
+  in.dest = newReg();
+  in.operands = {sizeBytes};
+  return append(std::move(in)).dest;
+}
+
+void IRBuilder::emitAbort() {
+  Instr in;
+  in.op = Opcode::Abort;
+  append(std::move(in));
+}
+
+void IRBuilder::emitMoveInto(Reg dest, Operand src, Type t) {
+  Instr in;
+  in.op = Opcode::Move;
+  in.type = t;
+  in.dest = dest;
+  in.operands = {src};
+  append(std::move(in));
+}
+
+std::uint64_t IRBuilder::addGlobalBytes(const std::vector<std::uint8_t>& bytes) {
+  auto& data = mod_->globalData;
+  while (data.size() % 8 != 0) data.push_back(0);
+  const std::uint64_t addr = kGlobalBase + data.size();
+  data.insert(data.end(), bytes.begin(), bytes.end());
+  return addr;
+}
+
+std::uint64_t IRBuilder::addGlobalZeros(std::size_t bytes) {
+  auto& data = mod_->globalData;
+  while (data.size() % 8 != 0) data.push_back(0);
+  const std::uint64_t addr = kGlobalBase + data.size();
+  data.insert(data.end(), bytes, 0);
+  return addr;
+}
+
+std::uint64_t IRBuilder::addGlobalI64(const std::vector<std::int64_t>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * 8);
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return addGlobalBytes(bytes);
+}
+
+std::uint64_t IRBuilder::addGlobalF64(const std::vector<double>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * 8);
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return addGlobalBytes(bytes);
+}
+
+}  // namespace onebit::ir

@@ -1,0 +1,78 @@
+// IRBuilder — programmatic construction of onebit IR.
+//
+// Used by the MiniC code generator, by tests, and directly by library users
+// who want to subject hand-built kernels to fault injection (see
+// examples/custom_ir.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace onebit::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& mod) : mod_(&mod) {}
+
+  /// Create a function and make it current. Returns its id.
+  std::uint32_t createFunction(std::string name, Type returnType,
+                               std::uint32_t numParams);
+  void setFunction(std::uint32_t id);
+  [[nodiscard]] std::uint32_t currentFunction() const noexcept { return fn_; }
+
+  /// Create a block in the current function. Returns its id.
+  std::uint32_t createBlock(std::string name);
+  void setInsertBlock(std::uint32_t block) { block_ = block; }
+  [[nodiscard]] std::uint32_t insertBlock() const noexcept { return block_; }
+
+  /// Allocate a fresh virtual register.
+  Reg newReg();
+
+  /// Reserve `bytes` in the current function's frame; returns the offset.
+  std::int64_t allocFrame(std::int64_t bytes, std::int64_t align = 8);
+
+  // --- instruction emission (all append to the insert block) ---
+  Reg emitBin(Opcode op, Operand a, Operand b, Type resultType);
+  Reg emitUn(Opcode op, Operand a, Type resultType);
+  Reg emitConst(std::uint64_t raw, Type t);
+  Reg emitConstI(std::int64_t v) { return emitConst(fromI64(v), Type::I64); }
+  Reg emitConstF(double v) { return emitConst(fromF64(v), Type::F64); }
+  Reg emitLoad(Operand addr, unsigned width, Type t);
+  void emitStore(Operand addr, Operand value, unsigned width);
+  Reg emitFrameAddr(std::int64_t offset);
+  void emitBr(std::uint32_t block);
+  void emitCondBr(Operand cond, std::uint32_t thenBlock,
+                  std::uint32_t elseBlock);
+  Reg emitCall(std::uint32_t callee, std::vector<Operand> args, Type retType);
+  void emitRetVoid();
+  void emitRet(Operand value);
+  Reg emitIntrinsic(IntrinsicKind kind, std::vector<Operand> args);
+  void emitPrint(Operand value, PrintKind kind);
+  Reg emitAlloc(Operand sizeBytes);
+  void emitAbort();
+  /// Write `src` into an existing register (mutable-variable assignment).
+  void emitMoveInto(Reg dest, Operand src, Type t);
+
+  /// Append raw bytes to the module's global data segment (8-byte aligned);
+  /// returns the absolute address of the first byte.
+  std::uint64_t addGlobalBytes(const std::vector<std::uint8_t>& bytes);
+  /// Reserve zero-initialized global space; returns the absolute address.
+  std::uint64_t addGlobalZeros(std::size_t bytes);
+  /// Append an array of i64 values; returns the absolute address.
+  std::uint64_t addGlobalI64(const std::vector<std::int64_t>& values);
+  /// Append an array of f64 values; returns the absolute address.
+  std::uint64_t addGlobalF64(const std::vector<double>& values);
+
+ private:
+  Instr& append(Instr instr);
+  Function& fn() { return mod_->functions[fn_]; }
+
+  Module* mod_;
+  std::uint32_t fn_ = 0;
+  std::uint32_t block_ = 0;
+};
+
+}  // namespace onebit::ir

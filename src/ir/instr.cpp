@@ -1,0 +1,115 @@
+#include "ir/instr.hpp"
+
+namespace onebit::ir {
+
+std::string_view opcodeName(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmpEq: return "icmp.eq";
+    case Opcode::ICmpNe: return "icmp.ne";
+    case Opcode::ICmpLt: return "icmp.lt";
+    case Opcode::ICmpLe: return "icmp.le";
+    case Opcode::ICmpGt: return "icmp.gt";
+    case Opcode::ICmpGe: return "icmp.ge";
+    case Opcode::FCmpEq: return "fcmp.eq";
+    case Opcode::FCmpNe: return "fcmp.ne";
+    case Opcode::FCmpLt: return "fcmp.lt";
+    case Opcode::FCmpLe: return "fcmp.le";
+    case Opcode::FCmpGt: return "fcmp.gt";
+    case Opcode::FCmpGe: return "fcmp.ge";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::FrameAddr: return "frameaddr";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Call: return "call";
+    case Opcode::Ret: return "ret";
+    case Opcode::Const: return "const";
+    case Opcode::Move: return "move";
+    case Opcode::Intrinsic: return "intrinsic";
+    case Opcode::Print: return "print";
+    case Opcode::Alloc: return "alloc";
+    case Opcode::Abort: return "abort";
+  }
+  return "?";
+}
+
+std::string_view intrinsicName(IntrinsicKind k) noexcept {
+  switch (k) {
+    case IntrinsicKind::Sqrt: return "sqrt";
+    case IntrinsicKind::Sin: return "sin";
+    case IntrinsicKind::Cos: return "cos";
+    case IntrinsicKind::Tan: return "tan";
+    case IntrinsicKind::Atan: return "atan";
+    case IntrinsicKind::Exp: return "exp";
+    case IntrinsicKind::Log: return "log";
+    case IntrinsicKind::Fabs: return "fabs";
+    case IntrinsicKind::Floor: return "floor";
+    case IntrinsicKind::Ceil: return "ceil";
+    case IntrinsicKind::Pow: return "pow";
+    case IntrinsicKind::Atan2: return "atan2";
+  }
+  return "?";
+}
+
+int fixedOperandCount(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::SDiv:
+    case Opcode::SRem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+    case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+    case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv:
+    case Opcode::ICmpEq: case Opcode::ICmpNe: case Opcode::ICmpLt:
+    case Opcode::ICmpLe: case Opcode::ICmpGt: case Opcode::ICmpGe:
+    case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+    case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+    case Opcode::Store:
+      return 2;
+    case Opcode::SIToFP: case Opcode::FPToSI: case Opcode::Load:
+    case Opcode::CondBr: case Opcode::Move: case Opcode::Print:
+    case Opcode::Alloc:
+      return 1;
+    case Opcode::FrameAddr: case Opcode::Br: case Opcode::Const:
+    case Opcode::Abort:
+      return 0;
+    case Opcode::Intrinsic:
+      return -1;  // 1 or 2 depending on the intrinsic
+    case Opcode::Call:
+    case Opcode::Ret:
+      return -1;
+  }
+  return -1;
+}
+
+bool opcodeHasDest(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Store:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::Print:
+    case Opcode::Abort:
+      return false;
+    case Opcode::Call:
+      return true;  // may still be kNoReg for void calls
+    default:
+      return true;
+  }
+}
+
+}  // namespace onebit::ir

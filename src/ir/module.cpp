@@ -1,0 +1,19 @@
+#include "ir/module.hpp"
+
+namespace onebit::ir {
+
+const Function* Module::findFunction(std::string_view name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::uint32_t Module::functionId(std::string_view name) const {
+  for (std::uint32_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return i;
+  }
+  return 0xffffffffU;
+}
+
+}  // namespace onebit::ir

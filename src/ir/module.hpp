@@ -1,0 +1,55 @@
+// Module / Function / BasicBlock containers of the onebit IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+
+namespace onebit::ir {
+
+struct BasicBlock {
+  std::string name;
+  std::vector<Instr> instrs;
+};
+
+struct Function {
+  std::string name;
+  Type returnType = Type::Void;
+  std::uint32_t numParams = 0;   ///< params live in registers [0, numParams)
+  std::uint32_t numRegs = 0;     ///< size of the virtual register file
+  std::int64_t frameBytes = 0;   ///< stack frame size (local arrays/spills)
+  std::vector<BasicBlock> blocks;
+
+  [[nodiscard]] std::size_t instrCount() const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.instrs.size();
+    return n;
+  }
+};
+
+/// Memory layout constants shared between codegen and the VM.
+/// Address 0..kGlobalBase-1 is an intentional null-guard gap: any access
+/// there raises a segmentation fault, mimicking an unmapped first page.
+inline constexpr std::uint64_t kGlobalBase = 0x10000;      // 64 KiB
+inline constexpr std::uint64_t kStackBase = 0x40000000;    // 1 GiB mark
+inline constexpr std::uint64_t kHeapBase = 0x80000000;     // 2 GiB mark
+
+struct Module {
+  std::vector<Function> functions;
+  std::uint32_t entry = 0;  ///< index of the entry function ("main")
+  /// Initial image of the global data segment, mapped at kGlobalBase.
+  std::vector<std::uint8_t> globalData;
+
+  [[nodiscard]] const Function* findFunction(std::string_view name) const;
+  [[nodiscard]] std::uint32_t functionId(std::string_view name) const;
+
+  [[nodiscard]] std::size_t instrCount() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : functions) n += f.instrCount();
+    return n;
+  }
+};
+
+}  // namespace onebit::ir

@@ -1,0 +1,77 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace onebit::ir {
+
+namespace {
+void printOperand(std::ostream& out, const Operand& op, Type t) {
+  if (op.isReg()) {
+    out << "%r" << op.reg;
+  } else if (t == Type::F64) {
+    out << asF64(op.imm);
+  } else {
+    out << asI64(op.imm);
+  }
+}
+}  // namespace
+
+std::string printInstr(const Instr& in) {
+  std::ostringstream out;
+  if (in.hasDest()) out << "%r" << in.dest << " = ";
+  out << opcodeName(in.op);
+  if (in.op == Opcode::Intrinsic) out << '.' << intrinsicName(in.intrinsic);
+  if (in.op == Opcode::Load || in.op == Opcode::Store) out << 'w' << in.width;
+  if (in.op == Opcode::Const) {
+    out << ' ';
+    if (in.type == Type::F64) out << asF64(in.imm);
+    else out << asI64(in.imm);
+  }
+  if (in.op == Opcode::FrameAddr) out << " +" << in.offset;
+  if (in.op == Opcode::Call) out << " @f" << in.callee;
+  for (std::size_t i = 0; i < in.operands.size(); ++i) {
+    out << (i == 0 ? " " : ", ");
+    // Operand type: comparisons/fp ops read according to opcode; printing
+    // uses the instruction result type as an approximation, which is enough
+    // for debugging output.
+    const Type t = (in.op == Opcode::FAdd || in.op == Opcode::FSub ||
+                    in.op == Opcode::FMul || in.op == Opcode::FDiv ||
+                    in.op == Opcode::Intrinsic || in.op == Opcode::FPToSI)
+                       ? Type::F64
+                       : Type::I64;
+    printOperand(out, in.operands[i], t);
+  }
+  if (in.op == Opcode::Br) out << " ->bb" << in.target0;
+  if (in.op == Opcode::CondBr)
+    out << " ->bb" << in.target0 << " / bb" << in.target1;
+  return out.str();
+}
+
+std::string printFunction(const Function& fn) {
+  std::ostringstream out;
+  out << "func @" << fn.name << '(' << fn.numParams << " params) -> "
+      << typeName(fn.returnType) << "  regs=" << fn.numRegs
+      << " frame=" << fn.frameBytes << "\n";
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    out << "bb" << b;
+    if (!fn.blocks[b].name.empty()) out << " (" << fn.blocks[b].name << ')';
+    out << ":\n";
+    for (const auto& in : fn.blocks[b].instrs) {
+      out << "  " << printInstr(in) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string printModule(const Module& mod) {
+  std::ostringstream out;
+  out << "module: " << mod.functions.size() << " functions, "
+      << mod.globalData.size() << " global bytes, entry @"
+      << (mod.entry < mod.functions.size() ? mod.functions[mod.entry].name
+                                           : std::string("?"))
+      << "\n\n";
+  for (const auto& fn : mod.functions) out << printFunction(fn) << '\n';
+  return out.str();
+}
+
+}  // namespace onebit::ir

@@ -1,0 +1,14 @@
+// Textual dump of onebit IR, for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace onebit::ir {
+
+std::string printInstr(const Instr& in);
+std::string printFunction(const Function& fn);
+std::string printModule(const Module& mod);
+
+}  // namespace onebit::ir

@@ -1,0 +1,28 @@
+#include "ir/type.hpp"
+
+#include <cstring>
+
+namespace onebit::ir {
+
+std::string_view typeName(Type t) noexcept {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I64: return "i64";
+    case Type::F64: return "f64";
+  }
+  return "?";
+}
+
+double asF64(std::uint64_t raw) noexcept {
+  double d;
+  std::memcpy(&d, &raw, sizeof d);
+  return d;
+}
+
+std::uint64_t fromF64(double v) noexcept {
+  std::uint64_t raw;
+  std::memcpy(&raw, &v, sizeof raw);
+  return raw;
+}
+
+}  // namespace onebit::ir

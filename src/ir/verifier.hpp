@@ -1,0 +1,25 @@
+// Structural verifier for onebit IR modules.
+//
+// Catches malformed IR produced by front ends or hand-built modules before
+// it reaches the interpreter: bad register/block/function indices, wrong
+// operand arity, missing terminators, type mismatches on prints/branches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace onebit::ir {
+
+struct VerifyError {
+  std::string message;
+};
+
+/// Returns all problems found (empty means the module is well formed).
+std::vector<VerifyError> verify(const Module& mod);
+
+/// Throws std::runtime_error listing problems if verification fails.
+void verifyOrThrow(const Module& mod);
+
+}  // namespace onebit::ir

@@ -1,0 +1,18 @@
+#include "lang/ast.hpp"
+
+namespace onebit::lang {
+
+std::string_view mtypeName(MType t) noexcept {
+  switch (t) {
+    case MType::Void: return "void";
+    case MType::Int: return "int";
+    case MType::Double: return "double";
+    case MType::Char: return "char";
+    case MType::PtrInt: return "int*";
+    case MType::PtrDouble: return "double*";
+    case MType::PtrChar: return "char*";
+  }
+  return "?";
+}
+
+}  // namespace onebit::lang

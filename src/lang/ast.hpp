@@ -1,0 +1,169 @@
+// Abstract syntax tree for MiniC.
+//
+// The tree is produced by the parser and annotated in place by sema
+// (types, symbol resolution, implicit casts) before code generation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/lexer.hpp"
+
+namespace onebit::lang {
+
+/// MiniC surface types. Pointers exist so arrays can be passed to functions;
+/// there is no address-of operator and no pointer arithmetic besides
+/// indexing.
+enum class MType : std::uint8_t {
+  Void, Int, Double, Char, PtrInt, PtrDouble, PtrChar,
+};
+
+constexpr bool isPtr(MType t) noexcept {
+  return t == MType::PtrInt || t == MType::PtrDouble || t == MType::PtrChar;
+}
+constexpr MType pointee(MType t) noexcept {
+  switch (t) {
+    case MType::PtrInt: return MType::Int;
+    case MType::PtrDouble: return MType::Double;
+    case MType::PtrChar: return MType::Char;
+    default: return MType::Void;
+  }
+}
+constexpr MType ptrTo(MType t) noexcept {
+  switch (t) {
+    case MType::Int: return MType::PtrInt;
+    case MType::Double: return MType::PtrDouble;
+    case MType::Char: return MType::PtrChar;
+    default: return MType::Void;
+  }
+}
+/// Byte width of one element of this (element) type in memory.
+constexpr unsigned memWidth(MType t) noexcept {
+  return t == MType::Char ? 1U : 8U;
+}
+std::string_view mtypeName(MType t) noexcept;
+
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, StrLit, Ident, Unary, Binary, Assign, Ternary, Call,
+  Index, Cast, PostIncDec,
+};
+
+/// How an identifier resolved (filled in by sema).
+enum class SymKind : std::uint8_t { None, Local, Param, Global, Func, Builtin };
+
+enum class Builtin : std::uint8_t {
+  None,
+  PrintI, PrintF, PrintC, PrintS,
+  Sqrt, Sin, Cos, Tan, Atan, Atan2, Exp, Log, Pow, Fabs, Floor, Ceil,
+  AllocInt, AllocDouble, AllocChar,
+  Abort,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  int col = 0;
+  MType type = MType::Void;  ///< result type; set by sema
+
+  // literals
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  std::string strValue;
+
+  // identifier / call target
+  std::string name;
+  SymKind symKind = SymKind::None;
+  std::uint32_t symIndex = 0;  ///< local id / param index / global id / func id
+  Builtin builtin = Builtin::None;
+
+  Tok op = Tok::End;           ///< operator for Unary/Binary/Assign/PostIncDec
+  MType castType = MType::Void;
+
+  std::unique_ptr<Expr> lhs;   ///< also: operand of Unary/Cast/PostIncDec
+  std::unique_ptr<Expr> rhs;
+  std::unique_ptr<Expr> cond;  ///< ternary condition
+  std::vector<std::unique_ptr<Expr>> args;
+
+  Expr(ExprKind k, int ln, int cl) : kind(k), line(ln), col(cl) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Block, If, While, For, Return, Break, Continue, VarDecl, ExprStmt,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  int col = 0;
+
+  std::vector<std::unique_ptr<Stmt>> body;  ///< Block
+  ExprPtr cond;                             ///< If / While / For / Return value
+  ExprPtr expr;                             ///< ExprStmt
+  std::unique_ptr<Stmt> thenStmt;
+  std::unique_ptr<Stmt> elseStmt;
+  std::unique_ptr<Stmt> forInit;
+  std::unique_ptr<Stmt> forStep;
+  std::unique_ptr<Stmt> loopBody;
+
+  // VarDecl
+  MType declType = MType::Void;
+  std::string name;
+  std::int64_t arraySize = -1;  ///< -1: scalar; >=0: local array length
+  ExprPtr init;
+  std::uint32_t localId = 0;  ///< set by sema
+
+  Stmt(StmtKind k, int ln, int cl) : kind(k), line(ln), col(cl) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+
+struct GlobalDecl {
+  MType type = MType::Int;      ///< element type for arrays
+  std::string name;
+  std::int64_t arraySize = -1;  ///< -1: scalar
+  std::vector<ExprPtr> init;    ///< constant expressions
+  std::string strInit;          ///< for `char x[] = "..."`
+  bool hasStrInit = false;
+  int line = 0;
+  int col = 0;
+};
+
+struct ParamDecl {
+  MType type = MType::Int;
+  std::string name;
+};
+
+/// Per-local metadata recorded by sema (indexed by Stmt::localId).
+struct LocalInfo {
+  MType type = MType::Int;
+  std::int64_t arraySize = -1;  ///< -1: scalar
+};
+
+struct FuncDecl {
+  MType returnType = MType::Void;
+  std::string name;
+  std::vector<ParamDecl> params;
+  StmtPtr body;
+  int line = 0;
+  int col = 0;
+
+  // sema-assigned
+  std::vector<LocalInfo> locals;
+};
+
+struct Program {
+  std::vector<GlobalDecl> globals;
+  std::vector<FuncDecl> funcs;
+};
+
+}  // namespace onebit::lang

@@ -1,0 +1,827 @@
+#include "lang/codegen.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+#include "ir/builder.hpp"
+
+namespace onebit::lang {
+
+namespace {
+
+using ir::Opcode;
+using ir::Operand;
+using ir::PrintKind;
+using ir::Reg;
+
+ir::Type irType(MType t) {
+  if (t == MType::Double) return ir::Type::F64;
+  if (t == MType::Void) return ir::Type::Void;
+  return ir::Type::I64;
+}
+
+/// A typed rvalue: an IR operand plus its MiniC type.
+struct RVal {
+  Operand op;
+  MType type = MType::Int;
+};
+
+/// Compile-time constant value (for global initializers).
+struct CV {
+  bool isF = false;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  [[nodiscard]] double asF() const { return isF ? f : static_cast<double>(i); }
+  [[nodiscard]] std::int64_t asI() const {
+    return isF ? static_cast<std::int64_t>(f) : i;
+  }
+};
+
+CV foldConst(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return {false, e.intValue, 0.0};
+    case ExprKind::FloatLit:
+      return {true, 0, e.floatValue};
+    case ExprKind::Unary: {
+      CV v = foldConst(*e.lhs);
+      if (e.op == Tok::Minus) {
+        if (v.isF) v.f = -v.f;
+        else v.i = -v.i;
+      } else if (e.op == Tok::Tilde) {
+        v.i = ~v.asI();
+        v.isF = false;
+      }
+      return v;
+    }
+    case ExprKind::Cast: {
+      CV v = foldConst(*e.lhs);
+      if (e.castType == MType::Double) return {true, 0, v.asF()};
+      CV out{false, v.asI(), 0.0};
+      if (e.castType == MType::Char) out.i &= 0xff;
+      return out;
+    }
+    case ExprKind::Binary: {
+      const CV a = foldConst(*e.lhs);
+      const CV b = foldConst(*e.rhs);
+      const bool f = a.isF || b.isF;
+      if (f) {
+        const double x = a.asF();
+        const double y = b.asF();
+        switch (e.op) {
+          case Tok::Plus: return {true, 0, x + y};
+          case Tok::Minus: return {true, 0, x - y};
+          case Tok::Star: return {true, 0, x * y};
+          case Tok::Slash: return {true, 0, x / y};
+          default:
+            throw CompileError("bad float constant operator", e.line, e.col);
+        }
+      }
+      const std::int64_t x = a.i;
+      const std::int64_t y = b.i;
+      switch (e.op) {
+        case Tok::Plus: return {false, x + y, 0.0};
+        case Tok::Minus: return {false, x - y, 0.0};
+        case Tok::Star: return {false, x * y, 0.0};
+        case Tok::Slash:
+          if (y == 0) throw CompileError("constant division by zero", e.line, e.col);
+          return {false, x / y, 0.0};
+        case Tok::Percent:
+          if (y == 0) throw CompileError("constant modulo by zero", e.line, e.col);
+          return {false, x % y, 0.0};
+        case Tok::Shl: return {false, static_cast<std::int64_t>(
+                                          static_cast<std::uint64_t>(x)
+                                          << (y & 63)),
+                               0.0};
+        case Tok::Shr: return {false, x >> (y & 63), 0.0};
+        case Tok::Amp: return {false, x & y, 0.0};
+        case Tok::Pipe: return {false, x | y, 0.0};
+        case Tok::Caret: return {false, x ^ y, 0.0};
+        default:
+          throw CompileError("bad integer constant operator", e.line, e.col);
+      }
+    }
+    default:
+      throw CompileError("not a constant expression", e.line, e.col);
+  }
+}
+
+class FunctionCodegen;
+
+class ModuleCodegen {
+ public:
+  explicit ModuleCodegen(const Program& prog) : prog_(prog), builder_(mod_) {}
+
+  ir::Module run();
+
+  const Program& prog() const { return prog_; }
+  ir::IRBuilder& builder() { return builder_; }
+  std::uint64_t globalAddr(std::uint32_t index) const {
+    return globalAddr_[index];
+  }
+
+ private:
+  void layoutGlobals();
+
+  const Program& prog_;
+  ir::Module mod_;
+  ir::IRBuilder builder_;
+  std::vector<std::uint64_t> globalAddr_;
+};
+
+/// Generates one function body.
+class FunctionCodegen {
+ public:
+  FunctionCodegen(ModuleCodegen& mc, const FuncDecl& fn)
+      : mc_(mc), b_(mc.builder()), fn_(fn) {}
+
+  void run() {
+    const std::uint32_t entry = b_.createBlock("entry");
+    b_.setInsertBlock(entry);
+    terminated_ = false;
+    genStmt(*fn_.body);
+    if (!terminated_) {
+      if (fn_.returnType == MType::Void) {
+        b_.emitRetVoid();
+      } else {
+        b_.emitRet(Operand::makeImm(0));
+      }
+    }
+  }
+
+ private:
+  // --- bookkeeping -------------------------------------------------------
+  struct LoopCtx {
+    std::uint32_t continueBlock;
+    std::uint32_t breakBlock;
+  };
+
+  /// Start a fresh block if the current one is already terminated (absorbs
+  /// statically unreachable code after return/break/continue).
+  void ensureOpenBlock() {
+    if (terminated_) {
+      const std::uint32_t bb = b_.createBlock("unreachable");
+      b_.setInsertBlock(bb);
+      terminated_ = false;
+    }
+  }
+
+  Reg localReg(std::uint32_t localId) {
+    const auto it = regOfLocal_.find(localId);
+    assert(it != regOfLocal_.end());
+    return it->second;
+  }
+
+  // --- truthiness --------------------------------------------------------
+  /// Produce an i64 operand that is nonzero iff `v` is "true".
+  Operand truthOperand(const RVal& v) {
+    if (v.type == MType::Double) {
+      const Reg r = b_.emitBin(Opcode::FCmpNe, v.op,
+                               Operand::makeImm(ir::fromF64(0.0)),
+                               ir::Type::I64);
+      return Operand::makeReg(r);
+    }
+    return v.op;
+  }
+
+  /// Produce a canonical 0/1 i64 value.
+  Operand boolOperand(const RVal& v) {
+    if (v.type == MType::Double) return truthOperand(v);
+    const Reg r = b_.emitBin(Opcode::ICmpNe, v.op, Operand::makeImm(0),
+                             ir::Type::I64);
+    return Operand::makeReg(r);
+  }
+
+  // --- lvalues ------------------------------------------------------------
+  /// Where an assignable expression lives.
+  struct LValue {
+    enum class Kind { LocalReg, GlobalMem, IndexedMem };
+    Kind kind = Kind::LocalReg;
+    Reg reg = ir::kNoReg;       ///< LocalReg
+    Operand addr;               ///< GlobalMem / IndexedMem: address operand
+    unsigned width = 8;         ///< memory access width
+    MType type = MType::Int;    ///< type of the stored value
+  };
+
+  LValue genLValue(const Expr& e) {
+    if (e.kind == ExprKind::Ident) {
+      if (e.symKind == SymKind::Param || e.symKind == SymKind::Local) {
+        LValue lv;
+        lv.kind = LValue::Kind::LocalReg;
+        lv.reg = e.symKind == SymKind::Param
+                     ? static_cast<Reg>(e.symIndex)
+                     : localReg(e.symIndex);
+        lv.type = e.type;
+        return lv;
+      }
+      assert(e.symKind == SymKind::Global);
+      const GlobalDecl& g = mc_.prog().globals[e.symIndex];
+      LValue lv;
+      lv.kind = LValue::Kind::GlobalMem;
+      lv.addr = Operand::makeImm(mc_.globalAddr(e.symIndex));
+      lv.width = memWidth(g.type);
+      lv.type = g.type;
+      return lv;
+    }
+    assert(e.kind == ExprKind::Index);
+    const RVal base = genExpr(*e.lhs);
+    const RVal idx = genExpr(*e.rhs);
+    const MType elem = pointee(e.lhs->type);
+    const unsigned width = memWidth(elem);
+    Operand addr;
+    if (width == 1) {
+      const Reg a = b_.emitBin(Opcode::Add, base.op, idx.op, ir::Type::I64);
+      addr = Operand::makeReg(a);
+    } else {
+      const Reg scaled = b_.emitBin(Opcode::Mul, idx.op, Operand::makeImm(8),
+                                    ir::Type::I64);
+      const Reg a = b_.emitBin(Opcode::Add, base.op, Operand::makeReg(scaled),
+                               ir::Type::I64);
+      addr = Operand::makeReg(a);
+    }
+    LValue lv;
+    lv.kind = LValue::Kind::IndexedMem;
+    lv.addr = addr;
+    lv.width = width;
+    lv.type = elem;
+    return lv;
+  }
+
+  RVal readLValue(const LValue& lv) {
+    if (lv.kind == LValue::Kind::LocalReg) {
+      return {Operand::makeReg(lv.reg), lv.type};
+    }
+    const Reg r = b_.emitLoad(lv.addr, lv.width, irType(lv.type));
+    return {Operand::makeReg(r), lv.type};
+  }
+
+  void writeLValue(const LValue& lv, RVal value) {
+    // Truncate to a byte when the destination is a char register; memory
+    // stores of width 1 truncate on their own.
+    if (lv.kind == LValue::Kind::LocalReg) {
+      Operand v = value.op;
+      if (lv.type == MType::Char) {
+        const Reg m = b_.emitBin(Opcode::And, v, Operand::makeImm(0xff),
+                                 ir::Type::I64);
+        v = Operand::makeReg(m);
+      }
+      b_.emitMoveInto(lv.reg, v, irType(lv.type));
+      return;
+    }
+    b_.emitStore(lv.addr, value.op, lv.width);
+  }
+
+  // --- conversions --------------------------------------------------------
+  RVal convert(RVal v, MType to) {
+    if (v.type == to) return v;
+    const bool fromF = v.type == MType::Double;
+    const bool toF = to == MType::Double;
+    if (fromF && !toF) {
+      Reg r = b_.emitUn(Opcode::FPToSI, v.op, ir::Type::I64);
+      if (to == MType::Char) {
+        r = b_.emitBin(Opcode::And, Operand::makeReg(r), Operand::makeImm(0xff),
+                       ir::Type::I64);
+      }
+      return {Operand::makeReg(r), to};
+    }
+    if (!fromF && toF) {
+      const Reg r = b_.emitUn(Opcode::SIToFP, v.op, ir::Type::F64);
+      return {Operand::makeReg(r), to};
+    }
+    // int <-> char
+    if (to == MType::Char) {
+      const Reg r = b_.emitBin(Opcode::And, v.op, Operand::makeImm(0xff),
+                               ir::Type::I64);
+      return {Operand::makeReg(r), to};
+    }
+    return {v.op, to};  // char -> int: already zero-extended
+  }
+
+  // --- operators ----------------------------------------------------------
+  static Opcode arithOpcode(Tok op, bool isFloat, int line, int col) {
+    switch (op) {
+      case Tok::Plus: return isFloat ? Opcode::FAdd : Opcode::Add;
+      case Tok::Minus: return isFloat ? Opcode::FSub : Opcode::Sub;
+      case Tok::Star: return isFloat ? Opcode::FMul : Opcode::Mul;
+      case Tok::Slash: return isFloat ? Opcode::FDiv : Opcode::SDiv;
+      case Tok::Percent: return Opcode::SRem;
+      case Tok::Amp: return Opcode::And;
+      case Tok::Pipe: return Opcode::Or;
+      case Tok::Caret: return Opcode::Xor;
+      case Tok::Shl: return Opcode::Shl;
+      case Tok::Shr: return Opcode::AShr;
+      default:
+        throw CompileError("bad arithmetic operator", line, col);
+    }
+  }
+
+  static Opcode cmpOpcode(Tok op, bool isFloat) {
+    switch (op) {
+      case Tok::EqEq: return isFloat ? Opcode::FCmpEq : Opcode::ICmpEq;
+      case Tok::Ne: return isFloat ? Opcode::FCmpNe : Opcode::ICmpNe;
+      case Tok::Lt: return isFloat ? Opcode::FCmpLt : Opcode::ICmpLt;
+      case Tok::Le: return isFloat ? Opcode::FCmpLe : Opcode::ICmpLe;
+      case Tok::Gt: return isFloat ? Opcode::FCmpGt : Opcode::ICmpGt;
+      case Tok::Ge: return isFloat ? Opcode::FCmpGe : Opcode::ICmpGe;
+      default: return Opcode::ICmpEq;
+    }
+  }
+
+  /// Map a compound-assignment token to its underlying binary operator.
+  static Tok baseOp(Tok op) {
+    switch (op) {
+      case Tok::PlusEq: return Tok::Plus;
+      case Tok::MinusEq: return Tok::Minus;
+      case Tok::StarEq: return Tok::Star;
+      case Tok::SlashEq: return Tok::Slash;
+      case Tok::PercentEq: return Tok::Percent;
+      case Tok::AmpEq: return Tok::Amp;
+      case Tok::PipeEq: return Tok::Pipe;
+      case Tok::CaretEq: return Tok::Caret;
+      case Tok::ShlEq: return Tok::Shl;
+      case Tok::ShrEq: return Tok::Shr;
+      default: return Tok::End;
+    }
+  }
+
+  // --- expressions ----------------------------------------------------------
+  RVal genExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return {Operand::makeImm(ir::fromI64(e.intValue)), MType::Int};
+      case ExprKind::FloatLit:
+        return {Operand::makeImm(ir::fromF64(e.floatValue)), MType::Double};
+      case ExprKind::StrLit:
+        throw CompileError("unexpected string literal", e.line, e.col);
+      case ExprKind::Ident:
+        return genIdent(e);
+      case ExprKind::Unary:
+        return genUnary(e);
+      case ExprKind::Binary:
+        return genBinary(e);
+      case ExprKind::Assign:
+        return genAssign(e);
+      case ExprKind::Ternary:
+        return genTernary(e);
+      case ExprKind::Call:
+        return genCall(e);
+      case ExprKind::Index: {
+        const LValue lv = genLValue(e);
+        return readLValue(lv);
+      }
+      case ExprKind::Cast:
+        return convert(genExpr(*e.lhs), e.castType);
+      case ExprKind::PostIncDec: {
+        const LValue lv = genLValue(*e.lhs);
+        const RVal old = readLValue(lv);
+        // Snapshot the old value: for register lvalues `old.op` aliases the
+        // live register, which is about to be overwritten.
+        const Reg snapshot = b_.newReg();
+        b_.emitMoveInto(snapshot, old.op, irType(lv.type));
+        const Opcode op = e.op == Tok::PlusPlus ? Opcode::Add : Opcode::Sub;
+        const Reg next = b_.emitBin(op, Operand::makeReg(snapshot),
+                                    Operand::makeImm(1), ir::Type::I64);
+        writeLValue(lv, {Operand::makeReg(next), lv.type});
+        return {Operand::makeReg(snapshot), lv.type};
+      }
+    }
+    throw CompileError("unhandled expression", e.line, e.col);
+  }
+
+  RVal genIdent(const Expr& e) {
+    switch (e.symKind) {
+      case SymKind::Param:
+        return {Operand::makeReg(static_cast<Reg>(e.symIndex)), e.type};
+      case SymKind::Local: {
+        const LocalInfo& info =
+            fn_.locals[e.symIndex - fn_.params.size()];
+        if (info.arraySize >= 0) {
+          const Reg r = b_.emitFrameAddr(frameOfLocal_.at(e.symIndex));
+          return {Operand::makeReg(r), e.type};  // decayed pointer
+        }
+        return {Operand::makeReg(localReg(e.symIndex)), e.type};
+      }
+      case SymKind::Global: {
+        const GlobalDecl& g = mc_.prog().globals[e.symIndex];
+        const std::uint64_t addr = mc_.globalAddr(e.symIndex);
+        if (g.arraySize >= 0) {
+          return {Operand::makeImm(addr), e.type};  // decayed pointer
+        }
+        const Reg r = b_.emitLoad(Operand::makeImm(addr), memWidth(g.type),
+                                  irType(g.type));
+        return {Operand::makeReg(r), e.type};
+      }
+      default:
+        throw CompileError("unresolved identifier '" + e.name + "'", e.line,
+                           e.col);
+    }
+  }
+
+  RVal genUnary(const Expr& e) {
+    const RVal v = genExpr(*e.lhs);
+    switch (e.op) {
+      case Tok::Plus:
+        return v;
+      case Tok::Minus: {
+        if (v.type == MType::Double) {
+          const Reg r = b_.emitBin(Opcode::FSub,
+                                   Operand::makeImm(ir::fromF64(0.0)), v.op,
+                                   ir::Type::F64);
+          return {Operand::makeReg(r), MType::Double};
+        }
+        const Reg r =
+            b_.emitBin(Opcode::Sub, Operand::makeImm(0), v.op, ir::Type::I64);
+        return {Operand::makeReg(r), MType::Int};
+      }
+      case Tok::Tilde: {
+        const Reg r = b_.emitBin(Opcode::Xor, v.op,
+                                 Operand::makeImm(~0ULL), ir::Type::I64);
+        return {Operand::makeReg(r), MType::Int};
+      }
+      case Tok::Bang: {
+        if (v.type == MType::Double) {
+          const Reg r = b_.emitBin(Opcode::FCmpEq, v.op,
+                                   Operand::makeImm(ir::fromF64(0.0)),
+                                   ir::Type::I64);
+          return {Operand::makeReg(r), MType::Int};
+        }
+        const Reg r = b_.emitBin(Opcode::ICmpEq, v.op, Operand::makeImm(0),
+                                 ir::Type::I64);
+        return {Operand::makeReg(r), MType::Int};
+      }
+      default:
+        throw CompileError("bad unary operator", e.line, e.col);
+    }
+  }
+
+  RVal genBinary(const Expr& e) {
+    if (e.op == Tok::AmpAmp || e.op == Tok::PipePipe) {
+      return genShortCircuit(e);
+    }
+    const RVal l = genExpr(*e.lhs);
+    const RVal r = genExpr(*e.rhs);
+    switch (e.op) {
+      case Tok::EqEq: case Tok::Ne: case Tok::Lt: case Tok::Le:
+      case Tok::Gt: case Tok::Ge: {
+        const bool isFloat = e.lhs->type == MType::Double;
+        const Reg res =
+            b_.emitBin(cmpOpcode(e.op, isFloat), l.op, r.op, ir::Type::I64);
+        return {Operand::makeReg(res), MType::Int};
+      }
+      default: {
+        const bool isFloat = e.type == MType::Double;
+        const Opcode op = arithOpcode(e.op, isFloat, e.line, e.col);
+        const Reg res = b_.emitBin(op, l.op, r.op, irType(e.type));
+        return {Operand::makeReg(res), e.type};
+      }
+    }
+  }
+
+  RVal genShortCircuit(const Expr& e) {
+    // result = lhs ? (op == && ? bool(rhs) : 1) : (op == && ? 0 : bool(rhs))
+    const Reg result = b_.newReg();
+    const std::uint32_t rhsBlock = b_.createBlock("sc.rhs");
+    const std::uint32_t shortBlock = b_.createBlock("sc.short");
+    const std::uint32_t endBlock = b_.createBlock("sc.end");
+
+    const RVal l = genExpr(*e.lhs);
+    const Operand lt = truthOperand(l);
+    if (e.op == Tok::AmpAmp) {
+      b_.emitCondBr(lt, rhsBlock, shortBlock);
+    } else {
+      b_.emitCondBr(lt, shortBlock, rhsBlock);
+    }
+
+    b_.setInsertBlock(rhsBlock);
+    const RVal r = genExpr(*e.rhs);
+    const Operand rb = boolOperand(r);
+    b_.emitMoveInto(result, rb, ir::Type::I64);
+    b_.emitBr(endBlock);
+
+    b_.setInsertBlock(shortBlock);
+    const std::uint64_t shortVal = e.op == Tok::AmpAmp ? 0 : 1;
+    b_.emitMoveInto(result, Operand::makeImm(shortVal), ir::Type::I64);
+    b_.emitBr(endBlock);
+
+    b_.setInsertBlock(endBlock);
+    return {Operand::makeReg(result), MType::Int};
+  }
+
+  RVal genTernary(const Expr& e) {
+    const Reg result = b_.newReg();
+    const std::uint32_t thenBlock = b_.createBlock("sel.then");
+    const std::uint32_t elseBlock = b_.createBlock("sel.else");
+    const std::uint32_t endBlock = b_.createBlock("sel.end");
+
+    const RVal c = genExpr(*e.cond);
+    b_.emitCondBr(truthOperand(c), thenBlock, elseBlock);
+
+    b_.setInsertBlock(thenBlock);
+    const RVal tv = convert(genExpr(*e.lhs), e.type);
+    b_.emitMoveInto(result, tv.op, irType(e.type));
+    b_.emitBr(endBlock);
+
+    b_.setInsertBlock(elseBlock);
+    const RVal fv = convert(genExpr(*e.rhs), e.type);
+    b_.emitMoveInto(result, fv.op, irType(e.type));
+    b_.emitBr(endBlock);
+
+    b_.setInsertBlock(endBlock);
+    return {Operand::makeReg(result), e.type};
+  }
+
+  RVal genAssign(const Expr& e) {
+    if (e.op == Tok::Assign) {
+      const LValue lv = genLValue(*e.lhs);
+      const RVal rhs = genExpr(*e.rhs);
+      writeLValue(lv, rhs);
+      return {rhs.op, lv.type};
+    }
+    // Compound assignment: evaluate the address once.
+    const LValue lv = genLValue(*e.lhs);
+    RVal cur = readLValue(lv);
+    RVal rhs = genExpr(*e.rhs);
+    // sema set rhs to the operator type; bring cur there too.
+    const MType opType = rhs.type;
+    cur = convert(cur, opType);
+    const bool isFloat = opType == MType::Double;
+    const Opcode op = arithOpcode(baseOp(e.op), isFloat, e.line, e.col);
+    const Reg res = b_.emitBin(op, cur.op, rhs.op, irType(opType));
+    RVal value{Operand::makeReg(res), opType};
+    value = convert(value, lv.type);
+    writeLValue(lv, value);
+    return {value.op, lv.type};
+  }
+
+  RVal genCall(const Expr& e) {
+    if (e.symKind == SymKind::Builtin) return genBuiltin(e);
+    std::vector<Operand> args;
+    args.reserve(e.args.size());
+    for (const auto& a : e.args) args.push_back(genExpr(*a).op);
+    const Reg r = b_.emitCall(e.symIndex, std::move(args), irType(e.type));
+    return {e.type == MType::Void ? Operand::makeImm(0) : Operand::makeReg(r),
+            e.type};
+  }
+
+  RVal genBuiltin(const Expr& e) {
+    switch (e.builtin) {
+      case Builtin::PrintI: {
+        const RVal v = genExpr(*e.args[0]);
+        b_.emitPrint(v.op, PrintKind::I64);
+        return {Operand::makeImm(0), MType::Void};
+      }
+      case Builtin::PrintF: {
+        const RVal v = genExpr(*e.args[0]);
+        b_.emitPrint(v.op, PrintKind::F64);
+        return {Operand::makeImm(0), MType::Void};
+      }
+      case Builtin::PrintC: {
+        const RVal v = genExpr(*e.args[0]);
+        b_.emitPrint(v.op, PrintKind::Char);
+        return {Operand::makeImm(0), MType::Void};
+      }
+      case Builtin::PrintS: {
+        for (const char ch : e.args[0]->strValue) {
+          b_.emitPrint(Operand::makeImm(static_cast<unsigned char>(ch)),
+                       PrintKind::Char);
+        }
+        return {Operand::makeImm(0), MType::Void};
+      }
+      case Builtin::AllocInt:
+      case Builtin::AllocDouble:
+      case Builtin::AllocChar: {
+        const RVal n = genExpr(*e.args[0]);
+        Operand bytes = n.op;
+        if (e.builtin != Builtin::AllocChar) {
+          const Reg scaled =
+              b_.emitBin(Opcode::Mul, n.op, Operand::makeImm(8), ir::Type::I64);
+          bytes = Operand::makeReg(scaled);
+        }
+        const Reg r = b_.emitAlloc(bytes);
+        return {Operand::makeReg(r), e.type};
+      }
+      case Builtin::Abort:
+        b_.emitAbort();
+        return {Operand::makeImm(0), MType::Void};
+      default: {
+        // math intrinsics
+        ir::IntrinsicKind kind;
+        switch (e.builtin) {
+          case Builtin::Sqrt: kind = ir::IntrinsicKind::Sqrt; break;
+          case Builtin::Sin: kind = ir::IntrinsicKind::Sin; break;
+          case Builtin::Cos: kind = ir::IntrinsicKind::Cos; break;
+          case Builtin::Tan: kind = ir::IntrinsicKind::Tan; break;
+          case Builtin::Atan: kind = ir::IntrinsicKind::Atan; break;
+          case Builtin::Atan2: kind = ir::IntrinsicKind::Atan2; break;
+          case Builtin::Exp: kind = ir::IntrinsicKind::Exp; break;
+          case Builtin::Log: kind = ir::IntrinsicKind::Log; break;
+          case Builtin::Pow: kind = ir::IntrinsicKind::Pow; break;
+          case Builtin::Fabs: kind = ir::IntrinsicKind::Fabs; break;
+          case Builtin::Floor: kind = ir::IntrinsicKind::Floor; break;
+          case Builtin::Ceil: kind = ir::IntrinsicKind::Ceil; break;
+          default:
+            throw CompileError("unhandled builtin", e.line, e.col);
+        }
+        std::vector<Operand> args;
+        for (const auto& a : e.args) args.push_back(genExpr(*a).op);
+        const Reg r = b_.emitIntrinsic(kind, std::move(args));
+        return {Operand::makeReg(r), MType::Double};
+      }
+    }
+  }
+
+  // --- statements -----------------------------------------------------------
+  void genStmt(const Stmt& s) {
+    ensureOpenBlock();
+    switch (s.kind) {
+      case StmtKind::Block:
+        for (const auto& child : s.body) genStmt(*child);
+        return;
+      case StmtKind::If: {
+        const std::uint32_t thenBlock = b_.createBlock("if.then");
+        const std::uint32_t elseBlock =
+            s.elseStmt ? b_.createBlock("if.else") : 0;
+        const std::uint32_t endBlock = b_.createBlock("if.end");
+        const RVal c = genExpr(*s.cond);
+        b_.emitCondBr(truthOperand(c), thenBlock,
+                      s.elseStmt ? elseBlock : endBlock);
+        b_.setInsertBlock(thenBlock);
+        terminated_ = false;
+        genStmt(*s.thenStmt);
+        if (!terminated_) b_.emitBr(endBlock);
+        if (s.elseStmt) {
+          b_.setInsertBlock(elseBlock);
+          terminated_ = false;
+          genStmt(*s.elseStmt);
+          if (!terminated_) b_.emitBr(endBlock);
+        }
+        b_.setInsertBlock(endBlock);
+        terminated_ = false;
+        return;
+      }
+      case StmtKind::While: {
+        const std::uint32_t condBlock = b_.createBlock("while.cond");
+        const std::uint32_t bodyBlock = b_.createBlock("while.body");
+        const std::uint32_t endBlock = b_.createBlock("while.end");
+        b_.emitBr(condBlock);
+        b_.setInsertBlock(condBlock);
+        const RVal c = genExpr(*s.cond);
+        b_.emitCondBr(truthOperand(c), bodyBlock, endBlock);
+        loops_.push_back({condBlock, endBlock});
+        b_.setInsertBlock(bodyBlock);
+        terminated_ = false;
+        genStmt(*s.loopBody);
+        if (!terminated_) b_.emitBr(condBlock);
+        loops_.pop_back();
+        b_.setInsertBlock(endBlock);
+        terminated_ = false;
+        return;
+      }
+      case StmtKind::For: {
+        if (s.forInit) genStmt(*s.forInit);
+        const std::uint32_t condBlock = b_.createBlock("for.cond");
+        const std::uint32_t bodyBlock = b_.createBlock("for.body");
+        const std::uint32_t stepBlock = b_.createBlock("for.step");
+        const std::uint32_t endBlock = b_.createBlock("for.end");
+        b_.emitBr(condBlock);
+        b_.setInsertBlock(condBlock);
+        if (s.cond) {
+          const RVal c = genExpr(*s.cond);
+          b_.emitCondBr(truthOperand(c), bodyBlock, endBlock);
+        } else {
+          b_.emitBr(bodyBlock);
+        }
+        loops_.push_back({stepBlock, endBlock});
+        b_.setInsertBlock(bodyBlock);
+        terminated_ = false;
+        genStmt(*s.loopBody);
+        if (!terminated_) b_.emitBr(stepBlock);
+        loops_.pop_back();
+        b_.setInsertBlock(stepBlock);
+        terminated_ = false;
+        if (s.forStep) genStmt(*s.forStep);
+        if (!terminated_) b_.emitBr(condBlock);
+        b_.setInsertBlock(endBlock);
+        terminated_ = false;
+        return;
+      }
+      case StmtKind::Return:
+        if (s.cond) {
+          const RVal v = genExpr(*s.cond);
+          b_.emitRet(v.op);
+        } else {
+          b_.emitRetVoid();
+        }
+        terminated_ = true;
+        return;
+      case StmtKind::Break:
+        b_.emitBr(loops_.back().breakBlock);
+        terminated_ = true;
+        return;
+      case StmtKind::Continue:
+        b_.emitBr(loops_.back().continueBlock);
+        terminated_ = true;
+        return;
+      case StmtKind::VarDecl: {
+        const LocalInfo& info = fn_.locals[s.localId - fn_.params.size()];
+        if (info.arraySize >= 0) {
+          if (frameOfLocal_.find(s.localId) == frameOfLocal_.end()) {
+            const std::int64_t bytes =
+                info.arraySize * static_cast<std::int64_t>(memWidth(info.type));
+            frameOfLocal_[s.localId] = b_.allocFrame(bytes);
+          }
+          return;
+        }
+        Reg reg;
+        const auto it = regOfLocal_.find(s.localId);
+        if (it == regOfLocal_.end()) {
+          reg = b_.newReg();
+          regOfLocal_[s.localId] = reg;
+        } else {
+          reg = it->second;
+        }
+        if (s.init) {
+          const RVal v = genExpr(*s.init);
+          LValue lv;
+        lv.kind = LValue::Kind::LocalReg;
+          lv.reg = reg;
+          lv.type = info.type;
+          writeLValue(lv, v);
+        } else {
+          b_.emitMoveInto(reg, Operand::makeImm(0), irType(info.type));
+        }
+        return;
+      }
+      case StmtKind::ExprStmt:
+        genExpr(*s.expr);
+        return;
+    }
+  }
+
+  ModuleCodegen& mc_;
+  ir::IRBuilder& b_;
+  const FuncDecl& fn_;
+  bool terminated_ = false;
+  std::unordered_map<std::uint32_t, Reg> regOfLocal_;
+  std::unordered_map<std::uint32_t, std::int64_t> frameOfLocal_;
+  std::vector<LoopCtx> loops_;
+};
+
+void ModuleCodegen::layoutGlobals() {
+  globalAddr_.resize(prog_.globals.size());
+  for (std::size_t i = 0; i < prog_.globals.size(); ++i) {
+    const GlobalDecl& g = prog_.globals[i];
+    std::vector<std::uint8_t> bytes;
+    const unsigned width = memWidth(g.type);
+    const std::int64_t count = g.arraySize >= 0 ? g.arraySize : 1;
+    bytes.resize(static_cast<std::size_t>(count) * width, 0);
+
+    auto writeElem = [&](std::size_t idx, const CV& v) {
+      if (g.type == MType::Double) {
+        const double d = v.asF();
+        std::memcpy(bytes.data() + idx * 8, &d, 8);
+      } else if (g.type == MType::Char) {
+        bytes[idx] = static_cast<std::uint8_t>(v.asI() & 0xff);
+      } else {
+        const std::int64_t x = v.asI();
+        std::memcpy(bytes.data() + idx * 8, &x, 8);
+      }
+    };
+
+    if (g.hasStrInit) {
+      for (std::size_t k = 0; k < g.strInit.size() &&
+                              k < static_cast<std::size_t>(count);
+           ++k) {
+        bytes[k] = static_cast<std::uint8_t>(g.strInit[k]);
+      }
+    } else {
+      for (std::size_t k = 0; k < g.init.size(); ++k) {
+        writeElem(k, foldConst(*g.init[k]));
+      }
+    }
+    globalAddr_[i] = builder_.addGlobalBytes(bytes);
+  }
+}
+
+ir::Module ModuleCodegen::run() {
+  layoutGlobals();
+  // Create all functions first so calls can reference forward declarations.
+  for (const FuncDecl& fn : prog_.funcs) {
+    builder_.createFunction(fn.name, irType(fn.returnType),
+                            static_cast<std::uint32_t>(fn.params.size()));
+  }
+  for (std::uint32_t i = 0; i < prog_.funcs.size(); ++i) {
+    builder_.setFunction(i);
+    FunctionCodegen(*this, prog_.funcs[i]).run();
+  }
+  mod_.entry = mod_.functionId("main");
+  return std::move(mod_);
+}
+
+}  // namespace
+
+ir::Module codegen(const Program& prog) { return ModuleCodegen(prog).run(); }
+
+}  // namespace onebit::lang

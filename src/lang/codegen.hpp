@@ -1,0 +1,13 @@
+// MiniC -> onebit IR code generation.
+#pragma once
+
+#include "ir/module.hpp"
+#include "lang/ast.hpp"
+
+namespace onebit::lang {
+
+/// Generate IR for a sema-checked program. Throws CompileError on
+/// constant-expression problems (e.g. division by zero in a global init).
+ir::Module codegen(const Program& prog);
+
+}  // namespace onebit::lang

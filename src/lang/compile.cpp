@@ -1,0 +1,18 @@
+#include "lang/compile.hpp"
+
+#include "ir/verifier.hpp"
+#include "lang/codegen.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace onebit::lang {
+
+ir::Module compileMiniC(std::string_view source) {
+  Program prog = parse(source);
+  analyze(prog);
+  ir::Module mod = codegen(prog);
+  ir::verifyOrThrow(mod);
+  return mod;
+}
+
+}  // namespace onebit::lang

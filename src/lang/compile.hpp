@@ -1,0 +1,15 @@
+// One-call MiniC -> verified IR pipeline (parse, sema, codegen, verify).
+#pragma once
+
+#include <string_view>
+
+#include "ir/module.hpp"
+
+namespace onebit::lang {
+
+/// Compile MiniC source to a verified IR module.
+/// Throws CompileError (syntax/type errors) or std::runtime_error
+/// (verifier failures, which indicate a codegen bug).
+ir::Module compileMiniC(std::string_view source);
+
+}  // namespace onebit::lang

@@ -1,0 +1,61 @@
+// Lexer for MiniC, the small C-like language the benchmark programs are
+// written in (the repo's stand-in for C + clang in the paper's toolchain).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace onebit::lang {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  FloatLit,
+  CharLit,
+  StrLit,
+  // keywords
+  KwInt, KwDouble, KwChar, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+  KwBreak, KwContinue,
+  // punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Shl, Shr,
+  AmpAmp, PipePipe, Bang,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+  AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+  PlusPlus, MinusMinus,
+  Question, Colon,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;          ///< identifier / literal spelling
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  std::string strValue;      ///< decoded string literal
+  int line = 0;
+  int col = 0;
+};
+
+/// Error with source position; thrown by lexer/parser/sema.
+struct CompileError : std::runtime_error {
+  CompileError(const std::string& msg, int line, int col)
+      : std::runtime_error(msg + " (line " + std::to_string(line) + ", col " +
+                           std::to_string(col) + ")"),
+        line(line),
+        col(col) {}
+  int line;
+  int col;
+};
+
+/// Tokenize the whole source. Throws CompileError on bad input.
+std::vector<Token> lex(std::string_view source);
+
+std::string_view tokName(Tok t) noexcept;
+
+}  // namespace onebit::lang

@@ -1,0 +1,429 @@
+#include "lang/parser.hpp"
+
+#include <utility>
+
+namespace onebit::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program parseProgram() {
+    Program prog;
+    while (!at(Tok::End)) {
+      parseTopLevel(prog);
+    }
+    return prog;
+  }
+
+ private:
+  // --- token helpers ---
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& peek(std::size_t n = 1) const {
+    const std::size_t i = pos_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  [[nodiscard]] bool at(Tok k) const { return cur().kind == k; }
+  Token advance() { return toks_[pos_++]; }
+  bool match(Tok k) {
+    if (at(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) {
+      throw CompileError(std::string("expected ") + what + ", got '" +
+                             std::string(tokName(cur().kind)) + "'",
+                         cur().line, cur().col);
+    }
+    return advance();
+  }
+
+  [[nodiscard]] bool atType() const {
+    return at(Tok::KwInt) || at(Tok::KwDouble) || at(Tok::KwChar) ||
+           at(Tok::KwVoid);
+  }
+
+  MType parseType() {
+    MType base;
+    if (match(Tok::KwInt)) base = MType::Int;
+    else if (match(Tok::KwDouble)) base = MType::Double;
+    else if (match(Tok::KwChar)) base = MType::Char;
+    else if (match(Tok::KwVoid)) base = MType::Void;
+    else
+      throw CompileError("expected type", cur().line, cur().col);
+    if (match(Tok::Star)) {
+      if (base == MType::Void)
+        throw CompileError("void* is not supported", cur().line, cur().col);
+      return ptrTo(base);
+    }
+    return base;
+  }
+
+  // --- top level ---
+  void parseTopLevel(Program& prog) {
+    const int line = cur().line;
+    const int col = cur().col;
+    const MType type = parseType();
+    Token name = expect(Tok::Ident, "identifier");
+
+    if (at(Tok::LParen)) {
+      prog.funcs.push_back(parseFunctionRest(type, std::move(name), line, col));
+      return;
+    }
+    // Global variable / array.
+    GlobalDecl g;
+    g.type = type;
+    g.name = name.text;
+    g.line = line;
+    g.col = col;
+    if (type == MType::Void || isPtr(type)) {
+      throw CompileError("global must have scalar or array object type", line,
+                         col);
+    }
+    if (match(Tok::LBracket)) {
+      if (at(Tok::RBracket)) {
+        // size inferred from the initializer
+        advance();
+        g.arraySize = -2;  // placeholder: fix after reading init
+      } else {
+        Token sz = expect(Tok::IntLit, "array size");
+        g.arraySize = sz.intValue;
+        expect(Tok::RBracket, "]");
+      }
+    }
+    if (match(Tok::Assign)) {
+      if (at(Tok::StrLit)) {
+        Token s = advance();
+        g.hasStrInit = true;
+        g.strInit = s.strValue;
+      } else if (match(Tok::LBrace)) {
+        if (!at(Tok::RBrace)) {
+          g.init.push_back(parseExpr());
+          while (match(Tok::Comma)) g.init.push_back(parseExpr());
+        }
+        expect(Tok::RBrace, "}");
+      } else {
+        g.init.push_back(parseExpr());
+      }
+    }
+    if (g.arraySize == -2) {
+      if (g.hasStrInit) {
+        g.arraySize = static_cast<std::int64_t>(g.strInit.size()) + 1;
+      } else if (!g.init.empty()) {
+        g.arraySize = static_cast<std::int64_t>(g.init.size());
+      } else {
+        throw CompileError("cannot infer array size without initializer", line,
+                           col);
+      }
+    }
+    expect(Tok::Semi, ";");
+    prog.globals.push_back(std::move(g));
+  }
+
+  FuncDecl parseFunctionRest(MType retType, Token name, int line, int col) {
+    FuncDecl fn;
+    fn.returnType = retType;
+    fn.name = name.text;
+    fn.line = line;
+    fn.col = col;
+    expect(Tok::LParen, "(");
+    if (!at(Tok::RParen)) {
+      do {
+        if (at(Tok::KwVoid) && peek().kind == Tok::RParen) {
+          advance();  // f(void)
+          break;
+        }
+        ParamDecl p;
+        p.type = parseType();
+        Token pn = expect(Tok::Ident, "parameter name");
+        p.name = pn.text;
+        // `int a[]` parameter syntax -> pointer
+        if (match(Tok::LBracket)) {
+          expect(Tok::RBracket, "]");
+          if (isPtr(p.type))
+            throw CompileError("array of pointers parameter", pn.line, pn.col);
+          p.type = ptrTo(p.type);
+        }
+        fn.params.push_back(std::move(p));
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, ")");
+    fn.body = parseBlock();
+    return fn;
+  }
+
+  // --- statements ---
+  StmtPtr parseBlock() {
+    Token open = expect(Tok::LBrace, "{");
+    auto block = std::make_unique<Stmt>(StmtKind::Block, open.line, open.col);
+    while (!at(Tok::RBrace)) {
+      if (at(Tok::End))
+        throw CompileError("unterminated block", open.line, open.col);
+      block->body.push_back(parseStmt());
+    }
+    advance();
+    return block;
+  }
+
+  StmtPtr parseStmt() {
+    const int line = cur().line;
+    const int col = cur().col;
+
+    if (at(Tok::LBrace)) return parseBlock();
+
+    if (match(Tok::KwIf)) {
+      auto s = std::make_unique<Stmt>(StmtKind::If, line, col);
+      expect(Tok::LParen, "(");
+      s->cond = parseExpr();
+      expect(Tok::RParen, ")");
+      s->thenStmt = parseStmt();
+      if (match(Tok::KwElse)) s->elseStmt = parseStmt();
+      return s;
+    }
+    if (match(Tok::KwWhile)) {
+      auto s = std::make_unique<Stmt>(StmtKind::While, line, col);
+      expect(Tok::LParen, "(");
+      s->cond = parseExpr();
+      expect(Tok::RParen, ")");
+      s->loopBody = parseStmt();
+      return s;
+    }
+    if (match(Tok::KwFor)) {
+      auto s = std::make_unique<Stmt>(StmtKind::For, line, col);
+      expect(Tok::LParen, "(");
+      if (!at(Tok::Semi)) s->forInit = parseSimpleStmt();
+      expect(Tok::Semi, ";");
+      if (!at(Tok::Semi)) s->cond = parseExpr();
+      expect(Tok::Semi, ";");
+      if (!at(Tok::RParen)) s->forStep = parseSimpleStmt();
+      expect(Tok::RParen, ")");
+      s->loopBody = parseStmt();
+      return s;
+    }
+    if (match(Tok::KwReturn)) {
+      auto s = std::make_unique<Stmt>(StmtKind::Return, line, col);
+      if (!at(Tok::Semi)) s->cond = parseExpr();
+      expect(Tok::Semi, ";");
+      return s;
+    }
+    if (match(Tok::KwBreak)) {
+      expect(Tok::Semi, ";");
+      return std::make_unique<Stmt>(StmtKind::Break, line, col);
+    }
+    if (match(Tok::KwContinue)) {
+      expect(Tok::Semi, ";");
+      return std::make_unique<Stmt>(StmtKind::Continue, line, col);
+    }
+    StmtPtr s = parseSimpleStmt();
+    expect(Tok::Semi, ";");
+    return s;
+  }
+
+  /// A declaration or expression statement without the trailing semicolon
+  /// (used directly by `for` clauses).
+  StmtPtr parseSimpleStmt() {
+    const int line = cur().line;
+    const int col = cur().col;
+    if (atType()) {
+      auto s = std::make_unique<Stmt>(StmtKind::VarDecl, line, col);
+      s->declType = parseType();
+      Token name = expect(Tok::Ident, "variable name");
+      s->name = name.text;
+      if (match(Tok::LBracket)) {
+        Token sz = expect(Tok::IntLit, "array size");
+        s->arraySize = sz.intValue;
+        expect(Tok::RBracket, "]");
+      } else if (match(Tok::Assign)) {
+        s->init = parseExpr();
+      }
+      return s;
+    }
+    auto s = std::make_unique<Stmt>(StmtKind::ExprStmt, line, col);
+    s->expr = parseExpr();
+    return s;
+  }
+
+  // --- expressions (precedence climbing) ---
+  ExprPtr parseExpr() { return parseAssign(); }
+
+  ExprPtr parseAssign() {
+    ExprPtr lhs = parseTernary();
+    switch (cur().kind) {
+      case Tok::Assign: case Tok::PlusEq: case Tok::MinusEq: case Tok::StarEq:
+      case Tok::SlashEq: case Tok::PercentEq: case Tok::AmpEq:
+      case Tok::PipeEq: case Tok::CaretEq: case Tok::ShlEq: case Tok::ShrEq: {
+        Token op = advance();
+        auto e = std::make_unique<Expr>(ExprKind::Assign, op.line, op.col);
+        e->op = op.kind;
+        e->lhs = std::move(lhs);
+        e->rhs = parseAssign();  // right associative
+        return e;
+      }
+      default:
+        return lhs;
+    }
+  }
+
+  ExprPtr parseTernary() {
+    ExprPtr c = parseBinary(0);
+    if (!at(Tok::Question)) return c;
+    Token q = advance();
+    auto e = std::make_unique<Expr>(ExprKind::Ternary, q.line, q.col);
+    e->cond = std::move(c);
+    e->lhs = parseExpr();
+    expect(Tok::Colon, ":");
+    e->rhs = parseTernary();
+    return e;
+  }
+
+  static int precedence(Tok k) {
+    switch (k) {
+      case Tok::PipePipe: return 1;
+      case Tok::AmpAmp: return 2;
+      case Tok::Pipe: return 3;
+      case Tok::Caret: return 4;
+      case Tok::Amp: return 5;
+      case Tok::EqEq: case Tok::Ne: return 6;
+      case Tok::Lt: case Tok::Le: case Tok::Gt: case Tok::Ge: return 7;
+      case Tok::Shl: case Tok::Shr: return 8;
+      case Tok::Plus: case Tok::Minus: return 9;
+      case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+      default: return -1;
+    }
+  }
+
+  ExprPtr parseBinary(int minPrec) {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      const int prec = precedence(cur().kind);
+      if (prec < minPrec || prec < 0) return lhs;
+      Token op = advance();
+      ExprPtr rhs = parseBinary(prec + 1);
+      auto e = std::make_unique<Expr>(ExprKind::Binary, op.line, op.col);
+      e->op = op.kind;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    const Token& t = cur();
+    if (t.kind == Tok::Minus || t.kind == Tok::Bang || t.kind == Tok::Tilde ||
+        t.kind == Tok::Plus) {
+      Token op = advance();
+      auto e = std::make_unique<Expr>(ExprKind::Unary, op.line, op.col);
+      e->op = op.kind;
+      e->lhs = parseUnary();
+      return e;
+    }
+    // Cast: '(' type ')' unary  — only when '(' is followed by a type.
+    if (t.kind == Tok::LParen &&
+        (peek().kind == Tok::KwInt || peek().kind == Tok::KwDouble ||
+         peek().kind == Tok::KwChar)) {
+      Token open = advance();
+      auto e = std::make_unique<Expr>(ExprKind::Cast, open.line, open.col);
+      e->castType = parseType();
+      expect(Tok::RParen, ")");
+      e->lhs = parseUnary();
+      return e;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr e = parsePrimary();
+    for (;;) {
+      if (at(Tok::LBracket)) {
+        Token open = advance();
+        auto idx = std::make_unique<Expr>(ExprKind::Index, open.line, open.col);
+        idx->lhs = std::move(e);
+        idx->rhs = parseExpr();
+        expect(Tok::RBracket, "]");
+        e = std::move(idx);
+      } else if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+        Token op = advance();
+        auto p = std::make_unique<Expr>(ExprKind::PostIncDec, op.line, op.col);
+        p->op = op.kind;
+        p->lhs = std::move(e);
+        e = std::move(p);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& t = cur();
+    switch (t.kind) {
+      case Tok::IntLit: {
+        Token lit = advance();
+        auto e = std::make_unique<Expr>(ExprKind::IntLit, lit.line, lit.col);
+        e->intValue = lit.intValue;
+        return e;
+      }
+      case Tok::CharLit: {
+        Token lit = advance();
+        auto e = std::make_unique<Expr>(ExprKind::IntLit, lit.line, lit.col);
+        e->intValue = lit.intValue;
+        return e;
+      }
+      case Tok::FloatLit: {
+        Token lit = advance();
+        auto e = std::make_unique<Expr>(ExprKind::FloatLit, lit.line, lit.col);
+        e->floatValue = lit.floatValue;
+        return e;
+      }
+      case Tok::StrLit: {
+        Token lit = advance();
+        auto e = std::make_unique<Expr>(ExprKind::StrLit, lit.line, lit.col);
+        e->strValue = lit.strValue;
+        return e;
+      }
+      case Tok::Ident: {
+        Token id = advance();
+        if (at(Tok::LParen)) {
+          advance();
+          auto call = std::make_unique<Expr>(ExprKind::Call, id.line, id.col);
+          call->name = id.text;
+          if (!at(Tok::RParen)) {
+            call->args.push_back(parseExpr());
+            while (match(Tok::Comma)) call->args.push_back(parseExpr());
+          }
+          expect(Tok::RParen, ")");
+          return call;
+        }
+        auto e = std::make_unique<Expr>(ExprKind::Ident, id.line, id.col);
+        e->name = id.text;
+        return e;
+      }
+      case Tok::LParen: {
+        advance();
+        ExprPtr e = parseExpr();
+        expect(Tok::RParen, ")");
+        return e;
+      }
+      default:
+        throw CompileError("expected expression, got '" +
+                               std::string(tokName(t.kind)) + "'",
+                           t.line, t.col);
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  Parser p(lex(source));
+  return p.parseProgram();
+}
+
+}  // namespace onebit::lang

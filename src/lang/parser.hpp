@@ -1,0 +1,13 @@
+// Recursive-descent parser for MiniC.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace onebit::lang {
+
+/// Parse a full translation unit. Throws CompileError on syntax errors.
+Program parse(std::string_view source);
+
+}  // namespace onebit::lang

@@ -1,0 +1,538 @@
+#include "lang/sema.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace onebit::lang {
+
+namespace {
+
+[[noreturn]] void err(const std::string& msg, int line, int col) {
+  throw CompileError(msg, line, col);
+}
+
+bool isArith(MType t) noexcept {
+  return t == MType::Int || t == MType::Double || t == MType::Char;
+}
+bool isIntish(MType t) noexcept {
+  return t == MType::Int || t == MType::Char;
+}
+bool isTruthy(MType t) noexcept { return isArith(t) || isPtr(t); }
+
+}  // namespace
+
+Builtin builtinByName(std::string_view name) noexcept {
+  static const std::unordered_map<std::string_view, Builtin> kMap = {
+      {"print_i", Builtin::PrintI},     {"print_f", Builtin::PrintF},
+      {"print_c", Builtin::PrintC},     {"print_s", Builtin::PrintS},
+      {"sqrt", Builtin::Sqrt},          {"sin", Builtin::Sin},
+      {"cos", Builtin::Cos},            {"tan", Builtin::Tan},
+      {"atan", Builtin::Atan},          {"atan2", Builtin::Atan2},
+      {"exp", Builtin::Exp},            {"log", Builtin::Log},
+      {"pow", Builtin::Pow},            {"fabs", Builtin::Fabs},
+      {"floor", Builtin::Floor},        {"ceil", Builtin::Ceil},
+      {"alloc_int", Builtin::AllocInt}, {"alloc_double", Builtin::AllocDouble},
+      {"alloc_char", Builtin::AllocChar}, {"abort", Builtin::Abort},
+  };
+  const auto it = kMap.find(name);
+  return it == kMap.end() ? Builtin::None : it->second;
+}
+
+BuiltinSig builtinSig(Builtin b) {
+  switch (b) {
+    case Builtin::PrintI: return {MType::Void, {MType::Int}};
+    case Builtin::PrintF: return {MType::Void, {MType::Double}};
+    case Builtin::PrintC: return {MType::Void, {MType::Int}};
+    case Builtin::PrintS: return {MType::Void, {}};  // string literal only
+    case Builtin::Sqrt: case Builtin::Sin: case Builtin::Cos:
+    case Builtin::Tan: case Builtin::Atan: case Builtin::Exp:
+    case Builtin::Log: case Builtin::Fabs: case Builtin::Floor:
+    case Builtin::Ceil:
+      return {MType::Double, {MType::Double}};
+    case Builtin::Pow: case Builtin::Atan2:
+      return {MType::Double, {MType::Double, MType::Double}};
+    case Builtin::AllocInt: return {MType::PtrInt, {MType::Int}};
+    case Builtin::AllocDouble: return {MType::PtrDouble, {MType::Int}};
+    case Builtin::AllocChar: return {MType::PtrChar, {MType::Int}};
+    case Builtin::Abort: return {MType::Void, {}};
+    case Builtin::None: break;
+  }
+  return {};
+}
+
+namespace {
+
+struct GlobalSym {
+  std::uint32_t index;
+  MType type;
+  std::int64_t arraySize;
+};
+
+struct LocalSym {
+  std::uint32_t id;
+  MType type;
+  std::int64_t arraySize;
+};
+
+class Sema {
+ public:
+  explicit Sema(Program& prog) : prog_(prog) {}
+
+  void run() {
+    collectGlobals();
+    collectFunctions();
+    const auto* mainIt = funcs_.find("main") != funcs_.end()
+                             ? &funcs_.at("main")
+                             : nullptr;
+    if (mainIt == nullptr) err("program has no main function", 1, 1);
+    const FuncDecl& mainFn = prog_.funcs[*mainIt];
+    if (!mainFn.params.empty())
+      err("main must take no parameters", mainFn.line, mainFn.col);
+    if (mainFn.returnType != MType::Int && mainFn.returnType != MType::Void)
+      err("main must return int or void", mainFn.line, mainFn.col);
+
+    for (auto& fn : prog_.funcs) checkFunction(fn);
+  }
+
+ private:
+  void collectGlobals() {
+    for (std::uint32_t i = 0; i < prog_.globals.size(); ++i) {
+      GlobalDecl& g = prog_.globals[i];
+      if (globals_.count(g.name) != 0)
+        err("duplicate global '" + g.name + "'", g.line, g.col);
+      if (builtinByName(g.name) != Builtin::None)
+        err("'" + g.name + "' shadows a builtin", g.line, g.col);
+      if (g.arraySize == 0)
+        err("zero-length array '" + g.name + "'", g.line, g.col);
+      if (g.hasStrInit && g.type != MType::Char)
+        err("string initializer requires char array", g.line, g.col);
+      if (g.arraySize < 0 && g.init.size() > 1)
+        err("scalar global with brace initializer list", g.line, g.col);
+      if (g.arraySize > 0 &&
+          static_cast<std::int64_t>(g.init.size()) > g.arraySize)
+        err("too many initializers for '" + g.name + "'", g.line, g.col);
+      // Initializer expressions are checked as constant expressions here
+      // (only literals / unary / binary / cast over literals).
+      for (auto& e : g.init) checkConstExpr(*e);
+      globals_[g.name] = GlobalSym{i, g.type, g.arraySize};
+    }
+  }
+
+  void collectFunctions() {
+    for (std::uint32_t i = 0; i < prog_.funcs.size(); ++i) {
+      FuncDecl& fn = prog_.funcs[i];
+      if (funcs_.count(fn.name) != 0)
+        err("duplicate function '" + fn.name + "'", fn.line, fn.col);
+      if (builtinByName(fn.name) != Builtin::None)
+        err("function '" + fn.name + "' shadows a builtin", fn.line, fn.col);
+      if (globals_.count(fn.name) != 0)
+        err("function '" + fn.name + "' shadows a global", fn.line, fn.col);
+      if (fn.params.size() > kMaxParams)
+        err("too many parameters (max 8)", fn.line, fn.col);
+      funcs_[fn.name] = i;
+    }
+  }
+
+  /// Constant-expression check for global initializers.
+  void checkConstExpr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = MType::Int;
+        return;
+      case ExprKind::FloatLit:
+        e.type = MType::Double;
+        return;
+      case ExprKind::Unary:
+        if (e.op != Tok::Minus && e.op != Tok::Tilde && e.op != Tok::Plus)
+          err("operator not allowed in constant expression", e.line, e.col);
+        checkConstExpr(*e.lhs);
+        e.type = e.lhs->type;
+        return;
+      case ExprKind::Binary:
+        checkConstExpr(*e.lhs);
+        checkConstExpr(*e.rhs);
+        e.type = (e.lhs->type == MType::Double || e.rhs->type == MType::Double)
+                     ? MType::Double
+                     : MType::Int;
+        return;
+      case ExprKind::Cast:
+        checkConstExpr(*e.lhs);
+        e.type = e.castType;
+        return;
+      default:
+        err("global initializer must be a constant expression", e.line, e.col);
+    }
+  }
+
+  // --- per function ---
+  void checkFunction(FuncDecl& fn) {
+    cur_ = &fn;
+    fn.locals.clear();
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (std::uint32_t i = 0; i < fn.params.size(); ++i) {
+      const ParamDecl& p = fn.params[i];
+      if (p.type == MType::Void)
+        err("void parameter", fn.line, fn.col);
+      if (scopes_.back().count(p.name) != 0)
+        err("duplicate parameter '" + p.name + "'", fn.line, fn.col);
+      scopes_.back()[p.name] = LocalSym{i, p.type, -1};
+    }
+    loopDepth_ = 0;
+    checkStmt(*fn.body);
+    scopes_.pop_back();
+    cur_ = nullptr;
+  }
+
+  LocalSym* lookupLocal(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  void checkStmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        scopes_.emplace_back();
+        for (auto& child : s.body) checkStmt(*child);
+        scopes_.pop_back();
+        return;
+      case StmtKind::If:
+        checkTruthy(*s.cond);
+        checkStmt(*s.thenStmt);
+        if (s.elseStmt) checkStmt(*s.elseStmt);
+        return;
+      case StmtKind::While:
+        checkTruthy(*s.cond);
+        ++loopDepth_;
+        checkStmt(*s.loopBody);
+        --loopDepth_;
+        return;
+      case StmtKind::For:
+        scopes_.emplace_back();  // for-init scope
+        if (s.forInit) checkStmt(*s.forInit);
+        if (s.cond) checkTruthy(*s.cond);
+        if (s.forStep) checkStmt(*s.forStep);
+        ++loopDepth_;
+        checkStmt(*s.loopBody);
+        --loopDepth_;
+        scopes_.pop_back();
+        return;
+      case StmtKind::Return: {
+        const MType want = cur_->returnType;
+        if (want == MType::Void) {
+          if (s.cond) err("void function returning a value", s.line, s.col);
+        } else {
+          if (!s.cond) err("non-void function must return a value", s.line, s.col);
+          checkExpr(*s.cond);
+          s.cond = coerce(std::move(s.cond), want);
+        }
+        return;
+      }
+      case StmtKind::Break:
+        if (loopDepth_ == 0) err("break outside loop", s.line, s.col);
+        return;
+      case StmtKind::Continue:
+        if (loopDepth_ == 0) err("continue outside loop", s.line, s.col);
+        return;
+      case StmtKind::VarDecl: {
+        if (s.declType == MType::Void)
+          err("void variable '" + s.name + "'", s.line, s.col);
+        if (scopes_.back().count(s.name) != 0)
+          err("redeclaration of '" + s.name + "'", s.line, s.col);
+        if (s.arraySize == 0)
+          err("zero-length array '" + s.name + "'", s.line, s.col);
+        if (s.arraySize > 0 && isPtr(s.declType))
+          err("array of pointers is not supported", s.line, s.col);
+        if (s.init) {
+          checkExpr(*s.init);
+          s.init = coerce(std::move(s.init), s.declType);
+        }
+        s.localId = static_cast<std::uint32_t>(cur_->locals.size()) +
+                    static_cast<std::uint32_t>(cur_->params.size());
+        cur_->locals.push_back(LocalInfo{s.declType, s.arraySize});
+        scopes_.back()[s.name] = LocalSym{s.localId, s.declType, s.arraySize};
+        return;
+      }
+      case StmtKind::ExprStmt:
+        checkExpr(*s.expr);
+        return;
+    }
+  }
+
+  void checkTruthy(Expr& e) {
+    checkExpr(e);
+    if (!isTruthy(e.type))
+      err("condition must be arithmetic or pointer", e.line, e.col);
+  }
+
+  /// Wrap e in an implicit cast to `to` when needed.
+  ExprPtr coerce(ExprPtr e, MType to) {
+    if (e->type == to) return e;
+    const MType from = e->type;
+    const bool arithOk = isArith(from) && isArith(to);
+    // Pointers convert to/from nothing implicitly (except identical).
+    if (!arithOk)
+      err("cannot convert " + std::string(mtypeName(from)) + " to " +
+              std::string(mtypeName(to)),
+          e->line, e->col);
+    auto cast = std::make_unique<Expr>(ExprKind::Cast, e->line, e->col);
+    cast->castType = to;
+    cast->type = to;
+    cast->lhs = std::move(e);
+    return cast;
+  }
+
+  MType unifyArith(Expr& e, ExprPtr& l, ExprPtr& r) {
+    if (!isArith(l->type) || !isArith(r->type))
+      err("operands must be arithmetic", e.line, e.col);
+    const MType t = (l->type == MType::Double || r->type == MType::Double)
+                        ? MType::Double
+                        : MType::Int;
+    l = coerce(std::move(l), t);
+    r = coerce(std::move(r), t);
+    return t;
+  }
+
+  void checkExpr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = MType::Int;
+        return;
+      case ExprKind::FloatLit:
+        e.type = MType::Double;
+        return;
+      case ExprKind::StrLit:
+        err("string literal outside print_s", e.line, e.col);
+        return;
+      case ExprKind::Ident: {
+        if (LocalSym* l = lookupLocal(e.name)) {
+          const bool isParam = l->id < cur_->params.size();
+          e.symKind = isParam ? SymKind::Param : SymKind::Local;
+          e.symIndex = l->id;
+          e.type = l->arraySize >= 0 ? ptrTo(l->type) : l->type;  // decay
+          return;
+        }
+        const auto g = globals_.find(e.name);
+        if (g != globals_.end()) {
+          e.symKind = SymKind::Global;
+          e.symIndex = g->second.index;
+          e.type = g->second.arraySize >= 0 ? ptrTo(g->second.type)
+                                            : g->second.type;
+          return;
+        }
+        err("use of undeclared identifier '" + e.name + "'", e.line, e.col);
+        return;
+      }
+      case ExprKind::Unary: {
+        checkExpr(*e.lhs);
+        switch (e.op) {
+          case Tok::Minus:
+          case Tok::Plus:
+            if (!isArith(e.lhs->type))
+              err("unary +/- requires arithmetic operand", e.line, e.col);
+            e.type = e.lhs->type == MType::Double ? MType::Double : MType::Int;
+            e.lhs = coerce(std::move(e.lhs), e.type);
+            return;
+          case Tok::Tilde:
+            if (!isIntish(e.lhs->type))
+              err("~ requires integer operand", e.line, e.col);
+            e.lhs = coerce(std::move(e.lhs), MType::Int);
+            e.type = MType::Int;
+            return;
+          case Tok::Bang:
+            if (!isTruthy(e.lhs->type))
+              err("! requires arithmetic or pointer operand", e.line, e.col);
+            e.type = MType::Int;
+            return;
+          default:
+            err("bad unary operator", e.line, e.col);
+        }
+        return;
+      }
+      case ExprKind::Binary: {
+        checkExpr(*e.lhs);
+        checkExpr(*e.rhs);
+        switch (e.op) {
+          case Tok::Plus: case Tok::Minus: case Tok::Star: case Tok::Slash:
+            e.type = unifyArith(e, e.lhs, e.rhs);
+            return;
+          case Tok::Percent: case Tok::Amp: case Tok::Pipe: case Tok::Caret:
+          case Tok::Shl: case Tok::Shr:
+            if (!isIntish(e.lhs->type) || !isIntish(e.rhs->type))
+              err("integer operator on non-integer operands", e.line, e.col);
+            e.lhs = coerce(std::move(e.lhs), MType::Int);
+            e.rhs = coerce(std::move(e.rhs), MType::Int);
+            e.type = MType::Int;
+            return;
+          case Tok::EqEq: case Tok::Ne: case Tok::Lt: case Tok::Le:
+          case Tok::Gt: case Tok::Ge:
+            if (isPtr(e.lhs->type) && e.lhs->type == e.rhs->type) {
+              e.type = MType::Int;
+              return;
+            }
+            unifyArith(e, e.lhs, e.rhs);
+            e.type = MType::Int;
+            return;
+          case Tok::AmpAmp: case Tok::PipePipe:
+            if (!isTruthy(e.lhs->type) || !isTruthy(e.rhs->type))
+              err("&&/|| requires arithmetic or pointer operands", e.line,
+                  e.col);
+            e.type = MType::Int;
+            return;
+          default:
+            err("bad binary operator", e.line, e.col);
+        }
+        return;
+      }
+      case ExprKind::Assign: {
+        checkLValue(*e.lhs);
+        checkExpr(*e.rhs);
+        const MType lt = e.lhs->type;
+        if (e.op != Tok::Assign) {
+          // Compound assignment: typing follows the underlying operator.
+          const bool intOp = e.op == Tok::PercentEq || e.op == Tok::AmpEq ||
+                             e.op == Tok::PipeEq || e.op == Tok::CaretEq ||
+                             e.op == Tok::ShlEq || e.op == Tok::ShrEq;
+          if (intOp && (!isIntish(lt) || !isIntish(e.rhs->type)))
+            err("integer compound assignment on non-integer", e.line, e.col);
+          if (!isArith(lt))
+            err("compound assignment needs arithmetic lvalue", e.line, e.col);
+          if (!isArith(e.rhs->type))
+            err("compound assignment needs arithmetic operand", e.line, e.col);
+          // rhs is evaluated in the operator's type, result stored as lt.
+          const MType opType =
+              intOp ? MType::Int
+                    : ((lt == MType::Double || e.rhs->type == MType::Double)
+                           ? MType::Double
+                           : MType::Int);
+          e.rhs = coerce(std::move(e.rhs), opType);
+        } else {
+          if (isPtr(lt)) {
+            if (e.rhs->type != lt)
+              err("pointer assignment type mismatch", e.line, e.col);
+          } else {
+            e.rhs = coerce(std::move(e.rhs), lt);
+          }
+        }
+        e.type = lt;
+        return;
+      }
+      case ExprKind::Ternary: {
+        checkTruthy(*e.cond);
+        checkExpr(*e.lhs);
+        checkExpr(*e.rhs);
+        if (isPtr(e.lhs->type) && e.lhs->type == e.rhs->type) {
+          e.type = e.lhs->type;
+        } else {
+          e.type = unifyArith(e, e.lhs, e.rhs);
+        }
+        return;
+      }
+      case ExprKind::Call: {
+        const Builtin b = builtinByName(e.name);
+        if (b != Builtin::None) {
+          e.symKind = SymKind::Builtin;
+          e.builtin = b;
+          if (b == Builtin::PrintS) {
+            if (e.args.size() != 1 || e.args[0]->kind != ExprKind::StrLit)
+              err("print_s takes exactly one string literal", e.line, e.col);
+            e.args[0]->type = MType::Void;
+            e.type = MType::Void;
+            return;
+          }
+          const BuiltinSig sig = builtinSig(b);
+          if (e.args.size() != sig.params.size())
+            err("wrong argument count for builtin '" + e.name + "'", e.line,
+                e.col);
+          for (std::size_t i = 0; i < e.args.size(); ++i) {
+            checkExpr(*e.args[i]);
+            e.args[i] = coerce(std::move(e.args[i]), sig.params[i]);
+          }
+          e.type = sig.returnType;
+          return;
+        }
+        const auto f = funcs_.find(e.name);
+        if (f == funcs_.end())
+          err("call to undeclared function '" + e.name + "'", e.line, e.col);
+        const FuncDecl& callee = prog_.funcs[f->second];
+        e.symKind = SymKind::Func;
+        e.symIndex = f->second;
+        if (e.args.size() != callee.params.size())
+          err("wrong argument count for '" + e.name + "'", e.line, e.col);
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          checkExpr(*e.args[i]);
+          const MType want = callee.params[i].type;
+          if (isPtr(want)) {
+            if (e.args[i]->type != want)
+              err("pointer argument type mismatch in call to '" + e.name + "'",
+                  e.line, e.col);
+          } else {
+            e.args[i] = coerce(std::move(e.args[i]), want);
+          }
+        }
+        e.type = callee.returnType;
+        return;
+      }
+      case ExprKind::Index: {
+        checkExpr(*e.lhs);
+        checkExpr(*e.rhs);
+        if (!isPtr(e.lhs->type))
+          err("indexing a non-array value", e.line, e.col);
+        e.rhs = coerce(std::move(e.rhs), MType::Int);
+        e.type = pointee(e.lhs->type);
+        return;
+      }
+      case ExprKind::Cast: {
+        checkExpr(*e.lhs);
+        if (!isArith(e.castType) || !isArith(e.lhs->type))
+          err("cast requires arithmetic types", e.line, e.col);
+        e.type = e.castType;
+        return;
+      }
+      case ExprKind::PostIncDec: {
+        checkLValue(*e.lhs);
+        if (!isIntish(e.lhs->type))
+          err("++/-- requires an integer lvalue", e.line, e.col);
+        e.type = e.lhs->type;
+        return;
+      }
+    }
+  }
+
+  void checkLValue(Expr& e) {
+    checkExpr(e);
+    if (e.kind == ExprKind::Index) return;
+    if (e.kind == ExprKind::Ident) {
+      // Array names are not assignable (they decayed to pointers); scalar
+      // locals/params/globals are.
+      if (e.symKind == SymKind::Local || e.symKind == SymKind::Param) {
+        LocalSym* l = lookupLocal(e.name);
+        if (l != nullptr && l->arraySize >= 0)
+          err("cannot assign to array '" + e.name + "'", e.line, e.col);
+        return;
+      }
+      if (e.symKind == SymKind::Global) {
+        if (prog_.globals[e.symIndex].arraySize >= 0)
+          err("cannot assign to array '" + e.name + "'", e.line, e.col);
+        return;
+      }
+    }
+    err("expression is not assignable", e.line, e.col);
+  }
+
+  Program& prog_;
+  std::unordered_map<std::string, GlobalSym> globals_;
+  std::unordered_map<std::string, std::uint32_t> funcs_;
+  std::vector<std::unordered_map<std::string, LocalSym>> scopes_;
+  FuncDecl* cur_ = nullptr;
+  int loopDepth_ = 0;
+};
+
+}  // namespace
+
+void analyze(Program& prog) { Sema(prog).run(); }
+
+}  // namespace onebit::lang

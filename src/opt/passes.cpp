@@ -1,0 +1,396 @@
+#include "opt/passes.hpp"
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/verifier.hpp"
+
+namespace onebit::opt {
+
+namespace {
+
+using ir::Instr;
+using ir::Opcode;
+using ir::Operand;
+using ir::Reg;
+
+bool isIntBinop(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::SDiv:
+    case Opcode::SRem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+    case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isFloatBinop(Opcode op) noexcept {
+  return op == Opcode::FAdd || op == Opcode::FSub || op == Opcode::FMul ||
+         op == Opcode::FDiv;
+}
+
+bool isCmp(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::ICmpEq: case Opcode::ICmpNe: case Opcode::ICmpLt:
+    case Opcode::ICmpLe: case Opcode::ICmpGt: case Opcode::ICmpGe:
+    case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+    case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Evaluate a pure instruction over immediate operands. Returns false when
+/// the operation cannot (or must not) be folded — e.g. division by zero,
+/// which has to trap at run time.
+bool evalPure(const Instr& in, std::uint64_t a, std::uint64_t b,
+              std::uint64_t& out) {
+  const auto ia = ir::asI64(a);
+  const auto ib = ir::asI64(b);
+  const double fa = ir::asF64(a);
+  const double fb = ir::asF64(b);
+  switch (in.op) {
+    case Opcode::Add: out = a + b; return true;
+    case Opcode::Sub: out = a - b; return true;
+    case Opcode::Mul: out = a * b; return true;
+    case Opcode::SDiv:
+      if (ib == 0) return false;
+      if (ib == -1 && ia == std::numeric_limits<std::int64_t>::min()) {
+        out = a;
+        return true;
+      }
+      out = ir::fromI64(ia / ib);
+      return true;
+    case Opcode::SRem:
+      if (ib == 0) return false;
+      out = ib == -1 ? 0 : ir::fromI64(ia % ib);
+      return true;
+    case Opcode::And: out = a & b; return true;
+    case Opcode::Or: out = a | b; return true;
+    case Opcode::Xor: out = a ^ b; return true;
+    case Opcode::Shl: out = a << (b & 63U); return true;
+    case Opcode::LShr: out = a >> (b & 63U); return true;
+    case Opcode::AShr: out = ir::fromI64(ia >> (b & 63U)); return true;
+    case Opcode::FAdd: out = ir::fromF64(fa + fb); return true;
+    case Opcode::FSub: out = ir::fromF64(fa - fb); return true;
+    case Opcode::FMul: out = ir::fromF64(fa * fb); return true;
+    case Opcode::FDiv: out = ir::fromF64(fa / fb); return true;
+    case Opcode::ICmpEq: out = a == b ? 1 : 0; return true;
+    case Opcode::ICmpNe: out = a != b ? 1 : 0; return true;
+    case Opcode::ICmpLt: out = ia < ib ? 1 : 0; return true;
+    case Opcode::ICmpLe: out = ia <= ib ? 1 : 0; return true;
+    case Opcode::ICmpGt: out = ia > ib ? 1 : 0; return true;
+    case Opcode::ICmpGe: out = ia >= ib ? 1 : 0; return true;
+    case Opcode::FCmpEq: out = fa == fb ? 1 : 0; return true;
+    case Opcode::FCmpNe: out = fa != fb ? 1 : 0; return true;
+    case Opcode::FCmpLt: out = fa < fb ? 1 : 0; return true;
+    case Opcode::FCmpLe: out = fa <= fb ? 1 : 0; return true;
+    case Opcode::FCmpGt: out = fa > fb ? 1 : 0; return true;
+    case Opcode::FCmpGe: out = fa >= fb ? 1 : 0; return true;
+    case Opcode::SIToFP: out = ir::fromF64(static_cast<double>(ia)); return true;
+    case Opcode::Move: out = a; return true;
+    default:
+      return false;
+  }
+}
+
+void toConst(Instr& in, std::uint64_t value) {
+  in.op = Opcode::Const;
+  in.imm = value;
+  in.operands.clear();
+}
+
+void toMove(Instr& in, const Operand& src) {
+  in.op = Opcode::Move;
+  in.operands = {src};
+}
+
+}  // namespace
+
+std::size_t constantFold(ir::Function& fn) {
+  std::size_t changed = 0;
+  for (auto& bb : fn.blocks) {
+    for (Instr& in : bb.instrs) {
+      if (!in.hasDest() || in.operands.empty()) continue;
+      bool allImm = true;
+      for (const auto& op : in.operands) allImm = allImm && !op.isReg();
+      if (!allImm) continue;
+      const std::uint64_t a = in.operands[0].imm;
+      const std::uint64_t b = in.operands.size() > 1 ? in.operands[1].imm : 0;
+      std::uint64_t out = 0;
+      // FPToSI / Intrinsic are foldable in principle; we leave them to the
+      // VM so folded modules and libm agree bit-for-bit.
+      if (in.op == Opcode::FPToSI || in.op == Opcode::Intrinsic) continue;
+      if (!evalPure(in, a, b, out)) continue;
+      toConst(in, out);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::size_t peephole(ir::Function& fn) {
+  std::size_t changed = 0;
+  for (auto& bb : fn.blocks) {
+    for (Instr& in : bb.instrs) {
+      if (!in.hasDest() || in.operands.size() != 2) continue;
+      const Operand& x = in.operands[0];
+      const Operand& y = in.operands[1];
+      const bool yImm = !y.isReg();
+      const bool xImm = !x.isReg();
+      const std::uint64_t yv = y.imm;
+      const std::uint64_t xv = x.imm;
+
+      switch (in.op) {
+        case Opcode::Add:
+          if (yImm && yv == 0) { toMove(in, x); ++changed; }
+          else if (xImm && xv == 0) { toMove(in, y); ++changed; }
+          break;
+        case Opcode::Sub:
+          if (yImm && yv == 0) { toMove(in, x); ++changed; }
+          break;
+        case Opcode::Mul:
+          if (yImm && yv == 1) { toMove(in, x); ++changed; }
+          else if (xImm && xv == 1) { toMove(in, y); ++changed; }
+          else if ((yImm && yv == 0) || (xImm && xv == 0)) {
+            toConst(in, 0);
+            ++changed;
+          }
+          break;
+        case Opcode::SDiv:
+          if (yImm && ir::asI64(yv) == 1) { toMove(in, x); ++changed; }
+          break;
+        case Opcode::And:
+          if (yImm && yv == ~0ULL) { toMove(in, x); ++changed; }
+          else if ((yImm && yv == 0) || (xImm && xv == 0)) {
+            toConst(in, 0);
+            ++changed;
+          }
+          break;
+        case Opcode::Or:
+        case Opcode::Xor:
+          if (yImm && yv == 0) { toMove(in, x); ++changed; }
+          else if (xImm && xv == 0) { toMove(in, y); ++changed; }
+          break;
+        case Opcode::Shl:
+        case Opcode::LShr:
+        case Opcode::AShr:
+          if (yImm && (yv & 63U) == 0) { toMove(in, x); ++changed; }
+          break;
+        case Opcode::FMul:
+        case Opcode::FDiv:
+          if (yImm && ir::asF64(yv) == 1.0) { toMove(in, x); ++changed; }
+          break;
+        case Opcode::ICmpEq:
+        case Opcode::ICmpLe:
+        case Opcode::ICmpGe:
+          if (x.isReg() && y.isReg() && x.reg == y.reg) {
+            toConst(in, 1);
+            ++changed;
+          }
+          break;
+        case Opcode::ICmpNe:
+        case Opcode::ICmpLt:
+        case Opcode::ICmpGt:
+          if (x.isReg() && y.isReg() && x.reg == y.reg) {
+            toConst(in, 0);
+            ++changed;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return changed;
+}
+
+std::size_t propagateCopies(ir::Function& fn) {
+  std::size_t changed = 0;
+  for (auto& bb : fn.blocks) {
+    // reg -> operand it currently equals (imm, or another live reg)
+    std::unordered_map<Reg, Operand> equals;
+    auto invalidate = [&equals](Reg r) {
+      equals.erase(r);
+      for (auto it = equals.begin(); it != equals.end();) {
+        if (it->second.isReg() && it->second.reg == r) it = equals.erase(it);
+        else ++it;
+      }
+    };
+    for (Instr& in : bb.instrs) {
+      for (Operand& op : in.operands) {
+        if (!op.isReg()) continue;
+        const auto it = equals.find(op.reg);
+        if (it != equals.end()) {
+          op = it->second;
+          ++changed;
+        }
+      }
+      if (in.hasDest()) {
+        invalidate(in.dest);
+        if (in.op == Opcode::Move) {
+          const Operand& src = in.operands[0];
+          // Never record a self-copy; a register cannot equal itself through
+          // a rewrite.
+          if (!src.isReg() || src.reg != in.dest) equals[in.dest] = src;
+        } else if (in.op == Opcode::Const) {
+          equals[in.dest] = Operand::makeImm(in.imm);
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+std::size_t removeDeadCode(ir::Function& fn) {
+  std::unordered_set<Reg> readAnywhere;
+  for (const auto& bb : fn.blocks) {
+    for (const Instr& in : bb.instrs) {
+      for (const Operand& op : in.operands) {
+        if (op.isReg()) readAnywhere.insert(op.reg);
+      }
+    }
+  }
+  auto isRemovable = [&](const Instr& in) {
+    if (!in.hasDest() || readAnywhere.count(in.dest) != 0) return false;
+    switch (in.op) {
+      case Opcode::Const: case Opcode::Move: case Opcode::FrameAddr:
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl: case Opcode::LShr:
+      case Opcode::AShr: case Opcode::FAdd: case Opcode::FSub:
+      case Opcode::FMul: case Opcode::FDiv: case Opcode::SIToFP:
+      case Opcode::FPToSI: case Opcode::Intrinsic:
+        return true;
+      case Opcode::ICmpEq: case Opcode::ICmpNe: case Opcode::ICmpLt:
+      case Opcode::ICmpLe: case Opcode::ICmpGt: case Opcode::ICmpGe:
+      case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+      case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+        return true;
+      case Opcode::SDiv:
+      case Opcode::SRem:
+        // May trap: only removable when the divisor is a nonzero immediate.
+        return !in.operands[1].isReg() && in.operands[1].imm != 0;
+      default:
+        return false;  // loads/stores/calls/allocs/IO have side effects
+    }
+  };
+  std::size_t removed = 0;
+  for (auto& bb : fn.blocks) {
+    std::vector<Instr> kept;
+    kept.reserve(bb.instrs.size());
+    for (Instr& in : bb.instrs) {
+      if (isRemovable(in)) {
+        ++removed;
+      } else {
+        kept.push_back(std::move(in));
+      }
+    }
+    bb.instrs = std::move(kept);
+  }
+  return removed;
+}
+
+std::size_t simplifyCfg(ir::Function& fn) {
+  std::size_t changed = 0;
+
+  // 1. Merge single-predecessor straight lines.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Count predecessors.
+    std::vector<int> preds(fn.blocks.size(), 0);
+    for (const auto& bb : fn.blocks) {
+      if (bb.instrs.empty()) continue;
+      const Instr& t = bb.instrs.back();
+      if (t.op == Opcode::Br) {
+        ++preds[t.target0];
+      } else if (t.op == Opcode::CondBr) {
+        ++preds[t.target0];
+        ++preds[t.target1];
+      }
+    }
+    for (std::uint32_t a = 0; a < fn.blocks.size(); ++a) {
+      auto& blockA = fn.blocks[a];
+      if (blockA.instrs.empty()) continue;
+      Instr& t = blockA.instrs.back();
+      if (t.op != Opcode::Br) continue;
+      const std::uint32_t b = t.target0;
+      if (b == a || b == 0 || preds[b] != 1) continue;
+      auto& blockB = fn.blocks[b];
+      if (blockB.instrs.empty()) continue;  // already spliced this round
+      blockA.instrs.pop_back();  // drop the Br
+      for (auto& in : blockB.instrs) blockA.instrs.push_back(std::move(in));
+      blockB.instrs.clear();
+      ++changed;
+      merged = true;
+      break;  // predecessor counts are stale; recompute
+    }
+  }
+
+  // 2. Drop unreachable / emptied blocks and remap branch targets.
+  std::vector<bool> reachable(fn.blocks.size(), false);
+  std::vector<std::uint32_t> stack = {0};
+  while (!stack.empty()) {
+    const std::uint32_t b = stack.back();
+    stack.pop_back();
+    if (b >= fn.blocks.size() || reachable[b]) continue;
+    reachable[b] = true;
+    if (fn.blocks[b].instrs.empty()) continue;
+    const Instr& t = fn.blocks[b].instrs.back();
+    if (t.op == Opcode::Br) stack.push_back(t.target0);
+    if (t.op == Opcode::CondBr) {
+      stack.push_back(t.target0);
+      stack.push_back(t.target1);
+    }
+  }
+  std::vector<std::uint32_t> remap(fn.blocks.size(), 0);
+  std::vector<ir::BasicBlock> kept;
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    if (reachable[b] && !fn.blocks[b].instrs.empty()) {
+      remap[b] = static_cast<std::uint32_t>(kept.size());
+      kept.push_back(std::move(fn.blocks[b]));
+    } else if (b != 0) {
+      ++changed;
+    }
+  }
+  for (auto& bb : kept) {
+    Instr& t = bb.instrs.back();
+    if (t.op == Opcode::Br) t.target0 = remap[t.target0];
+    if (t.op == Opcode::CondBr) {
+      t.target0 = remap[t.target0];
+      t.target1 = remap[t.target1];
+    }
+  }
+  fn.blocks = std::move(kept);
+  return changed;
+}
+
+PassStats optimize(ir::Module& mod) {
+  PassStats stats;
+  for (auto& fn : mod.functions) {
+    for (int round = 0; round < 10; ++round) {
+      std::size_t changed = 0;
+      const std::size_t folded = constantFold(fn);
+      const std::size_t peeps = peephole(fn);
+      const std::size_t copies = propagateCopies(fn);
+      const std::size_t dead = removeDeadCode(fn);
+      const std::size_t cfg = simplifyCfg(fn);
+      stats.foldedConsts += folded;
+      stats.peepholes += peeps;
+      stats.copiesPropagated += copies;
+      stats.deadRemoved += dead;
+      stats.blocksMerged += cfg;
+      changed = folded + peeps + copies + dead + cfg;
+      ++stats.iterations;
+      if (changed == 0) break;
+    }
+  }
+  ir::verifyOrThrow(mod);
+  return stats;
+}
+
+}  // namespace onebit::opt

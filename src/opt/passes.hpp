@@ -1,0 +1,55 @@
+// Optimization passes over onebit IR.
+//
+// The paper injects faults into LLVM IR *after* normal compilation, so the
+// instruction mix it samples is an optimized one. Our MiniC code generator
+// emits naive (-O0-style) IR; these passes provide the -O1-style variant so
+// the effect of compiler optimization on fault-injection results can be
+// studied (bench/ablation_optimization). All passes preserve observable
+// behaviour: traps, output and return values.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace onebit::opt {
+
+struct PassStats {
+  std::size_t foldedConsts = 0;       ///< binops/unops folded to Const
+  std::size_t peepholes = 0;          ///< algebraic identities simplified
+  std::size_t copiesPropagated = 0;   ///< Move chains short-circuited
+  std::size_t deadRemoved = 0;        ///< side-effect-free dead instrs removed
+  std::size_t blocksMerged = 0;       ///< straight-line block splices
+  std::size_t iterations = 0;         ///< fixpoint rounds
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return foldedConsts + peepholes + copiesPropagated + deadRemoved +
+           blocksMerged;
+  }
+};
+
+/// Fold binary/unary operations whose operands are all immediates.
+/// Division/remainder by a zero immediate is left alone (must still trap).
+std::size_t constantFold(ir::Function& fn);
+
+/// Algebraic identities: x+0, x-0, x*1, x*0, x&0, x|0, x^0, shifts by 0,
+/// x/1, comparisons of a register against itself, double-move.
+std::size_t peephole(ir::Function& fn);
+
+/// Forward `Move dst, src` within a block: later reads of dst become reads
+/// of src until either register is rewritten.
+std::size_t propagateCopies(ir::Function& fn);
+
+/// Remove side-effect-free instructions whose destination register is never
+/// read anywhere in the function.
+std::size_t removeDeadCode(ir::Function& fn);
+
+/// Splice single-predecessor blocks into their unique predecessor and drop
+/// unreachable blocks.
+std::size_t simplifyCfg(ir::Function& fn);
+
+/// Run all passes to a fixpoint over every function. The module still
+/// verifies afterwards.
+PassStats optimize(ir::Module& mod);
+
+}  // namespace onebit::opt

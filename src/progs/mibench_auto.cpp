@@ -1,0 +1,188 @@
+// MiBench "automotive" package: basicmath and qsort (Table II).
+#include "progs/registry.hpp"
+
+namespace onebit::progs {
+
+namespace {
+
+// basicmath: cubic equation solving (trigonometric method), integer square
+// roots and degree<->radian conversions, as in MiBench's basicmath_small.
+const char* const kBasicmath = R"MC(
+// basicmath -- MiBench automotive (small input)
+double PI = 3.141592653589793;
+
+// acos via atan2 (the VM exposes atan2/sqrt intrinsics, not acos)
+double arccos(double x) {
+  return atan2(sqrt(1.0 - x * x), x);
+}
+
+double cbrt_(double x) {
+  if (x >= 0.0) { return pow(x, 1.0 / 3.0); }
+  return -pow(-x, 1.0 / 3.0);
+}
+
+// Solve a*x^3 + b*x^2 + c*x + d = 0; prints the real roots.
+void solve_cubic(double a, double b, double c, double d) {
+  double a1 = b / a;
+  double a2 = c / a;
+  double a3 = d / a;
+  double q = (a1 * a1 - 3.0 * a2) / 9.0;
+  double r = (2.0 * a1 * a1 * a1 - 9.0 * a1 * a2 + 27.0 * a3) / 54.0;
+  double r2 = r * r;
+  double q3 = q * q * q;
+  if (r2 < q3) {
+    double theta = arccos(r / sqrt(q3));
+    double sq = -2.0 * sqrt(q);
+    print_s("3 roots:");
+    print_f(sq * cos(theta / 3.0) - a1 / 3.0);
+    print_c(' ');
+    print_f(sq * cos((theta + 2.0 * PI) / 3.0) - a1 / 3.0);
+    print_c(' ');
+    print_f(sq * cos((theta + 4.0 * PI) / 3.0) - a1 / 3.0);
+    print_c(10);
+  } else {
+    double e = cbrt_(fabs(r) + sqrt(r2 - q3));
+    if (r > 0.0) { e = -e; }
+    double x = e + (e != 0.0 ? q / e : 0.0) - a1 / 3.0;
+    print_s("1 root:");
+    print_f(x);
+    print_c(10);
+  }
+}
+
+// Integer square root by successive approximation (MiBench usqrt).
+int usqrt(int x) {
+  int r = 0;
+  int bit = 1 << 30;
+  while (bit > x) { bit = bit >> 2; }
+  while (bit != 0) {
+    if (x >= r + bit) {
+      x = x - (r + bit);
+      r = (r >> 1) + bit;
+    } else {
+      r = r >> 1;
+    }
+    bit = bit >> 2;
+  }
+  return r;
+}
+
+double deg2rad(double d) { return d * PI / 180.0; }
+double rad2deg(double r) { return r * 180.0 / PI; }
+
+int main() {
+  // Cubic sweeps (coefficients follow MiBench's driver).
+  solve_cubic(1.0, -10.5, 32.0, -30.0);
+  solve_cubic(1.0, -4.5, 17.0, -30.0);
+  solve_cubic(1.0, -3.5, 22.0, -31.0);
+  solve_cubic(1.0, -13.7, 1.0, -35.0);
+  for (int ai = 1; ai < 5; ai++) {
+    for (int bi = 10; bi > 8; bi--) {
+      solve_cubic((double)ai, (double)bi, 5.0, -30.0);
+    }
+  }
+
+  // Integer square roots.
+  int ssum = 0;
+  for (int i = 1; i < 300; i = i + 7) {
+    ssum = ssum + usqrt(i * i + i);
+  }
+  print_s("usqrt sum=");
+  print_i(ssum);
+  print_c(10);
+
+  // Angle conversions.
+  double acc = 0.0;
+  for (int deg = 0; deg <= 360; deg = deg + 15) {
+    acc = acc + deg2rad((double)deg);
+  }
+  print_s("rad acc=");
+  print_f(acc);
+  print_c(10);
+  acc = 0.0;
+  for (int i = 0; i <= 48; i++) {
+    acc = acc + rad2deg((double)i * 0.13);
+  }
+  print_s("deg acc=");
+  print_f(acc);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+// qsort: recursive quicksort over an LCG-generated word list, as in
+// MiBench's qsort_small (which sorts words; we sort their integer keys).
+const char* const kQsort = R"MC(
+// qsort -- MiBench automotive (small input)
+int seed = 42;
+int data[200];
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+void swap_(int a[], int i, int j) {
+  int t = a[i];
+  a[i] = a[j];
+  a[j] = t;
+}
+
+int partition_(int a[], int lo, int hi) {
+  int p = a[hi];
+  int i = lo - 1;
+  for (int j = lo; j < hi; j++) {
+    if (a[j] <= p) {
+      i++;
+      swap_(a, i, j);
+    }
+  }
+  swap_(a, i + 1, hi);
+  return i + 1;
+}
+
+void quicksort(int a[], int lo, int hi) {
+  if (lo < hi) {
+    int m = partition_(a, lo, hi);
+    quicksort(a, lo, m - 1);
+    quicksort(a, m + 1, hi);
+  }
+}
+
+int main() {
+  for (int i = 0; i < 200; i++) {
+    data[i] = rnd() % 10000;
+  }
+  quicksort(data, 0, 199);
+  int bad = 0;
+  int sum = 0;
+  for (int i = 0; i < 200; i++) {
+    sum = (sum * 31 + data[i]) & 1048575;
+    if (i > 0 && data[i] < data[i - 1]) { bad++; }
+  }
+  print_s("qsort checksum=");
+  print_i(sum);
+  print_s(" inversions=");
+  print_i(bad);
+  print_c(10);
+  for (int i = 0; i < 200; i = i + 23) {
+    print_i(data[i]);
+    print_c(' ');
+  }
+  print_c(10);
+  return 0;
+}
+)MC";
+
+}  // namespace
+
+void addMiBenchAuto(std::vector<ProgramInfo>& out) {
+  out.push_back({"basicmath", "MiBench", "automotive",
+                 "Mathematical calculations: cubic equations, integer square "
+                 "roots, angle conversions.",
+                 kBasicmath});
+  out.push_back({"qsort", "MiBench", "automotive",
+                 "Quick Sort over a pseudo-random word list.", kQsort});
+}
+
+}  // namespace onebit::progs

@@ -1,0 +1,249 @@
+// MiBench "network", "security" and "office" packages:
+// dijkstra, sha and stringsearch (Table II).
+#include "progs/registry.hpp"
+
+namespace onebit::progs {
+
+namespace {
+
+const char* const kDijkstra = R"MC(
+// dijkstra -- MiBench network
+int NUM = 12;
+int adj[144];
+int dist[12];
+int done[12];
+int seed = 17;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+void make_graph() {
+  for (int i = 0; i < NUM; i++) {
+    for (int j = 0; j < NUM; j++) {
+      if (i == j) {
+        adj[i * NUM + j] = 0;
+      } else {
+        adj[i * NUM + j] = 1 + rnd() % 40;
+      }
+    }
+  }
+}
+
+void dijkstra(int src) {
+  for (int i = 0; i < NUM; i++) {
+    dist[i] = 1000000;
+    done[i] = 0;
+  }
+  dist[src] = 0;
+  for (int iter = 0; iter < NUM; iter++) {
+    int best = -1;
+    int bestd = 1000001;
+    for (int i = 0; i < NUM; i++) {
+      if (done[i] == 0 && dist[i] < bestd) {
+        bestd = dist[i];
+        best = i;
+      }
+    }
+    if (best < 0) { break; }
+    done[best] = 1;
+    for (int j = 0; j < NUM; j++) {
+      int nd = dist[best] + adj[best * NUM + j];
+      if (nd < dist[j]) {
+        dist[j] = nd;
+      }
+    }
+  }
+}
+
+int main() {
+  make_graph();
+  for (int src = 0; src < NUM; src = src + 3) {
+    dijkstra(src);
+    print_s("from ");
+    print_i(src);
+    print_c(':');
+    for (int j = 0; j < NUM; j++) {
+      print_c(' ');
+      print_i(dist[j]);
+    }
+    print_c(10);
+  }
+  return 0;
+}
+)MC";
+
+const char* const kSha = R"MC(
+// sha -- MiBench security (SHA-1 over an ASCII buffer)
+int M32 = 4294967295;
+char msg[256];
+int w[80];
+int h0 = 1732584193;
+int h1 = 4023233417;
+int h2 = 2562383102;
+int h3 = 271733878;
+int h4 = 3285377520;
+int seed = 5;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int rotl(int x, int n) {
+  return ((x << n) | ((x & M32) >> (32 - n))) & M32;
+}
+
+void process_block(int off) {
+  for (int t = 0; t < 16; t++) {
+    int i = off + t * 4;
+    w[t] = ((msg[i] << 24) | (msg[i + 1] << 16) | (msg[i + 2] << 8) |
+            msg[i + 3]) & M32;
+  }
+  for (int t = 16; t < 80; t++) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+  int a = h0;
+  int b = h1;
+  int c = h2;
+  int d = h3;
+  int e = h4;
+  for (int t = 0; t < 80; t++) {
+    int f = 0;
+    int k = 0;
+    if (t < 20) {
+      f = (b & c) | ((~b & M32) & d);
+      k = 1518500249;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 1859775393;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 2400959708;
+    } else {
+      f = b ^ c ^ d;
+      k = 3395469782;
+    }
+    int tmp = (rotl(a, 5) + f + e + k + w[t]) & M32;
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h0 = (h0 + a) & M32;
+  h1 = (h1 + b) & M32;
+  h2 = (h2 + c) & M32;
+  h3 = (h3 + d) & M32;
+  h4 = (h4 + e) & M32;
+}
+
+int main() {
+  // 192 ASCII bytes of pseudo-text.
+  int len = 192;
+  for (int i = 0; i < len; i++) {
+    msg[i] = 32 + rnd() % 95;
+  }
+  // SHA-1 padding: 0x80, zeros, 64-bit big-endian bit length.
+  msg[len] = 128;
+  for (int i = len + 1; i < 256; i++) { msg[i] = 0; }
+  int bits = len * 8;
+  msg[252] = (bits >> 24) & 255;
+  msg[253] = (bits >> 16) & 255;
+  msg[254] = (bits >> 8) & 255;
+  msg[255] = bits & 255;
+  for (int off = 0; off < 256; off = off + 64) {
+    process_block(off);
+  }
+  print_s("sha1=");
+  print_i(h0);
+  print_c(' ');
+  print_i(h1);
+  print_c(' ');
+  print_i(h2);
+  print_c(' ');
+  print_i(h3);
+  print_c(' ');
+  print_i(h4);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+const char* const kStringsearch = R"MC(
+// stringsearch -- MiBench office (case-insensitive Horspool search)
+char text[] = "The Quick Brown Fox Jumps Over The Lazy Dog. Pack my box with five dozen liquor jugs. How vexingly quick daft zebras jump! Sphinx of black quartz, judge my vow. Bright vixens jump; dozy fowl quack.";
+char pat0[] = "quick";
+char pat1[] = "DOZEN";
+char pat2[] = "Vow";
+char pat3[] = "zebra";
+char pat4[] = "missing";
+char pat5[] = "QUACK.";
+int shift[256];
+
+int lowercase(int c) {
+  if (c >= 'A' && c <= 'Z') {
+    return c + 32;
+  }
+  return c;
+}
+
+int strlen_(char s[]) {
+  int n = 0;
+  while (s[n] != 0) { n++; }
+  return n;
+}
+
+// Case-insensitive Boyer-Moore-Horspool; returns first match index or -1.
+int search(char hay[], int haylen, char needle[]) {
+  int m = strlen_(needle);
+  if (m == 0 || m > haylen) { return -1; }
+  for (int i = 0; i < 256; i++) { shift[i] = m; }
+  for (int i = 0; i < m - 1; i++) {
+    shift[lowercase(needle[i])] = m - 1 - i;
+  }
+  int pos = 0;
+  while (pos <= haylen - m) {
+    int j = m - 1;
+    while (j >= 0 && lowercase(hay[pos + j]) == lowercase(needle[j])) {
+      j--;
+    }
+    if (j < 0) { return pos; }
+    pos = pos + shift[lowercase(hay[pos + m - 1])];
+  }
+  return -1;
+}
+
+void report(char pat[]) {
+  int n = strlen_(text);
+  int at = search(text, n, pat);
+  print_s("found at ");
+  print_i(at);
+  print_c(10);
+}
+
+int main() {
+  report(pat0);
+  report(pat1);
+  report(pat2);
+  report(pat3);
+  report(pat4);
+  report(pat5);
+  return 0;
+}
+)MC";
+
+}  // namespace
+
+void addMiBenchMisc(std::vector<ProgramInfo>& out) {
+  out.push_back({"dijkstra", "MiBench", "network",
+                 "Dijkstra shortest paths over an adjacency-matrix graph.",
+                 kDijkstra});
+  out.push_back({"sha", "MiBench", "security",
+                 "SHA-1: 160-bit digest of an ASCII text buffer.", kSha});
+  out.push_back({"stringsearch", "MiBench", "office",
+                 "Case-insensitive word search in phrases.", kStringsearch});
+}
+
+}  // namespace onebit::progs

@@ -1,0 +1,203 @@
+// MiBench "automotive" package: the three SUSAN image kernels (Table II).
+//
+// The paper runs SUSAN on a black & white image of a rectangle; we generate
+// the same kind of image (dark background, bright rectangle, slight
+// deterministic noise) in-program.
+#include "progs/registry.hpp"
+
+namespace onebit::progs {
+
+namespace {
+
+// Shared MiniC prelude: image dimensions, generation, and the SUSAN
+// brightness-similarity function c(dI) = 100*exp(-(dI/t)^6).
+const char* const kSusanCommon = R"MC(
+int W = 14;
+int H = 10;
+int img[140];
+int seed = 7;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+void make_image() {
+  for (int y = 0; y < H; y++) {
+    for (int x = 0; x < W; x++) {
+      int v = 30 + rnd() % 8;                  // dark background + noise
+      if (x >= 3 && x < 11 && y >= 2 && y < 8) {
+        v = 200 + rnd() % 8;                   // bright rectangle
+      }
+      img[y * W + x] = v;
+    }
+  }
+}
+
+// Brightness similarity in [0,100]; t = 27 as in SUSAN's default.
+int similar(int a, int b) {
+  double d = ((double)(a - b)) / 27.0;
+  double p = d * d * d * d * d * d;
+  return (int)(100.0 * exp(-p));
+}
+)MC";
+
+const char* const kSusanSmoothingMain = R"MC(
+int out[140];
+
+int main() {
+  make_image();
+  // 3x3 brightness-weighted smoothing (SUSAN noise filtering).
+  for (int y = 0; y < H; y++) {
+    for (int x = 0; x < W; x++) {
+      int c = img[y * W + x];
+      int num = 0;
+      int den = 0;
+      for (int dy = -1; dy <= 1; dy++) {
+        for (int dx = -1; dx <= 1; dx++) {
+          int yy = y + dy;
+          int xx = x + dx;
+          if (yy >= 0 && yy < H && xx >= 0 && xx < W) {
+            if (dx != 0 || dy != 0) {
+              int w = similar(img[yy * W + xx], c);
+              num = num + w * img[yy * W + xx];
+              den = den + w;
+            }
+          }
+        }
+      }
+      if (den > 0) {
+        out[y * W + x] = num / den;
+      } else {
+        out[y * W + x] = c;
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < W * H; i++) {
+    sum = (sum * 131 + out[i]) & 16777215;
+  }
+  print_s("smooth checksum=");
+  print_i(sum);
+  print_c(10);
+  for (int i = 0; i < W * H; i = i + 17) {
+    print_i(out[i]);
+    print_c(' ');
+  }
+  print_c(10);
+  return 0;
+}
+)MC";
+
+const char* const kSusanEdgesMain = R"MC(
+int edge[140];
+
+int main() {
+  make_image();
+  // USAN area per pixel over a 3x3 mask; edge response = g - area (g=2250).
+  int edges = 0;
+  int checksum = 0;
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int c = img[y * W + x];
+      int area = 0;
+      for (int dy = -1; dy <= 1; dy++) {
+        for (int dx = -1; dx <= 1; dx++) {
+          area = area + similar(img[(y + dy) * W + (x + dx)], c);
+        }
+      }
+      int resp = 0;
+      if (area < 675) {               // g = 3*max_area/4 with max 900
+        resp = 675 - area;
+        edges++;
+      }
+      edge[y * W + x] = resp;
+      checksum = (checksum * 31 + resp) & 16777215;
+    }
+  }
+  print_s("edges=");
+  print_i(edges);
+  print_s(" checksum=");
+  print_i(checksum);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+const char* const kSusanCornersMain = R"MC(
+int corner[140];
+
+int main() {
+  make_image();
+  // Corner response: tighter geometric threshold g = max_area/2.
+  int corners = 0;
+  int checksum = 0;
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int c = img[y * W + x];
+      int area = 0;
+      for (int dy = -1; dy <= 1; dy++) {
+        for (int dx = -1; dx <= 1; dx++) {
+          if (dx != 0 || dy != 0) {
+            area = area + similar(img[(y + dy) * W + (x + dx)], c);
+          }
+        }
+      }
+      int resp = 0;
+      if (area < 400) {               // g = half of max USAN area (800)
+        resp = 400 - area;
+      }
+      corner[y * W + x] = resp;
+    }
+  }
+  // Non-maximum suppression over 3x3 neighborhoods.
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int r = corner[y * W + x];
+      if (r > 0) {
+        int best = 1;
+        for (int dy = -1; dy <= 1; dy++) {
+          for (int dx = -1; dx <= 1; dx++) {
+            if (corner[(y + dy) * W + (x + dx)] > r) { best = 0; }
+          }
+        }
+        if (best == 1) {
+          corners++;
+          checksum = (checksum * 31 + y * W + x) & 16777215;
+          print_s("corner ");
+          print_i(x);
+          print_c(',');
+          print_i(y);
+          print_c(10);
+        }
+      }
+    }
+  }
+  print_s("corners=");
+  print_i(corners);
+  print_s(" checksum=");
+  print_i(checksum);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+std::string withCommon(const char* mainPart) {
+  return std::string(kSusanCommon) + mainPart;
+}
+
+}  // namespace
+
+void addMiBenchSusan(std::vector<ProgramInfo>& out) {
+  out.push_back({"susan_corners", "MiBench", "automotive",
+                 "Finds corners of a black & white image of a rectangle.",
+                 withCommon(kSusanCornersMain)});
+  out.push_back({"susan_edges", "MiBench", "automotive",
+                 "Finds edges of a black & white image of a rectangle.",
+                 withCommon(kSusanEdgesMain)});
+  out.push_back({"susan_smoothing", "MiBench", "automotive",
+                 "Smooths a black & white image of a rectangle.",
+                 withCommon(kSusanSmoothingMain)});
+}
+
+}  // namespace onebit::progs

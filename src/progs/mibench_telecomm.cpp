@@ -1,0 +1,197 @@
+// MiBench "telecomm" package: FFT, IFFT and CRC32 (Table II).
+#include "progs/registry.hpp"
+
+namespace onebit::progs {
+
+namespace {
+
+// Shared FFT machinery: synthetic multi-sinusoid wave + iterative radix-2
+// transform (MiBench's FFT drives the same kernel forwards and backwards).
+const char* const kFftCommon = R"MC(
+int N = 64;
+double re[64];
+double im[64];
+int seed = 13;
+double TWO_PI = 6.283185307179586;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+void make_wave() {
+  for (int i = 0; i < N; i++) {
+    re[i] = 0.0;
+    im[i] = 0.0;
+  }
+  for (int s = 0; s < 4; s++) {
+    int freq = 1 + rnd() % 16;
+    double amp = (double)(1 + rnd() % 5);
+    for (int i = 0; i < N; i++) {
+      re[i] = re[i] + amp * sin(TWO_PI * (double)(freq * i) / (double)N);
+    }
+  }
+}
+
+void fft(double xr[], double xi[], int n, int inverse) {
+  // Bit-reversal permutation.
+  int j = 0;
+  for (int i = 0; i < n - 1; i++) {
+    if (i < j) {
+      double tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+      double ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+    }
+    int m = n >> 1;
+    while (m >= 1 && j >= m) {
+      j = j - m;
+      m = m >> 1;
+    }
+    j = j + m;
+  }
+  // Butterflies.
+  for (int len = 2; len <= n; len = len << 1) {
+    double ang = TWO_PI / (double)len;
+    if (inverse == 0) { ang = -ang; }
+    int half = len >> 1;
+    for (int i = 0; i < n; i = i + len) {
+      for (int k = 0; k < half; k++) {
+        double wr = cos(ang * (double)k);
+        double wi = sin(ang * (double)k);
+        int a = i + k;
+        int b = i + k + half;
+        double ur = xr[a];
+        double ui = xi[a];
+        double vr = xr[b] * wr - xi[b] * wi;
+        double vi = xr[b] * wi + xi[b] * wr;
+        xr[a] = ur + vr;
+        xi[a] = ui + vi;
+        xr[b] = ur - vr;
+        xi[b] = ui - vi;
+      }
+    }
+  }
+  if (inverse == 1) {
+    for (int i = 0; i < n; i++) {
+      xr[i] = xr[i] / (double)n;
+      xi[i] = xi[i] / (double)n;
+    }
+  }
+}
+)MC";
+
+const char* const kFftMain = R"MC(
+int main() {
+  make_wave();
+  fft(re, im, N, 0);
+  print_s("fft bins:");
+  print_c(10);
+  for (int k = 1; k <= 17; k = k + 2) {
+    double mag = sqrt(re[k] * re[k] + im[k] * im[k]);
+    print_i(k);
+    print_c(':');
+    print_f(mag);
+    print_c(10);
+  }
+  return 0;
+}
+)MC";
+
+const char* const kIfftMain = R"MC(
+double orig[64];
+
+int main() {
+  make_wave();
+  for (int i = 0; i < N; i++) { orig[i] = re[i]; }
+  fft(re, im, N, 0);
+  fft(re, im, N, 1);
+  double maxerr = 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < N; i++) {
+    double e = fabs(re[i] - orig[i]);
+    if (e > maxerr) { maxerr = e; }
+    sum = sum + re[i];
+  }
+  print_s("ifft maxerr<1e-6=");
+  if (maxerr < 0.000001) { print_i(1); } else { print_i(0); }
+  print_s(" sum=");
+  print_f(sum);
+  print_c(10);
+  for (int i = 0; i < N; i = i + 9) {
+    print_f(re[i]);
+    print_c(' ');
+  }
+  print_c(10);
+  return 0;
+}
+)MC";
+
+// CRC32: reflected table-driven CRC (polynomial 0xEDB88320) over a
+// pseudo-random byte buffer standing in for MiBench's sound file.
+const char* const kCrc32 = R"MC(
+// crc32 -- MiBench telecomm
+int crc_table[256];
+char data[512];
+int seed = 99;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+void make_table() {
+  for (int n = 0; n < 256; n++) {
+    int c = n;
+    for (int k = 0; k < 8; k++) {
+      if (c & 1) {
+        c = 3988292384 ^ (c >> 1);
+      } else {
+        c = c >> 1;
+      }
+    }
+    crc_table[n] = c;
+  }
+}
+
+int crc_of(char buf[], int len) {
+  int crc = 4294967295;
+  for (int i = 0; i < len; i++) {
+    crc = crc_table[(crc ^ buf[i]) & 255] ^ (crc >> 8);
+    crc = crc & 4294967295;
+  }
+  return crc ^ 4294967295;
+}
+
+int main() {
+  make_table();
+  for (int i = 0; i < 512; i++) {
+    data[i] = rnd() % 256;
+  }
+  int c1 = crc_of(data, 512);
+  int c2 = crc_of(data, 256);
+  print_s("crc32 full=");
+  print_i(c1 & 4294967295);
+  print_s(" half=");
+  print_i(c2 & 4294967295);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+std::string fftWithMain(const char* mainPart) {
+  return std::string(kFftCommon) + mainPart;
+}
+
+}  // namespace
+
+void addMiBenchTelecomm(std::vector<ProgramInfo>& out) {
+  out.push_back({"fft", "MiBench", "telecomm",
+                 "Fast Fourier Transform on an array of synthetic wave data.",
+                 fftWithMain(kFftMain)});
+  out.push_back({"ifft", "MiBench", "telecomm",
+                 "Inverse FFT (forward then backward transform).",
+                 fftWithMain(kIfftMain)});
+  out.push_back({"crc32", "MiBench", "telecomm",
+                 "32-bit Cyclic Redundancy Check over a byte stream.", kCrc32});
+}
+
+}  // namespace onebit::progs

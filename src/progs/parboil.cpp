@@ -1,0 +1,317 @@
+// Parboil programs: bfs, histo (base) and sad, spmv (cpu) — Table II.
+#include "progs/registry.hpp"
+
+namespace onebit::progs {
+
+namespace {
+
+const char* const kBfs = R"MC(
+// bfs -- Parboil base (shortest-path costs on an irregular uniform-weight
+// graph; a deterministic grid-with-chords graph stands in for the NY map)
+int W = 16;
+int H = 12;
+int NODES = 192;
+int row_ptr[193];
+int col[1000];
+int cost[192];
+int queue[192];
+int seed = 23;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int nedges = 0;
+
+void push_edge(int v) {
+  col[nedges] = v;
+  nedges++;
+}
+
+void make_graph() {
+  for (int y = 0; y < H; y++) {
+    for (int x = 0; x < W; x++) {
+      int u = y * W + x;
+      row_ptr[u] = nedges;
+      if (x + 1 < W) { push_edge(u + 1); }
+      if (x - 1 >= 0) { push_edge(u - 1); }
+      if (y + 1 < H) { push_edge(u + W); }
+      if (y - 1 >= 0) { push_edge(u - W); }
+      // occasional long chord, making the graph irregular
+      if (rnd() % 7 == 0) {
+        push_edge(rnd() % NODES);
+      }
+    }
+  }
+  row_ptr[NODES] = nedges;
+}
+
+int main() {
+  make_graph();
+  for (int i = 0; i < NODES; i++) { cost[i] = -1; }
+  cost[0] = 0;
+  queue[0] = 0;
+  int head = 0;
+  int tail = 1;
+  while (head < tail) {
+    int u = queue[head];
+    head++;
+    for (int e = row_ptr[u]; e < row_ptr[u + 1]; e++) {
+      int v = col[e];
+      if (cost[v] < 0) {
+        cost[v] = cost[u] + 1;
+        queue[tail] = v;
+        tail++;
+      }
+    }
+  }
+  int sum = 0;
+  int maxc = 0;
+  for (int i = 0; i < NODES; i++) {
+    sum = sum + cost[i];
+    if (cost[i] > maxc) { maxc = cost[i]; }
+  }
+  print_s("bfs visited=");
+  print_i(tail);
+  print_s(" costsum=");
+  print_i(sum);
+  print_s(" depth=");
+  print_i(maxc);
+  print_c(10);
+  for (int i = 0; i < NODES; i = i + 23) {
+    print_i(cost[i]);
+    print_c(' ');
+  }
+  print_c(10);
+  return 0;
+}
+)MC";
+
+const char* const kHisto = R"MC(
+// histo -- Parboil base (2-D saturating histogram, max bin count 255)
+int HW = 16;
+int HH = 8;
+int histo[128];
+int seed = 31;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int main() {
+  for (int i = 0; i < HW * HH; i++) { histo[i] = 0; }
+  // Input distribution is intentionally skewed so some bins saturate.
+  for (int n = 0; n < 1000; n++) {
+    int x = rnd() % HW;
+    int y = rnd() % HH;
+    if (rnd() % 3 != 0) {
+      x = x % 2;                 // hot region
+      y = 0;
+    }
+    int b = y * HW + x;
+    if (histo[b] < 255) {        // saturating increment
+      histo[b] = histo[b] + 1;
+    }
+  }
+  int saturated = 0;
+  int checksum = 0;
+  for (int i = 0; i < HW * HH; i++) {
+    if (histo[i] == 255) { saturated++; }
+    checksum = (checksum * 37 + histo[i]) & 16777215;
+  }
+  print_s("histo saturated=");
+  print_i(saturated);
+  print_s(" checksum=");
+  print_i(checksum);
+  print_c(10);
+  for (int i = 0; i < HW * HH; i = i + 7) {
+    print_i(histo[i]);
+    print_c(' ');
+  }
+  print_c(10);
+  return 0;
+}
+)MC";
+
+const char* const kSad = R"MC(
+// sad -- Parboil cpu (sum of absolute differences for motion estimation)
+int FW = 12;
+int FH = 12;
+int ref[144];
+int cur[144];
+int seed = 47;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+void make_frames() {
+  for (int y = 0; y < FH; y++) {
+    for (int x = 0; x < FW; x++) {
+      ref[y * FW + x] = (x * 13 + y * 29 + rnd() % 16) & 255;
+    }
+  }
+  // The current frame is the reference shifted by (1,1) plus noise.
+  for (int y = 0; y < FH; y++) {
+    for (int x = 0; x < FW; x++) {
+      int sx = x - 1;
+      int sy = y - 1;
+      int v = 0;
+      if (sx >= 0 && sy >= 0) {
+        v = ref[sy * FW + sx];
+      } else {
+        v = rnd() % 256;
+      }
+      cur[y * FW + x] = (v + rnd() % 5) & 255;
+    }
+  }
+}
+
+int block_sad(int bx, int by, int dx, int dy) {
+  int total = 0;
+  for (int y = 0; y < 4; y++) {
+    for (int x = 0; x < 4; x++) {
+      int cy = by * 4 + y;
+      int cx = bx * 4 + x;
+      int ry = cy + dy;
+      int rx = cx + dx;
+      int r = 255;
+      if (ry >= 0 && ry < FH && rx >= 0 && rx < FW) {
+        r = ref[ry * FW + rx];
+      }
+      int d = cur[cy * FW + cx] - r;
+      if (d < 0) { d = -d; }
+      total = total + d;
+    }
+  }
+  return total;
+}
+
+int main() {
+  make_frames();
+  int grand = 0;
+  for (int by = 0; by < 3; by++) {
+    for (int bx = 0; bx < 3; bx++) {
+      int best = 1000000;
+      int bdx = 0;
+      int bdy = 0;
+      for (int dy = -1; dy <= 1; dy++) {
+        for (int dx = -1; dx <= 1; dx++) {
+          int s = block_sad(bx, by, dx, dy);
+          if (s < best) {
+            best = s;
+            bdx = dx;
+            bdy = dy;
+          }
+        }
+      }
+      grand = grand + best;
+      print_s("mv ");
+      print_i(bx);
+      print_c(',');
+      print_i(by);
+      print_s(" -> ");
+      print_i(bdx);
+      print_c(',');
+      print_i(bdy);
+      print_s(" sad=");
+      print_i(best);
+      print_c(10);
+    }
+  }
+  print_s("total sad=");
+  print_i(grand);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+const char* const kSpmv = R"MC(
+// spmv -- Parboil cpu (sparse matrix * dense vector, CSR from a
+// coordinate-format-style generator)
+int N = 64;
+int NNZMAX = 512;
+int row_ptr[65];
+int colidx[512];
+double val[512];
+double x[64];
+double y[64];
+int seed = 61;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int nnz = 0;
+
+void make_matrix() {
+  for (int i = 0; i < N; i++) {
+    row_ptr[i] = nnz;
+    int rownnz = 2 + rnd() % 6;
+    int c = rnd() % 4;
+    for (int k = 0; k < rownnz && nnz < NNZMAX; k++) {
+      colidx[nnz] = c % N;
+      val[nnz] = ((double)(rnd() % 1000)) / 100.0 - 5.0;
+      nnz++;
+      c = c + 1 + rnd() % 9;
+    }
+  }
+  row_ptr[N] = nnz;
+  for (int i = 0; i < N; i++) {
+    x[i] = ((double)(rnd() % 2000)) / 200.0 - 5.0;
+  }
+}
+
+int main() {
+  make_matrix();
+  for (int i = 0; i < N; i++) {
+    double acc = 0.0;
+    for (int e = row_ptr[i]; e < row_ptr[i + 1]; e++) {
+      acc = acc + val[e] * x[colidx[e]];
+    }
+    y[i] = acc;
+  }
+  double sum = 0.0;
+  double maxabs = 0.0;
+  for (int i = 0; i < N; i++) {
+    sum = sum + y[i];
+    double a = fabs(y[i]);
+    if (a > maxabs) { maxabs = a; }
+  }
+  print_s("spmv nnz=");
+  print_i(nnz);
+  print_s(" sum=");
+  print_f(sum);
+  print_s(" maxabs=");
+  print_f(maxabs);
+  print_c(10);
+  for (int i = 0; i < N; i = i + 9) {
+    print_f(y[i]);
+    print_c(' ');
+  }
+  print_c(10);
+  return 0;
+}
+)MC";
+
+}  // namespace
+
+void addParboil(std::vector<ProgramInfo>& out) {
+  out.push_back({"bfs", "Parboil", "base",
+                 "Breadth-first-search shortest-path costs on an irregular "
+                 "graph of uniform edge weights.",
+                 kBfs});
+  out.push_back({"histo", "Parboil", "base",
+                 "2-D saturating histogram with a maximum bin count of 255.",
+                 kHisto});
+  out.push_back({"sad", "Parboil", "cpu",
+                 "Sum of absolute differences for motion estimation.", kSad});
+  out.push_back({"spmv", "Parboil", "cpu",
+                 "Product of a sparse matrix with a dense vector.", kSpmv});
+}
+
+}  // namespace onebit::progs

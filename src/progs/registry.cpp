@@ -1,0 +1,50 @@
+#include "progs/registry.hpp"
+
+#include "lang/compile.hpp"
+#include "opt/passes.hpp"
+
+namespace onebit::progs {
+
+// Defined in the per-suite translation units.
+void addMiBenchAuto(std::vector<ProgramInfo>& out);
+void addMiBenchSusan(std::vector<ProgramInfo>& out);
+void addMiBenchTelecomm(std::vector<ProgramInfo>& out);
+void addMiBenchMisc(std::vector<ProgramInfo>& out);
+void addParboil(std::vector<ProgramInfo>& out);
+
+const std::vector<ProgramInfo>& allPrograms() {
+  static const std::vector<ProgramInfo> programs = [] {
+    std::vector<ProgramInfo> out;
+    // Table II order: automotive, telecomm, network, security, office, Parboil.
+    addMiBenchAuto(out);      // basicmath, qsort
+    addMiBenchSusan(out);     // susan_corners, susan_edges, susan_smoothing
+    addMiBenchTelecomm(out);  // fft, ifft, crc32
+    addMiBenchMisc(out);      // dijkstra, sha, stringsearch
+    addParboil(out);          // bfs, histo, sad, spmv
+    return out;
+  }();
+  return programs;
+}
+
+const ProgramInfo* findProgram(std::string_view name) {
+  for (const auto& p : allPrograms()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+ir::Module compileProgram(const ProgramInfo& info, bool optimized) {
+  ir::Module mod = lang::compileMiniC(info.source);
+  if (optimized) opt::optimize(mod);
+  return mod;
+}
+
+std::size_t sourceLines(const ProgramInfo& info) {
+  std::size_t lines = 1;
+  for (const char c : info.source) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+}  // namespace onebit::progs

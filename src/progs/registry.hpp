@@ -1,0 +1,42 @@
+// Benchmark program registry.
+//
+// The 15 workloads of the paper (11 MiBench + 4 Parboil programs, Table II)
+// re-implemented in MiniC with small deterministic synthetic inputs. Each
+// entry carries its source text; compileProgram() turns it into verified IR.
+//
+// Substitution note (see DESIGN.md §2): inputs are generated in-program with
+// a fixed LCG instead of being read from the suites' input files, so golden
+// runs are bit-reproducible and need no filesystem.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace onebit::progs {
+
+struct ProgramInfo {
+  std::string name;         ///< e.g. "basicmath"
+  std::string suite;        ///< "MiBench" or "Parboil"
+  std::string package;      ///< e.g. "automotive", "base", "cpu"
+  std::string description;  ///< one-line summary (Table II wording)
+  std::string source;       ///< MiniC source text
+};
+
+/// All 15 programs in Table II order.
+const std::vector<ProgramInfo>& allPrograms();
+
+/// Lookup by name; nullptr when unknown.
+const ProgramInfo* findProgram(std::string_view name);
+
+/// Compile a program's MiniC source to verified IR. When `optimized` is
+/// true, runs the opt pass pipeline (the -O1-style IR variant; see
+/// bench/ablation_optimization).
+ir::Module compileProgram(const ProgramInfo& info, bool optimized = false);
+
+/// Count the physical source lines of a program (Table II "LoC" analog).
+std::size_t sourceLines(const ProgramInfo& info);
+
+}  // namespace onebit::progs

@@ -1,0 +1,48 @@
+#include "pruning/activation_study.hpp"
+
+#include "util/rng.hpp"
+
+namespace onebit::pruning {
+
+namespace {
+double frac(std::uint64_t part, std::uint64_t total) noexcept {
+  return total == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(total);
+}
+}  // namespace
+
+double ActivationBuckets::fracUpToFive() const noexcept {
+  return frac(upToFive, total());
+}
+double ActivationBuckets::fracSixToTen() const noexcept {
+  return frac(sixToTen, total());
+}
+double ActivationBuckets::fracMoreThanTen() const noexcept {
+  return frac(moreThanTen, total());
+}
+
+ActivationBuckets activationStudy(const fi::Workload& workload,
+                                  fi::Technique technique,
+                                  std::size_t experimentsPerCampaign,
+                                  std::uint64_t seed, unsigned flipWidth) {
+  ActivationBuckets buckets;
+  std::uint64_t campaignIdx = 0;
+  for (const fi::WinSize& w : fi::FaultSpec::paperWinSizes()) {
+    fi::CampaignConfig config;
+    config.spec = fi::FaultSpec::multiBit(technique, 30, w);
+    config.spec.flipWidth = flipWidth;
+    config.experiments = experimentsPerCampaign;
+    config.seed = util::hashCombine(seed, campaignIdx++);
+    const fi::CampaignResult result = fi::runCampaign(workload, config);
+    const auto& hist = result.activationHist[static_cast<std::size_t>(
+        stats::Outcome::Detected)];
+    for (unsigned k = 0; k <= fi::kMaxActivationBucket; ++k) {
+      if (k <= 5) buckets.upToFive += hist[k];
+      else if (k <= 10) buckets.sixToTen += hist[k];
+      else buckets.moreThanTen += hist[k];
+    }
+  }
+  return buckets;
+}
+
+}  // namespace onebit::pruning

@@ -1,0 +1,35 @@
+// RQ1 / Fig. 3: how many errors are activated before a program crashes when
+// we intend to inject 30 (max-MBF = 30), aggregated over all win-size values.
+#pragma once
+
+#include <cstdint>
+
+#include "fi/campaign.hpp"
+
+namespace onebit::pruning {
+
+struct ActivationBuckets {
+  // Crashed (Detected) experiments, bucketed by activated error count as in
+  // Fig. 3's discussion: <=5, 6..10, >10.
+  std::uint64_t upToFive = 0;
+  std::uint64_t sixToTen = 0;
+  std::uint64_t moreThanTen = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return upToFive + sixToTen + moreThanTen;
+  }
+  [[nodiscard]] double fracUpToFive() const noexcept;
+  [[nodiscard]] double fracSixToTen() const noexcept;
+  [[nodiscard]] double fracMoreThanTen() const noexcept;
+};
+
+/// Runs max-MBF=30 campaigns for every win-size in Table I (win > 0) and
+/// aggregates the activation distribution of crashed experiments.
+/// `experimentsPerCampaign` experiments per win-size value.
+ActivationBuckets activationStudy(const fi::Workload& workload,
+                                  fi::Technique technique,
+                                  std::size_t experimentsPerCampaign,
+                                  std::uint64_t seed,
+                                  unsigned flipWidth = 64);
+
+}  // namespace onebit::pruning

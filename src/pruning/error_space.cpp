@@ -1,0 +1,29 @@
+#include "pruning/error_space.hpp"
+
+#include <cmath>
+
+namespace onebit::pruning {
+
+double ErrorSpace::singleBitSize(std::uint64_t candidates, unsigned bits) {
+  return static_cast<double>(candidates) * static_cast<double>(bits);
+}
+
+double ErrorSpace::log10MultiBitSize(std::uint64_t candidates, unsigned bits,
+                                     std::uint64_t maxM) {
+  const double n = singleBitSize(candidates, bits);
+  if (n <= 1.0 || maxM < 2) return 0.0;
+  const double logN = std::log10(n);
+  // sum_{m=2}^{M} n^m = n^M * (1 + 1/n + ...) <= n^M * n/(n-1); in log10
+  // the correction is log10(n/(n-1)) ~ 0 for our n, so the last term wins.
+  const double correction = std::log10(n / (n - 1.0));
+  return static_cast<double>(maxM) * logN + correction;
+}
+
+double ErrorSpace::log10FullMultiBitSize(std::uint64_t candidates,
+                                         unsigned bits) {
+  const double n = singleBitSize(candidates, bits);
+  return log10MultiBitSize(candidates, bits,
+                           static_cast<std::uint64_t>(n));
+}
+
+}  // namespace onebit::pruning

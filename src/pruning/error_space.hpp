@@ -1,0 +1,43 @@
+// Error-space size accounting (§II-D) and the cumulative effect of the
+// paper's three pruning layers.
+//
+// With d dynamic (candidate) instructions and b-bit registers, the single
+// bit-flip space has d*b points; the unconstrained multiple bit-flip space
+// has sum_{m=2}^{d*b} (d*b)^m points — far beyond astronomical, which is
+// why the paper explores it through (max-MBF, win-size) clusters and then
+// prunes: (1) bound max-MBF by the activation study, (2) keep only the
+// pessimistic parameter pairs, (3) start injections only from single-bit
+// Benign locations.
+#pragma once
+
+#include <cstdint>
+
+namespace onebit::pruning {
+
+struct ErrorSpace {
+  /// |single-bit space| = d * b.
+  static double singleBitSize(std::uint64_t candidates, unsigned bits);
+
+  /// log10 of sum_{m=2}^{maxM} (d*b)^m  (the geometric sum is dominated by
+  /// its last term; computed in log space so it never overflows).
+  static double log10MultiBitSize(std::uint64_t candidates, unsigned bits,
+                                  std::uint64_t maxM);
+
+  /// log10 of the FULL multi-bit space, maxM = d*b (§II-D's formula).
+  static double log10FullMultiBitSize(std::uint64_t candidates, unsigned bits);
+
+  /// Number of error clusters the paper explores per program:
+  /// |max-MBF values| x |win-size values| (= 180 in Table I) plus the two
+  /// single-bit campaigns.
+  static std::uint64_t clusteredCampaigns() noexcept { return 182; }
+
+  /// Layer-3 pruning: fraction of first-injection locations that can be
+  /// skipped because their single-bit outcome was Detection or SDC
+  /// (only Benign locations can add SDCs under multi-bit errors, §IV-C3).
+  /// Both arguments are fractions in [0, 1].
+  static double layer3PrunedFraction(double benignFraction) noexcept {
+    return 1.0 - benignFraction;
+  }
+};
+
+}  // namespace onebit::pruning

@@ -1,0 +1,50 @@
+#include "pruning/pessimistic_pairs.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace onebit::pruning {
+
+PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
+                                          fi::Technique technique,
+                                          std::size_t experimentsPerCampaign,
+                                          std::uint64_t seed,
+                                          std::size_t validationFactor,
+                                          unsigned flipWidth) {
+  PessimisticPairResult out;
+  bool haveBest = false;
+  std::uint64_t campaignIdx = 0;
+  for (fi::FaultSpec spec : fi::multiRegisterCampaigns(technique)) {
+    spec.flipWidth = flipWidth;
+    fi::CampaignConfig config;
+    config.spec = spec;
+    config.experiments = experimentsPerCampaign;
+    config.seed = util::hashCombine(seed, campaignIdx++);
+    const fi::CampaignResult result = fi::runCampaign(workload, config);
+    const stats::Proportion sdc = result.sdc();
+    out.all.push_back({spec, sdc});
+    if (spec.isSingleBit()) {
+      out.singleSdc = sdc;
+      continue;
+    }
+    if (!haveBest || sdc.fraction > out.bestSdc.fraction) {
+      haveBest = true;
+      out.bestSdc = sdc;
+      out.bestSpec = spec;
+    }
+  }
+  // Two-stage estimate: re-run the selected pair on an independent sample to
+  // strip the argmax selection bias.
+  if (haveBest) {
+    fi::CampaignConfig config;
+    config.spec = out.bestSpec;
+    config.experiments =
+        experimentsPerCampaign * std::max<std::size_t>(1, validationFactor);
+    config.seed = util::hashCombine(seed ^ 0x5eedbeefULL, 0xfeedULL);
+    out.validatedBestSdc = fi::runCampaign(workload, config).sdc();
+  }
+  return out;
+}
+
+}  // namespace onebit::pruning

@@ -1,0 +1,74 @@
+#include "pruning/transition_study.hpp"
+
+#include "fi/fault_plan.hpp"
+
+namespace onebit::pruning {
+
+namespace {
+constexpr std::size_t idx(stats::Outcome o) noexcept {
+  return static_cast<std::size_t>(o);
+}
+}  // namespace
+
+std::uint64_t TransitionStudyResult::countFrom(
+    stats::Outcome from) const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint32_t c : transitions[idx(from)]) n += c;
+  return n;
+}
+
+double TransitionStudyResult::transitionI() const noexcept {
+  // Detection = Detected + Hang + NoOutput (§III-E).
+  const std::uint64_t fromDetection = countFrom(stats::Outcome::Detected) +
+                                      countFrom(stats::Outcome::Hang) +
+                                      countFrom(stats::Outcome::NoOutput);
+  const std::uint64_t toSdc =
+      transitions[idx(stats::Outcome::Detected)][idx(stats::Outcome::SDC)] +
+      transitions[idx(stats::Outcome::Hang)][idx(stats::Outcome::SDC)] +
+      transitions[idx(stats::Outcome::NoOutput)][idx(stats::Outcome::SDC)];
+  return fromDetection == 0
+             ? 0.0
+             : static_cast<double>(toSdc) / static_cast<double>(fromDetection);
+}
+
+double TransitionStudyResult::transitionII() const noexcept {
+  const std::uint64_t fromBenign = countFrom(stats::Outcome::Benign);
+  const std::uint64_t toSdc =
+      transitions[idx(stats::Outcome::Benign)][idx(stats::Outcome::SDC)];
+  return fromBenign == 0
+             ? 0.0
+             : static_cast<double>(toSdc) / static_cast<double>(fromBenign);
+}
+
+TransitionStudyResult transitionStudy(const fi::Workload& workload,
+                                      const fi::FaultSpec& multiSpec,
+                                      std::size_t experiments,
+                                      std::uint64_t seed) {
+  TransitionStudyResult out;
+  fi::FaultSpec singleSpec = fi::FaultSpec::singleBit(multiSpec.technique);
+  singleSpec.flipWidth = multiSpec.flipWidth;
+  const std::uint64_t candidates =
+      workload.candidates(multiSpec.technique);
+
+  for (std::size_t i = 0; i < experiments; ++i) {
+    const fi::FaultPlan singlePlan =
+        fi::FaultPlan::forExperiment(singleSpec, candidates, seed, i);
+    const fi::ExperimentResult single =
+        fi::runExperiment(workload, singlePlan);
+
+    // Extend the identical first injection to the multi-bit model: same
+    // first candidate index and same plan seed, so the injector's first
+    // operand/bit draw is bit-identical; only max-MBF/window differ.
+    fi::FaultPlan multiPlan = singlePlan;
+    multiPlan.maxMbf = multiSpec.maxMbf;
+    util::Rng winRng(util::hashCombine(seed ^ 0x7a115afeULL, i));
+    multiPlan.window =
+        multiSpec.maxMbf > 1 ? multiSpec.winSize.sample(winRng) : 0;
+    const fi::ExperimentResult multi = fi::runExperiment(workload, multiPlan);
+
+    ++out.transitions[idx(single.outcome)][idx(multi.outcome)];
+  }
+  return out;
+}
+
+}  // namespace onebit::pruning

@@ -1,0 +1,42 @@
+// RQ5 / Fig. 6 + Table IV: replay multi-bit experiments from the exact
+// first-injection locations of single-bit experiments and measure outcome
+// transitions. Transition I = Detection -> SDC, Transition II =
+// Benign -> SDC; only these add SDCs beyond the single bit-flip model, so
+// single-bit Detection/SDC locations can be pruned from the multi-bit error
+// space if Transition I is rare (which the paper - and this repro - finds).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fi/campaign.hpp"
+#include "stats/outcome_counts.hpp"
+
+namespace onebit::pruning {
+
+struct TransitionStudyResult {
+  /// transitions[from][to]: experiments whose single-bit outcome was `from`
+  /// and multi-bit outcome (same first location, same first flip) was `to`.
+  std::array<std::array<std::uint32_t, stats::kOutcomeCount>,
+             stats::kOutcomeCount>
+      transitions{};
+
+  [[nodiscard]] std::uint64_t countFrom(stats::Outcome from) const noexcept;
+
+  /// Likelihood of Transition I: P(multi = SDC | single = Detected/Hang/
+  /// NoOutput). The paper's Detection category is the union of the three.
+  [[nodiscard]] double transitionI() const noexcept;
+  /// Likelihood of Transition II: P(multi = SDC | single = Benign).
+  [[nodiscard]] double transitionII() const noexcept;
+};
+
+/// Run `experiments` paired (single-bit, multi-bit) experiments. The
+/// multi-bit run reuses the single-bit plan's first injection (same candidate
+/// index, same operand and bit choice) and extends it to `multiSpec`'s
+/// max-MBF/win-size.
+TransitionStudyResult transitionStudy(const fi::Workload& workload,
+                                      const fi::FaultSpec& multiSpec,
+                                      std::size_t experiments,
+                                      std::uint64_t seed);
+
+}  // namespace onebit::pruning

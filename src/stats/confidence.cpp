@@ -1,0 +1,44 @@
+#include "stats/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onebit::stats {
+
+double Proportion::lower() const noexcept {
+  return std::max(0.0, fraction - ciHalfWidth);
+}
+
+double Proportion::upper() const noexcept {
+  return std::min(1.0, fraction + ciHalfWidth);
+}
+
+Proportion proportionCI(std::size_t successes, std::size_t n, double z) {
+  Proportion p;
+  p.successes = successes;
+  p.n = n;
+  if (n == 0) return p;
+  p.fraction = static_cast<double>(successes) / static_cast<double>(n);
+  p.ciHalfWidth =
+      z * std::sqrt(p.fraction * (1.0 - p.fraction) / static_cast<double>(n));
+  return p;
+}
+
+Proportion wilsonCI(std::size_t successes, std::size_t n, double z) {
+  Proportion p;
+  p.successes = successes;
+  p.n = n;
+  if (n == 0) return p;
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (phat + z2 / (2.0 * nn)) / denom;
+  const double half =
+      (z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn))) / denom;
+  p.fraction = center;
+  p.ciHalfWidth = half;
+  return p;
+}
+
+}  // namespace onebit::stats

@@ -1,0 +1,29 @@
+// Proportion estimates with 95% confidence intervals (§III-E: "we also
+// compute error bars at the 95% confidence intervals").
+#pragma once
+
+#include <cstddef>
+
+namespace onebit::stats {
+
+struct Proportion {
+  double fraction = 0.0;     ///< point estimate successes/n
+  double ciHalfWidth = 0.0;  ///< half width of the confidence interval
+  std::size_t successes = 0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double lower() const noexcept;
+  [[nodiscard]] double upper() const noexcept;
+};
+
+/// Normal-approximation (Wald) interval, the standard choice in the fault
+/// injection literature. z defaults to the 95% quantile.
+Proportion proportionCI(std::size_t successes, std::size_t n,
+                        double z = 1.959963984540054);
+
+/// Wilson score interval — better behaved for small n / extreme p; used by
+/// the property tests to sanity-check the Wald numbers.
+Proportion wilsonCI(std::size_t successes, std::size_t n,
+                    double z = 1.959963984540054);
+
+}  // namespace onebit::stats

@@ -1,0 +1,37 @@
+#include "stats/outcome_counts.hpp"
+
+namespace onebit::stats {
+
+std::string_view outcomeName(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Benign: return "Benign";
+    case Outcome::Detected: return "Detected";
+    case Outcome::Hang: return "Hang";
+    case Outcome::NoOutput: return "NoOutput";
+    case Outcome::SDC: return "SDC";
+  }
+  return "?";
+}
+
+void OutcomeCounts::merge(const OutcomeCounts& other) noexcept {
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+std::size_t OutcomeCounts::total() const noexcept {
+  std::size_t t = 0;
+  for (const std::size_t c : counts_) t += c;
+  return t;
+}
+
+Proportion OutcomeCounts::proportion(Outcome o) const {
+  return proportionCI(count(o), total());
+}
+
+Proportion OutcomeCounts::resilience() const {
+  const std::size_t t = total();
+  return proportionCI(t - count(Outcome::SDC), t);
+}
+
+}  // namespace onebit::stats

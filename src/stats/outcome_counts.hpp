@@ -1,0 +1,52 @@
+// Outcome taxonomy of §III-E and aggregate counters.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "stats/confidence.hpp"
+
+namespace onebit::stats {
+
+/// Experiment outcome classification (§III-E). The first four categories
+/// contribute to error resilience; SDC is the failure class the paper (and
+/// this library) focuses on.
+enum class Outcome : unsigned char {
+  Benign,    ///< normal termination, output matches the golden run
+  Detected,  ///< hardware exception raised (segfault/misaligned/div0/abort)
+  Hang,      ///< did not terminate within the instruction budget
+  NoOutput,  ///< normal termination but no output produced
+  SDC,       ///< normal termination with wrong output, no failure indication
+};
+
+inline constexpr std::size_t kOutcomeCount = 5;
+
+std::string_view outcomeName(Outcome o) noexcept;
+
+/// Counts per outcome for one campaign.
+class OutcomeCounts {
+ public:
+  void add(Outcome o) noexcept { ++counts_[index(o)]; }
+  void merge(const OutcomeCounts& other) noexcept;
+
+  [[nodiscard]] std::size_t count(Outcome o) const noexcept {
+    return counts_[index(o)];
+  }
+  [[nodiscard]] std::size_t total() const noexcept;
+
+  /// Fraction of experiments with this outcome, with 95% CI.
+  [[nodiscard]] Proportion proportion(Outcome o) const;
+
+  /// P(no SDC) — the paper's error resilience metric (§II-B).
+  [[nodiscard]] Proportion resilience() const;
+
+ private:
+  static constexpr std::size_t index(Outcome o) noexcept {
+    return static_cast<std::size_t>(o);
+  }
+  std::array<std::size_t, kOutcomeCount> counts_{};
+};
+
+}  // namespace onebit::stats

@@ -1,0 +1,27 @@
+#include "util/bitops.hpp"
+
+#include <algorithm>
+
+namespace onebit::util {
+
+std::vector<unsigned> pickDistinctBits(Rng& rng, unsigned width,
+                                       unsigned count) {
+  count = std::min(count, width);
+  // Partial Fisher-Yates over the bit positions.
+  std::vector<unsigned> positions(width);
+  for (unsigned i = 0; i < width; ++i) positions[i] = i;
+  for (unsigned i = 0; i < count; ++i) {
+    const auto j = i + static_cast<unsigned>(rng.below(width - i));
+    std::swap(positions[i], positions[j]);
+  }
+  positions.resize(count);
+  return positions;
+}
+
+std::uint64_t maskFromBits(const std::vector<unsigned>& bits) noexcept {
+  std::uint64_t mask = 0;
+  for (unsigned b : bits) mask |= (1ULL << (b & 63U));
+  return mask;
+}
+
+}  // namespace onebit::util

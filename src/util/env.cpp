@@ -1,0 +1,21 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace onebit::util {
+
+std::int64_t envInt(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+std::string envStr(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return (raw != nullptr && *raw != '\0') ? std::string(raw) : fallback;
+}
+
+}  // namespace onebit::util

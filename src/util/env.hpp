@@ -1,0 +1,15 @@
+// Environment-variable helpers used to scale benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace onebit::util {
+
+/// Read an integer environment variable; returns fallback when unset/invalid.
+std::int64_t envInt(const std::string& name, std::int64_t fallback);
+
+/// Read a string environment variable; returns fallback when unset.
+std::string envStr(const std::string& name, const std::string& fallback);
+
+}  // namespace onebit::util

@@ -1,0 +1,67 @@
+// Deterministic, seedable random number generation.
+//
+// Fault-injection campaigns must be exactly reproducible from a single seed:
+// experiment i of campaign c always derives the same sub-stream regardless of
+// scheduling. We use SplitMix64 for seed derivation and xoshiro256** as the
+// workhorse generator (both public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace onebit::util {
+
+/// SplitMix64: used to expand one 64-bit seed into independent streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1bADC0FFEE123457ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Unbiased integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// true with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Derive an independent child generator; deterministic in (seed, salt).
+  Rng fork(std::uint64_t salt) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+/// Stable 64-bit hash combiner for seed derivation.
+std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace onebit::util

@@ -1,0 +1,36 @@
+// Plain-text table and CSV rendering for benchmark harness output.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// keeps the formatting logic in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace onebit::util {
+
+/// A simple column-aligned text table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes/newlines).
+  [[nodiscard]] std::string renderCsv() const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmtPercent(double fraction, int decimals = 1);
+std::string fmtDouble(double value, int decimals = 2);
+
+}  // namespace onebit::util

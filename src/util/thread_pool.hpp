@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool used to parallelize independent
+// fault-injection experiments across cores.
+//
+// Campaign results stay deterministic because each experiment derives its RNG
+// stream from (campaign seed, experiment index), never from scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace onebit::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Must not be called after the destructor starts.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait();
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return workers_.size();
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cvTask_;
+  std::condition_variable cvDone_;
+  std::size_t inFlight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace onebit::util

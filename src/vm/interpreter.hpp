@@ -1,0 +1,78 @@
+// The onebit IR interpreter.
+//
+// Plays the role native execution plays for LLFI: it runs a module to
+// completion while exposing the two hook points the fault model needs —
+//   * inject-on-read:  a dynamic instruction is about to consume its source
+//     register operands (ExecHook::onRead), and
+//   * inject-on-write: a dynamic instruction has produced its destination
+//     register value (ExecHook::onWrite).
+// The interpreter also counts both candidate streams so that fault plans can
+// address injection points by candidate index, exactly like LLFI addresses
+// (time, location) pairs over a fault-free profiling run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "ir/module.hpp"
+#include "vm/memory.hpp"
+#include "vm/trap.hpp"
+
+namespace onebit::vm {
+
+/// Observer/mutator interface for fault injection.
+class ExecHook {
+ public:
+  virtual ~ExecHook() = default;
+
+  /// Called before executing a dynamic instruction that reads at least one
+  /// register operand. `readIndex` counts such instructions (the
+  /// inject-on-read candidate stream); `instrIndex` is the global dynamic
+  /// instruction counter (used for win-size distances). `values` holds the
+  /// operand values about to be used; `isReg[i]` tells whether operand i came
+  /// from a register (only those are legal injection targets). The hook may
+  /// mutate `values` in place.
+  virtual void onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
+                      const ir::Instr& instr,
+                      std::span<std::uint64_t> values,
+                      std::span<const bool> isReg) = 0;
+
+  /// Called after a dynamic instruction computed its destination-register
+  /// value, before the register is written. `writeIndex` counts the
+  /// inject-on-write candidate stream. The hook may mutate `value`.
+  virtual void onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
+                       const ir::Instr& instr, std::uint64_t& value) = 0;
+};
+
+enum class ExecStatus : unsigned char {
+  Ok,             ///< program returned from main normally
+  Trapped,        ///< a hardware-exception-like trap fired (see trap)
+  FuelExhausted,  ///< instruction budget exceeded (classified as Hang)
+};
+
+struct ExecLimits {
+  std::uint64_t maxInstructions = 1'000'000'000ULL;
+  std::uint32_t maxCallDepth = 512;
+  std::size_t stackBytes = 1 << 20;
+  std::size_t maxHeapBytes = 32 << 20;
+  std::size_t maxOutputBytes = 4 << 20;
+};
+
+struct ExecResult {
+  ExecStatus status = ExecStatus::Ok;
+  TrapKind trap = TrapKind::None;
+  std::uint64_t instructions = 0;      ///< dynamic instructions executed
+  std::uint64_t readCandidates = 0;    ///< inject-on-read candidate count
+  std::uint64_t writeCandidates = 0;   ///< inject-on-write candidate count
+  std::int64_t returnValue = 0;
+  bool outputTruncated = false;
+  std::string output;
+};
+
+/// Execute `mod` from its entry function. The module must have passed
+/// ir::verify. `hook` may be nullptr (golden runs).
+ExecResult execute(const ir::Module& mod, const ExecLimits& limits = {},
+                   ExecHook* hook = nullptr);
+
+}  // namespace onebit::vm

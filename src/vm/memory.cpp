@@ -1,0 +1,75 @@
+#include "vm/memory.hpp"
+
+#include <cstring>
+
+namespace onebit::vm {
+
+using ir::kGlobalBase;
+using ir::kHeapBase;
+using ir::kStackBase;
+
+Memory::Memory(const std::vector<std::uint8_t>& globalImage,
+               std::size_t stackBytes, std::size_t maxHeapBytes)
+    : globals_(globalImage),
+      stack_(stackBytes, 0),
+      maxHeapBytes_(maxHeapBytes) {
+  heap_.reserve(4096);
+}
+
+std::uint8_t* Memory::resolve(std::uint64_t addr, unsigned width,
+                              TrapKind& trap) noexcept {
+  if (width == 8 && (addr & 7U) != 0) {
+    trap = TrapKind::Misaligned;
+    return nullptr;
+  }
+  auto inSegment = [&](std::uint64_t base,
+                       std::vector<std::uint8_t>& seg) -> std::uint8_t* {
+    if (addr >= base && addr - base + width <= seg.size()) {
+      return seg.data() + (addr - base);
+    }
+    return nullptr;
+  };
+  // Order by expected access frequency: stack, globals, heap.
+  if (auto* p = inSegment(kStackBase, stack_)) return p;
+  if (auto* p = inSegment(kGlobalBase, globals_)) return p;
+  if (auto* p = inSegment(kHeapBase, heap_)) return p;
+  trap = TrapKind::SegFault;
+  return nullptr;
+}
+
+std::uint64_t Memory::load(std::uint64_t addr, unsigned width,
+                           TrapKind& trap) noexcept {
+  const std::uint8_t* p = resolve(addr, width, trap);
+  if (p == nullptr) return 0;
+  if (width == 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+  return *p;
+}
+
+void Memory::store(std::uint64_t addr, unsigned width, std::uint64_t value,
+                   TrapKind& trap) noexcept {
+  std::uint8_t* p = resolve(addr, width, trap);
+  if (p == nullptr) return;
+  if (width == 8) {
+    std::memcpy(p, &value, 8);
+  } else {
+    *p = static_cast<std::uint8_t>(value);
+  }
+}
+
+std::uint64_t Memory::alloc(std::int64_t bytes, TrapKind& trap) {
+  if (bytes < 0 ||
+      heap_.size() + static_cast<std::uint64_t>(bytes) > maxHeapBytes_) {
+    trap = TrapKind::SegFault;
+    return 0;
+  }
+  while (heap_.size() % 8 != 0) heap_.push_back(0);
+  const std::uint64_t addr = kHeapBase + heap_.size();
+  heap_.insert(heap_.end(), static_cast<std::size_t>(bytes), 0);
+  return addr;
+}
+
+}  // namespace onebit::vm

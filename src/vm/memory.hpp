@@ -1,0 +1,52 @@
+// Segmented, bounds- and alignment-checked memory for the onebit VM.
+//
+// Three disjoint segments (globals, stack, heap) live at the fixed virtual
+// bases declared in ir/module.hpp with large unmapped gaps between them, so
+// that a bit flip in an address register usually lands outside any segment
+// and raises a segmentation fault — the dominant detection mechanism in the
+// paper's inject-on-read results (§IV-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "vm/trap.hpp"
+
+namespace onebit::vm {
+
+class Memory {
+ public:
+  Memory(const std::vector<std::uint8_t>& globalImage, std::size_t stackBytes,
+         std::size_t maxHeapBytes);
+
+  /// Load `width` (1 or 8) bytes, zero-extended into a 64-bit word.
+  /// On failure sets `trap` and returns 0.
+  std::uint64_t load(std::uint64_t addr, unsigned width,
+                     TrapKind& trap) noexcept;
+
+  /// Store the low `width` bytes of value. On failure sets `trap`.
+  void store(std::uint64_t addr, unsigned width, std::uint64_t value,
+             TrapKind& trap) noexcept;
+
+  /// Bump-allocate a zeroed heap block (8-byte aligned). Returns its
+  /// address, or 0 with `trap` set when the heap budget is exhausted.
+  std::uint64_t alloc(std::int64_t bytes, TrapKind& trap);
+
+  [[nodiscard]] std::size_t stackBytes() const noexcept {
+    return stack_.size();
+  }
+  [[nodiscard]] std::size_t heapUsed() const noexcept { return heap_.size(); }
+
+ private:
+  /// Resolve addr/width to a host pointer, or nullptr with trap set.
+  std::uint8_t* resolve(std::uint64_t addr, unsigned width,
+                        TrapKind& trap) noexcept;
+
+  std::vector<std::uint8_t> globals_;
+  std::vector<std::uint8_t> stack_;
+  std::vector<std::uint8_t> heap_;
+  std::size_t maxHeapBytes_;
+};
+
+}  // namespace onebit::vm

@@ -1,0 +1,16 @@
+#include "vm/trap.hpp"
+
+namespace onebit::vm {
+
+std::string_view trapName(TrapKind k) noexcept {
+  switch (k) {
+    case TrapKind::None: return "none";
+    case TrapKind::SegFault: return "segfault";
+    case TrapKind::Misaligned: return "misaligned";
+    case TrapKind::DivByZero: return "div-by-zero";
+    case TrapKind::Abort: return "abort";
+  }
+  return "?";
+}
+
+}  // namespace onebit::vm

@@ -1,0 +1,23 @@
+// Trap taxonomy of the onebit VM.
+//
+// These mirror the hardware exceptions the paper's outcome classification
+// relies on (§III-E): segmentation faults, misaligned accesses, arithmetic
+// errors (division by zero) and aborts. A trapped run is classified as
+// "Detected by Hardware Exceptions".
+#pragma once
+
+#include <string_view>
+
+namespace onebit::vm {
+
+enum class TrapKind : unsigned char {
+  None,
+  SegFault,    ///< access outside a mapped segment / stack overflow
+  Misaligned,  ///< 8-byte access not 8-byte aligned
+  DivByZero,   ///< integer division or remainder by zero
+  Abort,       ///< program raised abort (self-termination)
+};
+
+std::string_view trapName(TrapKind k) noexcept;
+
+}  // namespace onebit::vm

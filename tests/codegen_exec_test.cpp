@@ -1,0 +1,333 @@
+// End-to-end MiniC tests: compile + execute and compare program output.
+// These pin down the language semantics the 15 benchmark programs rely on.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lang/compile.hpp"
+#include "vm/interpreter.hpp"
+
+namespace onebit {
+namespace {
+
+vm::ExecResult run(const std::string& src) {
+  const ir::Module mod = lang::compileMiniC(src);
+  vm::ExecLimits limits;
+  limits.maxInstructions = 2'000'000;
+  return vm::execute(mod, limits);
+}
+
+std::string runOut(const std::string& src) {
+  const vm::ExecResult r = run(src);
+  EXPECT_EQ(r.status, vm::ExecStatus::Ok);
+  return r.output;
+}
+
+struct Case {
+  const char* name;
+  const char* source;
+  const char* expected;
+};
+
+class MiniCGolden : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MiniCGolden, OutputMatches) {
+  const Case& c = GetParam();
+  EXPECT_EQ(runOut(c.source), c.expected) << c.name;
+}
+
+const Case kCases[] = {
+    {"int_arith",
+     "int main() { print_i(2 + 3 * 4 - 10 / 2); return 0; }", "9"},
+    {"parentheses",
+     "int main() { print_i((2 + 3) * (4 - 6)); return 0; }", "-10"},
+    {"modulo", "int main() { print_i(17 % 5); return 0; }", "2"},
+    {"negative_modulo", "int main() { print_i(-17 % 5); return 0; }", "-2"},
+    {"bitwise",
+     "int main() { print_i((12 & 10) | (1 << 4) ^ 1); return 0; }", "25"},
+    {"shift_right_arithmetic",
+     "int main() { print_i(-64 >> 3); return 0; }", "-8"},
+    {"unary", "int main() { print_i(-(-5) + ~0 + !0 + !7); return 0; }", "5"},
+    {"comparison_chain",
+     "int main() { print_i(1 < 2); print_i(2 <= 2); print_i(3 > 4); "
+     "print_i(4 >= 5); print_i(5 == 5); print_i(6 != 6); return 0; }",
+     "110010"},
+    {"float_arith",
+     "int main() { print_f(1.5 * 4.0 - 0.25); return 0; }", "5.750000"},
+    {"float_division",
+     "int main() { print_f(1.0 / 8.0); return 0; }", "0.125000"},
+    {"int_div_truncates",
+     "int main() { print_i(7 / 2); print_i(-7 / 2); return 0; }", "3-3"},
+    {"mixed_arith_promotes",
+     "int main() { print_f(1 + 0.5); return 0; }", "1.500000"},
+    {"explicit_casts",
+     "int main() { print_i((int)3.99); print_f((double)7 / 2); return 0; }",
+     "33.500000"},
+    {"char_masking",
+     "int main() { char c = 300; print_i(c); return 0; }", "44"},
+    {"char_literal_arith",
+     "int main() { print_i('z' - 'a'); return 0; }", "25"},
+    {"if_else",
+     "int main() { if (3 > 2) { print_s(\"yes\"); } else { print_s(\"no\"); } "
+     "return 0; }",
+     "yes"},
+    {"else_branch",
+     "int main() { if (1 > 2) { print_s(\"yes\"); } else { print_s(\"no\"); } "
+     "return 0; }",
+     "no"},
+    {"while_loop",
+     "int main() { int i = 0; int s = 0; while (i < 5) { s += i; i++; } "
+     "print_i(s); return 0; }",
+     "10"},
+    {"for_loop",
+     "int main() { int s = 0; for (int i = 1; i <= 4; i++) { s = s + i * i; } "
+     "print_i(s); return 0; }",
+     "30"},
+    {"break_stops",
+     "int main() { int i; for (i = 0; i < 100; i++) { if (i == 3) { break; } }"
+     " print_i(i); return 0; }",
+     "3"},
+    {"continue_skips",
+     "int main() { int s = 0; for (int i = 0; i < 6; i++) { "
+     "if (i % 2 == 0) { continue; } s += i; } print_i(s); return 0; }",
+     "9"},
+    {"nested_loops",
+     "int main() { int c = 0; for (int i = 0; i < 3; i++) "
+     "for (int j = 0; j < 4; j++) c++; print_i(c); return 0; }",
+     "12"},
+    {"short_circuit_and",
+     "int g = 0; int bump() { g = g + 1; return 1; } "
+     "int main() { int r = 0 && bump(); print_i(r); print_i(g); return 0; }",
+     "00"},
+    {"short_circuit_or",
+     "int g = 0; int bump() { g = g + 1; return 0; } "
+     "int main() { int r = 1 || bump(); print_i(r); print_i(g); return 0; }",
+     "10"},
+    {"short_circuit_evaluates_rhs",
+     "int g = 0; int bump() { g = g + 1; return 1; } "
+     "int main() { int r = 1 && bump(); print_i(r); print_i(g); return 0; }",
+     "11"},
+    {"ternary",
+     "int main() { print_i(5 > 3 ? 10 : 20); print_i(5 < 3 ? 10 : 20); "
+     "return 0; }",
+     "1020"},
+    {"ternary_mixed_types",
+     "int main() { print_f(1 ? 1 : 2.5); return 0; }", "1.000000"},
+    {"compound_assign",
+     "int main() { int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; "
+     "print_i(x); return 0; }",
+     "2"},
+    {"compound_bitwise",
+     "int main() { int x = 12; x &= 10; x |= 1; x ^= 2; x <<= 2; x >>= 1; "
+     "print_i(x); return 0; }",
+     "22"},
+    {"compound_assign_double_rhs",
+     "int main() { int x = 3; x += 1.75; print_i(x); return 0; }", "4"},
+    {"post_increment_returns_old",
+     "int main() { int i = 5; print_i(i++); print_i(i); return 0; }", "56"},
+    {"post_decrement",
+     "int main() { int i = 5; print_i(i--); print_i(i); return 0; }", "54"},
+    {"increment_array_element",
+     "int main() { int a[2]; a[0] = 7; a[0]++; print_i(a[0]); return 0; }",
+     "8"},
+    {"local_array",
+     "int main() { int a[4]; for (int i = 0; i < 4; i++) a[i] = i * i; "
+     "print_i(a[3]); return 0; }",
+     "9"},
+    {"global_array_init",
+     "int tab[4] = {10, 20, 30, 40}; "
+     "int main() { print_i(tab[0] + tab[3]); return 0; }",
+     "50"},
+    {"global_array_partial_init_zero_fills",
+     "int tab[4] = {7}; int main() { print_i(tab[0] + tab[1] + tab[3]); "
+     "return 0; }",
+     "7"},
+    {"global_scalar_init_expr",
+     "int g = 3 * 7 + (1 << 4); int main() { print_i(g); return 0; }", "37"},
+    {"global_negative_init",
+     "int g = -42; int main() { print_i(g); return 0; }", "-42"},
+    {"global_double_expr",
+     "double d = 1.5 * 4.0; int main() { print_f(d); return 0; }",
+     "6.000000"},
+    {"global_char_string",
+     "char s[] = \"abc\"; int main() { print_i(s[0]); print_i(s[3]); "
+     "return 0; }",
+     "970"},
+    {"global_scalar_mutation",
+     "int g = 5; void bump() { g = g + 2; } "
+     "int main() { bump(); bump(); print_i(g); return 0; }",
+     "9"},
+    {"array_param",
+     "int sum(int a[], int n) { int s = 0; for (int i = 0; i < n; i++) "
+     "s += a[i]; return s; } "
+     "int data[3] = {4, 5, 6}; int main() { print_i(sum(data, 3)); return 0; }",
+     "15"},
+    {"local_array_param",
+     "void fill(int a[], int n) { for (int i = 0; i < n; i++) a[i] = i + 1; }"
+     " int main() { int b[3]; fill(b, 3); print_i(b[0] + b[1] + b[2]); "
+     "return 0; }",
+     "6"},
+    {"double_array",
+     "double v[3]; int main() { v[0] = 0.5; v[1] = 1.5; v[2] = v[0] + v[1]; "
+     "print_f(v[2]); return 0; }",
+     "2.000000"},
+    {"char_array_bytes",
+     "char b[4]; int main() { b[0] = 65; b[1] = b[0] + 1; print_c(b[0]); "
+     "print_c(b[1]); return 0; }",
+     "AB"},
+    {"recursion_fib",
+     "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+     " int main() { print_i(fib(12)); return 0; }",
+     "144"},
+    {"mutual_recursion",
+     "int is_odd(int n); int is_even(int n) { if (n == 0) { return 1; } "
+     "return is_odd(n - 1); } "
+     "int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); } "
+     "int main() { print_i(is_even(10)); print_i(is_odd(7)); return 0; }",
+     nullptr},  // forward declarations are not supported; placeholder
+    {"builtin_math",
+     "int main() { print_f(sqrt(16.0)); print_c(' '); print_f(pow(2.0, 8.0));"
+     " return 0; }",
+     "4.000000 256.000000"},
+    {"builtin_fabs_floor_ceil",
+     "int main() { print_f(fabs(-2.5)); print_f(floor(2.7)); "
+     "print_f(ceil(2.2)); return 0; }",
+     "2.5000002.0000003.000000"},
+    {"alloc_builtin",
+     "int main() { int* p = alloc_int(4); for (int i = 0; i < 4; i++) "
+     "p[i] = i * 10; print_i(p[3]); return 0; }",
+     "30"},
+    {"alloc_char",
+     "int main() { char* p = alloc_char(3); p[0] = 'h'; p[1] = 'i'; "
+     "print_c(p[0]); print_c(p[1]); return 0; }",
+     "hi"},
+    {"print_formats",
+     "int main() { print_i(-7); print_c(':'); print_f(0.5); print_c(10); "
+     "return 0; }",
+     "-7:0.500000\n"},
+    {"void_function",
+     "void hello() { print_s(\"hello \"); } "
+     "int main() { hello(); hello(); return 0; }",
+     "hello hello "},
+    {"expression_statement_side_effect",
+     "int g = 0; int inc() { g++; return g; } "
+     "int main() { inc(); inc(); print_i(g); return 0; }",
+     "2"},
+    {"assignment_value",
+     "int main() { int a; int b; a = b = 5; print_i(a + b); return 0; }",
+     "10"},
+    {"scopes",
+     "int main() { int a = 1; { int a2 = 10; a = a + a2; } print_i(a); "
+     "return 0; }",
+     "11"},
+    {"var_decl_in_loop_reinitializes",
+     "int main() { int s = 0; for (int i = 0; i < 3; i++) { int t = 0; "
+     "t += i; s += t; } print_i(s); return 0; }",
+     "3"},
+    {"empty_main_void", "void main() { }", ""},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, MiniCGolden,
+    ::testing::ValuesIn([] {
+      std::vector<Case> cases;
+      for (const Case& c : kCases) {
+        if (c.expected != nullptr) cases.push_back(c);
+      }
+      return cases;
+    }()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(info.param.name);
+    });
+
+// --- runtime traps through the language ------------------------------------------
+
+TEST(MiniCRuntime, DivisionByZeroTraps) {
+  const vm::ExecResult r =
+      run("int main() { int z = 0; print_i(5 / z); return 0; }");
+  EXPECT_EQ(r.status, vm::ExecStatus::Trapped);
+  EXPECT_EQ(r.trap, vm::TrapKind::DivByZero);
+}
+
+TEST(MiniCRuntime, OutOfBoundsIndexSegfaults) {
+  const vm::ExecResult r =
+      run("int a[4]; int main() { int i = 1000000; a[i] = 1; return 0; }");
+  EXPECT_EQ(r.status, vm::ExecStatus::Trapped);
+  EXPECT_EQ(r.trap, vm::TrapKind::SegFault);
+}
+
+TEST(MiniCRuntime, AbortBuiltinTraps) {
+  const vm::ExecResult r = run("int main() { abort(); return 0; }");
+  EXPECT_EQ(r.status, vm::ExecStatus::Trapped);
+  EXPECT_EQ(r.trap, vm::TrapKind::Abort);
+}
+
+TEST(MiniCRuntime, InfiniteLoopHitsFuel) {
+  const vm::ExecResult r = run("int main() { while (1) { } return 0; }");
+  EXPECT_EQ(r.status, vm::ExecStatus::FuelExhausted);
+}
+
+TEST(MiniCRuntime, DeepRecursionTraps) {
+  const vm::ExecResult r = run(
+      "int f(int n) { return f(n + 1); } int main() { return f(0); }");
+  EXPECT_EQ(r.status, vm::ExecStatus::Trapped);
+  EXPECT_EQ(r.trap, vm::TrapKind::SegFault);
+}
+
+TEST(MiniCRuntime, ReturnValuePropagates) {
+  EXPECT_EQ(run("int main() { return 42; }").returnValue, 42);
+}
+
+TEST(MiniCRuntime, MissingReturnDefaultsToZero) {
+  EXPECT_EQ(run("int main() { print_i(1); }").returnValue, 0);
+}
+
+TEST(MiniCRuntime, CodeAfterReturnIsUnreachable) {
+  EXPECT_EQ(runOut("int main() { return 0; print_i(9); }"), "");
+}
+
+TEST(MiniCRuntime, DeterministicAcrossRuns) {
+  const char* src =
+      "int seed = 1; int rnd() { seed = (seed * 1103515245 + 12345) & "
+      "2147483647; return seed; } "
+      "int main() { int s = 0; for (int i = 0; i < 100; i++) s ^= rnd(); "
+      "print_i(s); return 0; }";
+  EXPECT_EQ(runOut(src), runOut(src));
+}
+
+// VM-vs-host property check: evaluate random integer expression trees both
+// natively and through the full MiniC pipeline.
+TEST(MiniCProperty, RandomArithmeticAgreesWithHost) {
+  // Simple LCG over a fixed structure: ((a op1 b) op2 (c op3 d)) op4 e
+  const long long vals[] = {7, -13, 1024, 3, -1, 999983, 42};
+  const char* ops[] = {"+", "-", "*", "|", "&", "^"};
+  auto hostEval = [](long long x, const std::string& op, long long y) {
+    if (op == "+") return x + y;
+    if (op == "-") return x - y;
+    if (op == "*") return x * y;
+    if (op == "|") return x | y;
+    if (op == "&") return x & y;
+    return x ^ y;
+  };
+  int checked = 0;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      const long long a = vals[(i * 3 + j) % 7];
+      const long long b = vals[(i + j * 2) % 7];
+      const long long c = vals[(i * 5 + j + 1) % 7];
+      const std::string op1 = ops[i];
+      const std::string op2 = ops[j];
+      const long long want = hostEval(hostEval(a, op1, b), op2, c);
+      const std::string src = "int main() { print_i((" + std::to_string(a) +
+                              " " + op1 + " " + std::to_string(b) + ") " +
+                              op2 + " " + std::to_string(c) +
+                              "); return 0; }";
+      EXPECT_EQ(runOut(src), std::to_string(want)) << src;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 36);
+}
+
+}  // namespace
+}  // namespace onebit

@@ -1,0 +1,323 @@
+// Unit tests for src/fi: fault specs, plans, the injector hook, grids.
+#include <bit>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fi/grid.hpp"
+#include "fi/injector_hook.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "lang/compile.hpp"
+
+namespace onebit::fi {
+namespace {
+
+// --- FaultSpec / WinSize --------------------------------------------------------
+
+TEST(FaultSpec, PaperParameterGridMatchesTableOne) {
+  EXPECT_EQ(FaultSpec::paperMaxMbf().size(), 10u);
+  EXPECT_EQ(FaultSpec::paperMaxMbf().front(), 2u);
+  EXPECT_EQ(FaultSpec::paperMaxMbf().back(), 30u);
+  EXPECT_EQ(FaultSpec::paperWinSizes().size(), 9u);
+}
+
+TEST(FaultSpec, Labels) {
+  EXPECT_EQ(FaultSpec::singleBit(Technique::Read).label(), "read/single");
+  EXPECT_EQ(
+      FaultSpec::multiBit(Technique::Write, 3, WinSize::random(2, 10)).label(),
+      "write/m=3,w=RND(2-10)");
+  EXPECT_EQ(WinSize::fixed(100).label(), "100");
+}
+
+TEST(FaultSpec, TechniqueNames) {
+  EXPECT_EQ(techniqueName(Technique::Read), "inject-on-read");
+  EXPECT_EQ(techniqueName(Technique::Write), "inject-on-write");
+}
+
+class WinSizeSample
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(WinSizeSample, RandomDrawStaysInRange) {
+  const auto [lo, hi] = GetParam();
+  const WinSize w = WinSize::random(lo, hi);
+  util::Rng rng(lo * 31 + hi);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = w.sample(rng);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    seen.insert(v);
+  }
+  if (hi - lo >= 4) {
+    EXPECT_GT(seen.size(), 2u);  // actually random
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOneRanges, WinSizeSample,
+                         ::testing::Values(std::pair{2ULL, 10ULL},
+                                           std::pair{11ULL, 100ULL},
+                                           std::pair{101ULL, 1000ULL},
+                                           std::pair{5ULL, 5ULL}));
+
+TEST(WinSize, FixedSampleIsConstant) {
+  const WinSize w = WinSize::fixed(7);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(w.sample(rng), 7u);
+}
+
+// --- FaultPlan -------------------------------------------------------------------
+
+TEST(FaultPlan, DeterministicForSameInputs) {
+  const FaultSpec spec =
+      FaultSpec::multiBit(Technique::Read, 5, WinSize::random(2, 10));
+  const FaultPlan a = FaultPlan::forExperiment(spec, 100000, 42, 7);
+  const FaultPlan b = FaultPlan::forExperiment(spec, 100000, 42, 7);
+  EXPECT_EQ(a.firstIndex, b.firstIndex);
+  EXPECT_EQ(a.window, b.window);
+  EXPECT_EQ(a.seed, b.seed);
+}
+
+TEST(FaultPlan, DifferentExperimentsDiffer) {
+  const FaultSpec spec = FaultSpec::singleBit(Technique::Write);
+  const FaultPlan a = FaultPlan::forExperiment(spec, 100000, 42, 0);
+  const FaultPlan b = FaultPlan::forExperiment(spec, 100000, 42, 1);
+  EXPECT_TRUE(a.firstIndex != b.firstIndex || a.seed != b.seed);
+}
+
+TEST(FaultPlan, FirstIndexWithinCandidateCount) {
+  const FaultSpec spec = FaultSpec::singleBit(Technique::Read);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const FaultPlan p = FaultPlan::forExperiment(spec, 37, 99, i);
+    EXPECT_LT(p.firstIndex, 37u);
+  }
+}
+
+TEST(FaultPlan, WindowSampledOnlyForMultiBit) {
+  const FaultSpec single = FaultSpec::singleBit(Technique::Read);
+  EXPECT_EQ(FaultPlan::forExperiment(single, 10, 1, 0).window, 0u);
+  const FaultSpec multi =
+      FaultSpec::multiBit(Technique::Read, 2, WinSize::fixed(55));
+  EXPECT_EQ(FaultPlan::forExperiment(multi, 10, 1, 0).window, 55u);
+}
+
+TEST(FaultPlan, AtLocationPinsFirstIndex) {
+  const FaultSpec spec =
+      FaultSpec::multiBit(Technique::Write, 3, WinSize::fixed(4));
+  const FaultPlan p = FaultPlan::atLocation(spec, 777, 1, 0);
+  EXPECT_EQ(p.firstIndex, 777u);
+  EXPECT_EQ(p.window, 4u);
+}
+
+// --- grids -----------------------------------------------------------------------
+
+TEST(Grid, PaperCampaignCountIs182) {
+  EXPECT_EQ(paperCampaigns(Technique::Read).size(), 91u);
+  EXPECT_EQ(paperCampaigns().size(), 182u);
+}
+
+TEST(Grid, FirstCampaignIsSingleBit) {
+  EXPECT_TRUE(paperCampaigns(Technique::Read).front().isSingleBit());
+}
+
+TEST(Grid, MultiRegisterGridExcludesWinZero) {
+  const auto specs = multiRegisterCampaigns(Technique::Write);
+  EXPECT_EQ(specs.size(), 81u);  // 1 single + 8 win-sizes x 10 max-MBF
+  for (const auto& s : specs) {
+    if (s.isSingleBit()) continue;
+    EXPECT_FALSE(s.winSize.kind == WinSize::Kind::Fixed &&
+                 s.winSize.value == 0);
+  }
+}
+
+TEST(Grid, SameRegisterGridIsElevenBars) {
+  const auto specs = sameRegisterCampaigns(Technique::Read);
+  EXPECT_EQ(specs.size(), 11u);  // single + {2..10, 30}
+  for (const auto& s : specs) {
+    if (s.isSingleBit()) continue;
+    EXPECT_EQ(s.winSize.value, 0u);
+  }
+}
+
+// --- injector hook -----------------------------------------------------------------
+
+/// A workload with a long straight-line chain of adds so candidate indices
+/// are easy to reason about.
+ir::Module chainModule(int length) {
+  ir::Module mod;
+  ir::IRBuilder b(mod);
+  b.createFunction("main", ir::Type::I64, 0);
+  const auto entry = b.createBlock("entry");
+  b.setInsertBlock(entry);
+  ir::Reg acc = b.emitConstI(1);
+  for (int i = 0; i < length; ++i) {
+    acc = b.emitBin(ir::Opcode::Add, ir::Operand::makeReg(acc),
+                    ir::Operand::makeImm(0), ir::Type::I64);
+  }
+  b.emitPrint(ir::Operand::makeReg(acc), ir::PrintKind::I64);
+  b.emitRet(ir::Operand::makeReg(acc));
+  ir::verifyOrThrow(mod);
+  return mod;
+}
+
+TEST(Injector, SingleBitFlipsExactlyOneBitOnce) {
+  const ir::Module mod = chainModule(50);
+  FaultPlan plan;
+  plan.technique = Technique::Read;
+  plan.maxMbf = 1;
+  plan.firstIndex = 10;
+  plan.seed = 77;
+  InjectorHook hook(plan);
+  const vm::ExecResult r = vm::execute(mod, {}, &hook);
+  EXPECT_EQ(r.status, vm::ExecStatus::Ok);
+  EXPECT_EQ(hook.activations(), 1u);
+  ASSERT_EQ(hook.records().size(), 1u);
+  EXPECT_EQ(hook.records()[0].candidateIndex, 10u);
+  EXPECT_EQ(std::popcount(hook.records()[0].flipMask), 1);
+}
+
+TEST(Injector, ReadInjectionCorruptsTheValueChain) {
+  // Flipping any bit of the running accumulator changes the printed value.
+  const ir::Module mod = chainModule(50);
+  const vm::ExecResult golden = vm::execute(mod);
+  FaultPlan plan;
+  plan.technique = Technique::Read;
+  plan.maxMbf = 1;
+  plan.firstIndex = 5;
+  plan.seed = 3;
+  InjectorHook hook(plan);
+  const vm::ExecResult faulty = vm::execute(mod, {}, &hook);
+  EXPECT_NE(faulty.output, golden.output);
+}
+
+TEST(Injector, WriteTechniqueIgnoresReadStream) {
+  const ir::Module mod = chainModule(20);
+  FaultPlan plan;
+  plan.technique = Technique::Write;
+  plan.maxMbf = 1;
+  plan.firstIndex = 3;
+  plan.seed = 5;
+  InjectorHook hook(plan);
+  vm::execute(mod, {}, &hook);
+  ASSERT_EQ(hook.records().size(), 1u);
+  EXPECT_EQ(hook.records()[0].operandIndex, -1);  // write record
+}
+
+TEST(Injector, SameRegisterModeFlipsDistinctBitsAtOnce) {
+  const ir::Module mod = chainModule(50);
+  FaultPlan plan;
+  plan.technique = Technique::Write;
+  plan.maxMbf = 5;
+  plan.window = 0;  // same-register mode
+  plan.firstIndex = 7;
+  plan.seed = 11;
+  InjectorHook hook(plan);
+  vm::execute(mod, {}, &hook);
+  ASSERT_EQ(hook.records().size(), 1u);  // one event, five bits
+  EXPECT_EQ(std::popcount(hook.records()[0].flipMask), 5);
+  EXPECT_EQ(hook.activations(), 5u);
+}
+
+TEST(Injector, WindowSpacingIsRespected) {
+  const ir::Module mod = chainModule(200);
+  FaultPlan plan;
+  plan.technique = Technique::Read;
+  plan.maxMbf = 4;
+  plan.window = 10;
+  plan.firstIndex = 20;
+  plan.seed = 13;
+  InjectorHook hook(plan);
+  vm::execute(mod, {}, &hook);
+  ASSERT_EQ(hook.records().size(), 4u);
+  for (std::size_t i = 1; i < hook.records().size(); ++i) {
+    EXPECT_GE(hook.records()[i].instrIndex,
+              hook.records()[i - 1].instrIndex + 10);
+  }
+}
+
+TEST(Injector, WindowOneHitsConsecutiveCandidates) {
+  const ir::Module mod = chainModule(100);
+  FaultPlan plan;
+  plan.technique = Technique::Read;
+  plan.maxMbf = 3;
+  plan.window = 1;
+  plan.firstIndex = 10;
+  plan.seed = 17;
+  InjectorHook hook(plan);
+  vm::execute(mod, {}, &hook);
+  ASSERT_EQ(hook.records().size(), 3u);
+  // Straight-line adds: every instruction is a candidate, so spacing is
+  // exactly one dynamic instruction.
+  EXPECT_EQ(hook.records()[1].instrIndex, hook.records()[0].instrIndex + 1);
+}
+
+TEST(Injector, ActivationsNeverExceedMaxMbf) {
+  const ir::Module mod = chainModule(100);
+  for (const unsigned m : {1U, 2U, 5U, 10U, 30U}) {
+    FaultPlan plan;
+    plan.technique = Technique::Read;
+    plan.maxMbf = m;
+    plan.window = 1;
+    plan.firstIndex = 0;
+    plan.seed = m;
+    InjectorHook hook(plan);
+    vm::execute(mod, {}, &hook);
+    EXPECT_LE(hook.activations(), m);
+  }
+}
+
+TEST(Injector, LateFirstIndexNeverActivates) {
+  const ir::Module mod = chainModule(10);
+  FaultPlan plan;
+  plan.technique = Technique::Read;
+  plan.maxMbf = 3;
+  plan.window = 1;
+  plan.firstIndex = 1'000'000;  // beyond the candidate stream
+  plan.seed = 5;
+  InjectorHook hook(plan);
+  const vm::ExecResult r = vm::execute(mod, {}, &hook);
+  EXPECT_EQ(hook.activations(), 0u);
+  EXPECT_EQ(r.status, vm::ExecStatus::Ok);
+}
+
+TEST(Injector, DeterministicGivenPlan) {
+  const ir::Module mod = chainModule(80);
+  FaultPlan plan;
+  plan.technique = Technique::Write;
+  plan.maxMbf = 3;
+  plan.window = 5;
+  plan.firstIndex = 12;
+  plan.seed = 99;
+  InjectorHook h1(plan);
+  const vm::ExecResult r1 = vm::execute(mod, {}, &h1);
+  InjectorHook h2(plan);
+  const vm::ExecResult r2 = vm::execute(mod, {}, &h2);
+  EXPECT_EQ(r1.output, r2.output);
+  ASSERT_EQ(h1.records().size(), h2.records().size());
+  for (std::size_t i = 0; i < h1.records().size(); ++i) {
+    EXPECT_EQ(h1.records()[i].flipMask, h2.records()[i].flipMask);
+    EXPECT_EQ(h1.records()[i].candidateIndex,
+              h2.records()[i].candidateIndex);
+  }
+}
+
+TEST(Injector, ReadInjectionOnlyTargetsRegisterOperands) {
+  // In the chain module operand 1 of each add is an immediate; the injector
+  // must always pick operand 0.
+  const ir::Module mod = chainModule(30);
+  FaultPlan plan;
+  plan.technique = Technique::Read;
+  plan.maxMbf = 5;
+  plan.window = 1;
+  plan.firstIndex = 2;
+  plan.seed = 21;
+  InjectorHook hook(plan);
+  vm::execute(mod, {}, &hook);
+  for (const auto& rec : hook.records()) {
+    EXPECT_EQ(rec.operandIndex, 0);
+  }
+}
+
+}  // namespace
+}  // namespace onebit::fi

@@ -1,0 +1,88 @@
+// Consistency checks over the full 182-campaign paper grid: every cluster is
+// well formed, labels are unique (they key result tables), and the grid
+// composition matches §III-E exactly.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fi/fault_plan.hpp"
+#include "fi/grid.hpp"
+
+namespace onebit::fi {
+namespace {
+
+TEST(GridCoverage, AllLabelsAreUnique) {
+  std::set<std::string> labels;
+  for (const FaultSpec& spec : paperCampaigns()) {
+    EXPECT_TRUE(labels.insert(spec.label()).second)
+        << "duplicate label " << spec.label();
+  }
+  EXPECT_EQ(labels.size(), 182u);
+}
+
+TEST(GridCoverage, ExactlyHalfPerTechnique) {
+  int read = 0;
+  int write = 0;
+  for (const FaultSpec& spec : paperCampaigns()) {
+    (spec.technique == Technique::Read ? read : write) += 1;
+  }
+  EXPECT_EQ(read, 91);
+  EXPECT_EQ(write, 91);
+}
+
+TEST(GridCoverage, MaxMbfValuesMatchTableOne) {
+  std::set<unsigned> seen;
+  for (const FaultSpec& spec : paperCampaigns(Technique::Read)) {
+    if (!spec.isSingleBit()) seen.insert(spec.maxMbf);
+  }
+  const std::set<unsigned> want = {2, 3, 4, 5, 6, 7, 8, 9, 10, 30};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(GridCoverage, WinSizeValuesMatchTableOne) {
+  std::set<std::string> seen;
+  for (const FaultSpec& spec : paperCampaigns(Technique::Write)) {
+    if (!spec.isSingleBit()) seen.insert(spec.winSize.label());
+  }
+  const std::set<std::string> want = {
+      "0", "1", "4", "RND(2-10)", "10", "RND(11-100)", "100",
+      "RND(101-1000)", "1000"};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(GridCoverage, EveryMaxMbfWinSizePairAppearsOnce) {
+  // 10 x 9 multi-bit clusters per technique (the paper's "180 clusters").
+  std::set<std::pair<unsigned, std::string>> pairs;
+  for (const FaultSpec& spec : paperCampaigns(Technique::Read)) {
+    if (spec.isSingleBit()) continue;
+    EXPECT_TRUE(pairs.insert({spec.maxMbf, spec.winSize.label()}).second);
+  }
+  EXPECT_EQ(pairs.size(), 90u);
+}
+
+class EverySpec : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EverySpec, PlansAreWellFormed) {
+  const std::vector<FaultSpec> specs = paperCampaigns();
+  const FaultSpec& spec = specs[GetParam()];
+  const std::uint64_t candidates = 50'000;
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const FaultPlan plan = FaultPlan::forExperiment(spec, candidates, 7, i);
+    EXPECT_LT(plan.firstIndex, candidates);
+    EXPECT_EQ(plan.maxMbf, spec.maxMbf);
+    if (spec.isSingleBit()) {
+      EXPECT_EQ(plan.window, 0u);
+    } else if (spec.winSize.kind == WinSize::Kind::Random) {
+      EXPECT_GE(plan.window, spec.winSize.lo);
+      EXPECT_LE(plan.window, spec.winSize.hi);
+    } else {
+      EXPECT_EQ(plan.window, spec.winSize.value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCampaigns, EverySpec,
+                         ::testing::Range<std::size_t>(0, 182));
+
+}  // namespace
+}  // namespace onebit::fi

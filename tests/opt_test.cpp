@@ -1,0 +1,258 @@
+// Tests for the optimization passes: each pass's specific rewrites, and the
+// hard property that optimization never changes observable behaviour.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "lang/compile.hpp"
+#include "opt/passes.hpp"
+#include "progs/registry.hpp"
+#include "vm/interpreter.hpp"
+
+namespace onebit::opt {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Opcode;
+using ir::Operand;
+using ir::Type;
+
+Module singleBlock(std::vector<ir::Instr> instrs, std::uint32_t numRegs) {
+  Module mod;
+  IRBuilder b(mod);
+  b.createFunction("main", Type::I64, 0);
+  mod.functions[0].numRegs = numRegs;
+  mod.functions[0].blocks.push_back({"entry", std::move(instrs)});
+  return mod;
+}
+
+ir::Instr makeBin(Opcode op, ir::Reg dest, Operand a, Operand b) {
+  ir::Instr in;
+  in.op = op;
+  in.type = Type::I64;
+  in.dest = dest;
+  in.operands = {a, b};
+  return in;
+}
+
+ir::Instr makeRet(Operand v) {
+  ir::Instr in;
+  in.op = Opcode::Ret;
+  in.operands = {v};
+  return in;
+}
+
+// --- constant folding ------------------------------------------------------
+
+TEST(ConstFold, FoldsImmediateArithmetic) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::Add, 0, Operand::makeImm(40), Operand::makeImm(2)),
+       makeRet(Operand::makeReg(0))},
+      1);
+  EXPECT_EQ(constantFold(mod.functions[0]), 1u);
+  const ir::Instr& in = mod.functions[0].blocks[0].instrs[0];
+  EXPECT_EQ(in.op, Opcode::Const);
+  EXPECT_EQ(ir::asI64(in.imm), 42);
+  EXPECT_EQ(vm::execute(mod).returnValue, 42);
+}
+
+TEST(ConstFold, NeverFoldsDivisionByZero) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::SDiv, 0, Operand::makeImm(1), Operand::makeImm(0)),
+       makeRet(Operand::makeReg(0))},
+      1);
+  EXPECT_EQ(constantFold(mod.functions[0]), 0u);
+  // The trap must still fire at run time.
+  EXPECT_EQ(vm::execute(mod).trap, vm::TrapKind::DivByZero);
+}
+
+TEST(ConstFold, LeavesRegisterOperandsAlone) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::Add, 0, Operand::makeImm(1), Operand::makeImm(2)),
+       makeBin(Opcode::Add, 1, Operand::makeReg(0), Operand::makeImm(1)),
+       makeRet(Operand::makeReg(1))},
+      2);
+  EXPECT_EQ(constantFold(mod.functions[0]), 1u);  // only the first
+}
+
+// --- peephole ----------------------------------------------------------------
+
+TEST(Peephole, AddZeroBecomesMove) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::Add, 0, Operand::makeImm(7), Operand::makeImm(0)),
+       makeRet(Operand::makeReg(0))},
+      1);
+  EXPECT_GE(peephole(mod.functions[0]), 1u);
+  EXPECT_EQ(mod.functions[0].blocks[0].instrs[0].op, Opcode::Move);
+  EXPECT_EQ(vm::execute(mod).returnValue, 7);
+}
+
+TEST(Peephole, MulZeroBecomesConstZero) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::Mul, 0, Operand::makeReg(0), Operand::makeImm(0)),
+       makeRet(Operand::makeReg(0))},
+      1);
+  EXPECT_GE(peephole(mod.functions[0]), 1u);
+  EXPECT_EQ(mod.functions[0].blocks[0].instrs[0].op, Opcode::Const);
+}
+
+TEST(Peephole, SelfComparisonFolds) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::ICmpEq, 1, Operand::makeReg(0), Operand::makeReg(0)),
+       makeRet(Operand::makeReg(1))},
+      2);
+  EXPECT_GE(peephole(mod.functions[0]), 1u);
+  EXPECT_EQ(vm::execute(mod).returnValue, 1);
+}
+
+TEST(Peephole, DoesNotTouchFloatAddZero) {
+  // x + 0.0 is NOT an identity for IEEE (-0.0 + 0.0 == +0.0).
+  Module mod = singleBlock(
+      {makeBin(Opcode::FAdd, 0, Operand::makeReg(0),
+               Operand::makeImm(ir::fromF64(0.0))),
+       makeRet(Operand::makeReg(0))},
+      1);
+  const std::size_t before = mod.functions[0].blocks[0].instrs.size();
+  peephole(mod.functions[0]);
+  EXPECT_EQ(mod.functions[0].blocks[0].instrs[0].op, Opcode::FAdd);
+  EXPECT_EQ(mod.functions[0].blocks[0].instrs.size(), before);
+}
+
+// --- copy propagation -----------------------------------------------------------
+
+TEST(CopyProp, ForwardsMoveWithinBlock) {
+  ir::Instr mv;
+  mv.op = Opcode::Move;
+  mv.type = Type::I64;
+  mv.dest = 1;
+  mv.operands = {Operand::makeImm(9)};
+  Module mod = singleBlock(
+      {mv, makeBin(Opcode::Add, 2, Operand::makeReg(1), Operand::makeImm(1)),
+       makeRet(Operand::makeReg(2))},
+      3);
+  EXPECT_GE(propagateCopies(mod.functions[0]), 1u);
+  // The add now reads the immediate directly.
+  EXPECT_FALSE(mod.functions[0].blocks[0].instrs[1].operands[0].isReg());
+  EXPECT_EQ(vm::execute(mod).returnValue, 10);
+}
+
+TEST(CopyProp, StopsAtRedefinition) {
+  ir::Instr mv;
+  mv.op = Opcode::Move;
+  mv.type = Type::I64;
+  mv.dest = 1;
+  mv.operands = {Operand::makeImm(9)};
+  Module mod = singleBlock(
+      {mv,
+       makeBin(Opcode::Add, 1, Operand::makeReg(1), Operand::makeImm(1)),
+       makeBin(Opcode::Add, 2, Operand::makeReg(1), Operand::makeImm(0)),
+       makeRet(Operand::makeReg(2))},
+      3);
+  propagateCopies(mod.functions[0]);
+  // The final add must still read r1 (rewritten), not the stale imm 9.
+  EXPECT_EQ(vm::execute(mod).returnValue, 10);
+}
+
+// --- dead code elimination --------------------------------------------------------
+
+TEST(Dce, RemovesUnreadPureInstruction) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::Mul, 0, Operand::makeImm(3), Operand::makeImm(4)),
+       makeRet(Operand::makeImm(5))},
+      1);
+  EXPECT_EQ(removeDeadCode(mod.functions[0]), 1u);
+  EXPECT_EQ(mod.functions[0].blocks[0].instrs.size(), 1u);
+}
+
+TEST(Dce, KeepsPotentiallyTrappingDivision) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::SDiv, 0, Operand::makeImm(1), Operand::makeImm(0)),
+       makeRet(Operand::makeImm(5))},
+      1);
+  EXPECT_EQ(removeDeadCode(mod.functions[0]), 0u);
+}
+
+TEST(Dce, KeepsReadRegisters) {
+  Module mod = singleBlock(
+      {makeBin(Opcode::Add, 0, Operand::makeImm(1), Operand::makeImm(2)),
+       makeRet(Operand::makeReg(0))},
+      1);
+  EXPECT_EQ(removeDeadCode(mod.functions[0]), 0u);
+}
+
+// --- CFG simplification ----------------------------------------------------------
+
+TEST(Cfg, MergesStraightLine) {
+  const char* src = "int main() { int a = 1; { int b = 2; a += b; } "
+                    "return a; }";
+  Module mod = lang::compileMiniC(src);
+  const std::size_t blocksBefore = mod.functions[0].blocks.size();
+  optimize(mod);
+  EXPECT_LE(mod.functions[0].blocks.size(), blocksBefore);
+  EXPECT_EQ(vm::execute(mod).returnValue, 3);
+}
+
+TEST(Cfg, RemovesUnreachableBlocks) {
+  const char* src = "int main() { return 1; print_i(9); return 2; }";
+  Module mod = lang::compileMiniC(src);
+  optimize(mod);
+  EXPECT_EQ(mod.functions[0].blocks.size(), 1u);
+  EXPECT_EQ(vm::execute(mod).returnValue, 1);
+  EXPECT_TRUE(vm::execute(mod).output.empty());
+}
+
+// --- whole-pipeline properties -----------------------------------------------------
+
+class OptimizedProgram : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptimizedProgram, BehaviourIsPreserved) {
+  const progs::ProgramInfo* info = progs::findProgram(GetParam());
+  ASSERT_NE(info, nullptr);
+  const Module raw = progs::compileProgram(*info, /*optimized=*/false);
+  const Module optd = progs::compileProgram(*info, /*optimized=*/true);
+  EXPECT_TRUE(ir::verify(optd).empty());
+  const vm::ExecResult a = vm::execute(raw);
+  const vm::ExecResult b = vm::execute(optd);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.returnValue, b.returnValue);
+  EXPECT_EQ(static_cast<int>(a.status), static_cast<int>(b.status));
+  // Optimization must not make the program slower.
+  EXPECT_LE(b.instructions, a.instructions);
+}
+
+TEST_P(OptimizedProgram, ShrinksStaticCode) {
+  const progs::ProgramInfo* info = progs::findProgram(GetParam());
+  const Module raw = progs::compileProgram(*info, false);
+  const Module optd = progs::compileProgram(*info, true);
+  EXPECT_LT(optd.instrCount(), raw.instrCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, OptimizedProgram,
+    ::testing::Values("basicmath", "qsort", "susan_corners", "susan_edges",
+                      "susan_smoothing", "fft", "ifft", "crc32", "dijkstra",
+                      "sha", "stringsearch", "bfs", "histo", "sad", "spmv"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(Optimize, ReportsStats) {
+  Module mod = lang::compileMiniC(
+      "int main() { int a = 2 * 3; int b = a + 0; return b; }");
+  const PassStats stats = optimize(mod);
+  EXPECT_GT(stats.total(), 0u);
+  EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST(Optimize, IdempotentSecondRun) {
+  Module mod = lang::compileMiniC(
+      "int main() { int s = 0; for (int i = 0; i < 3; i++) s += i * 1; "
+      "return s; }");
+  optimize(mod);
+  const PassStats second = optimize(mod);
+  EXPECT_EQ(second.total(), 0u);
+}
+
+}  // namespace
+}  // namespace onebit::opt

@@ -1,0 +1,190 @@
+// Tests for the 15 Table II benchmark programs: compilation, verification,
+// golden-run determinism and expected outputs.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fi/experiment.hpp"
+#include "ir/verifier.hpp"
+#include "progs/registry.hpp"
+#include "vm/interpreter.hpp"
+
+namespace onebit::progs {
+namespace {
+
+TEST(Registry, HasExactlyFifteenPrograms) {
+  EXPECT_EQ(allPrograms().size(), 15u);
+}
+
+TEST(Registry, NamesMatchTableTwo) {
+  const std::set<std::string> want = {
+      "basicmath", "qsort",   "susan_corners", "susan_edges",
+      "susan_smoothing", "fft", "ifft", "crc32", "dijkstra", "sha",
+      "stringsearch", "bfs", "histo", "sad", "spmv"};
+  std::set<std::string> got;
+  for (const auto& p : allPrograms()) got.insert(p.name);
+  EXPECT_EQ(got, want);
+}
+
+TEST(Registry, ElevenMiBenchFourParboil) {
+  int mibench = 0;
+  int parboil = 0;
+  for (const auto& p : allPrograms()) {
+    if (p.suite == "MiBench") ++mibench;
+    if (p.suite == "Parboil") ++parboil;
+  }
+  EXPECT_EQ(mibench, 11);
+  EXPECT_EQ(parboil, 4);
+}
+
+TEST(Registry, FindProgramWorks) {
+  EXPECT_NE(findProgram("crc32"), nullptr);
+  EXPECT_EQ(findProgram("crc32")->package, "telecomm");
+  EXPECT_EQ(findProgram("does-not-exist"), nullptr);
+}
+
+TEST(Registry, SourceLinesArePositive) {
+  for (const auto& p : allPrograms()) {
+    EXPECT_GT(sourceLines(p), 20u) << p.name;
+  }
+}
+
+class EveryProgram : public ::testing::TestWithParam<std::string> {
+ protected:
+  const ProgramInfo& info() { return *findProgram(GetParam()); }
+};
+
+TEST_P(EveryProgram, CompilesAndVerifies) {
+  const ir::Module mod = compileProgram(info());
+  EXPECT_TRUE(ir::verify(mod).empty());
+  EXPECT_GT(mod.instrCount(), 50u);
+}
+
+TEST_P(EveryProgram, GoldenRunTerminatesWithOutput) {
+  const ir::Module mod = compileProgram(info());
+  const fi::Workload w(mod);
+  EXPECT_EQ(w.golden().status, vm::ExecStatus::Ok);
+  EXPECT_FALSE(w.golden().output.empty());
+  EXPECT_FALSE(w.golden().outputTruncated);
+}
+
+TEST_P(EveryProgram, GoldenRunIsDeterministic) {
+  const ir::Module mod = compileProgram(info());
+  const vm::ExecResult a = vm::execute(mod);
+  const vm::ExecResult b = vm::execute(mod);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.readCandidates, b.readCandidates);
+  EXPECT_EQ(a.writeCandidates, b.writeCandidates);
+}
+
+TEST_P(EveryProgram, HasCandidatesForBothTechniques) {
+  const ir::Module mod = compileProgram(info());
+  const fi::Workload w(mod);
+  EXPECT_GT(w.candidates(fi::Technique::Read), 1000u);
+  EXPECT_GT(w.candidates(fi::Technique::Write), 1000u);
+}
+
+TEST_P(EveryProgram, GoldenRunIsReasonablySized) {
+  // Keep campaigns tractable: every workload stays within an instruction
+  // budget that lets the full 182-campaign grid run on one core.
+  const ir::Module mod = compileProgram(info());
+  const vm::ExecResult r = vm::execute(mod);
+  EXPECT_GT(r.instructions, 5'000u);
+  EXPECT_LT(r.instructions, 250'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableTwo, EveryProgram,
+    ::testing::Values("basicmath", "qsort", "susan_corners", "susan_edges",
+                      "susan_smoothing", "fft", "ifft", "crc32", "dijkstra",
+                      "sha", "stringsearch", "bfs", "histo", "sad", "spmv"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// --- pinned golden outputs (integer programs: exact; everything is
+// deterministic given our fixed LCG inputs) -----------------------------------
+
+std::string outputOf(const char* name) {
+  const ir::Module mod = compileProgram(*findProgram(name));
+  return vm::execute(mod).output;
+}
+
+TEST(GoldenOutput, QsortSortsWithoutInversions) {
+  const std::string out = outputOf("qsort");
+  EXPECT_NE(out.find("inversions=0"), std::string::npos);
+  EXPECT_NE(out.find("qsort checksum="), std::string::npos);
+}
+
+TEST(GoldenOutput, Crc32IsStable) {
+  const std::string out = outputOf("crc32");
+  EXPECT_EQ(out.substr(0, 11), "crc32 full=");
+  // Full and half CRCs must differ (different spans).
+  const auto full = out.substr(11, out.find(' ', 11) - 11);
+  EXPECT_NE(out.find("half="), std::string::npos);
+  EXPECT_NE(out.find(full, out.find("half=")), out.find(full));
+}
+
+TEST(GoldenOutput, ShaProducesFiveWords) {
+  const std::string out = outputOf("sha");
+  EXPECT_EQ(out.rfind("sha1=", 0), 0u);
+  int spaces = 0;
+  for (const char c : out) spaces += c == ' ' ? 1 : 0;
+  EXPECT_EQ(spaces, 4);
+}
+
+TEST(GoldenOutput, SusanCornersFindsRectangleCorners) {
+  const std::string out = outputOf("susan_corners");
+  EXPECT_NE(out.find("corners=4"), std::string::npos);
+}
+
+TEST(GoldenOutput, BfsVisitsAllNodes) {
+  EXPECT_NE(outputOf("bfs").find("visited=192"), std::string::npos);
+}
+
+TEST(GoldenOutput, HistoSaturatesSomeBins) {
+  const std::string out = outputOf("histo");
+  EXPECT_NE(out.find("saturated="), std::string::npos);
+  EXPECT_EQ(out.find("saturated=0 "), std::string::npos);
+}
+
+TEST(GoldenOutput, IfftReconstructsWave) {
+  EXPECT_NE(outputOf("ifft").find("maxerr<1e-6=1"), std::string::npos);
+}
+
+TEST(GoldenOutput, StringsearchFindsAndMisses) {
+  const std::string out = outputOf("stringsearch");
+  EXPECT_NE(out.find("found at -1"), std::string::npos);  // "missing"
+  EXPECT_NE(out.find("found at 4"), std::string::npos);   // "quick"
+}
+
+TEST(GoldenOutput, DijkstraDistancesFromSourceZero) {
+  // Distance from a source to itself is 0.
+  EXPECT_NE(outputOf("dijkstra").find("from 0: 0 "), std::string::npos);
+}
+
+TEST(GoldenOutput, BasicmathPrintsRoots) {
+  const std::string out = outputOf("basicmath");
+  EXPECT_NE(out.find("3 roots:"), std::string::npos);
+  EXPECT_NE(out.find("1 root:"), std::string::npos);
+  EXPECT_NE(out.find("usqrt sum="), std::string::npos);
+}
+
+TEST(GoldenOutput, SadReportsMotionVectors) {
+  const std::string out = outputOf("sad");
+  EXPECT_NE(out.find("mv 0,0"), std::string::npos);
+  EXPECT_NE(out.find("total sad="), std::string::npos);
+  // The synthetic current frame is the reference shifted by (1,1): interior
+  // blocks must recover the (-1,-1) motion vector.
+  EXPECT_NE(out.find("mv 1,1 -> -1,-1"), std::string::npos);
+}
+
+TEST(GoldenOutput, SpmvPrintsChecksums) {
+  const std::string out = outputOf("spmv");
+  EXPECT_NE(out.find("spmv nnz="), std::string::npos);
+  EXPECT_NE(out.find("maxabs="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onebit::progs

@@ -1,0 +1,109 @@
+// Tests for the blind random-register fault model (§III-A motivation).
+#include <gtest/gtest.h>
+
+#include "fi/experiment.hpp"
+#include "fi/random_reg_hook.hpp"
+#include "lang/compile.hpp"
+
+namespace onebit::fi {
+namespace {
+
+const char* const kProgram = R"MC(
+int main() {
+  int s = 0;
+  for (int i = 0; i < 100; i++) {
+    s = s + i;
+  }
+  print_i(s);
+  return 0;
+}
+)MC";
+
+TEST(RandomReg, FaultBeyondRunNeverLands) {
+  const Workload w(lang::compileMiniC(kProgram));
+  RandomRegisterHook hook(w.golden().instructions * 10, 1);
+  vm::execute(w.module(), w.faultyLimits(), &hook);
+  EXPECT_FALSE(hook.landed());
+  EXPECT_FALSE(hook.activated());
+}
+
+TEST(RandomReg, LandsAtTargetInstruction) {
+  const Workload w(lang::compileMiniC(kProgram));
+  RandomRegisterHook hook(10, 2);
+  vm::execute(w.module(), w.faultyLimits(), &hook);
+  EXPECT_TRUE(hook.landed());
+  EXPECT_LT(hook.targetRegister(), kArchRegisters);
+}
+
+TEST(RandomReg, ActivationImpliesLanded) {
+  const Workload w(lang::compileMiniC(kProgram));
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    RandomRegisterHook hook(seed * 7 % w.golden().instructions, seed);
+    vm::execute(w.module(), w.faultyLimits(), &hook);
+    if (hook.activated()) EXPECT_TRUE(hook.landed());
+    if (!hook.landed()) EXPECT_FALSE(hook.activated());
+  }
+}
+
+TEST(RandomReg, SomeFaultsActivateAndSomeDoNot) {
+  // The core §III-A observation: the blind model wastes a large share of
+  // injections on dead registers — but not all of them.
+  const Workload w(lang::compileMiniC(kProgram));
+  int activated = 0;
+  int dormant = 0;
+  util::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t t = rng.below(w.golden().instructions);
+    RandomRegisterHook hook(t, rng.next());
+    vm::execute(w.module(), w.faultyLimits(), &hook);
+    activated += hook.activated() ? 1 : 0;
+    dormant += hook.activated() ? 0 : 1;
+  }
+  EXPECT_GT(activated, 3);
+  EXPECT_GT(dormant, 100);  // most blind faults never activate
+}
+
+TEST(RandomReg, NonActivatedFaultIsAlwaysBenign) {
+  const Workload w(lang::compileMiniC(kProgram));
+  util::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t t = rng.below(w.golden().instructions);
+    RandomRegisterHook hook(t, rng.next());
+    const vm::ExecResult faulty =
+        vm::execute(w.module(), w.faultyLimits(), &hook);
+    if (!hook.activated()) {
+      EXPECT_EQ(classify(faulty, w.golden()), stats::Outcome::Benign);
+    }
+  }
+}
+
+TEST(RandomReg, DeterministicForSameSeed) {
+  const Workload w(lang::compileMiniC(kProgram));
+  RandomRegisterHook a(25, 7);
+  const vm::ExecResult ra = vm::execute(w.module(), w.faultyLimits(), &a);
+  RandomRegisterHook b(25, 7);
+  const vm::ExecResult rb = vm::execute(w.module(), w.faultyLimits(), &b);
+  EXPECT_EQ(ra.output, rb.output);
+  EXPECT_EQ(a.activated(), b.activated());
+  EXPECT_EQ(a.targetRegister(), b.targetRegister());
+}
+
+TEST(RandomReg, OverwriteDeactivates) {
+  // A register that is rewritten every iteration: faults that land between
+  // a write and the next write-before-read window can be overwritten.
+  const Workload w(lang::compileMiniC(kProgram));
+  int overwrittenBeforeUse = 0;
+  util::Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t t = rng.below(w.golden().instructions);
+    RandomRegisterHook hook(t, rng.next());
+    vm::execute(w.module(), w.faultyLimits(), &hook);
+    if (hook.landed() && hook.overwritten() && !hook.activated()) {
+      ++overwrittenBeforeUse;
+    }
+  }
+  EXPECT_GT(overwrittenBeforeUse, 0);
+}
+
+}  // namespace
+}  // namespace onebit::fi

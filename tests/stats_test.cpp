@@ -1,0 +1,112 @@
+// Tests for stats: confidence intervals and outcome counters.
+#include <gtest/gtest.h>
+
+#include "stats/confidence.hpp"
+#include "stats/outcome_counts.hpp"
+
+namespace onebit::stats {
+namespace {
+
+TEST(Proportion, ZeroSamplesIsZero) {
+  const Proportion p = proportionCI(0, 0);
+  EXPECT_EQ(p.fraction, 0.0);
+  EXPECT_EQ(p.ciHalfWidth, 0.0);
+}
+
+TEST(Proportion, PointEstimate) {
+  const Proportion p = proportionCI(25, 100);
+  EXPECT_DOUBLE_EQ(p.fraction, 0.25);
+  EXPECT_GT(p.ciHalfWidth, 0.0);
+}
+
+TEST(Proportion, ExtremesHaveZeroWaldWidth) {
+  EXPECT_EQ(proportionCI(0, 100).ciHalfWidth, 0.0);
+  EXPECT_EQ(proportionCI(100, 100).ciHalfWidth, 0.0);
+}
+
+TEST(Proportion, KnownValue) {
+  // p=0.5, n=10000 -> half width = 1.96 * sqrt(0.25/10000) = 0.0098
+  const Proportion p = proportionCI(5000, 10000);
+  EXPECT_NEAR(p.ciHalfWidth, 0.0098, 1e-4);
+}
+
+TEST(Proportion, BoundsAreClamped) {
+  const Proportion p = proportionCI(1, 10);
+  EXPECT_GE(p.lower(), 0.0);
+  EXPECT_LE(p.upper(), 1.0);
+}
+
+class CiShrinks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CiShrinks, WidthDecreasesWithSampleSize) {
+  const std::size_t n = GetParam();
+  const Proportion small = proportionCI(n / 4, n);
+  const Proportion large = proportionCI(n, n * 4);
+  EXPECT_GT(small.ciHalfWidth, large.ciHalfWidth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CiShrinks,
+                         ::testing::Values(40u, 100u, 1000u, 10000u));
+
+TEST(Wilson, CenterIsPulledTowardHalf) {
+  const Proportion w = wilsonCI(0, 20);
+  EXPECT_GT(w.fraction, 0.0);  // Wilson center > 0 even with 0 successes
+  const Proportion w2 = wilsonCI(20, 20);
+  EXPECT_LT(w2.fraction, 1.0);
+}
+
+TEST(Wilson, AgreesWithWaldForLargeN) {
+  const Proportion wald = proportionCI(3000, 10000);
+  const Proportion wilson = wilsonCI(3000, 10000);
+  EXPECT_NEAR(wald.fraction, wilson.fraction, 0.001);
+  EXPECT_NEAR(wald.ciHalfWidth, wilson.ciHalfWidth, 0.001);
+}
+
+TEST(Wilson, IntervalAlwaysInsideUnit) {
+  for (std::size_t k : {0u, 1u, 5u, 10u}) {
+    const Proportion w = wilsonCI(k, 10);
+    EXPECT_GE(w.lower(), 0.0);
+    EXPECT_LE(w.upper(), 1.0);
+  }
+}
+
+TEST(OutcomeCountsTest, AddAndTotal) {
+  OutcomeCounts c;
+  c.add(Outcome::Benign);
+  c.add(Outcome::SDC);
+  c.add(Outcome::SDC);
+  EXPECT_EQ(c.total(), 3u);
+  EXPECT_EQ(c.count(Outcome::SDC), 2u);
+  EXPECT_EQ(c.count(Outcome::Hang), 0u);
+}
+
+TEST(OutcomeCountsTest, Merge) {
+  OutcomeCounts a;
+  a.add(Outcome::Detected);
+  OutcomeCounts b;
+  b.add(Outcome::Detected);
+  b.add(Outcome::NoOutput);
+  a.merge(b);
+  EXPECT_EQ(a.count(Outcome::Detected), 2u);
+  EXPECT_EQ(a.count(Outcome::NoOutput), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(OutcomeCountsTest, ResilienceIsOneMinusSdc) {
+  OutcomeCounts c;
+  for (int i = 0; i < 80; ++i) c.add(Outcome::Benign);
+  for (int i = 0; i < 20; ++i) c.add(Outcome::SDC);
+  EXPECT_DOUBLE_EQ(c.resilience().fraction, 0.8);
+  EXPECT_DOUBLE_EQ(c.proportion(Outcome::SDC).fraction, 0.2);
+}
+
+TEST(OutcomeCountsTest, NamesAreStable) {
+  EXPECT_EQ(outcomeName(Outcome::Benign), "Benign");
+  EXPECT_EQ(outcomeName(Outcome::Detected), "Detected");
+  EXPECT_EQ(outcomeName(Outcome::Hang), "Hang");
+  EXPECT_EQ(outcomeName(Outcome::NoOutput), "NoOutput");
+  EXPECT_EQ(outcomeName(Outcome::SDC), "SDC");
+}
+
+}  // namespace
+}  // namespace onebit::stats

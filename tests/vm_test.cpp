@@ -1,0 +1,658 @@
+// Unit tests for src/vm: memory, traps, interpreter semantics, hooks.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "vm/interpreter.hpp"
+
+namespace onebit::vm {
+namespace {
+
+using ir::IRBuilder;
+using ir::kGlobalBase;
+using ir::Module;
+using ir::Opcode;
+using ir::Operand;
+using ir::Type;
+
+/// main() { return <op>(a, b); } for integer operands.
+Module binModule(Opcode op, std::uint64_t a, std::uint64_t b,
+                 Type t = Type::I64) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto r = bld.emitBin(op, Operand::makeImm(a), Operand::makeImm(b), t);
+  bld.emitRet(Operand::makeReg(r));
+  ir::verifyOrThrow(mod);
+  return mod;
+}
+
+std::int64_t evalI(Opcode op, std::int64_t a, std::int64_t b) {
+  const Module mod = binModule(op, ir::fromI64(a), ir::fromI64(b));
+  const ExecResult r = execute(mod);
+  EXPECT_EQ(r.status, ExecStatus::Ok);
+  return r.returnValue;
+}
+
+double evalF(Opcode op, double a, double b) {
+  const Module mod =
+      binModule(op, ir::fromF64(a), ir::fromF64(b), Type::F64);
+  const ExecResult r = execute(mod);
+  EXPECT_EQ(r.status, ExecStatus::Ok);
+  return ir::asF64(ir::fromI64(r.returnValue));
+}
+
+// --- integer semantics ---------------------------------------------------------
+
+TEST(Semantics, IntegerArithmetic) {
+  EXPECT_EQ(evalI(Opcode::Add, 40, 2), 42);
+  EXPECT_EQ(evalI(Opcode::Sub, 10, 15), -5);
+  EXPECT_EQ(evalI(Opcode::Mul, -6, 7), -42);
+  EXPECT_EQ(evalI(Opcode::SDiv, 42, 5), 8);
+  EXPECT_EQ(evalI(Opcode::SDiv, -42, 5), -8);  // C-style truncation
+  EXPECT_EQ(evalI(Opcode::SRem, 42, 5), 2);
+  EXPECT_EQ(evalI(Opcode::SRem, -42, 5), -2);
+}
+
+TEST(Semantics, Bitwise) {
+  EXPECT_EQ(evalI(Opcode::And, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(evalI(Opcode::Or, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(evalI(Opcode::Xor, 0b1100, 0b1010), 0b0110);
+}
+
+TEST(Semantics, Shifts) {
+  EXPECT_EQ(evalI(Opcode::Shl, 1, 10), 1024);
+  EXPECT_EQ(evalI(Opcode::AShr, -16, 2), -4);
+  const Module mod = binModule(Opcode::LShr, ~0ULL, ir::fromI64(60));
+  EXPECT_EQ(execute(mod).returnValue, 15);
+}
+
+TEST(Semantics, ShiftAmountIsMasked) {
+  // Shifting by 64+n behaves as shifting by n (no UB).
+  EXPECT_EQ(evalI(Opcode::Shl, 1, 64), 1);
+  EXPECT_EQ(evalI(Opcode::Shl, 1, 65), 2);
+}
+
+TEST(Semantics, DivisionByZeroTraps) {
+  const Module mod = binModule(Opcode::SDiv, 1, 0);
+  const ExecResult r = execute(mod);
+  EXPECT_EQ(r.status, ExecStatus::Trapped);
+  EXPECT_EQ(r.trap, TrapKind::DivByZero);
+}
+
+TEST(Semantics, RemainderByZeroTraps) {
+  const Module mod = binModule(Opcode::SRem, 1, 0);
+  EXPECT_EQ(execute(mod).trap, TrapKind::DivByZero);
+}
+
+TEST(Semantics, Int64MinDividedByMinusOneIsDefined) {
+  EXPECT_EQ(evalI(Opcode::SDiv, INT64_MIN, -1), INT64_MIN);  // wraps
+  EXPECT_EQ(evalI(Opcode::SRem, INT64_MIN, -1), 0);
+}
+
+TEST(Semantics, IntegerComparisons) {
+  EXPECT_EQ(evalI(Opcode::ICmpEq, 3, 3), 1);
+  EXPECT_EQ(evalI(Opcode::ICmpNe, 3, 3), 0);
+  EXPECT_EQ(evalI(Opcode::ICmpLt, -5, 3), 1);
+  EXPECT_EQ(evalI(Opcode::ICmpLe, 3, 3), 1);
+  EXPECT_EQ(evalI(Opcode::ICmpGt, 3, -5), 1);
+  EXPECT_EQ(evalI(Opcode::ICmpGe, 2, 3), 0);
+}
+
+// --- float semantics -----------------------------------------------------------
+
+TEST(Semantics, FloatArithmetic) {
+  EXPECT_DOUBLE_EQ(evalF(Opcode::FAdd, 1.5, 2.25), 3.75);
+  EXPECT_DOUBLE_EQ(evalF(Opcode::FSub, 1.0, 0.25), 0.75);
+  EXPECT_DOUBLE_EQ(evalF(Opcode::FMul, 3.0, -0.5), -1.5);
+  EXPECT_DOUBLE_EQ(evalF(Opcode::FDiv, 1.0, 4.0), 0.25);
+}
+
+TEST(Semantics, FloatDivisionByZeroDoesNotTrap) {
+  const double inf = evalF(Opcode::FDiv, 1.0, 0.0);
+  EXPECT_TRUE(std::isinf(inf));
+}
+
+TEST(Semantics, FloatComparisons) {
+  const Module mod = binModule(Opcode::FCmpLt, ir::fromF64(1.0),
+                               ir::fromF64(2.0), Type::I64);
+  EXPECT_EQ(execute(mod).returnValue, 1);
+}
+
+TEST(Semantics, NaNComparesUnequal) {
+  const double nan = std::nan("");
+  const Module eq = binModule(Opcode::FCmpEq, ir::fromF64(nan),
+                              ir::fromF64(nan), Type::I64);
+  EXPECT_EQ(execute(eq).returnValue, 0);
+  const Module ne = binModule(Opcode::FCmpNe, ir::fromF64(nan),
+                              ir::fromF64(nan), Type::I64);
+  EXPECT_EQ(execute(ne).returnValue, 1);
+}
+
+// --- conversions ----------------------------------------------------------------
+
+Module unModule(Opcode op, std::uint64_t a, Type t) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto r = bld.emitUn(op, Operand::makeImm(a), t);
+  bld.emitRet(Operand::makeReg(r));
+  ir::verifyOrThrow(mod);
+  return mod;
+}
+
+TEST(Semantics, SIToFP) {
+  const Module mod = unModule(Opcode::SIToFP, ir::fromI64(-3), Type::F64);
+  EXPECT_DOUBLE_EQ(ir::asF64(ir::fromI64(execute(mod).returnValue)), -3.0);
+}
+
+TEST(Semantics, FPToSITruncates) {
+  const Module mod = unModule(Opcode::FPToSI, ir::fromF64(-2.9), Type::I64);
+  EXPECT_EQ(execute(mod).returnValue, -2);
+}
+
+TEST(Semantics, FPToSISaturates) {
+  const Module hi = unModule(Opcode::FPToSI, ir::fromF64(1e30), Type::I64);
+  EXPECT_EQ(execute(hi).returnValue, INT64_MAX);
+  const Module lo = unModule(Opcode::FPToSI, ir::fromF64(-1e30), Type::I64);
+  EXPECT_EQ(execute(lo).returnValue, INT64_MIN);
+}
+
+TEST(Semantics, FPToSIOnNaNIsZero) {
+  const Module mod =
+      unModule(Opcode::FPToSI, ir::fromF64(std::nan("")), Type::I64);
+  EXPECT_EQ(execute(mod).returnValue, 0);
+}
+
+// --- memory ---------------------------------------------------------------------
+
+TEST(Memory, GlobalLoadStoreRoundTrip) {
+  Module mod;
+  IRBuilder bld(mod);
+  const std::uint64_t addr = bld.addGlobalI64({0});
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  bld.emitStore(Operand::makeImm(addr), Operand::makeImm(777), 8);
+  const auto v = bld.emitLoad(Operand::makeImm(addr), 8, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  ir::verifyOrThrow(mod);
+  EXPECT_EQ(execute(mod).returnValue, 777);
+}
+
+TEST(Memory, ByteLoadZeroExtends) {
+  Module mod;
+  IRBuilder bld(mod);
+  const std::uint64_t addr = bld.addGlobalBytes({0xff});
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto v = bld.emitLoad(Operand::makeImm(addr), 1, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  EXPECT_EQ(execute(mod).returnValue, 255);
+}
+
+TEST(Memory, ByteStoreTruncates) {
+  Module mod;
+  IRBuilder bld(mod);
+  const std::uint64_t addr = bld.addGlobalBytes({0, 0});
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  bld.emitStore(Operand::makeImm(addr), Operand::makeImm(0x1234), 1);
+  const auto v = bld.emitLoad(Operand::makeImm(addr), 1, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  EXPECT_EQ(execute(mod).returnValue, 0x34);
+}
+
+TEST(Memory, NullAccessSegfaults) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto v = bld.emitLoad(Operand::makeImm(0), 8, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  const ExecResult r = execute(mod);
+  EXPECT_EQ(r.status, ExecStatus::Trapped);
+  EXPECT_EQ(r.trap, TrapKind::SegFault);
+}
+
+TEST(Memory, OutOfSegmentAccessSegfaults) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.addGlobalI64({1});
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto v =
+      bld.emitLoad(Operand::makeImm(kGlobalBase + 8), 8, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  EXPECT_EQ(execute(mod).trap, TrapKind::SegFault);
+}
+
+TEST(Memory, MisalignedEightByteAccessTraps) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.addGlobalI64({1, 2});
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto v =
+      bld.emitLoad(Operand::makeImm(kGlobalBase + 3), 8, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  EXPECT_EQ(execute(mod).trap, TrapKind::Misaligned);
+}
+
+TEST(Memory, MisalignedByteAccessIsFine) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.addGlobalBytes({10, 20, 30});
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto v = bld.emitLoad(Operand::makeImm(kGlobalBase + 1), 1, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  EXPECT_EQ(execute(mod).returnValue, 20);
+}
+
+TEST(Memory, FrameAddressesAreWritable) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto off = bld.allocFrame(16);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto base = bld.emitFrameAddr(off);
+  bld.emitStore(Operand::makeReg(base), Operand::makeImm(55), 8);
+  const auto v = bld.emitLoad(Operand::makeReg(base), 8, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  ir::verifyOrThrow(mod);
+  EXPECT_EQ(execute(mod).returnValue, 55);
+}
+
+TEST(Memory, HeapAllocZeroInitialized) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto p = bld.emitAlloc(Operand::makeImm(64));
+  const auto v = bld.emitLoad(Operand::makeReg(p), 8, Type::I64);
+  bld.emitRet(Operand::makeReg(v));
+  EXPECT_EQ(execute(mod).returnValue, 0);
+}
+
+TEST(Memory, HeapExhaustionTraps) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto p = bld.emitAlloc(Operand::makeImm(1LL << 40));
+  bld.emitRet(Operand::makeReg(p));
+  EXPECT_EQ(execute(mod).trap, TrapKind::SegFault);
+}
+
+TEST(Memory, NegativeAllocTraps) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto p = bld.emitAlloc(Operand::makeImm(ir::fromI64(-8)));
+  bld.emitRet(Operand::makeReg(p));
+  EXPECT_EQ(execute(mod).trap, TrapKind::SegFault);
+}
+
+// --- control flow / calls --------------------------------------------------------
+
+TEST(Control, CondBrTakesCorrectPath) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  const auto yes = bld.createBlock("yes");
+  const auto no = bld.createBlock("no");
+  bld.setInsertBlock(entry);
+  bld.emitCondBr(Operand::makeImm(1), yes, no);
+  bld.setInsertBlock(yes);
+  bld.emitRet(Operand::makeImm(100));
+  bld.setInsertBlock(no);
+  bld.emitRet(Operand::makeImm(200));
+  ir::verifyOrThrow(mod);
+  EXPECT_EQ(execute(mod).returnValue, 100);
+}
+
+TEST(Control, RecursionComputesFactorial) {
+  Module mod;
+  IRBuilder bld(mod);
+  // fact(n) = n <= 1 ? 1 : n * fact(n - 1)
+  const auto factId = bld.createFunction("fact", Type::I64, 1);
+  const auto fEntry = bld.createBlock("entry");
+  const auto base = bld.createBlock("base");
+  const auto rec = bld.createBlock("rec");
+  bld.setInsertBlock(fEntry);
+  const auto isBase = bld.emitBin(Opcode::ICmpLe, Operand::makeReg(0),
+                                  Operand::makeImm(1), Type::I64);
+  bld.emitCondBr(Operand::makeReg(isBase), base, rec);
+  bld.setInsertBlock(base);
+  bld.emitRet(Operand::makeImm(1));
+  bld.setInsertBlock(rec);
+  const auto nm1 = bld.emitBin(Opcode::Sub, Operand::makeReg(0),
+                               Operand::makeImm(1), Type::I64);
+  const auto sub = bld.emitCall(factId, {Operand::makeReg(nm1)}, Type::I64);
+  const auto prod = bld.emitBin(Opcode::Mul, Operand::makeReg(0),
+                                Operand::makeReg(sub), Type::I64);
+  bld.emitRet(Operand::makeReg(prod));
+
+  bld.createFunction("main", Type::I64, 0);
+  const auto mEntry = bld.createBlock("entry");
+  bld.setInsertBlock(mEntry);
+  const auto r = bld.emitCall(factId, {Operand::makeImm(10)}, Type::I64);
+  bld.emitRet(Operand::makeReg(r));
+  mod.entry = 1;
+  ir::verifyOrThrow(mod);
+  EXPECT_EQ(execute(mod).returnValue, 3628800);
+}
+
+TEST(Control, UnboundedRecursionTrapsAsStackOverflow) {
+  Module mod;
+  IRBuilder bld(mod);
+  const auto loopId = bld.createFunction("loop", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto r = bld.emitCall(loopId, {}, Type::I64);
+  bld.emitRet(Operand::makeReg(r));
+  mod.entry = 0;
+  ir::verifyOrThrow(mod);
+  const ExecResult res = execute(mod);
+  EXPECT_EQ(res.status, ExecStatus::Trapped);
+  EXPECT_EQ(res.trap, TrapKind::SegFault);
+}
+
+TEST(Control, InfiniteLoopRunsOutOfFuel) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  bld.emitBr(entry);
+  ir::verifyOrThrow(mod);
+  ExecLimits limits;
+  limits.maxInstructions = 10'000;
+  const ExecResult r = execute(mod, limits);
+  EXPECT_EQ(r.status, ExecStatus::FuelExhausted);
+}
+
+TEST(Control, AbortTraps) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  bld.emitAbort();
+  bld.emitRet(Operand::makeImm(0));
+  ir::verifyOrThrow(mod);
+  const ExecResult r = execute(mod);
+  EXPECT_EQ(r.status, ExecStatus::Trapped);
+  EXPECT_EQ(r.trap, TrapKind::Abort);
+}
+
+// --- output ----------------------------------------------------------------------
+
+TEST(Output, PrintFormats) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  bld.emitPrint(Operand::makeImm(ir::fromI64(-42)), ir::PrintKind::I64);
+  bld.emitPrint(Operand::makeImm(' '), ir::PrintKind::Char);
+  bld.emitPrint(Operand::makeImm(ir::fromF64(2.5)), ir::PrintKind::F64);
+  bld.emitPrint(Operand::makeImm('\n'), ir::PrintKind::Char);
+  bld.emitRet(Operand::makeImm(0));
+  ir::verifyOrThrow(mod);
+  EXPECT_EQ(execute(mod).output, "-42 2.500000\n");
+}
+
+TEST(Output, NaNPrintsStably) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  bld.emitPrint(Operand::makeImm(ir::fromF64(std::nan(""))),
+                ir::PrintKind::F64);
+  bld.emitRet(Operand::makeImm(0));
+  EXPECT_EQ(execute(mod).output, "nan");
+}
+
+TEST(Output, TruncationIsFlagged) {
+  // A loop printing forever within a small output limit.
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  const auto loop = bld.createBlock("loop");
+  bld.setInsertBlock(entry);
+  bld.emitBr(loop);
+  bld.setInsertBlock(loop);
+  bld.emitPrint(Operand::makeImm('x'), ir::PrintKind::Char);
+  bld.emitBr(loop);
+  ir::verifyOrThrow(mod);
+  ExecLimits limits;
+  limits.maxInstructions = 5'000;
+  limits.maxOutputBytes = 100;
+  const ExecResult r = execute(mod, limits);
+  EXPECT_TRUE(r.outputTruncated);
+  EXPECT_EQ(r.output.size(), 100u);
+}
+
+// --- candidate counting ------------------------------------------------------------
+
+TEST(Candidates, ReadAndWriteStreamsCountCorrectly) {
+  // main: c = const 5 (no read cand, no write cand: Const excluded);
+  //       d = add c, 1 (read cand, write cand); ret d (read cand)
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto c = bld.emitConstI(5);
+  const auto d = bld.emitBin(Opcode::Add, Operand::makeReg(c),
+                             Operand::makeImm(1), Type::I64);
+  bld.emitRet(Operand::makeReg(d));
+  ir::verifyOrThrow(mod);
+  const ExecResult r = execute(mod);
+  EXPECT_EQ(r.readCandidates, 2u);   // add + ret
+  EXPECT_EQ(r.writeCandidates, 1u);  // add only (Const excluded)
+  EXPECT_EQ(r.instructions, 3u);
+}
+
+/// Hook recording every callback.
+class RecordingHook final : public ExecHook {
+ public:
+  struct Event {
+    bool isRead;
+    std::uint64_t index;
+    std::uint64_t instr;
+  };
+  std::vector<Event> events;
+
+  void onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
+              const ir::Instr&, std::span<std::uint64_t>,
+              std::span<const bool>) override {
+    events.push_back({true, readIndex, instrIndex});
+  }
+  void onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
+               const ir::Instr&, std::uint64_t&) override {
+    events.push_back({false, writeIndex, instrIndex});
+  }
+};
+
+TEST(Candidates, HookIndicesAreSequential) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  ir::Reg acc = bld.emitConstI(0);
+  for (int i = 0; i < 5; ++i) {
+    acc = bld.emitBin(Opcode::Add, Operand::makeReg(acc), Operand::makeImm(1),
+                      Type::I64);
+  }
+  bld.emitRet(Operand::makeReg(acc));
+  ir::verifyOrThrow(mod);
+  RecordingHook hook;
+  execute(mod, {}, &hook);
+  std::uint64_t nextRead = 0;
+  std::uint64_t nextWrite = 0;
+  for (const auto& e : hook.events) {
+    if (e.isRead) EXPECT_EQ(e.index, nextRead++);
+    else EXPECT_EQ(e.index, nextWrite++);
+  }
+  EXPECT_EQ(nextRead, 6u);   // 5 adds + ret
+  EXPECT_EQ(nextWrite, 5u);  // 5 adds
+}
+
+TEST(Candidates, WriteHookCanCorruptResult) {
+  // Flip the destination of the add and observe the changed return value.
+  class FlipHook final : public ExecHook {
+   public:
+    void onRead(std::uint64_t, std::uint64_t, const ir::Instr&,
+                std::span<std::uint64_t>, std::span<const bool>) override {}
+    void onWrite(std::uint64_t writeIndex, std::uint64_t, const ir::Instr&,
+                 std::uint64_t& value) override {
+      if (writeIndex == 0) value ^= 1ULL << 4;  // +16 on a small value
+    }
+  };
+  const Module mod = binModule(Opcode::Add, 1, 2);
+  FlipHook hook;
+  const ExecResult r = execute(mod, {}, &hook);
+  EXPECT_EQ(r.returnValue, 19);  // (1+2) ^ 16
+}
+
+TEST(Candidates, ReadHookCanCorruptOperand) {
+  class FlipHook final : public ExecHook {
+   public:
+    void onRead(std::uint64_t readIndex, std::uint64_t, const ir::Instr&,
+                std::span<std::uint64_t> values,
+                std::span<const bool> isReg) override {
+      if (readIndex != 0) return;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (isReg[i]) values[i] ^= 1;
+      }
+    }
+    void onWrite(std::uint64_t, std::uint64_t, const ir::Instr&,
+                 std::uint64_t&) override {}
+  };
+  // c = 4; d = c + 0; ret d  -> read hook flips bit0 of c when read: 5
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto c = bld.emitConstI(4);
+  const auto d = bld.emitBin(Opcode::Add, Operand::makeReg(c),
+                             Operand::makeImm(0), Type::I64);
+  bld.emitRet(Operand::makeReg(d));
+  FlipHook hook;
+  EXPECT_EQ(execute(mod, {}, &hook).returnValue, 5);
+}
+
+TEST(Candidates, CallResultIsAWriteCandidate) {
+  Module mod;
+  IRBuilder bld(mod);
+  const auto f = bld.createFunction("f", Type::I64, 0);
+  auto bb = bld.createBlock("entry");
+  bld.setInsertBlock(bb);
+  bld.emitRet(Operand::makeImm(9));
+  bld.createFunction("main", Type::I64, 0);
+  bb = bld.createBlock("entry");
+  bld.setInsertBlock(bb);
+  const auto r = bld.emitCall(f, {}, Type::I64);
+  bld.emitRet(Operand::makeReg(r));
+  mod.entry = 1;
+  ir::verifyOrThrow(mod);
+  const ExecResult res = execute(mod);
+  EXPECT_EQ(res.writeCandidates, 1u);  // the call's returned value
+  EXPECT_EQ(res.returnValue, 9);
+}
+
+// --- intrinsics ---------------------------------------------------------------------
+
+class IntrinsicCase
+    : public ::testing::TestWithParam<std::pair<ir::IntrinsicKind, double>> {};
+
+TEST_P(IntrinsicCase, MatchesLibm) {
+  const auto [kind, arg] = GetParam();
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto r =
+      bld.emitIntrinsic(kind, {Operand::makeImm(ir::fromF64(arg))});
+  bld.emitRet(Operand::makeReg(r));
+  const double got = ir::asF64(ir::fromI64(execute(mod).returnValue));
+  double want = 0;
+  switch (kind) {
+    case ir::IntrinsicKind::Sqrt: want = std::sqrt(arg); break;
+    case ir::IntrinsicKind::Sin: want = std::sin(arg); break;
+    case ir::IntrinsicKind::Cos: want = std::cos(arg); break;
+    case ir::IntrinsicKind::Tan: want = std::tan(arg); break;
+    case ir::IntrinsicKind::Atan: want = std::atan(arg); break;
+    case ir::IntrinsicKind::Exp: want = std::exp(arg); break;
+    case ir::IntrinsicKind::Log: want = std::log(arg); break;
+    case ir::IntrinsicKind::Fabs: want = std::fabs(arg); break;
+    case ir::IntrinsicKind::Floor: want = std::floor(arg); break;
+    case ir::IntrinsicKind::Ceil: want = std::ceil(arg); break;
+    default: FAIL();
+  }
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntrinsicCase,
+    ::testing::Values(std::pair{ir::IntrinsicKind::Sqrt, 2.0},
+                      std::pair{ir::IntrinsicKind::Sin, 1.1},
+                      std::pair{ir::IntrinsicKind::Cos, 0.3},
+                      std::pair{ir::IntrinsicKind::Tan, 0.5},
+                      std::pair{ir::IntrinsicKind::Atan, 2.2},
+                      std::pair{ir::IntrinsicKind::Exp, 1.0},
+                      std::pair{ir::IntrinsicKind::Log, 10.0},
+                      std::pair{ir::IntrinsicKind::Fabs, -3.5},
+                      std::pair{ir::IntrinsicKind::Floor, 2.7},
+                      std::pair{ir::IntrinsicKind::Ceil, 2.2}));
+
+TEST(Intrinsics, TwoOperandKinds) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const auto r = bld.emitIntrinsic(
+      ir::IntrinsicKind::Pow,
+      {Operand::makeImm(ir::fromF64(2.0)), Operand::makeImm(ir::fromF64(10.0))});
+  bld.emitRet(Operand::makeReg(r));
+  EXPECT_DOUBLE_EQ(ir::asF64(ir::fromI64(execute(mod).returnValue)), 1024.0);
+}
+
+TEST(Traps, NamesAreStable) {
+  EXPECT_EQ(trapName(TrapKind::SegFault), "segfault");
+  EXPECT_EQ(trapName(TrapKind::Misaligned), "misaligned");
+  EXPECT_EQ(trapName(TrapKind::DivByZero), "div-by-zero");
+  EXPECT_EQ(trapName(TrapKind::Abort), "abort");
+  EXPECT_EQ(trapName(TrapKind::None), "none");
+}
+
+}  // namespace
+}  // namespace onebit::vm
