@@ -8,8 +8,12 @@
 //   ONEBIT_CSV          1 = emit tables as CSV (for plotting scripts)
 //   ONEBIT_FLIP_WIDTH   integer-register width of the flip model
 //                       (default 32 = paper-faithful; 64 = raw VM width)
+//   ONEBIT_THREADS      worker threads per campaign (default: all cores)
+//   ONEBIT_SHARD_SIZE   experiments per shard (default: auto)
+//   ONEBIT_PROGRESS     1 = print per-shard progress to stderr
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -74,7 +78,20 @@ inline fi::CampaignResult campaign(const fi::Workload& w,
   config.spec.flipWidth = flipWidth();
   config.experiments = n;
   config.seed = util::hashCombine(masterSeed(), seedSalt);
-  return fi::runCampaign(w, config);
+  // Negative env values mean "auto", not a 2^64-scale cast.
+  config.threads = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, util::envInt("ONEBIT_THREADS", 0)));
+  config.shardSize = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, util::envInt("ONEBIT_SHARD_SIZE", 0)));
+  fi::CampaignEngine engine(config);
+  if (util::envInt("ONEBIT_PROGRESS", 0) != 0) {
+    engine.onShardDone([](const fi::ShardProgress& p) {
+      std::fprintf(stderr, "  shard %zu/%zu done (%zu/%zu experiments)\n",
+                   p.completedShards, p.shardCount, p.completedExperiments,
+                   p.totalExperiments);
+    });
+  }
+  return engine.run(w);
 }
 
 /// Print a table as aligned text, or CSV when ONEBIT_CSV=1 (for plotting).

@@ -3,6 +3,7 @@
 //
 //   ./multibit_sweep [program] [win-size]
 //   ONEBIT_EXPERIMENTS=1000 ./multibit_sweep crc32 1
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -40,7 +41,9 @@ int main(int argc, char** argv) {
                                                      fi::WinSize::fixed(win));
       config.experiments = n;
       config.seed = 0xace0fba5eULL + m;
-      const fi::CampaignResult r = fi::runCampaign(workload, config);
+      config.shardSize = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, util::envInt("ONEBIT_SHARD_SIZE", 0)));
+      const fi::CampaignResult r = fi::CampaignEngine(config).run(workload);
       const auto sdc = r.sdc();
       std::printf("%-16s %-8u %9.2f%% %9.2f%%\n",
                   fi::techniqueName(tech).data(), m, sdc.fraction * 100.0,

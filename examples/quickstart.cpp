@@ -79,11 +79,18 @@ int main() {
          fi::runCampaign(workload, single));
 
   // 4. Multi bit-flip campaign: 3 flips, one dynamic instruction apart.
+  // Driven through CampaignEngine directly to show per-shard progress.
   fi::CampaignConfig multi;
   multi.spec = fi::FaultSpec::multiBit(fi::Technique::Write, 3,
                                        fi::WinSize::fixed(1));
   multi.experiments = n;
-  report("3 bit-flips (win-size 1), inject-on-write:",
-         fi::runCampaign(workload, multi));
+  fi::CampaignEngine engine(multi);
+  engine.onShardDone([](const fi::ShardProgress& p) {
+    std::fprintf(stderr, "\rmulti-bit campaign: %zu/%zu experiments",
+                 p.completedExperiments, p.totalExperiments);
+    if (p.completedExperiments == p.totalExperiments)
+      std::fputc('\n', stderr);
+  });
+  report("3 bit-flips (win-size 1), inject-on-write:", engine.run(workload));
   return 0;
 }

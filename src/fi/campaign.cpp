@@ -2,41 +2,122 @@
 
 #include <algorithm>
 #include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/thread_pool.hpp"
 
 namespace onebit::fi {
 
-CampaignResult runCampaign(const Workload& workload,
-                           const CampaignConfig& config) {
+namespace {
+
+/// Shard-local tally: one per shard, written by exactly one worker.
+struct ShardAccumulator {
+  stats::OutcomeCounts counts;
+  ActivationHistogram hist{};
+
+  void add(const ExperimentResult& r) noexcept {
+    counts.add(r.outcome);
+    const unsigned bucket = std::min(r.activations, kMaxActivationBucket);
+    ++hist[static_cast<std::size_t>(r.outcome)][bucket];
+  }
+};
+
+}  // namespace
+
+void mergeHistogram(ActivationHistogram& into,
+                    const ActivationHistogram& from) noexcept {
+  for (std::size_t o = 0; o < stats::kOutcomeCount; ++o) {
+    for (std::size_t k = 0; k <= kMaxActivationBucket; ++k) {
+      into[o][k] += from[o][k];
+    }
+  }
+}
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(std::move(config)) {
+  threads_ = config_.threads != 0
+                 ? config_.threads
+                 : std::max<std::size_t>(
+                       1, std::thread::hardware_concurrency());
+  threads_ = std::min(threads_, util::ThreadPool::kMaxThreads);
+  if (config_.shardSize != 0) {
+    // Clamp so shardCount() can never overflow to 0 while experiments > 0
+    // (e.g. shardSize == SIZE_MAX making `experiments + shardSize - 1` wrap).
+    shardSize_ = std::clamp<std::size_t>(
+        config_.shardSize, 1, std::max<std::size_t>(1, config_.experiments));
+  } else {
+    // ~4 shards per worker balances load across shards of uneven cost; a
+    // floor keeps tiny campaigns from paying per-task overhead per
+    // experiment, a ceiling keeps progress callbacks flowing on huge ones.
+    const std::size_t targetShards = threads_ * 4;
+    shardSize_ = std::clamp<std::size_t>(
+        (config_.experiments + targetShards - 1) / targetShards, 16, 4096);
+  }
+}
+
+CampaignEngine& CampaignEngine::onShardDone(ProgressCallback cb) {
+  progress_ = std::move(cb);
+  return *this;
+}
+
+std::size_t CampaignEngine::shardCount() const noexcept {
+  return (config_.experiments + shardSize_ - 1) / shardSize_;
+}
+
+CampaignResult CampaignEngine::run(const Workload& workload) const {
   CampaignResult result;
-  result.config = config;
+  result.config = config_;
 
-  const std::uint64_t candidates = workload.candidates(config.spec.technique);
-  std::vector<ExperimentResult> outcomes(config.experiments);
+  const std::size_t n = config_.experiments;
+  if (n == 0) return result;
 
-  auto runOne = [&](std::size_t i) {
-    const FaultPlan plan = FaultPlan::forExperiment(config.spec, candidates,
-                                                    config.seed, i);
-    outcomes[i] = runExperiment(workload, plan);
+  const std::uint64_t candidates = workload.candidates(config_.spec.technique);
+  const std::size_t shards = shardCount();
+  std::vector<ShardAccumulator> partial(shards);
+
+  std::mutex progressMutex;
+  std::size_t completedShards = 0;
+  std::size_t completedExperiments = 0;
+
+  auto runShard = [&](std::size_t s) {
+    const std::size_t first = s * shardSize_;
+    const std::size_t last = std::min(n, first + shardSize_);
+    ShardAccumulator& acc = partial[s];
+    for (std::size_t i = first; i < last; ++i) {
+      const FaultPlan plan =
+          FaultPlan::forExperiment(config_.spec, candidates, config_.seed, i);
+      acc.add(runExperiment(workload, plan));
+    }
+    if (progress_) {
+      std::lock_guard lock(progressMutex);
+      ++completedShards;
+      completedExperiments += last - first;
+      progress_(ShardProgress{s, shards, first, last - first, completedShards,
+                              completedExperiments, n, acc.counts});
+    }
   };
 
-  const std::size_t threads =
-      config.threads == 0 ? std::thread::hardware_concurrency()
-                          : config.threads;
-  if (threads > 1 && config.experiments > 1) {
-    util::ThreadPool pool(threads);
-    pool.parallelFor(config.experiments, runOne);
+  if (threads_ > 1 && shards > 1) {
+    util::ThreadPool pool(threads_);
+    pool.parallelFor(shards, runShard);
   } else {
-    for (std::size_t i = 0; i < config.experiments; ++i) runOne(i);
+    for (std::size_t s = 0; s < shards; ++s) runShard(s);
   }
 
-  for (const ExperimentResult& r : outcomes) {
-    result.counts.add(r.outcome);
-    const unsigned bucket = std::min(r.activations, kMaxActivationBucket);
-    ++result.activationHist[static_cast<std::size_t>(r.outcome)][bucket];
+  // Merge in shard order. Order does not affect the result (integer adds
+  // commute); it is fixed anyway so intermediate states are reproducible.
+  for (const ShardAccumulator& acc : partial) {
+    result.counts.merge(acc.counts);
+    mergeHistogram(result.activationHist, acc.hist);
   }
   return result;
+}
+
+CampaignResult runCampaign(const Workload& workload,
+                           const CampaignConfig& config) {
+  return CampaignEngine(config).run(workload);
 }
 
 }  // namespace onebit::fi

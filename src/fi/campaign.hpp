@@ -1,8 +1,17 @@
-// Campaigns: N independent experiments under one fault model (§III-E).
+// Campaigns: N independent experiments under one fault model (§III-E),
+// executed as fixed-size shards of experiments batched onto a thread pool.
+//
+// Determinism contract: the outcome counts and activation histogram of a
+// campaign depend ONLY on (spec, experiments, seed). Experiment i derives its
+// fault plan — and therefore its entire RNG stream — from (seed, i) alone, and
+// shard aggregates are merged with commutative integer additions, so `threads`
+// and `shardSize` affect scheduling and progress granularity but never the
+// result. runCampaign(w, c) is bit-identical for every threads/shardSize
+// combination.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <functional>
 
 #include "fi/experiment.hpp"
 
@@ -13,28 +22,82 @@ struct CampaignConfig {
   std::size_t experiments = 1000;
   std::uint64_t seed = 0x0b17f11e;  ///< campaign master seed
   std::size_t threads = 0;          ///< 0 = hardware concurrency
+  std::size_t shardSize = 0;        ///< experiments per shard; 0 = auto
 };
 
 /// Histogram of activation counts by outcome (rows: outcome, cols: number of
 /// activated errors, saturating at kMaxActivationBucket).
 inline constexpr unsigned kMaxActivationBucket = 31;
 
+/// hist[outcome][k] = experiments with that outcome that activated k errors
+/// (k saturates at kMaxActivationBucket).
+using ActivationHistogram =
+    std::array<std::array<std::uint32_t, kMaxActivationBucket + 1>,
+               stats::kOutcomeCount>;
+
+/// Element-wise accumulate `from` into `into`.
+void mergeHistogram(ActivationHistogram& into,
+                    const ActivationHistogram& from) noexcept;
+
 struct CampaignResult {
   CampaignConfig config;
   stats::OutcomeCounts counts;
-  /// activationHist[outcome][k] = experiments with that outcome that
-  /// activated k errors (k saturates at kMaxActivationBucket).
-  std::array<std::array<std::uint32_t, kMaxActivationBucket + 1>,
-             stats::kOutcomeCount>
-      activationHist{};
+  ActivationHistogram activationHist{};
 
   [[nodiscard]] stats::Proportion sdc() const {
     return counts.proportion(stats::Outcome::SDC);
   }
 };
 
-/// Run a campaign: experiments i = 0..N-1 each derive their own fault plan
-/// from (seed, i), so results are independent of thread scheduling.
+/// Snapshot delivered to the progress callback when a shard finishes.
+/// `shardCounts` references the finished shard's local tally and is only
+/// valid for the duration of the callback. Callbacks are serialized (never
+/// concurrent), but shards complete in scheduling order, so `shardIndex` is
+/// not monotonic; use `completedExperiments`/`totalExperiments` for progress.
+struct ShardProgress {
+  std::size_t shardIndex;            ///< which shard finished
+  std::size_t shardCount;            ///< total shards in the campaign
+  std::size_t firstExperiment;       ///< first experiment index of the shard
+  std::size_t shardExperiments;      ///< experiments in this shard
+  std::size_t completedShards;       ///< shards finished so far (inclusive)
+  std::size_t completedExperiments;  ///< experiments finished so far
+  std::size_t totalExperiments;      ///< config.experiments
+  const stats::OutcomeCounts& shardCounts;  ///< this shard's local tally
+};
+
+/// Runs a campaign as shards: experiments are partitioned into contiguous
+/// fixed-size shards, each shard executes as one thread-pool task and
+/// aggregates its own OutcomeCounts/activation histogram locally, and the
+/// per-shard aggregates are merged once at the end — no shared per-experiment
+/// buffer and no serial post-hoc reduction over N experiments.
+class CampaignEngine {
+ public:
+  using ProgressCallback = std::function<void(const ShardProgress&)>;
+
+  explicit CampaignEngine(CampaignConfig config);
+
+  /// Install a callback invoked after each shard completes (from worker
+  /// threads, serialized under an internal mutex). Returns *this.
+  CampaignEngine& onShardDone(ProgressCallback cb);
+
+  /// Worker threads used by run() (resolved, always >= 1).
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  /// Experiments per shard (resolved, always >= 1).
+  [[nodiscard]] std::size_t shardSize() const noexcept { return shardSize_; }
+  /// Number of shards run() will execute.
+  [[nodiscard]] std::size_t shardCount() const noexcept;
+
+  CampaignResult run(const Workload& workload) const;
+
+ private:
+  CampaignConfig config_;
+  std::size_t threads_ = 1;
+  std::size_t shardSize_ = 1;
+  ProgressCallback progress_;
+};
+
+/// Run a campaign with the default engine (no progress callback). See the
+/// determinism contract at the top of this header.
 CampaignResult runCampaign(const Workload& workload,
                            const CampaignConfig& config);
 

@@ -16,34 +16,6 @@ using ir::Opcode;
 using ir::Operand;
 using ir::Reg;
 
-bool isIntBinop(Opcode op) noexcept {
-  switch (op) {
-    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::SDiv:
-    case Opcode::SRem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
-    case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool isFloatBinop(Opcode op) noexcept {
-  return op == Opcode::FAdd || op == Opcode::FSub || op == Opcode::FMul ||
-         op == Opcode::FDiv;
-}
-
-bool isCmp(Opcode op) noexcept {
-  switch (op) {
-    case Opcode::ICmpEq: case Opcode::ICmpNe: case Opcode::ICmpLt:
-    case Opcode::ICmpLe: case Opcode::ICmpGt: case Opcode::ICmpGe:
-    case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
-    case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
-      return true;
-    default:
-      return false;
-  }
-}
-
 /// Evaluate a pure instruction over immediate operands. Returns false when
 /// the operation cannot (or must not) be folded — e.g. division by zero,
 /// which has to trap at run time.

@@ -31,6 +31,8 @@ class OutcomeCounts {
   void add(Outcome o) noexcept { ++counts_[index(o)]; }
   void merge(const OutcomeCounts& other) noexcept;
 
+  bool operator==(const OutcomeCounts&) const = default;
+
   [[nodiscard]] std::size_t count(Outcome o) const noexcept {
     return counts_[index(o)];
   }

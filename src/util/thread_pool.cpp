@@ -8,6 +8,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  threads = std::min(threads, kMaxThreads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
@@ -39,9 +40,15 @@ void ThreadPool::wait() {
 
 void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) {
-    submit([&fn, i] { fn(i); });
+  if (n == 0) return;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      queue_.push([&fn, i] { fn(i); });
+    }
+    inFlight_ += n;
   }
+  cvTask_.notify_all();
   wait();
 }
 

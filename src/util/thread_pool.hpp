@@ -17,7 +17,12 @@ namespace onebit::util {
 
 class ThreadPool {
  public:
-  /// threads == 0 picks hardware_concurrency (at least 1).
+  /// Upper bound on pool size; absurd requests (e.g. a negative value cast
+  /// to size_t) are clamped here instead of aborting in vector::reserve.
+  static constexpr std::size_t kMaxThreads = 256;
+
+  /// threads == 0 picks hardware_concurrency (at least 1). Any request is
+  /// clamped to [1, kMaxThreads].
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -35,6 +40,8 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// All n tasks are enqueued under a single lock acquisition. n == 0
+  /// returns immediately without waiting for unrelated submitted tasks.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

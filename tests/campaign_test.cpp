@@ -169,6 +169,29 @@ TEST_F(CampaignFixture, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST_F(CampaignFixture, EngineResolvesShardingParameters) {
+  CampaignConfig config;
+  config.spec = FaultSpec::singleBit(Technique::Read);
+  config.experiments = 100;
+  config.threads = 2;
+  config.shardSize = 30;
+  const CampaignEngine engine(config);
+  EXPECT_EQ(engine.threads(), 2u);
+  EXPECT_EQ(engine.shardSize(), 30u);
+  EXPECT_EQ(engine.shardCount(), 4u);  // 30+30+30+10
+}
+
+TEST_F(CampaignFixture, EngineMatchesRunCampaignWrapper) {
+  CampaignConfig config;
+  config.spec = FaultSpec::singleBit(Technique::Write);
+  config.experiments = 200;
+  config.seed = 4242;
+  const CampaignResult viaWrapper = runCampaign(*workload_, config);
+  const CampaignResult viaEngine = CampaignEngine(config).run(*workload_);
+  EXPECT_EQ(viaWrapper.counts, viaEngine.counts);
+  EXPECT_EQ(viaWrapper.activationHist, viaEngine.activationHist);
+}
+
 TEST_F(CampaignFixture, DifferentSeedsGiveDifferentSamples) {
   CampaignConfig config;
   config.spec = FaultSpec::singleBit(Technique::Read);

@@ -40,8 +40,12 @@ TEST(RandomReg, ActivationImpliesLanded) {
   for (std::uint64_t seed = 0; seed < 60; ++seed) {
     RandomRegisterHook hook(seed * 7 % w.golden().instructions, seed);
     vm::execute(w.module(), w.faultyLimits(), &hook);
-    if (hook.activated()) EXPECT_TRUE(hook.landed());
-    if (!hook.landed()) EXPECT_FALSE(hook.activated());
+    if (hook.activated()) {
+      EXPECT_TRUE(hook.landed());
+    }
+    if (!hook.landed()) {
+      EXPECT_FALSE(hook.activated());
+    }
   }
 }
 

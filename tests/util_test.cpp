@@ -1,6 +1,7 @@
 // Unit tests for src/util: RNG, bit ops, tables, env, thread pool.
 #include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -267,6 +268,89 @@ TEST(ThreadPool, WaitIsIdempotent) {
 TEST(ThreadPool, DefaultsToAtLeastOneThread) {
   ThreadPool pool(0);
   EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, AbsurdThreadRequestIsClamped) {
+  // A negative value cast to size_t must not abort in vector::reserve.
+  ThreadPool pool(static_cast<std::size_t>(-1));
+  EXPECT_EQ(pool.threadCount(), ThreadPool::kMaxThreads);
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallelFor(0, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForZeroDoesNotWaitForUnrelatedTasks) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  pool.parallelFor(0, [](std::size_t) {});  // must return while task blocks
+  release.store(true);
+  pool.wait();
+}
+
+TEST(ThreadPool, ParallelForSingleIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::atomic<std::size_t> seenIndex{99};
+  pool.parallelFor(1, [&](std::size_t i) {
+    ++counter;
+    seenIndex = i;
+  });
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(seenIndex.load(), 0u);
+}
+
+TEST(ThreadPool, ParallelForManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BackToBackParallelForsReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallelFor(64, [&counter](std::size_t) { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 20 * 64);
+}
+
+TEST(ThreadPool, TeardownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) pool.submit([&counter] { ++counter; });
+    // Destructor runs with tasks still queued; all must complete.
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAndWaiters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.submit([&counter] { ++counter; });
+      }
+      pool.wait();  // waiters racing with other producers' submissions
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait();
+  EXPECT_EQ(counter.load(), kProducers * kPerProducer);
 }
 
 }  // namespace
