@@ -11,14 +11,25 @@
 //   ONEBIT_THREADS      worker threads per campaign (default: all cores)
 //   ONEBIT_SHARD_SIZE   experiments per shard (default: auto)
 //   ONEBIT_PROGRESS     1 = print per-shard progress to stderr
+//
+// Results-store knobs (checkpoint/resume; see docs/ARCHITECTURE.md):
+//   ONEBIT_STORE        path of a JSONL campaign store; every completed
+//                       shard is appended (and flushed) there
+//   ONEBIT_RESUME       1 = skip shards already recorded in ONEBIT_STORE
+//                       and merge their stored aggregates instead
+//   ONEBIT_MAX_SHARDS   stop each campaign after this many fresh shards
+//                       (checkpoint cap; partial results, for testing
+//                       interruption without killing the process)
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fi/campaign.hpp"
+#include "fi/campaign_store.hpp"
 #include "progs/registry.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -70,9 +81,56 @@ inline unsigned flipWidth() {
   return static_cast<unsigned>(util::envInt("ONEBIT_FLIP_WIDTH", 32));
 }
 
+/// The process-wide campaign store named by ONEBIT_STORE, loaded once on
+/// first use; nullptr when the knob is unset.
+inline fi::CampaignStore* sharedStore() {
+  static const std::unique_ptr<fi::CampaignStore> store = [] {
+    const std::string path = util::envStr("ONEBIT_STORE", "");
+    if (path.empty()) return std::unique_ptr<fi::CampaignStore>();
+    auto s = std::make_unique<fi::CampaignStore>(path);
+    const fi::CampaignStore::LoadStats stats = s->load();
+    std::fprintf(stderr,
+                 "[store] %s: %zu shard record(s), %zu workload record(s)",
+                 path.c_str(), stats.shardRecords, stats.workloadRecords);
+    if (stats.malformed != 0) {
+      std::fprintf(stderr, ", %zu malformed line(s) skipped",
+                   stats.malformed);
+    }
+    std::fputc('\n', stderr);
+    return s;
+  }();
+  return store.get();
+}
+
+inline bool resumeEnabled() {
+  const bool enabled = util::envInt("ONEBIT_RESUME", 0) != 0;
+  if (enabled && sharedStore() == nullptr) {
+    static const bool warned = [] {
+      std::fprintf(stderr,
+                   "warning: ONEBIT_RESUME is set but ONEBIT_STORE is not; "
+                   "nothing to resume from\n");
+      return true;
+    }();
+    (void)warned;
+    return false;
+  }
+  return enabled;
+}
+
+/// The store binding bench campaigns run under: records to ONEBIT_STORE when
+/// set, resumes when ONEBIT_RESUME=1. Inert when no store is configured.
+inline fi::StoreBinding storeBinding(std::string workloadName) {
+  fi::StoreBinding binding;
+  binding.store = sharedStore();
+  binding.resume = resumeEnabled();
+  binding.workload = std::move(workloadName);
+  return binding;
+}
+
 inline fi::CampaignResult campaign(const fi::Workload& w,
                                    const fi::FaultSpec& spec, std::size_t n,
-                                   std::uint64_t seedSalt) {
+                                   std::uint64_t seedSalt,
+                                   std::string workloadName = {}) {
   fi::CampaignConfig config;
   config.spec = spec;
   config.spec.flipWidth = flipWidth();
@@ -83,15 +141,30 @@ inline fi::CampaignResult campaign(const fi::Workload& w,
       std::max<std::int64_t>(0, util::envInt("ONEBIT_THREADS", 0)));
   config.shardSize = static_cast<std::size_t>(
       std::max<std::int64_t>(0, util::envInt("ONEBIT_SHARD_SIZE", 0)));
+  config.maxShards = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, util::envInt("ONEBIT_MAX_SHARDS", 0)));
   fi::CampaignEngine engine(config);
+  engine.withStore(storeBinding(std::move(workloadName)));
   if (util::envInt("ONEBIT_PROGRESS", 0) != 0) {
     engine.onShardDone([](const fi::ShardProgress& p) {
-      std::fprintf(stderr, "  shard %zu/%zu done (%zu/%zu experiments)\n",
-                   p.completedShards, p.shardCount, p.completedExperiments,
+      std::fprintf(stderr, "  shard %zu/%zu %s (%zu/%zu experiments)\n",
+                   p.completedShards, p.shardCount,
+                   p.resumed ? "resumed" : "done", p.completedExperiments,
                    p.totalExperiments);
     });
   }
-  return engine.run(w);
+  fi::CampaignResult result = engine.run(w);
+  if (!result.complete()) {
+    std::fprintf(stderr,
+                 "warning: campaign incomplete (%zu/%zu experiments; "
+                 "ONEBIT_MAX_SHARDS checkpoint cap?) — %s\n",
+                 result.completedExperiments, result.config.experiments,
+                 sharedStore() != nullptr
+                     ? "resume with ONEBIT_RESUME=1 to finish"
+                     : "nothing was recorded; set ONEBIT_STORE to make "
+                       "partial runs resumable");
+  }
+  return result;
 }
 
 /// Print a table as aligned text, or CSV when ONEBIT_CSV=1 (for plotting).

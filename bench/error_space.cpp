@@ -19,7 +19,7 @@ int main() {
   for (const auto& [name, w] : bench::loadWorkloads()) {
     const std::uint64_t d = w.candidates(fi::Technique::Read);
     const fi::CampaignResult single = bench::campaign(
-        w, fi::FaultSpec::singleBit(fi::Technique::Read), n, salt++);
+        w, fi::FaultSpec::singleBit(fi::Technique::Read), n, salt++, name);
     const double benign =
         single.counts.proportion(stats::Outcome::Benign).fraction;
     char buf[64];

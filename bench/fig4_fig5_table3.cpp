@@ -132,14 +132,14 @@ int main() {
         {name, pruning::findPessimisticPair(
                    w, fi::Technique::Read, n,
                    util::hashCombine(bench::masterSeed(), salt++), 3,
-                   bench::flipWidth())});
+                   bench::flipWidth(), bench::storeBinding(name))});
   }
   for (const auto& [name, w] : workloads) {
     write.push_back(
         {name, pruning::findPessimisticPair(
                    w, fi::Technique::Write, n,
                    util::hashCombine(bench::masterSeed(), salt++), 3,
-                   bench::flipWidth())});
+                   bench::flipWidth(), bench::storeBinding(name))});
   }
 
   printFigure("Fig. 4: SDC%, multi-register, inject-on-read", read);

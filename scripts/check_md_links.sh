@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Check that every relative markdown link in README.md and docs/ resolves to
+# an existing file or directory. External (http/https/mailto) and pure
+# in-page anchor links are skipped. Exits non-zero listing broken links.
+set -u
+
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Inline links: [text](target), with fenced code blocks stripped first
+  # (a C++ lambda `[](...)` would otherwise read as a link). Good enough
+  # for these docs: no nested parens in targets.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}   # drop in-page anchor
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $md -> $target" >&2
+      status=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { fenced = !fenced; next } !fenced' "$md" \
+             | grep -o '\][(][^)]*[)]' | sed 's/^](//; s/)$//')
+done
+
+echo "checked $checked relative link(s) in README.md + docs/"
+exit $status

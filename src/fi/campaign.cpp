@@ -1,11 +1,14 @@
 #include "fi/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "fi/campaign_store.hpp"
 #include "util/thread_pool.hpp"
 
 namespace onebit::fi {
@@ -48,17 +51,40 @@ CampaignEngine::CampaignEngine(CampaignConfig config)
     shardSize_ = std::clamp<std::size_t>(
         config_.shardSize, 1, std::max<std::size_t>(1, config_.experiments));
   } else {
-    // ~4 shards per worker balances load across shards of uneven cost; a
-    // floor keeps tiny campaigns from paying per-task overhead per
-    // experiment, a ceiling keeps progress callbacks flowing on huge ones.
-    const std::size_t targetShards = threads_ * 4;
+    // Auto geometry must be a function of the campaign alone — NOT of the
+    // thread count — or a store recorded on one machine would silently fail
+    // to resume on another (shard records match by exact experiment range).
+    // ~64 shards per campaign balances load across shards of uneven cost on
+    // any sane core count; the floor keeps tiny campaigns from paying
+    // per-task overhead per experiment, the ceiling keeps progress
+    // callbacks flowing on huge ones.
+    constexpr std::size_t kTargetShards = 64;
     shardSize_ = std::clamp<std::size_t>(
-        (config_.experiments + targetShards - 1) / targetShards, 16, 4096);
+        (config_.experiments + kTargetShards - 1) / kTargetShards, 16, 4096);
   }
 }
 
 CampaignEngine& CampaignEngine::onShardDone(ProgressCallback cb) {
   progress_ = std::move(cb);
+  return *this;
+}
+
+CampaignEngine& CampaignEngine::recordTo(CampaignStore& store,
+                                         std::string workloadName) {
+  record_ = &store;
+  recordWorkload_ = std::move(workloadName);
+  return *this;
+}
+
+CampaignEngine& CampaignEngine::resumeFrom(const CampaignStore& store) {
+  resume_ = &store;
+  return *this;
+}
+
+CampaignEngine& CampaignEngine::withStore(const StoreBinding& binding) {
+  if (binding.store == nullptr) return *this;
+  recordTo(*binding.store, binding.workload);
+  if (binding.resume) resumeFrom(*binding.store);
   return *this;
 }
 
@@ -77,9 +103,80 @@ CampaignResult CampaignEngine::run(const Workload& workload) const {
   const std::size_t shards = shardCount();
   std::vector<ShardAccumulator> partial(shards);
 
+  CampaignStore::CampaignMeta meta;
+  if (record_ != nullptr || resume_ != nullptr) {
+    meta.key = CampaignStore::campaignKey(config_.spec, n, config_.seed,
+                                          workload.fingerprint());
+    meta.workload = recordWorkload_;
+    meta.specLabel = config_.spec.label();
+    meta.seed = config_.seed;
+    meta.experiments = n;
+    meta.candidates = candidates;
+  }
+
+  // Partition shards into resumed (merged from the store) and pending
+  // (executed). The store index is consulted once, up front: resumed
+  // aggregates land in the same per-shard slots an execution would fill, so
+  // the final merge is identical either way — that is what makes a resumed
+  // campaign bit-identical to an uninterrupted one.
+  std::vector<unsigned char> resumed(shards, 0);
+  std::vector<std::size_t> pending;
+  pending.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t first = s * shardSize_;
+    const std::size_t count = std::min(n, first + shardSize_) - first;
+    if (resume_ != nullptr) {
+      if (const CampaignStore::ShardAggregate* agg =
+              resume_->findShard(meta.key, first, count)) {
+        partial[s].counts = agg->counts;
+        partial[s].hist = agg->hist;
+        resumed[s] = 1;
+        result.resumedExperiments += count;
+        continue;
+      }
+    }
+    pending.push_back(s);
+  }
+  // The checkpoint cap: execute at most maxShards fresh shards this run
+  // (lowest shard indices first, so repeated capped runs make monotonic
+  // progress through the campaign).
+  if (config_.maxShards != 0 && pending.size() > config_.maxShards) {
+    pending.resize(config_.maxShards);
+  }
+
+  // Shard-geometry foot-gun diagnostic: the store has experiments recorded
+  // under this campaign key, yet none matched the current shard ranges —
+  // almost always a shardSize change between the recording and resuming
+  // runs. The campaign still computes correctly; it just re-runs.
+  if (resume_ != nullptr && result.resumedExperiments == 0) {
+    const std::size_t recorded = resume_->recordedExperiments(meta.key);
+    if (recorded != 0) {
+      std::fprintf(stderr,
+                   "warning: campaign store has %zu experiment(s) recorded "
+                   "for this campaign, but none match the current shard "
+                   "geometry (shardSize=%zu); re-running them\n",
+                   recorded, shardSize_);
+    }
+  }
+
   std::mutex progressMutex;
   std::size_t completedShards = 0;
   std::size_t completedExperiments = 0;
+  std::atomic<bool> storeWriteFailed{false};
+
+  // Report resumed shards before starting new work, in shard order.
+  if (progress_ != nullptr) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (resumed[s] == 0) continue;
+      const std::size_t first = s * shardSize_;
+      const std::size_t count = std::min(n, first + shardSize_) - first;
+      ++completedShards;
+      completedExperiments += count;
+      progress_(ShardProgress{s, shards, first, count, completedShards,
+                              completedExperiments, n, partial[s].counts,
+                              /*resumed=*/true});
+    }
+  }
 
   auto runShard = [&](std::size_t s) {
     const std::size_t first = s * shardSize_;
@@ -90,27 +187,47 @@ CampaignResult CampaignEngine::run(const Workload& workload) const {
           FaultPlan::forExperiment(config_.spec, candidates, config_.seed, i);
       acc.add(runExperiment(workload, plan));
     }
+    if (record_ != nullptr &&
+        !record_->appendShard(meta, s, first, last - first,
+                              {acc.counts, acc.hist}) &&
+        !storeWriteFailed.exchange(true)) {
+      // Warn once: a silently unwritable store would let the user kill the
+      // run believing its shards are persisted.
+      std::fprintf(stderr,
+                   "warning: campaign store '%s' is not recording (write "
+                   "failed); this run will NOT be resumable\n",
+                   record_->path().c_str());
+    }
     if (progress_) {
       std::lock_guard lock(progressMutex);
       ++completedShards;
       completedExperiments += last - first;
       progress_(ShardProgress{s, shards, first, last - first, completedShards,
-                              completedExperiments, n, acc.counts});
+                              completedExperiments, n, acc.counts,
+                              /*resumed=*/false});
     }
   };
 
-  if (threads_ > 1 && shards > 1) {
+  if (threads_ > 1 && pending.size() > 1) {
     util::ThreadPool pool(threads_);
-    pool.parallelFor(shards, runShard);
+    pool.parallelFor(pending.size(),
+                     [&](std::size_t i) { runShard(pending[i]); });
   } else {
-    for (std::size_t s = 0; s < shards; ++s) runShard(s);
+    for (const std::size_t s : pending) runShard(s);
   }
 
-  // Merge in shard order. Order does not affect the result (integer adds
-  // commute); it is fixed anyway so intermediate states are reproducible.
-  for (const ShardAccumulator& acc : partial) {
-    result.counts.merge(acc.counts);
-    mergeHistogram(result.activationHist, acc.hist);
+  // Merge in shard order (resumed and executed shards alike; skipped
+  // shards of a capped run stay zero). Order does not affect the result
+  // (integer adds commute); it is fixed anyway so intermediate states are
+  // reproducible.
+  std::vector<unsigned char> executed(shards, 0);
+  for (const std::size_t s : pending) executed[s] = 1;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (resumed[s] == 0 && executed[s] == 0) continue;
+    const std::size_t first = s * shardSize_;
+    result.completedExperiments += std::min(n, first + shardSize_) - first;
+    result.counts.merge(partial[s].counts);
+    mergeHistogram(result.activationHist, partial[s].hist);
   }
   return result;
 }

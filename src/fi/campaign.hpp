@@ -8,14 +8,25 @@
 // and `shardSize` affect scheduling and progress granularity but never the
 // result. runCampaign(w, c) is bit-identical for every threads/shardSize
 // combination.
+//
+// Checkpoint/resume rides on the shard boundary: bind a CampaignStore
+// (fi/campaign_store.hpp) with recordTo()/resumeFrom() and every completed
+// shard is persisted, while shards already in the store are merged from it
+// instead of re-executed. Because a shard's aggregates depend only on
+// (spec, seed, experiment range), a campaign interrupted after k shards and
+// resumed later is bit-identical to an uninterrupted run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "fi/experiment.hpp"
 
 namespace onebit::fi {
+
+class CampaignStore;
+struct StoreBinding;
 
 struct CampaignConfig {
   FaultSpec spec;
@@ -23,6 +34,11 @@ struct CampaignConfig {
   std::uint64_t seed = 0x0b17f11e;  ///< campaign master seed
   std::size_t threads = 0;          ///< 0 = hardware concurrency
   std::size_t shardSize = 0;        ///< experiments per shard; 0 = auto
+  /// Stop after this many freshly executed shards (0 = run to completion).
+  /// A capped run yields a partial result (complete() == false); with a
+  /// bound store it checkpoints exactly the shards it ran — the knob that
+  /// makes interruption testable without killing the process.
+  std::size_t maxShards = 0;
 };
 
 /// Histogram of activation counts by outcome (rows: outcome, cols: number of
@@ -43,6 +59,18 @@ struct CampaignResult {
   CampaignConfig config;
   stats::OutcomeCounts counts;
   ActivationHistogram activationHist{};
+  /// Experiments tallied into `counts` — executed this run plus resumed
+  /// from the store. Less than config.experiments after a capped run.
+  std::size_t completedExperiments = 0;
+  /// Of `completedExperiments`, how many were merged from a store record
+  /// instead of executed.
+  std::size_t resumedExperiments = 0;
+
+  /// True when every experiment of the campaign is tallied (a partial,
+  /// shard-capped checkpoint run returns false).
+  [[nodiscard]] bool complete() const noexcept {
+    return completedExperiments == config.experiments;
+  }
 
   [[nodiscard]] stats::Proportion sdc() const {
     return counts.proportion(stats::Outcome::SDC);
@@ -63,6 +91,7 @@ struct ShardProgress {
   std::size_t completedExperiments;  ///< experiments finished so far
   std::size_t totalExperiments;      ///< config.experiments
   const stats::OutcomeCounts& shardCounts;  ///< this shard's local tally
+  bool resumed = false;  ///< merged from the results store, not executed
 };
 
 /// Runs a campaign as shards: experiments are partitioned into contiguous
@@ -80,6 +109,23 @@ class CampaignEngine {
   /// threads, serialized under an internal mutex). Returns *this.
   CampaignEngine& onShardDone(ProgressCallback cb);
 
+  /// Persist every freshly completed shard to `store` (one flushed JSONL
+  /// record per shard; see fi/campaign_store.hpp). `workloadName` is
+  /// stamped into the records for human readers and plotting scripts.
+  /// The store must outlive run(). Returns *this.
+  CampaignEngine& recordTo(CampaignStore& store, std::string workloadName = {});
+
+  /// Resume from `store`: shards whose (campaign key, experiment range)
+  /// are already recorded are merged from the store instead of executed.
+  /// Combined with recordTo() on the same store, an interrupted campaign
+  /// picks up exactly where it stopped. The store must outlive run().
+  /// Returns *this.
+  CampaignEngine& resumeFrom(const CampaignStore& store);
+
+  /// Apply a StoreBinding: recordTo(binding.store) and, when
+  /// binding.resume, resumeFrom(binding.store). Inert on a null binding.
+  CampaignEngine& withStore(const StoreBinding& binding);
+
   /// Worker threads used by run() (resolved, always >= 1).
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
   /// Experiments per shard (resolved, always >= 1).
@@ -94,6 +140,9 @@ class CampaignEngine {
   std::size_t threads_ = 1;
   std::size_t shardSize_ = 1;
   ProgressCallback progress_;
+  CampaignStore* record_ = nullptr;
+  const CampaignStore* resume_ = nullptr;
+  std::string recordWorkload_;
 };
 
 /// Run a campaign with the default engine (no progress callback). See the

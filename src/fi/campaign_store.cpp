@@ -1,0 +1,288 @@
+#include "fi/campaign_store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "stats/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace onebit::fi {
+
+namespace {
+
+std::string keyToHex(std::uint64_t key) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, key);
+  return buf;
+}
+
+std::optional<std::uint64_t> keyFromHex(std::string_view s) {
+  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s.substr(2)) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return v;
+}
+
+util::Json histToJson(const ActivationHistogram& hist) {
+  util::Json arr = util::Json::array();
+  for (std::size_t o = 0; o < stats::kOutcomeCount; ++o) {
+    for (std::size_t k = 0; k <= kMaxActivationBucket; ++k) {
+      if (hist[o][k] == 0) continue;
+      util::Json cell = util::Json::array();
+      cell.push(util::Json::number(static_cast<std::uint64_t>(o)));
+      cell.push(util::Json::number(static_cast<std::uint64_t>(k)));
+      cell.push(util::Json::number(static_cast<std::uint64_t>(hist[o][k])));
+      arr.push(std::move(cell));
+    }
+  }
+  return arr;
+}
+
+bool histFromJson(const util::Json& value, ActivationHistogram& out) {
+  if (!value.isArray()) return false;
+  ActivationHistogram hist{};
+  for (const util::Json& cell : value.items()) {
+    const util::Json::Array& triple = cell.items();
+    if (triple.size() != 3) return false;
+    const std::uint64_t bad = ~0ULL;
+    const std::uint64_t o = triple[0].asUint(bad);
+    const std::uint64_t k = triple[1].asUint(bad);
+    const std::uint64_t c = triple[2].asUint(bad);
+    if (o >= stats::kOutcomeCount || k > kMaxActivationBucket || c == bad ||
+        c > 0xffffffffULL) {
+      return false;
+    }
+    hist[o][k] += static_cast<std::uint32_t>(c);
+  }
+  out = hist;
+  return true;
+}
+
+std::uint64_t histTotal(const ActivationHistogram& hist) noexcept {
+  std::uint64_t t = 0;
+  for (const auto& row : hist) {
+    for (const std::uint32_t c : row) t += c;
+  }
+  return t;
+}
+
+std::uint64_t getUint(const util::Json& obj, std::string_view field,
+                      std::uint64_t fallback) {
+  const util::Json* v = obj.find(field);
+  return v != nullptr ? v->asUint(fallback) : fallback;
+}
+
+}  // namespace
+
+std::uint64_t CampaignStore::campaignKey(
+    const FaultSpec& spec, std::size_t experiments, std::uint64_t seed,
+    std::uint64_t workloadFingerprint) noexcept {
+  // Chain every field the determinism contract names; any difference in the
+  // fault model, campaign size, seed, workload behavior, or experiment
+  // semantics yields a new key.
+  std::uint64_t h = 0x0b17c4a9'5708e11fULL ^ kFormatVersion;
+  h = util::hashCombine(h, kResultSemanticsVersion);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(spec.technique));
+  h = util::hashCombine(h, spec.maxMbf);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(spec.winSize.kind));
+  h = util::hashCombine(h, spec.winSize.value);
+  h = util::hashCombine(h, spec.winSize.lo);
+  h = util::hashCombine(h, spec.winSize.hi);
+  h = util::hashCombine(h, spec.flipWidth);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(experiments));
+  h = util::hashCombine(h, seed);
+  h = util::hashCombine(h, workloadFingerprint);
+  return h;
+}
+
+CampaignStore::LoadStats CampaignStore::load() {
+  LoadStats stats;
+  std::lock_guard lock(mutex_);
+  const util::JsonlReadStats read =
+      util::readJsonl(path_, [&](util::Json&& record) {
+        const std::uint64_t v = getUint(record, "v", 0);
+        const util::Json* kind = record.find("kind");
+        if (v != kFormatVersion || kind == nullptr) {
+          ++stats.malformed;
+          return;
+        }
+        if (kind->asString() == "shard") {
+          const util::Json* keyField = record.find("key");
+          const std::optional<std::uint64_t> key =
+              keyField != nullptr ? keyFromHex(keyField->asString())
+                                  : std::nullopt;
+          const std::uint64_t bad = ~0ULL;
+          const std::uint64_t first = getUint(record, "first", bad);
+          const std::uint64_t count = getUint(record, "count", bad);
+          const std::uint64_t experiments =
+              getUint(record, "experiments", bad);
+          ShardAggregate agg;
+          const util::Json* outcomes = record.find("outcomes");
+          const util::Json* hist = record.find("hist");
+          // Integrity: the shard range must lie inside the campaign and
+          // both aggregates must tally exactly `count` experiments — a
+          // mangled record is worth less than a re-run shard.
+          if (!key || first == bad || count == bad || count == 0 ||
+              experiments == bad || first + count > experiments ||
+              outcomes == nullptr || !stats::fromJson(*outcomes, agg.counts) ||
+              hist == nullptr || !histFromJson(*hist, agg.hist) ||
+              agg.counts.total() != count || histTotal(agg.hist) != count) {
+            ++stats.malformed;
+            return;
+          }
+          if (indexShard(*key,
+                         {static_cast<std::size_t>(first),
+                          static_cast<std::size_t>(count)},
+                         std::move(agg))) {
+            ++stats.shardRecords;
+          } else {
+            ++stats.duplicates;
+          }
+          return;
+        }
+        if (kind->asString() == "workload") {
+          const util::Json* name = record.find("name");
+          if (name == nullptr || name->asString().empty()) {
+            ++stats.malformed;
+            return;
+          }
+          WorkloadRecord rec;
+          rec.name = std::string(name->asString());
+          if (const util::Json* f = record.find("suite")) {
+            rec.suite = std::string(f->asString());
+          }
+          if (const util::Json* f = record.find("package")) {
+            rec.package = std::string(f->asString());
+          }
+          if (const util::Json* f = record.find("src_hash")) {
+            rec.sourceHash = keyFromHex(f->asString()).value_or(0);
+          }
+          rec.minicLoc = getUint(record, "minic_loc", 0);
+          rec.irInstrs = getUint(record, "ir_instrs", 0);
+          rec.dynInstrs = getUint(record, "dyn_instrs", 0);
+          rec.candRead = getUint(record, "cand_read", 0);
+          rec.candWrite = getUint(record, "cand_write", 0);
+          workloads_.insert_or_assign(rec.name, std::move(rec));
+          ++stats.workloadRecords;
+          return;
+        }
+        ++stats.malformed;  // unknown record kind
+      });
+  stats.malformed += read.malformed;
+  return stats;
+}
+
+bool CampaignStore::indexShard(std::uint64_t key, ShardRange range,
+                               ShardAggregate agg) {
+  // First record wins: by the determinism contract a duplicate carries the
+  // same aggregates, and keep-first makes replays of a partially-resumed
+  // store idempotent.
+  return shards_[key].emplace(range, std::move(agg)).second;
+}
+
+bool CampaignStore::appendShard(const CampaignMeta& meta,
+                                std::size_t shardIndex,
+                                std::size_t firstExperiment,
+                                std::size_t experimentCount,
+                                const ShardAggregate& aggregate) {
+  util::Json record = util::Json::object();
+  record.set("v", util::Json::number(kFormatVersion));
+  record.set("kind", util::Json::string("shard"));
+  record.set("key", util::Json::string(keyToHex(meta.key)));
+  if (!meta.workload.empty()) {
+    record.set("workload", util::Json::string(meta.workload));
+  }
+  record.set("spec", util::Json::string(meta.specLabel));
+  // Full-range 64-bit fields go as hex strings (like `key`): a raw JSON
+  // number above 2^53 would be silently rounded by double-based consumers
+  // (jq, JS) the store is meant to feed.
+  record.set("seed", util::Json::string(keyToHex(meta.seed)));
+  record.set("experiments",
+             util::Json::number(static_cast<std::uint64_t>(meta.experiments)));
+  record.set("candidates", util::Json::number(meta.candidates));
+  record.set("shard",
+             util::Json::number(static_cast<std::uint64_t>(shardIndex)));
+  record.set("first",
+             util::Json::number(static_cast<std::uint64_t>(firstExperiment)));
+  record.set("count",
+             util::Json::number(static_cast<std::uint64_t>(experimentCount)));
+  record.set("outcomes", stats::toJson(aggregate.counts));
+  record.set("hist", histToJson(aggregate.hist));
+
+  std::lock_guard lock(mutex_);
+  // Known already (loaded from disk or appended via this instance): the
+  // record on file is identical by the determinism contract — skip the
+  // write so record-only reruns keep the store canonical.
+  const auto campaign = shards_.find(meta.key);
+  if (campaign != shards_.end() &&
+      campaign->second.count({firstExperiment, experimentCount}) != 0) {
+    return true;
+  }
+  if (writer_ == nullptr) {
+    writer_ = std::make_unique<util::JsonlWriter>(path_);
+  }
+  if (!writer_->writeLine(record)) return false;
+  indexShard(meta.key, {firstExperiment, experimentCount}, aggregate);
+  return true;
+}
+
+bool CampaignStore::appendWorkload(const WorkloadRecord& rec) {
+  util::Json record = util::Json::object();
+  record.set("v", util::Json::number(kFormatVersion));
+  record.set("kind", util::Json::string("workload"));
+  record.set("name", util::Json::string(rec.name));
+  record.set("suite", util::Json::string(rec.suite));
+  record.set("package", util::Json::string(rec.package));
+  record.set("src_hash", util::Json::string(keyToHex(rec.sourceHash)));
+  record.set("minic_loc", util::Json::number(rec.minicLoc));
+  record.set("ir_instrs", util::Json::number(rec.irInstrs));
+  record.set("dyn_instrs", util::Json::number(rec.dynInstrs));
+  record.set("cand_read", util::Json::number(rec.candRead));
+  record.set("cand_write", util::Json::number(rec.candWrite));
+
+  std::lock_guard lock(mutex_);
+  const auto existing = workloads_.find(rec.name);
+  if (existing != workloads_.end() && existing->second == rec) {
+    return true;  // identical record already on file
+  }
+  if (writer_ == nullptr) {
+    writer_ = std::make_unique<util::JsonlWriter>(path_);
+  }
+  if (!writer_->writeLine(record)) return false;
+  workloads_.insert_or_assign(rec.name, rec);
+  return true;
+}
+
+const CampaignStore::ShardAggregate* CampaignStore::findShard(
+    std::uint64_t key, std::size_t firstExperiment,
+    std::size_t experimentCount) const {
+  std::lock_guard lock(mutex_);
+  const auto campaign = shards_.find(key);
+  if (campaign == shards_.end()) return nullptr;
+  const auto shard =
+      campaign->second.find(ShardRange{firstExperiment, experimentCount});
+  return shard != campaign->second.end() ? &shard->second : nullptr;
+}
+
+std::size_t CampaignStore::recordedExperiments(std::uint64_t key) const {
+  std::lock_guard lock(mutex_);
+  const auto campaign = shards_.find(key);
+  if (campaign == shards_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& [range, agg] : campaign->second) total += range.second;
+  return total;
+}
+
+const CampaignStore::WorkloadRecord* CampaignStore::findWorkload(
+    std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = workloads_.find(name);
+  return it != workloads_.end() ? &it->second : nullptr;
+}
+
+}  // namespace onebit::fi

@@ -1,0 +1,185 @@
+// Persistent campaign results store: checkpoint/resume for long campaigns.
+//
+// The store is an append-only JSONL file. Every record is one line, written
+// and flushed atomically from the writer's point of view, so a campaign
+// killed at any instant loses at most the shard it was computing — never a
+// recorded one. Records are self-describing (versioned, carrying the fault
+// spec label, seed, and campaign geometry) so a store file is meaningful on
+// its own, greppable, and loadable by plotting scripts.
+//
+// Two record kinds share the file:
+//
+//   shard record (kind "shard") — one completed campaign shard:
+//     {"v":1,"kind":"shard","key":"0x<16 hex>","workload":"qsort",
+//      "spec":"read/single","seed":"0x<16 hex>","experiments":400,
+//      "candidates":1234,"shard":3,"first":96,"count":32,
+//      "outcomes":[b,d,h,n,s],"hist":[[o,k,c],...]}
+//   `key` is the campaign key (below); `outcomes` is the shard's
+//   OutcomeCounts in Outcome declaration order; `hist` is the sparse
+//   activation histogram: [outcome index, activation bucket, count] triples
+//   for the non-zero cells only. Full-range 64-bit fields (key, seed,
+//   src_hash) are hex strings so double-based JSON consumers (jq, JS)
+//   cannot silently round them.
+//
+//   workload record (kind "workload") — one profiled Table II program:
+//     {"v":1,"kind":"workload","name":"qsort","suite":"MiBench",
+//      "package":"automotive","src_hash":"0x<16 hex>","minic_loc":57,
+//      "ir_instrs":210,"dyn_instrs":51234,"cand_read":30321,
+//      "cand_write":20117}
+//
+// Campaign key: a 64-bit hash of everything the determinism contract says a
+// campaign result depends on — the full FaultSpec (technique, max-MBF,
+// win-size, flip width), experiment count, master seed — plus the
+// workload's fingerprint (golden output, dynamic instruction count,
+// candidate counts), which binds records to the observable behavior of the
+// injected program. Shard records are matched by (key, first, count), so
+// resuming reuses exactly the shards whose experiment ranges the current
+// shard geometry reproduces; records written under a different shard size
+// are ignored (and harmlessly re-run) rather than risk mis-merging.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "fi/campaign.hpp"
+#include "util/jsonl.hpp"
+
+namespace onebit::fi {
+
+class CampaignStore {
+ public:
+  /// Current record schema version; bump when the format changes shape.
+  static constexpr std::uint64_t kFormatVersion = 1;
+
+  /// Version of the experiment semantics, folded into every campaign key.
+  /// Bump on ANY result-affecting code change (fault-plan derivation, RNG,
+  /// injection hooks, outcome classification, VM behavior): records written
+  /// by the old semantics must not resume into the new ones, or a "resumed"
+  /// campaign would mix results no uninterrupted run could produce.
+  static constexpr std::uint64_t kResultSemanticsVersion = 1;
+
+  /// Aggregates of one recorded shard.
+  struct ShardAggregate {
+    stats::OutcomeCounts counts;
+    ActivationHistogram hist{};
+  };
+
+  /// Campaign-level metadata carried by each shard record (for humans and
+  /// plotting scripts; the key alone drives matching).
+  struct CampaignMeta {
+    std::uint64_t key = 0;
+    std::string workload;   ///< caller-supplied name; may be empty
+    std::string specLabel;  ///< FaultSpec::label()
+    std::uint64_t seed = 0;
+    std::size_t experiments = 0;
+    std::uint64_t candidates = 0;
+  };
+
+  /// One profiled Table II program (bench_table2_candidates).
+  struct WorkloadRecord {
+    std::string name;
+    std::string suite;
+    std::string package;
+    /// util::hashBytes of the program's MiniC source. Consumers must treat
+    /// a record whose hash differs from the current source as stale (the
+    /// workload-record analog of the campaign key).
+    std::uint64_t sourceHash = 0;
+    std::uint64_t minicLoc = 0;
+    std::uint64_t irInstrs = 0;
+    std::uint64_t dynInstrs = 0;
+    std::uint64_t candRead = 0;
+    std::uint64_t candWrite = 0;
+
+    bool operator==(const WorkloadRecord&) const = default;
+  };
+
+  struct LoadStats {
+    std::size_t shardRecords = 0;     ///< accepted shard records
+    std::size_t workloadRecords = 0;  ///< accepted workload records
+    std::size_t malformed = 0;  ///< unparseable or integrity-failing lines
+                                ///< (incl. a torn final line)
+    std::size_t duplicates = 0;  ///< re-recorded shards (first one wins)
+  };
+
+  /// Opens (lazily) the store at `path`. The file need not exist yet; the
+  /// first append creates it.
+  explicit CampaignStore(std::string path) : path_(std::move(path)) {}
+
+  CampaignStore(const CampaignStore&) = delete;
+  CampaignStore& operator=(const CampaignStore&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// The campaign key binding a record to (spec, experiments, seed,
+  /// workload identity). `workloadFingerprint` is Workload::fingerprint()
+  /// — a hash of golden output, dynamic instruction count, candidate
+  /// counts, and the faulty-run instruction budget — so editing the
+  /// injected program (or its hang budget) invalidates its records even
+  /// when a single summary statistic happens to survive the edit. See the
+  /// file header for the rationale.
+  static std::uint64_t campaignKey(const FaultSpec& spec,
+                                   std::size_t experiments,
+                                   std::uint64_t seed,
+                                   std::uint64_t workloadFingerprint) noexcept;
+
+  /// Read all records currently on disk into the in-memory index. Missing
+  /// file loads as empty. Malformed lines are counted, never fatal: the
+  /// torn last line of a killed writer must not poison the store.
+  LoadStats load();
+
+  /// Append one completed shard (thread-safe; serialized internally). The
+  /// line is flushed before the call returns. A shard already present in
+  /// the in-memory index (loaded or appended earlier through this instance)
+  /// is skipped, so record-only reruns do not balloon the file. Returns
+  /// false on I/O error.
+  bool appendShard(const CampaignMeta& meta, std::size_t shardIndex,
+                   std::size_t firstExperiment, std::size_t experimentCount,
+                   const ShardAggregate& aggregate);
+
+  /// Append one workload profile (thread-safe). An identical record already
+  /// in the index is skipped. Returns false on I/O error.
+  bool appendWorkload(const WorkloadRecord& record);
+
+  /// Look up a recorded shard by campaign key and exact experiment range.
+  /// Returns nullptr when absent. Pointers stay valid until the store is
+  /// destroyed (records are never evicted).
+  [[nodiscard]] const ShardAggregate* findShard(
+      std::uint64_t key, std::size_t firstExperiment,
+      std::size_t experimentCount) const;
+
+  /// Total experiments recorded for a campaign key (for progress reports).
+  [[nodiscard]] std::size_t recordedExperiments(std::uint64_t key) const;
+
+  /// Look up a profiled workload by name; nullptr when absent.
+  [[nodiscard]] const WorkloadRecord* findWorkload(
+      std::string_view name) const;
+
+ private:
+  using ShardRange = std::pair<std::size_t, std::size_t>;  ///< (first, count)
+
+  bool indexShard(std::uint64_t key, ShardRange range, ShardAggregate agg);
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<util::JsonlWriter> writer_;  ///< opened on first append
+  std::unordered_map<std::uint64_t, std::map<ShardRange, ShardAggregate>>
+      shards_;
+  std::map<std::string, WorkloadRecord, std::less<>> workloads_;
+};
+
+/// How a campaign engine (or a driver built on one) should use a store:
+/// record newly completed shards, resume from recorded ones, or both.
+/// A default-constructed binding is inert.
+struct StoreBinding {
+  CampaignStore* store = nullptr;
+  bool resume = false;    ///< skip shards already recorded under this key
+  std::string workload;   ///< name stamped into new records
+};
+
+}  // namespace onebit::fi

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace onebit::fi {
 
 Workload::Workload(ir::Module mod, std::uint64_t hangFactor)
@@ -16,6 +18,15 @@ Workload::Workload(ir::Module mod, std::uint64_t hangFactor)
   faultyLimits_ = goldenLimits;
   faultyLimits_.maxInstructions =
       golden_.instructions * hangFactor + 10'000ULL;
+  // The faulty-run instruction budget (hangFactor) decides Hang vs other
+  // outcomes, so two workloads differing only in it must not share
+  // persisted campaign results — fold it in alongside the golden profile.
+  fingerprint_ = util::hashCombine(
+      util::hashCombine(util::hashBytes(golden_.output),
+                        golden_.instructions),
+      util::hashCombine(
+          util::hashCombine(golden_.readCandidates, golden_.writeCandidates),
+          faultyLimits_.maxInstructions));
 }
 
 stats::Outcome classify(const vm::ExecResult& faulty,

@@ -35,11 +35,20 @@ class Workload {
   [[nodiscard]] const vm::ExecLimits& faultyLimits() const noexcept {
     return faultyLimits_;
   }
+  /// Stable 64-bit identity of this workload's observable behavior: a hash
+  /// of the golden output, dynamic instruction count, both candidate
+  /// counts, and the faulty-run instruction budget (hangFactor). Two
+  /// workloads that differ in any of these cannot share persisted campaign
+  /// results (see fi/campaign_store.hpp).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
 
  private:
   ir::Module mod_;
   vm::ExecResult golden_;
   vm::ExecLimits faultyLimits_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// Result of one fault-injection experiment.

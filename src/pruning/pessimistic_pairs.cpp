@@ -11,7 +11,8 @@ PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
                                           std::size_t experimentsPerCampaign,
                                           std::uint64_t seed,
                                           std::size_t validationFactor,
-                                          unsigned flipWidth) {
+                                          unsigned flipWidth,
+                                          const fi::StoreBinding& binding) {
   PessimisticPairResult out;
   bool haveBest = false;
   std::uint64_t campaignIdx = 0;
@@ -21,7 +22,8 @@ PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
     config.spec = spec;
     config.experiments = experimentsPerCampaign;
     config.seed = util::hashCombine(seed, campaignIdx++);
-    const fi::CampaignResult result = fi::runCampaign(workload, config);
+    const fi::CampaignResult result =
+        fi::CampaignEngine(config).withStore(binding).run(workload);
     const stats::Proportion sdc = result.sdc();
     out.all.push_back({spec, sdc});
     if (spec.isSingleBit()) {
@@ -42,7 +44,8 @@ PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
     config.experiments =
         experimentsPerCampaign * std::max<std::size_t>(1, validationFactor);
     config.seed = util::hashCombine(seed ^ 0x5eedbeefULL, 0xfeedULL);
-    out.validatedBestSdc = fi::runCampaign(workload, config).sdc();
+    out.validatedBestSdc =
+        fi::CampaignEngine(config).withStore(binding).run(workload).sdc();
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fi/campaign.hpp"
+#include "fi/campaign_store.hpp"
 #include "fi/grid.hpp"
 
 namespace onebit::pruning {
@@ -42,11 +43,14 @@ struct PessimisticPairResult {
 /// Run the multi-register grid (win-size > 0) for one technique and find the
 /// pessimistic pair. The selected pair is re-validated with an independent
 /// campaign of `experimentsPerCampaign * validationFactor` experiments.
-PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
-                                          fi::Technique technique,
-                                          std::size_t experimentsPerCampaign,
-                                          std::uint64_t seed,
-                                          std::size_t validationFactor = 3,
-                                          unsigned flipWidth = 64);
+/// When `storeBinding` names a CampaignStore, every grid campaign records
+/// its shards there and (with binding.resume) reuses recorded shards, so an
+/// interrupted grid sweep resumes instead of restarting — each of the ~81
+/// campaigns has its own campaign key in the shared store file.
+PessimisticPairResult findPessimisticPair(
+    const fi::Workload& workload, fi::Technique technique,
+    std::size_t experimentsPerCampaign, std::uint64_t seed,
+    std::size_t validationFactor = 3, unsigned flipWidth = 64,
+    const fi::StoreBinding& storeBinding = {});
 
 }  // namespace onebit::pruning

@@ -13,6 +13,13 @@ std::string_view outcomeName(Outcome o) noexcept {
   return "?";
 }
 
+OutcomeCounts OutcomeCounts::fromRaw(
+    const std::array<std::size_t, kOutcomeCount>& counts) noexcept {
+  OutcomeCounts out;
+  out.counts_ = counts;
+  return out;
+}
+
 void OutcomeCounts::merge(const OutcomeCounts& other) noexcept {
   for (std::size_t i = 0; i < kOutcomeCount; ++i) {
     counts_[i] += other.counts_[i];

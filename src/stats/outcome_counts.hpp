@@ -33,6 +33,16 @@ class OutcomeCounts {
 
   bool operator==(const OutcomeCounts&) const = default;
 
+  /// Raw per-outcome counters in Outcome declaration order (the store's
+  /// serialization order; see stats/serialize.hpp).
+  [[nodiscard]] const std::array<std::size_t, kOutcomeCount>& raw()
+      const noexcept {
+    return counts_;
+  }
+  /// Rebuild from raw counters (deserialization).
+  static OutcomeCounts fromRaw(
+      const std::array<std::size_t, kOutcomeCount>& counts) noexcept;
+
   [[nodiscard]] std::size_t count(Outcome o) const noexcept {
     return counts_[index(o)];
   }

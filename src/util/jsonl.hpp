@@ -1,0 +1,132 @@
+// Minimal JSON value model and JSON-Lines I/O for the campaign results store.
+//
+// The store's durability contract only needs three things from a format:
+// append-only writes (one self-describing record per line, flushed after
+// every write so a killed process loses at most the line it was writing),
+// exact round-trips for 64-bit integers (seeds and campaign keys use the
+// full range), and a reader that tolerates a truncated final line. Nothing
+// external provides that without a dependency, so this is a small
+// hand-rolled implementation: a value tree (`Json`), a single-line
+// serializer, a recursive-descent parser, and line-oriented file helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace onebit::util {
+
+/// An immutable-shape JSON value: null, bool, integer (signed or unsigned
+/// 64-bit, kept exact), double, string, array, or object. Objects preserve
+/// insertion order (records stay human-readable and diffable).
+class Json {
+ public:
+  enum class Kind : unsigned char {
+    Null, Bool, Uint, Int, Double, String, Array, Object
+  };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  ///< null
+  static Json boolean(bool v);
+  static Json number(std::uint64_t v);
+  static Json number(std::int64_t v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool isNull() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool isNumber() const noexcept {
+    return kind_ == Kind::Uint || kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+  [[nodiscard]] bool isString() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool isArray() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isObject() const noexcept {
+    return kind_ == Kind::Object;
+  }
+
+  /// Numeric accessors return `fallback` when the value is not a number or
+  /// does not fit the requested type (negative → uint, out of range, ...).
+  [[nodiscard]] std::uint64_t asUint(std::uint64_t fallback = 0) const;
+  [[nodiscard]] std::int64_t asInt(std::int64_t fallback = 0) const;
+  [[nodiscard]] double asDouble(double fallback = 0.0) const;
+  [[nodiscard]] bool asBool(bool fallback = false) const;
+  [[nodiscard]] std::string_view asString(
+      std::string_view fallback = {}) const;
+
+  /// Array/object views; empty containers when the kind does not match.
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Object& members() const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Append to an array value (no-op on other kinds).
+  void push(Json v);
+  /// Set an object member, appending in insertion order (no-op on other
+  /// kinds). Returns *this for chaining.
+  Json& set(std::string key, Json v);
+
+  /// Serialize on a single line (no trailing newline), suitable for JSONL.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parse one complete JSON document. Rejects trailing non-space garbage,
+  /// so a truncated record never parses as a shorter valid one.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Append-only JSONL file writer. Every record is written as one line and
+/// flushed immediately: a process killed mid-write leaves at most one
+/// truncated final line, which JsonlReader skips.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter();
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+
+  /// Write one record + newline and flush. Returns false on I/O failure.
+  bool writeLine(const Json& record);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Whole-file JSONL reader.
+struct JsonlReadStats {
+  std::size_t lines = 0;      ///< non-empty lines seen
+  std::size_t malformed = 0;  ///< lines that failed to parse (incl. a
+                              ///< truncated final line)
+};
+
+/// Invoke `fn` for every parseable line of `path` in file order. A missing
+/// file reads as empty. Malformed lines (e.g. the torn last line of a killed
+/// writer) are counted, not fatal.
+JsonlReadStats readJsonl(const std::string& path,
+                         const std::function<void(Json&&)>& fn);
+
+}  // namespace onebit::util

@@ -64,4 +64,13 @@ std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b) noexcept {
   return SplitMix64(h).next();
 }
 
+std::uint64_t hashBytes(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
 }  // namespace onebit::util

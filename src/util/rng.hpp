@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 namespace onebit::util {
 
@@ -63,5 +64,9 @@ class Rng {
 
 /// Stable 64-bit hash combiner for seed derivation.
 std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Stable 64-bit FNV-1a over a byte string — platform- and run-independent
+/// (unlike std::hash), so it can bind persisted records to file contents.
+std::uint64_t hashBytes(std::string_view bytes) noexcept;
 
 }  // namespace onebit::util

@@ -1,0 +1,405 @@
+// Checkpoint/resume tests for CampaignStore + CampaignEngine: round-trip
+// through the JSONL store, torn-last-line tolerance, campaign-key mismatch
+// isolation, and the headline guarantee — a campaign interrupted after k
+// shards and resumed from its store is bit-identical to an uninterrupted
+// run, across thread counts (the ISSUE 2 acceptance criterion).
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fi/campaign.hpp"
+#include "fi/campaign_store.hpp"
+#include "lang/compile.hpp"
+
+namespace onebit::fi {
+namespace {
+
+const char* const kGuineaPig = R"MC(
+int a[24];
+int seed = 5;
+int rnd() { seed = (seed * 1103515245 + 12345) & 2147483647; return seed; }
+int main() {
+  for (int i = 0; i < 24; i++) { a[i] = rnd() % 512; }
+  int s = 0;
+  for (int i = 0; i < 24; i++) { s = (s * 33 + a[i]) & 1048575; }
+  print_s("chk=");
+  print_i(s);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+constexpr std::size_t kExperiments = 240;
+constexpr std::size_t kShardSize = 24;  // 10 shards
+
+class CampaignStoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = std::make_unique<Workload>(lang::compileMiniC(kGuineaPig));
+    path_ = ::testing::TempDir() + "campaign_store_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static CampaignConfig baseConfig() {
+    CampaignConfig config;
+    config.spec = FaultSpec::multiBit(Technique::Write, 3, WinSize::fixed(2));
+    config.experiments = kExperiments;
+    config.seed = 0xd5e7e2414157ULL;
+    config.shardSize = kShardSize;
+    return config;
+  }
+
+  CampaignResult uninterrupted(std::size_t threads = 1) const {
+    CampaignConfig config = baseConfig();
+    config.threads = threads;
+    return CampaignEngine(config).run(*workload_);
+  }
+
+  std::unique_ptr<Workload> workload_;
+  std::string path_;
+};
+
+TEST_F(CampaignStoreFixture, RecordedShardsRoundTripThroughDisk) {
+  {
+    CampaignStore store(path_);
+    CampaignConfig config = baseConfig();
+    CampaignEngine engine(config);
+    engine.recordTo(store, "guinea-pig");
+    engine.run(*workload_);
+  }
+  CampaignStore reopened(path_);
+  const CampaignStore::LoadStats stats = reopened.load();
+  EXPECT_EQ(stats.shardRecords, kExperiments / kShardSize);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+
+  // Resuming from the reopened store must execute nothing and reproduce the
+  // full result from records alone.
+  CampaignEngine resumed(baseConfig());
+  resumed.resumeFrom(reopened);
+  const CampaignResult r = resumed.run(*workload_);
+  const CampaignResult ref = uninterrupted();
+  EXPECT_EQ(r.resumedExperiments, kExperiments);
+  EXPECT_EQ(r.completedExperiments, kExperiments);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.counts, ref.counts);
+  EXPECT_EQ(r.activationHist, ref.activationHist);
+}
+
+TEST_F(CampaignStoreFixture, ResumeEqualsUninterruptedAcrossThreads) {
+  // The acceptance criterion: interrupt after k shards, resume, compare —
+  // for interrupted/resumed thread counts in {1, 8}.
+  const CampaignResult ref = uninterrupted();
+  for (const std::size_t interruptThreads : {1u, 8u}) {
+    for (const std::size_t resumeThreads : {1u, 8u}) {
+      const std::string path =
+          path_ + "." + std::to_string(interruptThreads) + "-" +
+          std::to_string(resumeThreads);
+      std::remove(path.c_str());
+      {
+        CampaignStore store(path);
+        CampaignConfig capped = baseConfig();
+        capped.threads = interruptThreads;
+        capped.maxShards = 4;  // "killed" after 4 of 10 shards
+        CampaignEngine engine(capped);
+        engine.recordTo(store);
+        const CampaignResult partial = engine.run(*workload_);
+        EXPECT_FALSE(partial.complete());
+        EXPECT_EQ(partial.completedExperiments, 4 * kShardSize);
+      }
+      CampaignStore store(path);
+      store.load();
+      CampaignConfig config = baseConfig();
+      config.threads = resumeThreads;
+      CampaignEngine engine(config);
+      engine.resumeFrom(store).recordTo(store);
+      const CampaignResult resumed = engine.run(*workload_);
+      std::remove(path.c_str());
+
+      EXPECT_TRUE(resumed.complete());
+      EXPECT_EQ(resumed.resumedExperiments, 4 * kShardSize);
+      EXPECT_EQ(resumed.counts, ref.counts)
+          << "interruptThreads=" << interruptThreads
+          << " resumeThreads=" << resumeThreads;
+      EXPECT_EQ(resumed.activationHist, ref.activationHist)
+          << "interruptThreads=" << interruptThreads
+          << " resumeThreads=" << resumeThreads;
+    }
+  }
+}
+
+TEST_F(CampaignStoreFixture, RepeatedCappedRunsDrainTheCampaign) {
+  // Checkpoint in 4-shard slices until done, like a preemptible batch job.
+  CampaignStore store(path_);
+  store.load();
+  CampaignResult last;
+  for (int round = 0; round < 3; ++round) {
+    CampaignConfig config = baseConfig();
+    config.maxShards = 4;
+    CampaignEngine engine(config);
+    engine.resumeFrom(store).recordTo(store);
+    last = engine.run(*workload_);
+  }
+  EXPECT_TRUE(last.complete());  // 4 + 4 + 2 shards
+  const CampaignResult ref = uninterrupted();
+  EXPECT_EQ(last.counts, ref.counts);
+  EXPECT_EQ(last.activationHist, ref.activationHist);
+}
+
+TEST_F(CampaignStoreFixture, TruncatedLastLineIsToleratedOnResume) {
+  {
+    CampaignStore store(path_);
+    CampaignConfig capped = baseConfig();
+    capped.maxShards = 4;
+    CampaignEngine engine(capped);
+    engine.recordTo(store);
+    engine.run(*workload_);
+  }
+  {
+    // Kill-mid-write: append half a record with no trailing newline.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"v\":1,\"kind\":\"shard\",\"key\":\"0x00", f);
+    std::fclose(f);
+  }
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.shardRecords, 4u);
+  EXPECT_EQ(stats.malformed, 1u);
+
+  CampaignEngine engine(baseConfig());
+  engine.resumeFrom(store);
+  const CampaignResult resumed = engine.run(*workload_);
+  const CampaignResult ref = uninterrupted();
+  EXPECT_EQ(resumed.resumedExperiments, 4 * kShardSize);
+  EXPECT_EQ(resumed.counts, ref.counts);
+  EXPECT_EQ(resumed.activationHist, ref.activationHist);
+}
+
+TEST_F(CampaignStoreFixture, IntegrityFailingRecordsAreRejected) {
+  {
+    // A parseable record whose outcome counts do not tally its experiment
+    // count must be dropped at load, not merged.
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "{\"v\":1,\"kind\":\"shard\",\"key\":\"0x0000000000000001\","
+        "\"spec\":\"x\",\"seed\":1,\"experiments\":100,\"shard\":0,"
+        "\"first\":0,\"count\":10,\"outcomes\":[1,1,1,1,1],\"hist\":"
+        "[[0,0,5]]}\n",
+        f);
+    std::fclose(f);
+  }
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.shardRecords, 0u);
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(store.findShard(1, 0, 10), nullptr);
+}
+
+TEST_F(CampaignStoreFixture, CampaignKeyMismatchResumesNothing) {
+  {
+    CampaignStore store(path_);
+    CampaignEngine engine(baseConfig());
+    engine.recordTo(store);
+    engine.run(*workload_);  // full campaign recorded under seed A
+  }
+  CampaignStore store(path_);
+  EXPECT_EQ(store.load().shardRecords, kExperiments / kShardSize);
+
+  // Same geometry, different seed: the campaign key differs, so nothing is
+  // resumable and the fresh campaign computes its own (different-seed)
+  // result from scratch.
+  CampaignConfig other = baseConfig();
+  other.seed ^= 1;
+  CampaignEngine engine(other);
+  engine.resumeFrom(store);
+  const CampaignResult r = engine.run(*workload_);
+  EXPECT_EQ(r.resumedExperiments, 0u);
+  EXPECT_TRUE(r.complete());
+  const CampaignResult ref = CampaignEngine(other).run(*workload_);
+  EXPECT_EQ(r.counts, ref.counts);
+
+  // Changing the fault spec (flip width) must also change the key.
+  CampaignConfig narrower = baseConfig();
+  narrower.spec.flipWidth = 32;
+  CampaignEngine narrowEngine(narrower);
+  narrowEngine.resumeFrom(store);
+  EXPECT_EQ(narrowEngine.run(*workload_).resumedExperiments, 0u);
+}
+
+TEST_F(CampaignStoreFixture, DifferentShardGeometryIsIgnoredSafely) {
+  {
+    CampaignStore store(path_);
+    CampaignEngine engine(baseConfig());  // shardSize 24
+    engine.recordTo(store);
+    engine.run(*workload_);
+  }
+  CampaignStore store(path_);
+  store.load();
+  CampaignConfig other = baseConfig();
+  other.shardSize = 60;  // ranges never line up with the recorded ones
+  CampaignEngine engine(other);
+  engine.resumeFrom(store);
+  const CampaignResult r = engine.run(*workload_);
+  EXPECT_EQ(r.resumedExperiments, 0u);  // no partial/overlapping reuse
+  const CampaignResult ref = uninterrupted();
+  EXPECT_EQ(r.counts, ref.counts);
+  EXPECT_EQ(r.activationHist, ref.activationHist);
+}
+
+TEST_F(CampaignStoreFixture, ProgressReportsResumedShardsFirst) {
+  {
+    CampaignStore store(path_);
+    CampaignConfig capped = baseConfig();
+    capped.maxShards = 4;
+    CampaignEngine engine(capped);
+    engine.recordTo(store);
+    engine.run(*workload_);
+  }
+  CampaignStore store(path_);
+  store.load();
+  CampaignEngine engine(baseConfig());
+  engine.resumeFrom(store);
+  std::size_t resumedSeen = 0;
+  std::size_t executedSeen = 0;
+  bool executedBeforeResumed = false;
+  engine.onShardDone([&](const ShardProgress& p) {
+    if (p.resumed) {
+      ++resumedSeen;
+      if (executedSeen != 0) executedBeforeResumed = true;
+    } else {
+      ++executedSeen;
+    }
+    EXPECT_EQ(p.shardCount, kExperiments / kShardSize);
+  });
+  engine.run(*workload_);
+  EXPECT_EQ(resumedSeen, 4u);
+  EXPECT_EQ(executedSeen, kExperiments / kShardSize - 4);
+  EXPECT_FALSE(executedBeforeResumed);
+}
+
+TEST_F(CampaignStoreFixture, SameInstanceReRecordSkipsKnownShards) {
+  CampaignStore store(path_);
+  CampaignConfig capped = baseConfig();
+  capped.maxShards = 2;
+  CampaignEngine(capped).recordTo(store).run(*workload_);
+  // Re-running without resume re-executes the shards, but the store knows
+  // them already and must not append duplicate lines.
+  CampaignEngine(capped).recordTo(store).run(*workload_);
+
+  CampaignStore reopened(path_);
+  const CampaignStore::LoadStats stats = reopened.load();
+  EXPECT_EQ(stats.shardRecords, 2u);
+  EXPECT_EQ(stats.duplicates, 0u);
+}
+
+TEST_F(CampaignStoreFixture, DuplicateRecordsOnDiskAreCountedAndFirstWins) {
+  {
+    // Two writers that never saw each other's index (separate processes in
+    // real life): the file ends up with duplicate shard lines.
+    CampaignConfig capped = baseConfig();
+    capped.maxShards = 2;
+    CampaignStore first(path_);
+    CampaignEngine(capped).recordTo(first).run(*workload_);
+    CampaignStore second(path_);  // not load()ed — blind to first's records
+    CampaignEngine(capped).recordTo(second).run(*workload_);
+  }
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.shardRecords, 2u);
+  EXPECT_EQ(stats.duplicates, 2u);
+
+  CampaignEngine engine(baseConfig());
+  engine.resumeFrom(store);
+  const CampaignResult r = engine.run(*workload_);
+  const CampaignResult ref = uninterrupted();
+  EXPECT_EQ(r.resumedExperiments, 2 * kShardSize);
+  EXPECT_EQ(r.counts, ref.counts);
+}
+
+TEST_F(CampaignStoreFixture, WorkloadRecordsRoundTrip) {
+  {
+    CampaignStore store(path_);
+    CampaignStore::WorkloadRecord rec;
+    rec.name = "qsort";
+    rec.suite = "MiBench";
+    rec.package = "automotive";
+    rec.sourceHash = 0xabcdef0123456789ULL;
+    rec.minicLoc = 61;
+    rec.irInstrs = 158;
+    rec.dynInstrs = 43370;
+    rec.candRead = 37017;
+    rec.candWrite = 30369;
+    ASSERT_TRUE(store.appendWorkload(rec));
+  }
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.workloadRecords, 1u);
+  const CampaignStore::WorkloadRecord* rec = store.findWorkload("qsort");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->suite, "MiBench");
+  EXPECT_EQ(rec->candRead, 37017u);
+  // The staleness binding survives the round trip with full 64-bit
+  // precision (consumers compare it against the current source hash).
+  EXPECT_EQ(rec->sourceHash, 0xabcdef0123456789ULL);
+  EXPECT_EQ(store.findWorkload("missing"), nullptr);
+}
+
+TEST_F(CampaignStoreFixture, DifferentWorkloadNeverResumesForeignShards) {
+  // Same spec/seed/experiments, different program: the workload fingerprint
+  // differs, so the second workload must not inherit the first's records.
+  {
+    CampaignStore store(path_);
+    CampaignEngine(baseConfig()).recordTo(store).run(*workload_);
+  }
+  const Workload other(lang::compileMiniC(R"MC(
+int main() { print_s("other\n"); return 0; }
+)MC"));
+  ASSERT_NE(other.fingerprint(), workload_->fingerprint());
+  CampaignStore store(path_);
+  store.load();
+  CampaignEngine engine(baseConfig());
+  engine.resumeFrom(store);
+  EXPECT_EQ(engine.run(other).resumedExperiments, 0u);
+
+  // A different hang budget changes outcome classification, so it must
+  // also change the fingerprint (and therefore the campaign key).
+  const Workload tightBudget(lang::compileMiniC(kGuineaPig),
+                             /*hangFactor=*/2);
+  ASSERT_NE(tightBudget.fingerprint(), workload_->fingerprint());
+  CampaignEngine budgetEngine(baseConfig());
+  budgetEngine.resumeFrom(store);
+  EXPECT_EQ(budgetEngine.run(tightBudget).resumedExperiments, 0u);
+}
+
+TEST(CampaignKey, DistinguishesEveryContractField) {
+  const FaultSpec base = FaultSpec::multiBit(Technique::Write, 3,
+                                             WinSize::fixed(2));
+  const std::uint64_t key = CampaignStore::campaignKey(base, 100, 7, 999);
+
+  FaultSpec spec = base;
+  spec.technique = Technique::Read;
+  EXPECT_NE(CampaignStore::campaignKey(spec, 100, 7, 999), key);
+  spec = base;
+  spec.maxMbf = 4;
+  EXPECT_NE(CampaignStore::campaignKey(spec, 100, 7, 999), key);
+  spec = base;
+  spec.winSize = WinSize::random(2, 2);
+  EXPECT_NE(CampaignStore::campaignKey(spec, 100, 7, 999), key);
+  spec = base;
+  spec.flipWidth = 32;
+  EXPECT_NE(CampaignStore::campaignKey(spec, 100, 7, 999), key);
+  EXPECT_NE(CampaignStore::campaignKey(base, 101, 7, 999), key);
+  EXPECT_NE(CampaignStore::campaignKey(base, 100, 8, 999), key);
+  EXPECT_NE(CampaignStore::campaignKey(base, 100, 7, 998), key);
+  EXPECT_EQ(CampaignStore::campaignKey(base, 100, 7, 999), key);
+}
+
+}  // namespace
+}  // namespace onebit::fi

@@ -1,0 +1,197 @@
+// util::Json / JSONL round-trip and robustness tests: exact 64-bit integer
+// round-trips (campaign keys and seeds use the full range), escape handling,
+// rejection of malformed documents, and the torn-last-line tolerance the
+// checkpoint store's durability contract depends on.
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/jsonl.hpp"
+
+namespace onebit::util {
+namespace {
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::boolean(false).dump(), "false");
+  EXPECT_EQ(Json::number(std::uint64_t{0}).dump(), "0");
+  EXPECT_EQ(Json::number(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, Uint64PrecisionSurvivesRoundTrip) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  const std::string text = Json::number(max).dump();
+  EXPECT_EQ(text, "18446744073709551615");
+  const std::optional<Json> parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->asUint(), max);  // a double round would lose this
+
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  const std::optional<Json> negParsed = Json::parse(Json::number(min).dump());
+  ASSERT_TRUE(negParsed.has_value());
+  EXPECT_EQ(negParsed->asInt(), min);
+}
+
+TEST(Json, DoubleAtIntegerBoundaryFallsBackInsteadOfOverflowing) {
+  // static_cast<double>(UINT64_MAX) rounds UP to 2^64; a double holding
+  // exactly 2^64 (or 2^63 for int64) must hit the fallback, never an
+  // undefined float→int cast.
+  const std::optional<Json> big = Json::parse("1.8446744073709552e19");
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->asUint(7), 7u);
+  const std::optional<Json> bigSigned = Json::parse("9.223372036854776e18");
+  ASSERT_TRUE(bigSigned.has_value());
+  EXPECT_EQ(bigSigned->asInt(-7), -7);
+  // Exactly representable in-range doubles still convert.
+  const std::optional<Json> ok = Json::parse("4294967296.0");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->asUint(), 4294967296ULL);
+  EXPECT_EQ(Json::parse("2.5")->asUint(7), 7u);  // non-integral double
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const std::string text = Json::string(nasty).dump();
+  const std::optional<Json> parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->asString(), nasty);
+}
+
+TEST(Json, NestedStructureRoundTrips) {
+  Json obj = Json::object();
+  obj.set("name", Json::string("qsort"));
+  Json arr = Json::array();
+  arr.push(Json::number(std::uint64_t{1}));
+  arr.push(Json::number(std::int64_t{-2}));
+  arr.push(Json::number(2.5));
+  obj.set("values", std::move(arr));
+  obj.set("nested", Json::object().set("flag", Json::boolean(true)));
+
+  const std::optional<Json> parsed = Json::parse(obj.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("name")->asString(), "qsort");
+  const Json* values = parsed->find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->items().size(), 3u);
+  EXPECT_EQ(values->items()[0].asUint(), 1u);
+  EXPECT_EQ(values->items()[1].asInt(), -2);
+  EXPECT_DOUBLE_EQ(values->items()[2].asDouble(), 2.5);
+  EXPECT_TRUE(parsed->find("nested")->find("flag")->asBool());
+  EXPECT_EQ(parsed->find("absent"), nullptr);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", Json::number(std::uint64_t{1}));
+  obj.set("a", Json::number(std::uint64_t{2}));
+  EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, MalformedDocumentsAreRejected) {
+  const char* const kBad[] = {
+      "",
+      "{",
+      "[1,2",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "\"unterminated",
+      "\"bad\\escape\"",
+      "01x",
+      "nul",
+      "truex",
+      "{\"a\":1} trailing",
+      "[1,]",
+      "- ",
+      "1e999",  // non-finite after parse
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(Json::parse(text).has_value()) << "input: " << text;
+  }
+}
+
+TEST(Json, TruncatedRecordNeverParsesAsShorterValidOne) {
+  const std::string full =
+      "{\"v\":1,\"outcomes\":[1,2,3,4,5],\"count\":15}";
+  ASSERT_TRUE(Json::parse(full).has_value());
+  // Every proper prefix must fail — a torn write is detected, not misread.
+  for (std::size_t len = 1; len < full.size(); ++len) {
+    EXPECT_FALSE(Json::parse(full.substr(0, len)).has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Jsonl, WriteThenReadBack) {
+  const std::string path = tempPath("jsonl_roundtrip.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      Json rec = Json::object();
+      rec.set("i", Json::number(i));
+      ASSERT_TRUE(writer.writeLine(rec));
+    }
+  }
+  std::vector<std::uint64_t> seen;
+  const JsonlReadStats stats = readJsonl(
+      path, [&](Json&& rec) { seen.push_back(rec.find("i")->asUint()); });
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Jsonl, MissingFileReadsAsEmpty) {
+  const JsonlReadStats stats = readJsonl(
+      tempPath("jsonl_does_not_exist.jsonl"),
+      [](Json&&) { FAIL() << "no records expected"; });
+  EXPECT_EQ(stats.lines, 0u);
+  EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(Jsonl, TruncatedLastLineIsSkippedNotFatal) {
+  const std::string path = tempPath("jsonl_truncated.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlWriter writer(path);
+    ASSERT_TRUE(writer.writeLine(
+        Json::object().set("i", Json::number(std::uint64_t{1}))));
+  }
+  {
+    // Simulate a writer killed mid-record: an unterminated trailing line.
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"i\":2,\"outco", f);
+    std::fclose(f);
+  }
+  std::size_t records = 0;
+  const JsonlReadStats stats =
+      readJsonl(path, [&](Json&&) { ++records; });
+  EXPECT_EQ(records, 1u);
+  EXPECT_EQ(stats.lines, 2u);
+  EXPECT_EQ(stats.malformed, 1u);
+}
+
+TEST(Jsonl, AppendsAcrossWriterInstances) {
+  const std::string path = tempPath("jsonl_append.jsonl");
+  std::remove(path.c_str());
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    JsonlWriter writer(path);  // reopening must append, not truncate
+    ASSERT_TRUE(
+        writer.writeLine(Json::object().set("i", Json::number(i))));
+  }
+  std::size_t records = 0;
+  readJsonl(path, [&](Json&&) { ++records; });
+  EXPECT_EQ(records, 2u);
+}
+
+}  // namespace
+}  // namespace onebit::util
