@@ -5,6 +5,11 @@
 // to 32 bits, so flips in the high 32 bits are often architecturally masked.
 // This bench quantifies that substitution artifact by confining flips to the
 // low k bits (k = 64, 32, 16).
+//
+// All program × technique × model × width campaigns run as one SweepBuilder
+// sweep; cells carry their width explicitly (ONEBIT_FLIP_WIDTH is the very
+// knob under ablation, so it does not apply here). ONEBIT_SPECS drops
+// (technique, model) rows by spec label.
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -14,39 +19,61 @@ int main() {
   bench::printHeaderNote("Ablation: flip width (64 vs 32 vs 16 bits)", n);
 
   const unsigned widths[] = {64, 32, 16};
-  util::TextTable table({"program", "technique", "model",
-                         "SDC% w=64", "SDC% w=32", "SDC% w=16",
-                         "Benign% w=64", "Benign% w=32"});
+  const auto workloads = bench::loadWorkloads();
+
+  struct Row {
+    std::string name;
+    fi::Technique tech;
+    unsigned maxMbf;
+    std::vector<std::size_t> cells;  // one per width
+  };
+  bench::SweepBuilder sweep;
+  std::vector<Row> rows;
   std::uint64_t salt = 90000;
-  for (const auto& [name, w] : bench::loadWorkloads()) {
+  for (const auto& [name, w] : workloads) {
     for (const fi::Technique tech :
          {fi::Technique::Read, fi::Technique::Write}) {
       for (const unsigned maxMbf : {1U, 3U}) {
-        std::vector<double> sdc;
-        std::vector<double> benign;
+        fi::FaultSpec spec =
+            maxMbf == 1
+                ? fi::FaultSpec::singleBit(tech)
+                : fi::FaultSpec::multiBit(tech, maxMbf,
+                                          fi::WinSize::fixed(1));
+        if (!bench::specSelected(spec)) {
+          salt += std::size(widths);  // keep later seeds stable
+          continue;
+        }
+        Row row{name, tech, maxMbf, {}};
         for (const unsigned width : widths) {
-          fi::FaultSpec spec =
-              maxMbf == 1
-                  ? fi::FaultSpec::singleBit(tech)
-                  : fi::FaultSpec::multiBit(tech, maxMbf,
-                                            fi::WinSize::fixed(1));
-          spec.flipWidth = width;
           fi::CampaignConfig config;
           config.spec = spec;
+          config.spec.flipWidth = width;
           config.experiments = n;
           config.seed = util::hashCombine(bench::masterSeed(), salt++);
-          const fi::CampaignResult r = fi::runCampaign(w, config);
-          sdc.push_back(r.sdc().fraction);
-          benign.push_back(
-              r.counts.proportion(stats::Outcome::Benign).fraction);
+          row.cells.push_back(sweep.addConfig(name, w, config));
         }
-        table.addRow({name, tech == fi::Technique::Read ? "read" : "write",
-                      maxMbf == 1 ? "single" : "m=3,w=1",
-                      util::fmtPercent(sdc[0]), util::fmtPercent(sdc[1]),
-                      util::fmtPercent(sdc[2]), util::fmtPercent(benign[0]),
-                      util::fmtPercent(benign[1])});
+        rows.push_back(std::move(row));
       }
     }
+  }
+  sweep.run();
+
+  util::TextTable table({"program", "technique", "model",
+                         "SDC% w=64", "SDC% w=32", "SDC% w=16",
+                         "Benign% w=64", "Benign% w=32"});
+  for (const Row& row : rows) {
+    std::vector<double> sdc;
+    std::vector<double> benign;
+    for (const std::size_t cell : row.cells) {
+      const fi::CampaignResult& r = sweep[cell];
+      sdc.push_back(r.sdc().fraction);
+      benign.push_back(r.counts.proportion(stats::Outcome::Benign).fraction);
+    }
+    table.addRow({row.name, row.tech == fi::Technique::Read ? "read" : "write",
+                  row.maxMbf == 1 ? "single" : "m=3,w=1",
+                  util::fmtPercent(sdc[0]), util::fmtPercent(sdc[1]),
+                  util::fmtPercent(sdc[2]), util::fmtPercent(benign[0]),
+                  util::fmtPercent(benign[1])});
   }
   bench::emitTable(table);
   std::printf(

@@ -5,6 +5,11 @@
 // fault-free execution time (§III-E). This bench shows how the Hang and SDC
 // rates respond to the chosen factor — if the classification were sensitive
 // to it, the outcome taxonomy would be fragile.
+//
+// Every (program × factor) pair is its own Workload (the budget is part of
+// the workload identity), and all of them run as one SweepBuilder sweep.
+#include <memory>
+
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -14,8 +19,17 @@ int main() {
   bench::printHeaderNote("Ablation: hang-detection budget factor", n);
 
   const std::uint64_t factors[] = {5, 20, 50, 200};
-  util::TextTable table({"program", "factor", "Hang%", "SDC%", "Detected%",
-                         "Benign%"});
+  const fi::FaultSpec spec =
+      fi::FaultSpec::multiBit(fi::Technique::Write, 3, fi::WinSize::fixed(1));
+
+  struct Row {
+    std::string name;
+    std::uint64_t factor;
+    std::size_t cell;
+  };
+  std::vector<std::unique_ptr<fi::Workload>> workloads;  // outlive the sweep
+  bench::SweepBuilder sweep;
+  std::vector<Row> rows;
   std::uint64_t salt = 91000;
   for (const auto& info : progs::allPrograms()) {
     if (!bench::programSelected(info.name)) continue;
@@ -25,21 +39,27 @@ int main() {
       continue;
     }
     for (const std::uint64_t factor : factors) {
-      const fi::Workload w(progs::compileProgram(info), factor);
-      const fi::FaultSpec spec =
-          fi::FaultSpec::multiBit(fi::Technique::Write, 3,
-                                  fi::WinSize::fixed(1));
-      const fi::CampaignResult r = bench::campaign(w, spec, n, salt);
-      table.addRow(
-          {info.name, std::to_string(factor),
-           util::fmtPercent(r.counts.proportion(stats::Outcome::Hang).fraction),
-           util::fmtPercent(r.sdc().fraction),
-           util::fmtPercent(
-               r.counts.proportion(stats::Outcome::Detected).fraction),
-           util::fmtPercent(
-               r.counts.proportion(stats::Outcome::Benign).fraction)});
+      workloads.push_back(
+          std::make_unique<fi::Workload>(progs::compileProgram(info), factor));
+      rows.push_back({info.name, factor,
+                      sweep.add(info.name, *workloads.back(), spec, n, salt)});
     }
     ++salt;  // same seed across factors: only the budget varies
+  }
+  sweep.run();
+
+  util::TextTable table({"program", "factor", "Hang%", "SDC%", "Detected%",
+                         "Benign%"});
+  for (const Row& row : rows) {
+    const fi::CampaignResult& r = sweep[row.cell];
+    table.addRow(
+        {row.name, std::to_string(row.factor),
+         util::fmtPercent(r.counts.proportion(stats::Outcome::Hang).fraction),
+         util::fmtPercent(r.sdc().fraction),
+         util::fmtPercent(
+             r.counts.proportion(stats::Outcome::Detected).fraction),
+         util::fmtPercent(
+             r.counts.proportion(stats::Outcome::Benign).fraction)});
   }
   bench::emitTable(table);
   std::printf(

@@ -8,6 +8,11 @@
 // report (cf. Schirmeier et al., "Avoiding pitfalls in fault-injection based
 // comparison of program susceptibility to soft errors", DSN 2015, cited as
 // [31] in the paper).
+//
+// Both IR variants of every program run in one SweepBuilder sweep (same
+// seed per program pair: only the IR differs).
+#include <memory>
+
 #include "bench_common.hpp"
 #include "opt/passes.hpp"
 #include "util/table.hpp"
@@ -18,24 +23,45 @@ int main() {
   bench::printHeaderNote("Ablation: -O0 vs -O1 IR under single-bit injection",
                          n);
 
-  util::TextTable table({"program", "cand. write O0", "cand. write O1",
-                         "shrink", "SDC% O0", "SDC% O1", "Detected% O0",
-                         "Detected% O1"});
+  const fi::FaultSpec spec = fi::FaultSpec::singleBit(fi::Technique::Write);
+
+  struct Row {
+    std::string name;
+    std::size_t rawCell;
+    std::size_t optCell;
+    std::uint64_t candRaw;
+    std::uint64_t candOpt;
+  };
+  std::vector<std::unique_ptr<fi::Workload>> workloads;  // outlive the sweep
+  bench::SweepBuilder sweep;
+  std::vector<Row> rows;
   std::uint64_t salt = 97000;
   for (const auto& info : progs::allPrograms()) {
     if (!bench::programSelected(info.name)) continue;
-    const fi::Workload raw(progs::compileProgram(info, false));
-    const fi::Workload optd(progs::compileProgram(info, true));
-    const fi::FaultSpec spec = fi::FaultSpec::singleBit(fi::Technique::Write);
-    const fi::CampaignResult r0 = bench::campaign(raw, spec, n, salt);
-    const fi::CampaignResult r1 = bench::campaign(optd, spec, n, salt);
+    workloads.push_back(std::make_unique<fi::Workload>(
+        progs::compileProgram(info, false)));
+    const fi::Workload& raw = *workloads.back();
+    workloads.push_back(std::make_unique<fi::Workload>(
+        progs::compileProgram(info, true)));
+    const fi::Workload& optd = *workloads.back();
+    rows.push_back({info.name, sweep.add(info.name, raw, spec, n, salt),
+                    sweep.add(info.name, optd, spec, n, salt),
+                    raw.candidates(fi::Technique::Write),
+                    optd.candidates(fi::Technique::Write)});
     ++salt;
-    const auto c0 = raw.candidates(fi::Technique::Write);
-    const auto c1 = optd.candidates(fi::Technique::Write);
+  }
+  sweep.run();
+
+  util::TextTable table({"program", "cand. write O0", "cand. write O1",
+                         "shrink", "SDC% O0", "SDC% O1", "Detected% O0",
+                         "Detected% O1"});
+  for (const Row& row : rows) {
+    const fi::CampaignResult& r0 = sweep[row.rawCell];
+    const fi::CampaignResult& r1 = sweep[row.optCell];
     table.addRow(
-        {info.name, std::to_string(c0), std::to_string(c1),
-         util::fmtPercent(1.0 - static_cast<double>(c1) /
-                                    static_cast<double>(c0)),
+        {row.name, std::to_string(row.candRaw), std::to_string(row.candOpt),
+         util::fmtPercent(1.0 - static_cast<double>(row.candOpt) /
+                                    static_cast<double>(row.candRaw)),
          util::fmtPercent(r0.sdc().fraction),
          util::fmtPercent(r1.sdc().fraction),
          util::fmtPercent(

@@ -5,12 +5,18 @@
 //   ONEBIT_EXPERIMENTS  experiments per campaign (default varies per bench)
 //   ONEBIT_SEED         master seed (default 2017, the paper's year)
 //   ONEBIT_PROGRAMS     comma-separated subset of Table II program names
+//   ONEBIT_SPECS        semicolon-separated subset of fault-spec labels,
+//                       e.g. "read/single;write/m=3,w=1" (semicolons
+//                       because multi-bit labels contain commas); matches
+//                       whole FaultSpec::label() strings
 //   ONEBIT_CSV          1 = emit tables as CSV (for plotting scripts)
 //   ONEBIT_FLIP_WIDTH   integer-register width of the flip model
 //                       (default 32 = paper-faithful; 64 = raw VM width)
-//   ONEBIT_THREADS      worker threads per campaign (default: all cores)
+//   ONEBIT_THREADS      worker threads shared by the whole sweep
+//                       (default: all cores)
 //   ONEBIT_SHARD_SIZE   experiments per shard (default: auto)
-//   ONEBIT_PROGRESS     1 = print per-shard progress to stderr
+//   ONEBIT_PROGRESS     1 = per-campaign suite progress lines on stderr,
+//                       2 = per-shard lines as well
 //
 // Results-store knobs (checkpoint/resume; see docs/ARCHITECTURE.md):
 //   ONEBIT_STORE        path of a JSONL campaign store; every completed
@@ -20,16 +26,24 @@
 //   ONEBIT_MAX_SHARDS   stop each campaign after this many fresh shards
 //                       (checkpoint cap; partial results, for testing
 //                       interruption without killing the process)
+//
+// Drivers that sweep several campaigns should not loop over campaign();
+// they should declare every (workload × spec) cell on a SweepBuilder and
+// run() it once: the whole sweep executes as ONE fi::CampaignSuite, shards
+// from all campaigns interleaved on a single thread pool, with results
+// bit-identical to the one-at-a-time loop (see fi/suite.hpp).
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fi/campaign.hpp"
 #include "fi/campaign_store.hpp"
+#include "fi/suite.hpp"
 #include "progs/registry.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -46,22 +60,29 @@ inline std::uint64_t masterSeed() {
 }
 
 inline std::size_t experimentsPerCampaign(std::size_t fallback) {
-  return static_cast<std::size_t>(
-      util::envInt("ONEBIT_EXPERIMENTS", static_cast<std::int64_t>(fallback)));
+  return util::envSize("ONEBIT_EXPERIMENTS", fallback);
 }
 
+/// True when `name` passes the ONEBIT_PROGRAMS comma-list filter (an unset
+/// or empty filter selects everything).
 inline bool programSelected(const std::string& name) {
   const std::string filter = util::envStr("ONEBIT_PROGRAMS", "");
   if (filter.empty()) return true;
-  std::size_t pos = 0;
-  while (pos <= filter.size()) {
-    const std::size_t comma = filter.find(',', pos);
-    const std::size_t end = comma == std::string::npos ? filter.size() : comma;
-    if (filter.substr(pos, end - pos) == name) return true;
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return false;
+  const std::vector<std::string> items = util::splitList(filter);
+  return std::find(items.begin(), items.end(), name) != items.end();
+}
+
+/// True when the spec's label passes the ONEBIT_SPECS filter (an unset or
+/// empty filter selects everything). The list is semicolon-separated —
+/// multi-bit labels like "write/m=3,w=1" contain commas — and matches whole
+/// FaultSpec::label() strings. Drivers apply this when building their spec
+/// axes, so tables shrink coherently, the same way ONEBIT_PROGRAMS drops
+/// whole workload rows.
+inline bool specSelected(const fi::FaultSpec& spec) {
+  const std::string filter = util::envStr("ONEBIT_SPECS", "");
+  if (filter.empty()) return true;
+  const std::vector<std::string> items = util::splitList(filter, ';');
+  return std::find(items.begin(), items.end(), spec.label()) != items.end();
 }
 
 /// Compile and profile all (selected) Table II workloads.
@@ -127,44 +148,121 @@ inline fi::StoreBinding storeBinding(std::string workloadName) {
   return binding;
 }
 
+/// The suite configuration every bench sweep runs under, resolved from the
+/// environment knobs once per builder.
+inline fi::SuiteConfig suiteConfigFromEnv() {
+  fi::SuiteConfig cfg;
+  cfg.threads = util::envSize("ONEBIT_THREADS");
+  cfg.shardSize = util::envSize("ONEBIT_SHARD_SIZE");
+  cfg.maxShards = util::envSize("ONEBIT_MAX_SHARDS");
+  cfg.withStore(storeBinding({}));
+  return cfg;
+}
+
+/// Declarative bench sweep: queue (workload × spec) campaign cells with
+/// add(), then run() once — the whole sweep executes as ONE
+/// fi::CampaignSuite honoring every env knob campaign() honors. Results come
+/// back in add() order; each cell is bit-identical to what a solo
+/// bench::campaign() call with the same arguments returns.
+class SweepBuilder {
+ public:
+  SweepBuilder() : suite_(suiteConfigFromEnv()) {
+    const std::int64_t level = util::envInt("ONEBIT_PROGRESS", 0);
+    if (level >= 1) {
+      suite_.onProgress([](const fi::SuiteProgress& p) {
+        std::fprintf(stderr,
+                     "  [%s] %s %zu/%zu experiments (suite %zu/%zu, "
+                     "%zu/%zu campaigns done)\n",
+                     p.cellLabel.c_str(), p.resumed ? "resumed" : "at",
+                     p.cellCompletedExperiments, p.cellTotalExperiments,
+                     p.suiteCompletedExperiments, p.suiteTotalExperiments,
+                     p.completedCells, p.cellCount);
+      });
+    }
+    if (level >= 2) {
+      suite_.onShardDone([](const fi::ShardProgress& p) {
+        std::fprintf(stderr, "    shard %zu/%zu %s (%zu/%zu experiments)\n",
+                     p.completedShards, p.shardCount,
+                     p.resumed ? "resumed" : "done", p.completedExperiments,
+                     p.totalExperiments);
+      });
+    }
+  }
+
+  /// Queue one campaign cell. The master seed and flip width are applied
+  /// here, exactly as campaign() applies them. Returns the cell's index
+  /// into the run() result vector.
+  std::size_t add(const std::string& workloadName, const fi::Workload& w,
+                  fi::FaultSpec spec, std::size_t n, std::uint64_t seedSalt) {
+    spec.flipWidth = flipWidth();
+    std::string label = spec.label();
+    if (!workloadName.empty()) label = workloadName + " " + label;
+    return suite_.addCell(std::move(label), w, spec, n,
+                          util::hashCombine(masterSeed(), seedSalt),
+                          workloadName);
+  }
+
+  /// Queue a pre-built campaign config, taking spec (flip width included),
+  /// experiment count, and seed verbatim — for pruning-layer plans
+  /// (pruning::gridCampaigns, pruning::activationCampaigns, ...) that derive
+  /// their own per-campaign seeds.
+  std::size_t addConfig(const std::string& workloadName, const fi::Workload& w,
+                        const fi::CampaignConfig& config) {
+    std::string label = config.spec.label();
+    if (!workloadName.empty()) label = workloadName + " " + label;
+    return suite_.addCell(std::move(label), w, config.spec,
+                          config.experiments, config.seed, workloadName);
+  }
+
+  [[nodiscard]] std::size_t cellCount() const noexcept {
+    return suite_.cellCount();
+  }
+
+  /// Run every queued cell as one suite. Idempotent: the first call
+  /// executes, later calls return the cached results.
+  const std::vector<fi::CampaignResult>& run() {
+    if (!ran_) {
+      results_ = suite_.run();
+      ran_ = true;
+      std::size_t incomplete = 0;
+      for (const fi::CampaignResult& r : results_) {
+        if (!r.complete()) ++incomplete;
+      }
+      if (incomplete != 0) {
+        std::fprintf(stderr,
+                     "warning: %zu/%zu campaigns incomplete "
+                     "(ONEBIT_MAX_SHARDS checkpoint cap?) — %s\n",
+                     incomplete, results_.size(),
+                     sharedStore() != nullptr
+                         ? "resume with ONEBIT_RESUME=1 to finish"
+                         : "nothing was recorded; set ONEBIT_STORE to make "
+                           "partial runs resumable");
+      }
+    }
+    return results_;
+  }
+
+  /// The result of the cell add() returned this index for. run() first.
+  const fi::CampaignResult& operator[](std::size_t idx) {
+    return run()[idx];
+  }
+
+ private:
+  fi::CampaignSuite suite_;
+  std::vector<fi::CampaignResult> results_;
+  bool ran_ = false;
+};
+
+/// Run one campaign under the env knobs — a single-cell SweepBuilder. Kept
+/// for drivers and examples that genuinely have one campaign; anything
+/// iterating workloads or specs should batch cells on a SweepBuilder.
 inline fi::CampaignResult campaign(const fi::Workload& w,
                                    const fi::FaultSpec& spec, std::size_t n,
                                    std::uint64_t seedSalt,
                                    std::string workloadName = {}) {
-  fi::CampaignConfig config;
-  config.spec = spec;
-  config.spec.flipWidth = flipWidth();
-  config.experiments = n;
-  config.seed = util::hashCombine(masterSeed(), seedSalt);
-  // Negative env values mean "auto", not a 2^64-scale cast.
-  config.threads = static_cast<std::size_t>(
-      std::max<std::int64_t>(0, util::envInt("ONEBIT_THREADS", 0)));
-  config.shardSize = static_cast<std::size_t>(
-      std::max<std::int64_t>(0, util::envInt("ONEBIT_SHARD_SIZE", 0)));
-  config.maxShards = static_cast<std::size_t>(
-      std::max<std::int64_t>(0, util::envInt("ONEBIT_MAX_SHARDS", 0)));
-  fi::CampaignEngine engine(config);
-  engine.withStore(storeBinding(std::move(workloadName)));
-  if (util::envInt("ONEBIT_PROGRESS", 0) != 0) {
-    engine.onShardDone([](const fi::ShardProgress& p) {
-      std::fprintf(stderr, "  shard %zu/%zu %s (%zu/%zu experiments)\n",
-                   p.completedShards, p.shardCount,
-                   p.resumed ? "resumed" : "done", p.completedExperiments,
-                   p.totalExperiments);
-    });
-  }
-  fi::CampaignResult result = engine.run(w);
-  if (!result.complete()) {
-    std::fprintf(stderr,
-                 "warning: campaign incomplete (%zu/%zu experiments; "
-                 "ONEBIT_MAX_SHARDS checkpoint cap?) — %s\n",
-                 result.completedExperiments, result.config.experiments,
-                 sharedStore() != nullptr
-                     ? "resume with ONEBIT_RESUME=1 to finish"
-                     : "nothing was recorded; set ONEBIT_STORE to make "
-                       "partial runs resumable");
-  }
-  return result;
+  SweepBuilder sweep;
+  const std::size_t idx = sweep.add(workloadName, w, spec, n, seedSalt);
+  return sweep[idx];
 }
 
 /// Print a table as aligned text, or CSV when ONEBIT_CSV=1 (for plotting).

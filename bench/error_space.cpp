@@ -2,6 +2,8 @@
 // buy? Prints, per program: the single-bit space, the full multi-bit space
 // (log10!), the clustered exploration the paper performs instead, and the
 // layer-3 location pruning derived from the single-bit campaign.
+//
+// The per-program single-bit campaigns run as one SweepBuilder sweep.
 #include "bench_common.hpp"
 #include "pruning/error_space.hpp"
 #include "util/table.hpp"
@@ -12,16 +14,24 @@ int main() {
   bench::printHeaderNote("Error-space accounting (§II-D) and pruning layers",
                          n);
 
+  const auto workloads = bench::loadWorkloads();
+  bench::SweepBuilder sweep;
+  std::vector<std::size_t> cells;
+  std::uint64_t salt = 98000;
+  for (const auto& [name, w] : workloads) {
+    cells.push_back(sweep.add(
+        name, w, fi::FaultSpec::singleBit(fi::Technique::Read), n, salt++));
+  }
+  sweep.run();
+
   const unsigned bits = bench::flipWidth();
   util::TextTable table({"program", "single-bit space", "full multi space",
                          "<=10 errors space", "layer-3 prunable"});
-  std::uint64_t salt = 98000;
-  for (const auto& [name, w] : bench::loadWorkloads()) {
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& [name, w] = workloads[i];
     const std::uint64_t d = w.candidates(fi::Technique::Read);
-    const fi::CampaignResult single = bench::campaign(
-        w, fi::FaultSpec::singleBit(fi::Technique::Read), n, salt++, name);
     const double benign =
-        single.counts.proportion(stats::Outcome::Benign).fraction;
+        sweep[cells[i]].counts.proportion(stats::Outcome::Benign).fraction;
     char buf[64];
     std::snprintf(buf, sizeof buf, "10^%.0f",
                   pruning::ErrorSpace::log10FullMultiBitSize(d, bits));

@@ -1,5 +1,10 @@
 // Fig. 1 (a, b): outcome classification of single bit-flip campaigns for
 // both injection techniques, per program.
+//
+// All 2×15 campaigns are declared on one SweepBuilder and run as a single
+// fi::CampaignSuite: shards from every campaign interleave on one shared
+// pool, so the tail shards of one program's campaign overlap with the next
+// program's work instead of idling behind a per-campaign barrier.
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -9,17 +14,34 @@ int main() {
   bench::printHeaderNote("Fig. 1: single bit-flip outcome classification", n);
 
   const auto workloads = bench::loadWorkloads();
+
+  struct Section {
+    fi::Technique tech;
+    std::vector<std::size_t> cells;  // one per workload, sweep indices
+  };
+  bench::SweepBuilder sweep;
+  std::vector<Section> sections;
   for (const fi::Technique tech :
        {fi::Technique::Read, fi::Technique::Write}) {
-    std::printf("--- (%c) %s ---\n",
-                tech == fi::Technique::Read ? 'a' : 'b',
-                fi::techniqueName(tech).data());
-    util::TextTable table({"program", "Benign%", "Detection%", "SDC%",
-                           "SDC +/-", "hang", "no-output"});
+    const fi::FaultSpec spec = fi::FaultSpec::singleBit(tech);
+    if (!bench::specSelected(spec)) continue;
+    Section section{tech, {}};
     std::uint64_t salt = tech == fi::Technique::Read ? 100 : 200;
     for (const auto& [name, w] : workloads) {
-      const fi::CampaignResult r =
-          bench::campaign(w, fi::FaultSpec::singleBit(tech), n, salt++);
+      section.cells.push_back(sweep.add(name, w, spec, n, salt++));
+    }
+    sections.push_back(std::move(section));
+  }
+  sweep.run();
+
+  for (const Section& section : sections) {
+    std::printf("--- (%c) %s ---\n",
+                section.tech == fi::Technique::Read ? 'a' : 'b',
+                fi::techniqueName(section.tech).data());
+    util::TextTable table({"program", "Benign%", "Detection%", "SDC%",
+                           "SDC +/-", "hang", "no-output"});
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const fi::CampaignResult& r = sweep[section.cells[i]];
       const auto benign = r.counts.proportion(stats::Outcome::Benign);
       const auto sdc = r.sdc();
       // "Detection" = Detected + Hang + NoOutput (§III-E).
@@ -27,7 +49,7 @@ int main() {
                                     r.counts.count(stats::Outcome::Hang) +
                                     r.counts.count(stats::Outcome::NoOutput);
       const auto det = stats::proportionCI(detection, r.counts.total());
-      table.addRow({name, util::fmtPercent(benign.fraction),
+      table.addRow({workloads[i].name, util::fmtPercent(benign.fraction),
                     util::fmtPercent(det.fraction),
                     util::fmtPercent(sdc.fraction),
                     util::fmtPercent(sdc.ciHalfWidth),

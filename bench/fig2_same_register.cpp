@@ -1,5 +1,10 @@
 // Fig. 2 (a, b): SDC percentage when injecting 1..30 errors into the SAME
 // instruction/register (win-size = 0), per program and technique.
+//
+// The whole program × spec cross-product (2×15×11 campaigns by default) is
+// one SweepBuilder sweep: a single suite, one shared pool, no per-campaign
+// barriers. ONEBIT_SPECS drops columns the same way ONEBIT_PROGRAMS drops
+// rows.
 #include "bench_common.hpp"
 #include "fi/grid.hpp"
 #include "util/table.hpp"
@@ -11,21 +16,56 @@ int main() {
       "Fig. 2: SDC% vs max-MBF, same register (win-size = 0)", n);
 
   const auto workloads = bench::loadWorkloads();
+
+  struct Section {
+    fi::Technique tech;
+    std::vector<fi::FaultSpec> specs;        // table columns
+    std::vector<std::size_t> cells;          // workload-major × spec
+  };
+  bench::SweepBuilder sweep;
+  std::vector<Section> sections;
   for (const fi::Technique tech :
        {fi::Technique::Read, fi::Technique::Write}) {
-    std::printf("--- (%c) %s ---\n",
-                tech == fi::Technique::Read ? 'a' : 'b',
-                fi::techniqueName(tech).data());
-    const auto specs = fi::sameRegisterCampaigns(tech);
-    std::vector<std::string> header = {"program"};
-    for (const auto& s : specs) header.push_back("m=" + std::to_string(s.maxMbf));
-    util::TextTable table(header);
+    const std::vector<fi::FaultSpec> allSpecs = fi::sameRegisterCampaigns(tech);
+    std::vector<bool> selected;
+    Section section{tech, {}, {}};
+    for (const fi::FaultSpec& spec : allSpecs) {
+      selected.push_back(bench::specSelected(spec));
+      if (selected.back()) section.specs.push_back(spec);
+    }
+    if (section.specs.empty()) continue;
     std::uint64_t salt = tech == fi::Technique::Read ? 1000 : 2000;
     for (const auto& [name, w] : workloads) {
+      // Salt over the FULL spec axis so an ONEBIT_SPECS-filtered run keeps
+      // every surviving cell's seed (and store campaign key) identical to
+      // the unfiltered run's.
+      for (std::size_t j = 0; j < allSpecs.size(); ++j) {
+        if (!selected[j]) {
+          ++salt;
+          continue;
+        }
+        section.cells.push_back(sweep.add(name, w, allSpecs[j], n, salt++));
+      }
+    }
+    sections.push_back(std::move(section));
+  }
+  sweep.run();
+
+  for (const Section& section : sections) {
+    std::printf("--- (%c) %s ---\n",
+                section.tech == fi::Technique::Read ? 'a' : 'b',
+                fi::techniqueName(section.tech).data());
+    std::vector<std::string> header = {"program"};
+    for (const fi::FaultSpec& s : section.specs) {
+      header.push_back("m=" + std::to_string(s.maxMbf));
+    }
+    util::TextTable table(header);
+    std::size_t cell = 0;
+    for (const auto& [name, w] : workloads) {
       std::vector<std::string> row = {name};
-      for (const auto& spec : specs) {
-        const fi::CampaignResult r = bench::campaign(w, spec, n, salt++);
-        row.push_back(util::fmtPercent(r.sdc().fraction));
+      for (std::size_t s = 0; s < section.specs.size(); ++s) {
+        row.push_back(
+            util::fmtPercent(sweep[section.cells[cell++]].sdc().fraction));
       }
       table.addRow(std::move(row));
     }

@@ -1,6 +1,10 @@
 // Fig. 3 (a, b): distribution of the number of ACTIVATED errors before a
 // crash, when intending to inject 30 (max-MBF = 30), aggregated over all
 // win-size values — the RQ1 analysis.
+//
+// Every activation campaign (2 techniques × 15 programs × 9 win-sizes) is
+// queued through pruning::activationCampaigns onto one SweepBuilder sweep;
+// the per-program buckets are folded from the suite results afterwards.
 #include "bench_common.hpp"
 #include "pruning/activation_study.hpp"
 #include "util/table.hpp"
@@ -12,23 +16,48 @@ int main() {
       "Fig. 3: activated errors before crash (max-MBF = 30)", n);
 
   const auto workloads = bench::loadWorkloads();
+
+  struct Section {
+    fi::Technique tech;
+    // cells[program] = suite indices of that program's win-size campaigns
+    std::vector<std::vector<std::size_t>> cells;
+  };
+  bench::SweepBuilder sweep;
+  std::vector<Section> sections;
   for (const fi::Technique tech :
        {fi::Technique::Read, fi::Technique::Write}) {
+    Section section{tech, {}};
+    std::uint64_t salt = tech == fi::Technique::Read ? 3000 : 4000;
+    for (const auto& [name, w] : workloads) {
+      std::vector<std::size_t> programCells;
+      for (const fi::CampaignConfig& config : pruning::activationCampaigns(
+               tech, n, util::hashCombine(bench::masterSeed(), salt),
+               bench::flipWidth())) {
+        programCells.push_back(sweep.addConfig(name, w, config));
+      }
+      ++salt;
+      section.cells.push_back(std::move(programCells));
+    }
+    sections.push_back(std::move(section));
+  }
+  sweep.run();
+
+  for (const Section& section : sections) {
     std::printf("--- (%c) %s ---\n",
-                tech == fi::Technique::Read ? 'a' : 'b',
-                fi::techniqueName(tech).data());
+                section.tech == fi::Technique::Read ? 'a' : 'b',
+                fi::techniqueName(section.tech).data());
     util::TextTable table(
         {"program", "crashes", "1-5 errors", "6-10 errors", ">10 errors"});
     pruning::ActivationBuckets total;
-    std::uint64_t salt = tech == fi::Technique::Read ? 3000 : 4000;
-    for (const auto& [name, w] : workloads) {
-      const pruning::ActivationBuckets b = pruning::activationStudy(
-          w, tech, n, util::hashCombine(bench::masterSeed(), salt++),
-          bench::flipWidth());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      pruning::ActivationBuckets b;
+      for (const std::size_t cell : section.cells[i]) {
+        pruning::accumulateActivations(b, sweep[cell].activationHist);
+      }
       total.upToFive += b.upToFive;
       total.sixToTen += b.sixToTen;
       total.moreThanTen += b.moreThanTen;
-      table.addRow({name, std::to_string(b.total()),
+      table.addRow({workloads[i].name, std::to_string(b.total()),
                     util::fmtPercent(b.fracUpToFive()),
                     util::fmtPercent(b.fracSixToTen()),
                     util::fmtPercent(b.fracMoreThanTen())});

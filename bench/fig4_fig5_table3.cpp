@@ -6,6 +6,12 @@
 //
 // One binary computes all three because they share the same 81-campaign
 // grid per program/technique (1 single-bit + 8 win-sizes x 10 max-MBF).
+//
+// The grid runs in two suite phases: phase 1 batches EVERY grid campaign of
+// every program × technique (~2430 campaigns) onto one SweepBuilder sweep;
+// phase 2 selects each grid's pessimistic pair and batches the independent
+// re-validation campaigns onto a second sweep. Results are bit-identical to
+// the serial pruning::findPessimisticPair path (same specs, same seeds).
 #include <map>
 
 #include "bench_common.hpp"
@@ -116,6 +122,75 @@ void printTableThree(
       "fails to be pessimistic mostly under\ninject-on-write (RQ2).\n");
 }
 
+/// One program/technique's grid: its phase-1 plan and suite cell indices.
+struct GridSweep {
+  std::string name;
+  const fi::Workload* workload = nullptr;
+  std::uint64_t baseSeed = 0;  ///< seed the grid AND validation derive from
+  std::vector<fi::CampaignConfig> configs;
+  std::vector<std::size_t> cells;
+};
+
+std::vector<GridSweep> queueGrids(bench::SweepBuilder& sweep,
+                                  const std::vector<bench::NamedWorkload>& ws,
+                                  fi::Technique tech, std::size_t n,
+                                  std::uint64_t& salt) {
+  std::vector<GridSweep> grids;
+  for (const auto& [name, w] : ws) {
+    GridSweep grid;
+    grid.name = name;
+    grid.workload = &w;
+    grid.baseSeed = util::hashCombine(bench::masterSeed(), salt++);
+    grid.configs =
+        pruning::gridCampaigns(tech, n, grid.baseSeed, bench::flipWidth());
+    for (const fi::CampaignConfig& config : grid.configs) {
+      grid.cells.push_back(sweep.addConfig(name, w, config));
+    }
+    grids.push_back(std::move(grid));
+  }
+  return grids;
+}
+
+/// Phase 2: select each grid's pessimistic pair and queue its re-validation
+/// campaign on the SHARED `validation` sweep (read and write batches land in
+/// the same suite, so there is no barrier between them). `validationCells`
+/// receives one suite index per grid (unused when !hasBest).
+std::vector<ProgramGrid> selectGrids(bench::SweepBuilder& gridSweep,
+                                     const std::vector<GridSweep>& grids,
+                                     std::size_t n,
+                                     bench::SweepBuilder& validation,
+                                     std::vector<std::size_t>& validationCells) {
+  std::vector<ProgramGrid> out;
+  for (const GridSweep& grid : grids) {
+    std::vector<pruning::CampaignSdc> all;
+    for (std::size_t j = 0; j < grid.configs.size(); ++j) {
+      all.push_back({grid.configs[j].spec, gridSweep[grid.cells[j]].sdc()});
+    }
+    ProgramGrid pg{grid.name, pruning::selectPessimisticPair(std::move(all))};
+    validationCells.push_back(
+        pg.result.hasBest
+            ? validation.addConfig(
+                  grid.name, *grid.workload,
+                  pruning::validationCampaign(pg.result.bestSpec, n,
+                                              grid.baseSeed, 3))
+            : 0);
+    out.push_back(std::move(pg));
+  }
+  return out;
+}
+
+/// Phase 3: overwrite each selected pair's SDC with the unbiased estimate
+/// from the (already run) shared validation sweep.
+void applyValidation(std::vector<ProgramGrid>& grids,
+                     bench::SweepBuilder& validation,
+                     const std::vector<std::size_t>& validationCells) {
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    if (grids[i].result.hasBest) {
+      grids[i].result.validatedBestSdc = validation[validationCells[i]].sdc();
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -124,23 +199,27 @@ int main() {
       "Fig. 4 + Fig. 5 + Table III: multi-register injections", n);
 
   const auto workloads = bench::loadWorkloads();
-  std::vector<ProgramGrid> read;
-  std::vector<ProgramGrid> write;
+
+  // Phase 1: the full read + write grid of every program, as ONE suite.
+  bench::SweepBuilder gridSweep;
   std::uint64_t salt = 50000;
-  for (const auto& [name, w] : workloads) {
-    read.push_back(
-        {name, pruning::findPessimisticPair(
-                   w, fi::Technique::Read, n,
-                   util::hashCombine(bench::masterSeed(), salt++), 3,
-                   bench::flipWidth(), bench::storeBinding(name))});
-  }
-  for (const auto& [name, w] : workloads) {
-    write.push_back(
-        {name, pruning::findPessimisticPair(
-                   w, fi::Technique::Write, n,
-                   util::hashCombine(bench::masterSeed(), salt++), 3,
-                   bench::flipWidth(), bench::storeBinding(name))});
-  }
+  std::vector<GridSweep> readGrids =
+      queueGrids(gridSweep, workloads, fi::Technique::Read, n, salt);
+  std::vector<GridSweep> writeGrids =
+      queueGrids(gridSweep, workloads, fi::Technique::Write, n, salt);
+  gridSweep.run();
+
+  // Phase 2+3: one SHARED validation suite for read and write batches.
+  bench::SweepBuilder validation;
+  std::vector<std::size_t> readValidation;
+  std::vector<std::size_t> writeValidation;
+  std::vector<ProgramGrid> read =
+      selectGrids(gridSweep, readGrids, n, validation, readValidation);
+  std::vector<ProgramGrid> write =
+      selectGrids(gridSweep, writeGrids, n, validation, writeValidation);
+  validation.run();
+  applyValidation(read, validation, readValidation);
+  applyValidation(write, validation, writeValidation);
 
   printFigure("Fig. 4: SDC%, multi-register, inject-on-read", read);
   printFigure("Fig. 5: SDC%, multi-register, inject-on-write", write);

@@ -1,33 +1,15 @@
 #include "fi/campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdio>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "fi/campaign_store.hpp"
+#include "fi/suite.hpp"
 #include "util/thread_pool.hpp"
 
 namespace onebit::fi {
-
-namespace {
-
-/// Shard-local tally: one per shard, written by exactly one worker.
-struct ShardAccumulator {
-  stats::OutcomeCounts counts;
-  ActivationHistogram hist{};
-
-  void add(const ExperimentResult& r) noexcept {
-    counts.add(r.outcome);
-    const unsigned bucket = std::min(r.activations, kMaxActivationBucket);
-    ++hist[static_cast<std::size_t>(r.outcome)][bucket];
-  }
-};
-
-}  // namespace
 
 void mergeHistogram(ActivationHistogram& into,
                     const ActivationHistogram& from) noexcept {
@@ -38,30 +20,38 @@ void mergeHistogram(ActivationHistogram& into,
   }
 }
 
+std::size_t resolveThreads(std::size_t requested) noexcept {
+  const std::size_t threads =
+      requested != 0
+          ? requested
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min(threads, util::ThreadPool::kMaxThreads);
+}
+
+std::size_t resolveShardSize(std::size_t experiments,
+                             std::size_t requested) noexcept {
+  if (requested != 0) {
+    // Clamp so a shard count can never overflow to 0 while experiments > 0
+    // (e.g. requested == SIZE_MAX making `experiments + requested - 1` wrap).
+    return std::clamp<std::size_t>(requested, 1,
+                                   std::max<std::size_t>(1, experiments));
+  }
+  // Auto geometry must be a function of the campaign alone — NOT of the
+  // thread count — or a store recorded on one machine would silently fail
+  // to resume on another (shard records match by exact experiment range).
+  // ~64 shards per campaign balances load across shards of uneven cost on
+  // any sane core count; the floor keeps tiny campaigns from paying
+  // per-task overhead per experiment, the ceiling keeps progress
+  // callbacks flowing on huge ones.
+  constexpr std::size_t kTargetShards = 64;
+  return std::clamp<std::size_t>(
+      (experiments + kTargetShards - 1) / kTargetShards, 16, 4096);
+}
+
 CampaignEngine::CampaignEngine(CampaignConfig config)
     : config_(std::move(config)) {
-  threads_ = config_.threads != 0
-                 ? config_.threads
-                 : std::max<std::size_t>(
-                       1, std::thread::hardware_concurrency());
-  threads_ = std::min(threads_, util::ThreadPool::kMaxThreads);
-  if (config_.shardSize != 0) {
-    // Clamp so shardCount() can never overflow to 0 while experiments > 0
-    // (e.g. shardSize == SIZE_MAX making `experiments + shardSize - 1` wrap).
-    shardSize_ = std::clamp<std::size_t>(
-        config_.shardSize, 1, std::max<std::size_t>(1, config_.experiments));
-  } else {
-    // Auto geometry must be a function of the campaign alone — NOT of the
-    // thread count — or a store recorded on one machine would silently fail
-    // to resume on another (shard records match by exact experiment range).
-    // ~64 shards per campaign balances load across shards of uneven cost on
-    // any sane core count; the floor keeps tiny campaigns from paying
-    // per-task overhead per experiment, the ceiling keeps progress
-    // callbacks flowing on huge ones.
-    constexpr std::size_t kTargetShards = 64;
-    shardSize_ = std::clamp<std::size_t>(
-        (config_.experiments + kTargetShards - 1) / kTargetShards, 16, 4096);
-  }
+  threads_ = resolveThreads(config_.threads);
+  shardSize_ = resolveShardSize(config_.experiments, config_.shardSize);
 }
 
 CampaignEngine& CampaignEngine::onShardDone(ProgressCallback cb) {
@@ -93,142 +83,22 @@ std::size_t CampaignEngine::shardCount() const noexcept {
 }
 
 CampaignResult CampaignEngine::run(const Workload& workload) const {
-  CampaignResult result;
-  result.config = config_;
-
-  const std::size_t n = config_.experiments;
-  if (n == 0) return result;
-
-  const std::uint64_t candidates = workload.candidates(config_.spec.technique);
-  const std::size_t shards = shardCount();
-  std::vector<ShardAccumulator> partial(shards);
-
-  CampaignStore::CampaignMeta meta;
-  if (record_ != nullptr || resume_ != nullptr) {
-    meta.key = CampaignStore::campaignKey(config_.spec, n, config_.seed,
-                                          workload.fingerprint());
-    meta.workload = recordWorkload_;
-    meta.specLabel = config_.spec.label();
-    meta.seed = config_.seed;
-    meta.experiments = n;
-    meta.candidates = candidates;
-  }
-
-  // Partition shards into resumed (merged from the store) and pending
-  // (executed). The store index is consulted once, up front: resumed
-  // aggregates land in the same per-shard slots an execution would fill, so
-  // the final merge is identical either way — that is what makes a resumed
-  // campaign bit-identical to an uninterrupted one.
-  std::vector<unsigned char> resumed(shards, 0);
-  std::vector<std::size_t> pending;
-  pending.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    const std::size_t first = s * shardSize_;
-    const std::size_t count = std::min(n, first + shardSize_) - first;
-    if (resume_ != nullptr) {
-      if (const CampaignStore::ShardAggregate* agg =
-              resume_->findShard(meta.key, first, count)) {
-        partial[s].counts = agg->counts;
-        partial[s].hist = agg->hist;
-        resumed[s] = 1;
-        result.resumedExperiments += count;
-        continue;
-      }
-    }
-    pending.push_back(s);
-  }
-  // The checkpoint cap: execute at most maxShards fresh shards this run
-  // (lowest shard indices first, so repeated capped runs make monotonic
-  // progress through the campaign).
-  if (config_.maxShards != 0 && pending.size() > config_.maxShards) {
-    pending.resize(config_.maxShards);
-  }
-
-  // Shard-geometry foot-gun diagnostic: the store has experiments recorded
-  // under this campaign key, yet none matched the current shard ranges —
-  // almost always a shardSize change between the recording and resuming
-  // runs. The campaign still computes correctly; it just re-runs.
-  if (resume_ != nullptr && result.resumedExperiments == 0) {
-    const std::size_t recorded = resume_->recordedExperiments(meta.key);
-    if (recorded != 0) {
-      std::fprintf(stderr,
-                   "warning: campaign store has %zu experiment(s) recorded "
-                   "for this campaign, but none match the current shard "
-                   "geometry (shardSize=%zu); re-running them\n",
-                   recorded, shardSize_);
-    }
-  }
-
-  std::mutex progressMutex;
-  std::size_t completedShards = 0;
-  std::size_t completedExperiments = 0;
-  std::atomic<bool> storeWriteFailed{false};
-
-  // Report resumed shards before starting new work, in shard order.
-  if (progress_ != nullptr) {
-    for (std::size_t s = 0; s < shards; ++s) {
-      if (resumed[s] == 0) continue;
-      const std::size_t first = s * shardSize_;
-      const std::size_t count = std::min(n, first + shardSize_) - first;
-      ++completedShards;
-      completedExperiments += count;
-      progress_(ShardProgress{s, shards, first, count, completedShards,
-                              completedExperiments, n, partial[s].counts,
-                              /*resumed=*/true});
-    }
-  }
-
-  auto runShard = [&](std::size_t s) {
-    const std::size_t first = s * shardSize_;
-    const std::size_t last = std::min(n, first + shardSize_);
-    ShardAccumulator& acc = partial[s];
-    for (std::size_t i = first; i < last; ++i) {
-      const FaultPlan plan =
-          FaultPlan::forExperiment(config_.spec, candidates, config_.seed, i);
-      acc.add(runExperiment(workload, plan));
-    }
-    if (record_ != nullptr &&
-        !record_->appendShard(meta, s, first, last - first,
-                              {acc.counts, acc.hist}) &&
-        !storeWriteFailed.exchange(true)) {
-      // Warn once: a silently unwritable store would let the user kill the
-      // run believing its shards are persisted.
-      std::fprintf(stderr,
-                   "warning: campaign store '%s' is not recording (write "
-                   "failed); this run will NOT be resumable\n",
-                   record_->path().c_str());
-    }
-    if (progress_) {
-      std::lock_guard lock(progressMutex);
-      ++completedShards;
-      completedExperiments += last - first;
-      progress_(ShardProgress{s, shards, first, last - first, completedShards,
-                              completedExperiments, n, acc.counts,
-                              /*resumed=*/false});
-    }
-  };
-
-  if (threads_ > 1 && pending.size() > 1) {
-    util::ThreadPool pool(threads_);
-    pool.parallelFor(pending.size(),
-                     [&](std::size_t i) { runShard(pending[i]); });
-  } else {
-    for (const std::size_t s : pending) runShard(s);
-  }
-
-  // Merge in shard order (resumed and executed shards alike; skipped
-  // shards of a capped run stay zero). Order does not affect the result
-  // (integer adds commute); it is fixed anyway so intermediate states are
-  // reproducible.
-  std::vector<unsigned char> executed(shards, 0);
-  for (const std::size_t s : pending) executed[s] = 1;
-  for (std::size_t s = 0; s < shards; ++s) {
-    if (resumed[s] == 0 && executed[s] == 0) continue;
-    const std::size_t first = s * shardSize_;
-    result.completedExperiments += std::min(n, first + shardSize_) - first;
-    result.counts.merge(partial[s].counts);
-    mergeHistogram(result.activationHist, partial[s].hist);
-  }
+  // A campaign is a single-cell suite: fi/suite.cpp owns the scheduler, the
+  // resume partition, and the shard execution loop, so solo and suite mode
+  // cannot drift apart.
+  SuiteConfig cfg;
+  cfg.threads = config_.threads;
+  cfg.shardSize = config_.shardSize;
+  cfg.maxShards = config_.maxShards;
+  cfg.record = record_;
+  cfg.resume = resume_;
+  CampaignSuite suite(cfg);
+  suite.addCell(SuiteCell{config_.spec.label(), &workload, config_.spec,
+                          config_.experiments, config_.seed, recordWorkload_});
+  if (progress_ != nullptr) suite.onShardDone(progress_);
+  std::vector<CampaignResult> results = suite.run();
+  CampaignResult result = std::move(results.front());
+  result.config = config_;  // preserve the caller's exact config verbatim
   return result;
 }
 

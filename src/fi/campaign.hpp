@@ -15,6 +15,12 @@
 // instead of re-executed. Because a shard's aggregates depend only on
 // (spec, seed, experiment range), a campaign interrupted after k shards and
 // resumed later is bit-identical to an uninterrupted run.
+//
+// Multi-campaign sweeps should not call run() in a loop — that puts a
+// thread-pool drain barrier after every campaign. Declare the whole sweep
+// as a fi::CampaignSuite (fi/suite.hpp) instead; CampaignEngine::run() is
+// itself a single-cell suite, so both paths share one scheduler and one
+// determinism contract.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +46,17 @@ struct CampaignConfig {
   /// makes interruption testable without killing the process.
   std::size_t maxShards = 0;
 };
+
+/// Resolve a requested worker-thread count: 0 picks hardware concurrency;
+/// the result is clamped to [1, util::ThreadPool::kMaxThreads].
+std::size_t resolveThreads(std::size_t requested) noexcept;
+
+/// Resolve the per-campaign shard size. A nonzero request is clamped to
+/// [1, experiments]; 0 selects the auto heuristic (~64 shards per campaign,
+/// floor 16, ceiling 4096). Deliberately independent of the thread count so
+/// store shard geometry is stable across machines.
+std::size_t resolveShardSize(std::size_t experiments,
+                             std::size_t requested) noexcept;
 
 /// Histogram of activation counts by outcome (rows: outcome, cols: number of
 /// activated errors, saturating at kMaxActivationBucket).

@@ -21,11 +21,10 @@ double ActivationBuckets::fracMoreThanTen() const noexcept {
   return frac(moreThanTen, total());
 }
 
-ActivationBuckets activationStudy(const fi::Workload& workload,
-                                  fi::Technique technique,
-                                  std::size_t experimentsPerCampaign,
-                                  std::uint64_t seed, unsigned flipWidth) {
-  ActivationBuckets buckets;
+std::vector<fi::CampaignConfig> activationCampaigns(
+    fi::Technique technique, std::size_t experimentsPerCampaign,
+    std::uint64_t seed, unsigned flipWidth) {
+  std::vector<fi::CampaignConfig> configs;
   std::uint64_t campaignIdx = 0;
   for (const fi::WinSize& w : fi::FaultSpec::paperWinSizes()) {
     fi::CampaignConfig config;
@@ -33,14 +32,31 @@ ActivationBuckets activationStudy(const fi::Workload& workload,
     config.spec.flipWidth = flipWidth;
     config.experiments = experimentsPerCampaign;
     config.seed = util::hashCombine(seed, campaignIdx++);
-    const fi::CampaignResult result = fi::runCampaign(workload, config);
-    const auto& hist = result.activationHist[static_cast<std::size_t>(
-        stats::Outcome::Detected)];
-    for (unsigned k = 0; k <= fi::kMaxActivationBucket; ++k) {
-      if (k <= 5) buckets.upToFive += hist[k];
-      else if (k <= 10) buckets.sixToTen += hist[k];
-      else buckets.moreThanTen += hist[k];
-    }
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+void accumulateActivations(ActivationBuckets& buckets,
+                           const fi::ActivationHistogram& hist) noexcept {
+  const auto& crashed =
+      hist[static_cast<std::size_t>(stats::Outcome::Detected)];
+  for (unsigned k = 0; k <= fi::kMaxActivationBucket; ++k) {
+    if (k <= 5) buckets.upToFive += crashed[k];
+    else if (k <= 10) buckets.sixToTen += crashed[k];
+    else buckets.moreThanTen += crashed[k];
+  }
+}
+
+ActivationBuckets activationStudy(const fi::Workload& workload,
+                                  fi::Technique technique,
+                                  std::size_t experimentsPerCampaign,
+                                  std::uint64_t seed, unsigned flipWidth) {
+  ActivationBuckets buckets;
+  for (const fi::CampaignConfig& config : activationCampaigns(
+           technique, experimentsPerCampaign, seed, flipWidth)) {
+    accumulateActivations(buckets,
+                          fi::runCampaign(workload, config).activationHist);
   }
   return buckets;
 }

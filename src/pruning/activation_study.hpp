@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "fi/campaign.hpp"
 
@@ -23,8 +24,21 @@ struct ActivationBuckets {
   [[nodiscard]] double fracMoreThanTen() const noexcept;
 };
 
-/// Runs max-MBF=30 campaigns for every win-size in Table I (win > 0) and
-/// aggregates the activation distribution of crashed experiments.
+/// The campaigns one activation study sweeps: max-MBF = 30 for every Table I
+/// win-size value, with per-campaign seeds derived from `seed` by position.
+/// Run them yourself (e.g. batched on a fi::CampaignSuite with every other
+/// program's campaigns) and fold each result in with accumulateActivations;
+/// activationStudy() below is the run-them-serially convenience wrapper.
+std::vector<fi::CampaignConfig> activationCampaigns(
+    fi::Technique technique, std::size_t experimentsPerCampaign,
+    std::uint64_t seed, unsigned flipWidth = 64);
+
+/// Fold one campaign's crashed-experiment activation histogram into buckets.
+void accumulateActivations(ActivationBuckets& buckets,
+                           const fi::ActivationHistogram& hist) noexcept;
+
+/// Runs max-MBF=30 campaigns for every win-size in Table I and aggregates
+/// the activation distribution of crashed experiments.
 /// `experimentsPerCampaign` experiments per win-size value.
 ActivationBuckets activationStudy(const fi::Workload& workload,
                                   fi::Technique technique,

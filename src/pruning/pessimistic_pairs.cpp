@@ -1,10 +1,59 @@
 #include "pruning/pessimistic_pairs.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/rng.hpp"
 
 namespace onebit::pruning {
+
+std::vector<fi::CampaignConfig> gridCampaigns(
+    fi::Technique technique, std::size_t experimentsPerCampaign,
+    std::uint64_t seed, unsigned flipWidth) {
+  std::vector<fi::CampaignConfig> configs;
+  std::uint64_t campaignIdx = 0;
+  for (fi::FaultSpec spec : fi::multiRegisterCampaigns(technique)) {
+    spec.flipWidth = flipWidth;
+    fi::CampaignConfig config;
+    config.spec = spec;
+    config.experiments = experimentsPerCampaign;
+    config.seed = util::hashCombine(seed, campaignIdx++);
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+PessimisticPairResult selectPessimisticPair(std::vector<CampaignSdc> all) {
+  PessimisticPairResult out;
+  out.all = std::move(all);
+  for (const CampaignSdc& c : out.all) {
+    if (c.spec.isSingleBit()) {
+      out.singleSdc = c.sdc;
+      continue;
+    }
+    if (!out.hasBest || c.sdc.fraction > out.bestSdc.fraction) {
+      out.hasBest = true;
+      out.bestSdc = c.sdc;
+      out.bestSpec = c.spec;
+    }
+  }
+  // Until the caller re-validates, the (biased) grid argmax is the best
+  // available estimate.
+  out.validatedBestSdc = out.bestSdc;
+  return out;
+}
+
+fi::CampaignConfig validationCampaign(const fi::FaultSpec& bestSpec,
+                                      std::size_t experimentsPerCampaign,
+                                      std::uint64_t seed,
+                                      std::size_t validationFactor) {
+  fi::CampaignConfig config;
+  config.spec = bestSpec;
+  config.experiments =
+      experimentsPerCampaign * std::max<std::size_t>(1, validationFactor);
+  config.seed = util::hashCombine(seed ^ 0x5eedbeefULL, 0xfeedULL);
+  return config;
+}
 
 PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
                                           fi::Technique technique,
@@ -13,37 +62,19 @@ PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
                                           std::size_t validationFactor,
                                           unsigned flipWidth,
                                           const fi::StoreBinding& binding) {
-  PessimisticPairResult out;
-  bool haveBest = false;
-  std::uint64_t campaignIdx = 0;
-  for (fi::FaultSpec spec : fi::multiRegisterCampaigns(technique)) {
-    spec.flipWidth = flipWidth;
-    fi::CampaignConfig config;
-    config.spec = spec;
-    config.experiments = experimentsPerCampaign;
-    config.seed = util::hashCombine(seed, campaignIdx++);
+  std::vector<CampaignSdc> all;
+  for (const fi::CampaignConfig& config :
+       gridCampaigns(technique, experimentsPerCampaign, seed, flipWidth)) {
     const fi::CampaignResult result =
         fi::CampaignEngine(config).withStore(binding).run(workload);
-    const stats::Proportion sdc = result.sdc();
-    out.all.push_back({spec, sdc});
-    if (spec.isSingleBit()) {
-      out.singleSdc = sdc;
-      continue;
-    }
-    if (!haveBest || sdc.fraction > out.bestSdc.fraction) {
-      haveBest = true;
-      out.bestSdc = sdc;
-      out.bestSpec = spec;
-    }
+    all.push_back({config.spec, result.sdc()});
   }
+  PessimisticPairResult out = selectPessimisticPair(std::move(all));
   // Two-stage estimate: re-run the selected pair on an independent sample to
   // strip the argmax selection bias.
-  if (haveBest) {
-    fi::CampaignConfig config;
-    config.spec = out.bestSpec;
-    config.experiments =
-        experimentsPerCampaign * std::max<std::size_t>(1, validationFactor);
-    config.seed = util::hashCombine(seed ^ 0x5eedbeefULL, 0xfeedULL);
+  if (out.hasBest) {
+    const fi::CampaignConfig config = validationCampaign(
+        out.bestSpec, experimentsPerCampaign, seed, validationFactor);
     out.validatedBestSdc =
         fi::CampaignEngine(config).withStore(binding).run(workload).sdc();
   }

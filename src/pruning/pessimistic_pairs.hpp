@@ -1,6 +1,14 @@
 // RQ2-RQ4 / Table III: which (max-MBF, win-size) pair yields the highest
 // (pessimistic) SDC percentage, and does the single bit-flip model already
 // provide a conservative upper bound?
+//
+// The analysis is split into phases so drivers can batch the grid campaigns
+// of many programs/techniques onto one fi::CampaignSuite:
+//   1. gridCampaigns()        — the (spec, seed) plan of the sweep
+//   2. selectPessimisticPair() — pick baseline + argmax from the results
+//   3. validationCampaign()   — the independent re-validation of the argmax
+// findPessimisticPair() composes all three serially for one
+// program/technique (the convenience wrapper the tests use).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,9 @@ struct PessimisticPairResult {
   /// The multi-bit campaign with the highest SDC percentage.
   fi::FaultSpec bestSpec;
   stats::Proportion bestSdc;
+  /// True when the grid contained at least one multi-bit campaign (so
+  /// bestSpec/bestSdc are meaningful).
+  bool hasBest = false;
   /// Unbiased re-estimate of bestSpec's SDC from an independent, larger
   /// sample. Selecting the argmax over dozens of noisy campaign estimates
   /// inflates `bestSdc` (winner's curse) at small campaign sizes; the paper
@@ -40,13 +51,33 @@ struct PessimisticPairResult {
   }
 };
 
+/// Phase 1: the grid findPessimisticPair sweeps for one technique —
+/// fi::multiRegisterCampaigns(t) with `flipWidth` applied and per-campaign
+/// seeds derived from `seed` by grid position.
+std::vector<fi::CampaignConfig> gridCampaigns(
+    fi::Technique technique, std::size_t experimentsPerCampaign,
+    std::uint64_t seed, unsigned flipWidth = 64);
+
+/// Phase 2: pick the single-bit baseline and the highest-SDC multi-bit pair
+/// from the grid results (one CampaignSdc per gridCampaigns() entry, same
+/// order). validatedBestSdc is initialized to bestSdc; overwrite it with the
+/// result of validationCampaign() for the unbiased estimate.
+PessimisticPairResult selectPessimisticPair(std::vector<CampaignSdc> all);
+
+/// Phase 3: the independent re-validation campaign for the selected pair
+/// (`experimentsPerCampaign * validationFactor` experiments, fresh seed).
+fi::CampaignConfig validationCampaign(const fi::FaultSpec& bestSpec,
+                                      std::size_t experimentsPerCampaign,
+                                      std::uint64_t seed,
+                                      std::size_t validationFactor = 3);
+
 /// Run the multi-register grid (win-size > 0) for one technique and find the
-/// pessimistic pair. The selected pair is re-validated with an independent
-/// campaign of `experimentsPerCampaign * validationFactor` experiments.
-/// When `storeBinding` names a CampaignStore, every grid campaign records
-/// its shards there and (with binding.resume) reuses recorded shards, so an
-/// interrupted grid sweep resumes instead of restarting — each of the ~81
-/// campaigns has its own campaign key in the shared store file.
+/// pessimistic pair. The selected pair is re-validated with an independent,
+/// larger campaign. When `storeBinding` names a CampaignStore, every grid
+/// campaign records its shards there and (with binding.resume) reuses
+/// recorded shards, so an interrupted grid sweep resumes instead of
+/// restarting — each of the ~81 campaigns has its own campaign key in the
+/// shared store file.
 PessimisticPairResult findPessimisticPair(
     const fi::Workload& workload, fi::Technique technique,
     std::size_t experimentsPerCampaign, std::uint64_t seed,

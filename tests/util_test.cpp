@@ -230,6 +230,52 @@ TEST(Env, IntFallbackOnGarbage) {
   ::unsetenv("ONEBIT_TEST_BAD");
 }
 
+TEST(Env, SizeFallbackWhenUnset) {
+  ::unsetenv("ONEBIT_TEST_SIZE");
+  EXPECT_EQ(envSize("ONEBIT_TEST_SIZE", 42), 42u);
+  EXPECT_EQ(envSize("ONEBIT_TEST_SIZE"), 0u);
+}
+
+TEST(Env, SizeParsesValue) {
+  ::setenv("ONEBIT_TEST_SIZE", "123", 1);
+  EXPECT_EQ(envSize("ONEBIT_TEST_SIZE", 7), 123u);
+  ::unsetenv("ONEBIT_TEST_SIZE");
+}
+
+TEST(Env, SizeClampsNegativeToAuto) {
+  // A stray -1 must become "auto" (0), never a 2^64-scale cast.
+  ::setenv("ONEBIT_TEST_SIZE", "-1", 1);
+  EXPECT_EQ(envSize("ONEBIT_TEST_SIZE", 99), 0u);
+  ::setenv("ONEBIT_TEST_SIZE", "-123456789", 1);
+  EXPECT_EQ(envSize("ONEBIT_TEST_SIZE", 99), 0u);
+  ::unsetenv("ONEBIT_TEST_SIZE");
+}
+
+TEST(Env, SizeFallbackOnGarbage) {
+  ::setenv("ONEBIT_TEST_SIZE", "12abc", 1);
+  EXPECT_EQ(envSize("ONEBIT_TEST_SIZE", 5), 5u);
+  ::unsetenv("ONEBIT_TEST_SIZE");
+}
+
+TEST(Env, SplitListBasics) {
+  EXPECT_EQ(splitList("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitList("qsort"), (std::vector<std::string>{"qsort"}));
+  EXPECT_TRUE(splitList("").empty());
+}
+
+TEST(Env, SplitListPreservesEmptyItems) {
+  EXPECT_EQ(splitList("a,,b"), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(splitList("a,"), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(splitList(","), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Env, SplitListCustomSeparator) {
+  EXPECT_EQ(splitList("x:y:z", ':'),
+            (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(splitList("a,b", ':'), (std::vector<std::string>{"a,b"}));
+}
+
 TEST(Env, StrRoundTrip) {
   ::setenv("ONEBIT_TEST_STR", "hello", 1);
   EXPECT_EQ(envStr("ONEBIT_TEST_STR", "x"), "hello");
