@@ -39,8 +39,8 @@ int main() {
       continue;
     }
     for (const std::uint64_t factor : factors) {
-      workloads.push_back(
-          std::make_unique<fi::Workload>(progs::compileProgram(info), factor));
+      workloads.push_back(std::make_unique<fi::Workload>(
+          progs::compileProgram(info), factor, bench::snapshotPolicyFromEnv()));
       rows.push_back({info.name, factor,
                       sweep.add(info.name, *workloads.back(), spec, n, salt)});
     }

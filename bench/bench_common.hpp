@@ -18,6 +18,14 @@
 //   ONEBIT_PROGRESS     1 = per-campaign suite progress lines on stderr,
 //                       2 = per-shard lines as well
 //
+// Golden-prefix fast-forward knobs (see docs/ARCHITECTURE.md):
+//   ONEBIT_SNAPSHOT_INTERVAL  combined candidate indices between golden-run
+//                       snapshot captures; 0 = disable the snapshot cache
+//                       (every experiment interprets from scratch),
+//                       unset/negative = auto
+//   ONEBIT_SNAPSHOT_BUDGET    per-workload byte budget for kept snapshots
+//                       (default 16 MiB); 0 = disable the cache
+//
 // Results-store knobs (checkpoint/resume; see docs/ARCHITECTURE.md):
 //   ONEBIT_STORE        path of a JSONL campaign store; every completed
 //                       shard is appended (and flushed) there
@@ -85,12 +93,28 @@ inline bool specSelected(const fi::FaultSpec& spec) {
   return std::find(items.begin(), items.end(), spec.label()) != items.end();
 }
 
+/// The golden-prefix snapshot policy selected by the environment knobs.
+/// ONEBIT_SNAPSHOT_INTERVAL: 0 disables the cache, a positive value pins the
+/// capture spacing, unset/negative picks the auto spacing.
+/// ONEBIT_SNAPSHOT_BUDGET: per-workload byte budget (0 disables).
+inline fi::SnapshotPolicy snapshotPolicyFromEnv() {
+  fi::SnapshotPolicy policy;
+  const std::int64_t interval = util::envInt("ONEBIT_SNAPSHOT_INTERVAL", -1);
+  if (interval >= 0) policy.interval = static_cast<std::uint64_t>(interval);
+  policy.budgetBytes = util::envSize("ONEBIT_SNAPSHOT_BUDGET",
+                                     policy.budgetBytes);
+  return policy;
+}
+
 /// Compile and profile all (selected) Table II workloads.
 inline std::vector<NamedWorkload> loadWorkloads() {
+  const fi::SnapshotPolicy snapshots = snapshotPolicyFromEnv();
   std::vector<NamedWorkload> out;
   for (const auto& info : progs::allPrograms()) {
     if (!programSelected(info.name)) continue;
-    out.push_back({info.name, fi::Workload(progs::compileProgram(info))});
+    out.push_back({info.name,
+                   fi::Workload(progs::compileProgram(info),
+                                fi::Workload::kDefaultHangFactor, snapshots)});
   }
   return out;
 }

@@ -1,15 +1,27 @@
 #include "fi/experiment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.hpp"
 
 namespace onebit::fi {
 
-Workload::Workload(ir::Module mod, std::uint64_t hangFactor)
+Workload::Workload(ir::Module mod, std::uint64_t hangFactor,
+                   SnapshotPolicy snapshots)
     : mod_(std::move(mod)) {
   vm::ExecLimits goldenLimits;
-  golden_ = vm::execute(mod_, goldenLimits, nullptr);
+  if (snapshots.enabled()) {
+    vm::SnapshotCapturePolicy capture;  // default interval = the auto spacing
+    if (snapshots.interval != SnapshotPolicy::kAutoInterval) {
+      capture.interval = snapshots.interval;
+    }
+    capture.maxSnapshots = snapshots.maxSnapshots;
+    capture.budgetBytes = snapshots.budgetBytes;
+    golden_ = vm::executeWithSnapshots(mod_, goldenLimits, capture, snapshots_);
+  } else {
+    golden_ = vm::execute(mod_, goldenLimits, nullptr);
+  }
   if (golden_.status != vm::ExecStatus::Ok) {
     throw std::runtime_error(
         "workload golden run did not terminate normally (trap: " +
@@ -27,6 +39,34 @@ Workload::Workload(ir::Module mod, std::uint64_t hangFactor)
       util::hashCombine(
           util::hashCombine(golden_.readCandidates, golden_.writeCandidates),
           faultyLimits_.maxInstructions));
+}
+
+const vm::Snapshot* Workload::snapshotAtOrBefore(
+    Technique t, std::uint64_t firstIndex,
+    std::uint64_t maxInstructions) const noexcept {
+  // Snapshots are ordered by capture time, so both candidate counters and
+  // the instruction counter are nondecreasing across the vector. Binary
+  // search for the last snapshot whose stream position is <= firstIndex...
+  const auto position = [t](const vm::Snapshot& s) noexcept {
+    return t == Technique::Read ? s.readCandidates : s.writeCandidates;
+  };
+  auto it = std::upper_bound(
+      snapshots_.begin(), snapshots_.end(), firstIndex,
+      [&](std::uint64_t v, const vm::Snapshot& s) { return v < position(s); });
+  // ...then walk back over any whose instruction count a from-scratch run
+  // could not reach within `maxInstructions` (tiny hang factors only).
+  while (it != snapshots_.begin()) {
+    const vm::Snapshot& s = *std::prev(it);
+    if (s.instructions <= maxInstructions) return &s;
+    --it;
+  }
+  return nullptr;
+}
+
+std::size_t Workload::snapshotBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const vm::Snapshot& s : snapshots_) bytes += s.byteSize();
+  return bytes;
 }
 
 stats::Outcome classify(const vm::ExecResult& faulty,
@@ -52,8 +92,17 @@ stats::Outcome classify(const vm::ExecResult& faulty,
 ExperimentResult runExperiment(const Workload& workload,
                                const FaultPlan& plan) {
   InjectorHook hook(plan);
+  const vm::ExecLimits& limits = workload.faultyLimits();
+  // Golden-prefix fast-forward: everything before the plan's first injection
+  // is bit-identical to the golden run (the hook neither mutates state nor
+  // consumes randomness before its first index), so resume from the densest
+  // snapshot at-or-before that index instead of re-interpreting the prefix.
+  const vm::Snapshot* snap = workload.snapshotAtOrBefore(
+      plan.technique, plan.firstIndex, limits.maxInstructions);
   const vm::ExecResult faulty =
-      vm::execute(workload.module(), workload.faultyLimits(), &hook);
+      snap != nullptr
+          ? vm::resume(workload.module(), *snap, limits, &hook)
+          : vm::execute(workload.module(), limits, &hook);
   ExperimentResult result;
   result.outcome = classify(faulty, workload.golden());
   result.trap = faulty.trap;

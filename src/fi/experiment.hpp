@@ -3,14 +3,50 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fi/fault_plan.hpp"
 #include "fi/injector_hook.hpp"
 #include "ir/module.hpp"
 #include "stats/outcome_counts.hpp"
 #include "vm/interpreter.hpp"
+#include "vm/snapshot.hpp"
 
 namespace onebit::fi {
+
+/// Golden-prefix fast-forward knobs: how densely a Workload checkpoints its
+/// golden run, and how much memory those checkpoints may hold. Every faulty
+/// run's prefix before its first injection is identical to the golden run,
+/// so runExperiment() resumes from the densest snapshot at-or-before the
+/// plan's first injection index instead of re-interpreting the prefix.
+/// Snapshots never change results — resumed continuation is bit-identical
+/// to from-scratch execution (the vm/snapshot.hpp contract) — they only
+/// change how fast experiments run.
+struct SnapshotPolicy {
+  /// Auto spacing: the vm::SnapshotCapturePolicy default, coarsened on the
+  /// fly by the retention bounds (drop-every-other + interval doubling).
+  static constexpr std::uint64_t kAutoInterval = ~0ULL;
+
+  /// Combined (read + write) candidate indices between captures.
+  /// 0 disables the snapshot cache entirely; kAutoInterval picks a spacing
+  /// from the retention bounds.
+  std::uint64_t interval = kAutoInterval;
+  /// Per-workload byte budget for kept snapshots (0 disables the cache).
+  std::size_t budgetBytes = 16 << 20;
+  /// Upper bound on kept snapshots (0 = bounded by budgetBytes alone).
+  std::size_t maxSnapshots = 64;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return interval != 0 && budgetBytes != 0;
+  }
+
+  /// The cache-off policy (every experiment interprets from scratch).
+  static SnapshotPolicy disabled() noexcept {
+    SnapshotPolicy p;
+    p.interval = 0;
+    return p;
+  }
+};
 
 /// A program + input pair (the paper's "workload"), with its fault-free
 /// profile: golden output, dynamic instruction count, and per-technique
@@ -18,11 +54,18 @@ namespace onebit::fi {
 /// injection").
 class Workload {
  public:
+  /// Default faulty-run budget factor (LLFI uses one to two orders of
+  /// magnitude above the fault-free runtime).
+  static constexpr std::uint64_t kDefaultHangFactor = 50;
+
   /// Takes ownership of the module and runs the golden execution once.
   /// `hangFactor` scales the faulty-run instruction budget relative to the
-  /// golden run (LLFI uses one to two orders of magnitude; we default to
-  /// 50x + slack).
-  explicit Workload(ir::Module mod, std::uint64_t hangFactor = 50);
+  /// golden run. `snapshots` controls the golden-prefix snapshot cache
+  /// captured during that same golden run (on by default; pass
+  /// SnapshotPolicy::disabled() to interpret every experiment from scratch).
+  explicit Workload(ir::Module mod,
+                    std::uint64_t hangFactor = kDefaultHangFactor,
+                    SnapshotPolicy snapshots = {});
 
   [[nodiscard]] const ir::Module& module() const noexcept { return mod_; }
   [[nodiscard]] const vm::ExecResult& golden() const noexcept {
@@ -39,16 +82,34 @@ class Workload {
   /// of the golden output, dynamic instruction count, both candidate
   /// counts, and the faulty-run instruction budget (hangFactor). Two
   /// workloads that differ in any of these cannot share persisted campaign
-  /// results (see fi/campaign_store.hpp).
+  /// results (see fi/campaign_store.hpp). Snapshot policy is deliberately
+  /// NOT part of the fingerprint — it cannot affect results.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return fingerprint_;
   }
+
+  /// The densest golden-run snapshot usable for a faulty run whose first
+  /// injection is at candidate `firstIndex` of technique `t`'s stream: the
+  /// latest snapshot whose stream position is <= firstIndex and whose
+  /// instruction count fits `maxInstructions` (so a from-scratch run would
+  /// reach the snapshot point without exhausting fuel). nullptr when the
+  /// cache is empty or no snapshot qualifies.
+  [[nodiscard]] const vm::Snapshot* snapshotAtOrBefore(
+      Technique t, std::uint64_t firstIndex,
+      std::uint64_t maxInstructions) const noexcept;
+
+  [[nodiscard]] std::size_t snapshotCount() const noexcept {
+    return snapshots_.size();
+  }
+  /// Total byteSize() of the kept snapshots (<= the policy's budget).
+  [[nodiscard]] std::size_t snapshotBytes() const noexcept;
 
  private:
   ir::Module mod_;
   vm::ExecResult golden_;
   vm::ExecLimits faultyLimits_;
   std::uint64_t fingerprint_ = 0;
+  std::vector<vm::Snapshot> snapshots_;
 };
 
 /// Result of one fault-injection experiment.
@@ -63,7 +124,9 @@ struct ExperimentResult {
 stats::Outcome classify(const vm::ExecResult& faulty,
                         const vm::ExecResult& golden) noexcept;
 
-/// Execute one experiment described by `plan` on `workload`.
+/// Execute one experiment described by `plan` on `workload`, fast-forwarding
+/// over the golden prefix via the workload's snapshot cache when possible.
+/// Bit-identical to a from-scratch run for every plan and policy.
 ExperimentResult runExperiment(const Workload& workload,
                                const FaultPlan& plan);
 

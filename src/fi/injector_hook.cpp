@@ -32,7 +32,9 @@ unsigned effectiveWidth(unsigned flipWidth, bool isF64) noexcept {
 }  // namespace
 
 InjectorHook::InjectorHook(const FaultPlan& plan)
-    : plan_(plan), rng_(plan.seed) {}
+    : plan_(plan), rng_(plan.seed) {
+  if (plan_.maxMbf == 0) markExhausted();
+}
 
 bool InjectorHook::shouldInject(std::uint64_t candidateIndex,
                                 std::uint64_t instrIndex) const noexcept {
@@ -84,6 +86,7 @@ void InjectorHook::onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
   activations_ += flips;
   records_.push_back({readIndex, instrIndex, opIndex, mask});
   armNext(instrIndex);
+  if (injectionsPlanned_ >= plan_.maxMbf) markExhausted();
 }
 
 void InjectorHook::onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
@@ -109,6 +112,7 @@ void InjectorHook::onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
   activations_ += flips;
   records_.push_back({writeIndex, instrIndex, -1, mask});
   armNext(instrIndex);
+  if (injectionsPlanned_ >= plan_.maxMbf) markExhausted();
 }
 
 }  // namespace onebit::fi

@@ -8,6 +8,9 @@
 //  * then schedules each following injection at the first candidate at least
 //    `window` dynamic instructions after the previous one, until max-MBF
 //    injections have been applied or the run ends.
+// Once all max-MBF flips are applied the hook marks itself exhausted
+// (vm::ExecHook::exhausted), so the interpreter finishes the run on its
+// hook-free fast path with no virtual dispatch per candidate.
 // window == 0 reproduces the paper's "same instruction/register" mode: all
 // max-MBF flips hit distinct bits of the same register at once (§IV-B).
 #pragma once

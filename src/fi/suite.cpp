@@ -197,22 +197,35 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     }
   }
 
-  // Interleave: enqueue pending shards round-robin across cells (every
-  // cell's first pending shard, then every cell's second, ...). Workers
-  // drain the queue with no barrier until the whole suite is done, so a
-  // cell's tail shards overlap with every other cell's work.
+  // Cost-ordered enqueue (longest-processing-time-first): cells are queued
+  // in descending order of estimated remaining work — golden dynamic
+  // instructions × pending experiments — so the sweep's long pole starts
+  // the moment the pool spins up and the short cells fill the tail of the
+  // schedule instead of delaying it. Scheduling order can never change
+  // results (each shard writes its own slot and the per-cell merge is in
+  // shard order); ties keep addCell order so the task sequence is
+  // deterministic.
   std::vector<std::pair<std::size_t, std::size_t>> tasks;
-  std::size_t rounds = 0;
   std::size_t taskCount = 0;
-  for (const CellPlan& plan : plans) {
-    rounds = std::max(rounds, plan.pending.size());
+  std::vector<std::uint64_t> cost(nCells, 0);
+  for (std::size_t c = 0; c < nCells; ++c) {
+    const CellPlan& plan = plans[c];
     taskCount += plan.pending.size();
+    // Cells with nothing pending keep cost 0 without touching the workload
+    // (a zero-experiment cell never had its workload dereferenced anywhere).
+    if (plan.pending.empty()) continue;
+    std::size_t pendingExperiments = 0;
+    for (const std::size_t s : plan.pending) pendingExperiments += plan.count(s);
+    cost[c] = plan.cell->workload->golden().instructions *
+              static_cast<std::uint64_t>(pendingExperiments);
   }
+  std::vector<std::size_t> order(nCells);
+  for (std::size_t c = 0; c < nCells; ++c) order[c] = c;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return cost[a] > cost[b]; });
   tasks.reserve(taskCount);
-  for (std::size_t r = 0; r < rounds; ++r) {
-    for (std::size_t c = 0; c < nCells; ++c) {
-      if (r < plans[c].pending.size()) tasks.emplace_back(c, plans[c].pending[r]);
-    }
+  for (const std::size_t c : order) {
+    for (const std::size_t s : plans[c].pending) tasks.emplace_back(c, s);
   }
 
   auto runTask = [&](std::size_t t) {

@@ -20,10 +20,12 @@
 // its own campaign key), so a store written in suite mode resumes in solo
 // mode and vice versa.
 //
-// Scheduling: pending shards are enqueued round-robin across cells (every
-// cell's first pending shard, then every cell's second, ...), so a
-// long-running cell starts making progress immediately even when it is added
-// last, and short cells do not serialize behind a long one.
+// Scheduling: cells are enqueued longest-estimated-first (estimated cost =
+// the workload's golden dynamic instruction count × the cell's pending
+// experiments — the classic LPT makespan heuristic), so the most expensive
+// cell starts the moment the pool spins up regardless of addCell order, and
+// cheap cells pack the tail of the schedule instead of delaying the long
+// pole. Ties keep addCell order; scheduling order never affects results.
 #pragma once
 
 #include <cstdint>

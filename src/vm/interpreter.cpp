@@ -1,433 +1,8 @@
 #include "vm/interpreter.hpp"
 
-#include <array>
-#include <cmath>
-#include <cstdio>
-#include <limits>
-#include <vector>
+#include "vm/machine.hpp"
 
 namespace onebit::vm {
-
-namespace {
-
-using ir::Instr;
-using ir::Opcode;
-using ir::Reg;
-using ir::Type;
-
-struct CallFrame {
-  const ir::Function* fn = nullptr;
-  std::uint32_t block = 0;
-  std::uint32_t ip = 0;           ///< next instruction index within block
-  std::size_t regBase = 0;        ///< base into the shared register stack
-  std::uint64_t frameBase = 0;    ///< base address of this frame's stack slot
-  const Instr* pendingCall = nullptr;  ///< call awaiting a return value
-};
-
-class Machine {
- public:
-  Machine(const ir::Module& mod, const ExecLimits& limits, ExecHook* hook)
-      : mod_(mod),
-        limits_(limits),
-        hook_(hook),
-        mem_(mod.globalData, limits.stackBytes, limits.maxHeapBytes) {}
-
-  ExecResult run() {
-    pushFrame(mod_.entry, {}, nullptr);
-    if (result_.status != ExecStatus::Ok) return finish();
-    loop();
-    return finish();
-  }
-
- private:
-  ExecResult finish() {
-    result_.instructions = instructions_;
-    result_.readCandidates = readCandidates_;
-    result_.writeCandidates = writeCandidates_;
-    return std::move(result_);
-  }
-
-  void trap(TrapKind k) {
-    result_.status = ExecStatus::Trapped;
-    result_.trap = k;
-  }
-
-  void pushFrame(std::uint32_t fnId, std::span<const std::uint64_t> args,
-                 const Instr* pendingCall) {
-    const ir::Function& fn = mod_.functions[fnId];
-    if (frames_.size() >= limits_.maxCallDepth) {
-      trap(TrapKind::SegFault);  // runaway recursion = stack overflow
-      return;
-    }
-    const std::uint64_t alignedFrame =
-        (static_cast<std::uint64_t>(fn.frameBytes) + 7U) & ~7ULL;
-    if (sp_ + alignedFrame > mem_.stackBytes()) {
-      trap(TrapKind::SegFault);
-      return;
-    }
-    CallFrame frame;
-    frame.fn = &fn;
-    frame.regBase = regs_.size();
-    frame.frameBase = ir::kStackBase + sp_;
-    frame.pendingCall = pendingCall;
-    sp_ += alignedFrame;
-    regs_.resize(regs_.size() + fn.numRegs, 0);
-    for (std::size_t i = 0; i < args.size() && i < fn.numParams; ++i) {
-      regs_[frame.regBase + i] = args[i];
-    }
-    frames_.push_back(frame);
-  }
-
-  void popFrame() {
-    const CallFrame& frame = frames_.back();
-    const std::uint64_t alignedFrame =
-        (static_cast<std::uint64_t>(frame.fn->frameBytes) + 7U) & ~7ULL;
-    sp_ -= alignedFrame;
-    regs_.resize(frame.regBase);
-    frames_.pop_back();
-  }
-
-  void appendOutput(const char* data, std::size_t n) {
-    if (result_.output.size() + n > limits_.maxOutputBytes) {
-      result_.outputTruncated = true;
-      return;
-    }
-    result_.output.append(data, n);
-  }
-
-  void printValue(const Instr& in, std::uint64_t v) {
-    char buf[64];
-    switch (in.printKind) {
-      case ir::PrintKind::I64: {
-        const int n = std::snprintf(buf, sizeof buf, "%lld",
-                                    static_cast<long long>(ir::asI64(v)));
-        appendOutput(buf, static_cast<std::size_t>(n));
-        break;
-      }
-      case ir::PrintKind::F64: {
-        double d = ir::asF64(v);
-        // Normalize non-finite and negative-zero values so the golden
-        // comparison is well defined across platforms.
-        if (std::isnan(d)) {
-          appendOutput("nan", 3);
-          break;
-        }
-        const int n = std::snprintf(buf, sizeof buf, "%.6f", d);
-        appendOutput(buf, static_cast<std::size_t>(n));
-        break;
-      }
-      case ir::PrintKind::Char: {
-        buf[0] = static_cast<char>(v & 0xff);
-        appendOutput(buf, 1);
-        break;
-      }
-    }
-  }
-
-  static std::int64_t saturatingFpToSi(double d) noexcept {
-    if (std::isnan(d)) return 0;
-    if (d >= 9.2233720368547758e18) return std::numeric_limits<std::int64_t>::max();
-    if (d <= -9.2233720368547758e18) return std::numeric_limits<std::int64_t>::min();
-    return static_cast<std::int64_t>(d);
-  }
-
-  std::uint64_t applyIntrinsic(const Instr& in,
-                               std::span<const std::uint64_t> v) {
-    const double a = ir::asF64(v[0]);
-    const double b = v.size() > 1 ? ir::asF64(v[1]) : 0.0;
-    double r = 0.0;
-    switch (in.intrinsic) {
-      case ir::IntrinsicKind::Sqrt: r = std::sqrt(a); break;
-      case ir::IntrinsicKind::Sin: r = std::sin(a); break;
-      case ir::IntrinsicKind::Cos: r = std::cos(a); break;
-      case ir::IntrinsicKind::Tan: r = std::tan(a); break;
-      case ir::IntrinsicKind::Atan: r = std::atan(a); break;
-      case ir::IntrinsicKind::Exp: r = std::exp(a); break;
-      case ir::IntrinsicKind::Log: r = std::log(a); break;
-      case ir::IntrinsicKind::Fabs: r = std::fabs(a); break;
-      case ir::IntrinsicKind::Floor: r = std::floor(a); break;
-      case ir::IntrinsicKind::Ceil: r = std::ceil(a); break;
-      case ir::IntrinsicKind::Pow: r = std::pow(a, b); break;
-      case ir::IntrinsicKind::Atan2: r = std::atan2(a, b); break;
-    }
-    return ir::fromF64(r);
-  }
-
-  void loop() {
-    while (result_.status == ExecStatus::Ok) {
-      CallFrame& frame = frames_.back();
-      const ir::BasicBlock& bb = frame.fn->blocks[frame.block];
-      const Instr& in = bb.instrs[frame.ip++];
-
-      if (++instructions_ > limits_.maxInstructions) {
-        result_.status = ExecStatus::FuelExhausted;
-        return;
-      }
-
-      // Gather operand values; give the read hook a chance to corrupt them.
-      std::array<std::uint64_t, 8> vals{};
-      std::array<bool, 8> isReg{};
-      const std::size_t nops = in.operands.size();
-      bool anyReg = false;
-      for (std::size_t i = 0; i < nops; ++i) {
-        const ir::Operand& op = in.operands[i];
-        if (op.isReg()) {
-          vals[i] = regs_[frame.regBase + op.reg];
-          isReg[i] = true;
-          anyReg = true;
-        } else {
-          vals[i] = op.imm;
-        }
-      }
-      if (anyReg) {
-        const std::uint64_t readIdx = readCandidates_++;
-        if (hook_ != nullptr) {
-          hook_->onRead(readIdx, instructions_, in,
-                        std::span(vals.data(), nops),
-                        std::span(isReg.data(), nops));
-        }
-      }
-
-      std::uint64_t destValue = 0;
-      bool writeDest = false;
-      TrapKind t = TrapKind::None;
-
-      switch (in.op) {
-        case Opcode::Add:
-          destValue = vals[0] + vals[1];
-          writeDest = true;
-          break;
-        case Opcode::Sub:
-          destValue = vals[0] - vals[1];
-          writeDest = true;
-          break;
-        case Opcode::Mul:
-          destValue = vals[0] * vals[1];
-          writeDest = true;
-          break;
-        case Opcode::SDiv: {
-          const auto num = ir::asI64(vals[0]);
-          const auto den = ir::asI64(vals[1]);
-          if (den == 0) {
-            trap(TrapKind::DivByZero);
-            return;
-          }
-          if (den == -1 && num == std::numeric_limits<std::int64_t>::min()) {
-            destValue = vals[0];  // wraps, like x86 would fault; define it
-          } else {
-            destValue = ir::fromI64(num / den);
-          }
-          writeDest = true;
-          break;
-        }
-        case Opcode::SRem: {
-          const auto num = ir::asI64(vals[0]);
-          const auto den = ir::asI64(vals[1]);
-          if (den == 0) {
-            trap(TrapKind::DivByZero);
-            return;
-          }
-          if (den == -1) {
-            destValue = 0;
-          } else {
-            destValue = ir::fromI64(num % den);
-          }
-          writeDest = true;
-          break;
-        }
-        case Opcode::And: destValue = vals[0] & vals[1]; writeDest = true; break;
-        case Opcode::Or: destValue = vals[0] | vals[1]; writeDest = true; break;
-        case Opcode::Xor: destValue = vals[0] ^ vals[1]; writeDest = true; break;
-        case Opcode::Shl:
-          destValue = vals[0] << (vals[1] & 63U);
-          writeDest = true;
-          break;
-        case Opcode::LShr:
-          destValue = vals[0] >> (vals[1] & 63U);
-          writeDest = true;
-          break;
-        case Opcode::AShr:
-          destValue =
-              ir::fromI64(ir::asI64(vals[0]) >> (vals[1] & 63U));
-          writeDest = true;
-          break;
-        case Opcode::FAdd:
-          destValue = ir::fromF64(ir::asF64(vals[0]) + ir::asF64(vals[1]));
-          writeDest = true;
-          break;
-        case Opcode::FSub:
-          destValue = ir::fromF64(ir::asF64(vals[0]) - ir::asF64(vals[1]));
-          writeDest = true;
-          break;
-        case Opcode::FMul:
-          destValue = ir::fromF64(ir::asF64(vals[0]) * ir::asF64(vals[1]));
-          writeDest = true;
-          break;
-        case Opcode::FDiv:
-          destValue = ir::fromF64(ir::asF64(vals[0]) / ir::asF64(vals[1]));
-          writeDest = true;
-          break;
-        case Opcode::ICmpEq:
-          destValue = vals[0] == vals[1] ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::ICmpNe:
-          destValue = vals[0] != vals[1] ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::ICmpLt:
-          destValue = ir::asI64(vals[0]) < ir::asI64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::ICmpLe:
-          destValue = ir::asI64(vals[0]) <= ir::asI64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::ICmpGt:
-          destValue = ir::asI64(vals[0]) > ir::asI64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::ICmpGe:
-          destValue = ir::asI64(vals[0]) >= ir::asI64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::FCmpEq:
-          destValue = ir::asF64(vals[0]) == ir::asF64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::FCmpNe:
-          destValue = ir::asF64(vals[0]) != ir::asF64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::FCmpLt:
-          destValue = ir::asF64(vals[0]) < ir::asF64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::FCmpLe:
-          destValue = ir::asF64(vals[0]) <= ir::asF64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::FCmpGt:
-          destValue = ir::asF64(vals[0]) > ir::asF64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::FCmpGe:
-          destValue = ir::asF64(vals[0]) >= ir::asF64(vals[1]) ? 1 : 0;
-          writeDest = true;
-          break;
-        case Opcode::SIToFP:
-          destValue = ir::fromF64(static_cast<double>(ir::asI64(vals[0])));
-          writeDest = true;
-          break;
-        case Opcode::FPToSI:
-          destValue = ir::fromI64(saturatingFpToSi(ir::asF64(vals[0])));
-          writeDest = true;
-          break;
-        case Opcode::Load:
-          destValue = mem_.load(vals[0], in.width, t);
-          if (t != TrapKind::None) {
-            trap(t);
-            return;
-          }
-          writeDest = true;
-          break;
-        case Opcode::Store:
-          mem_.store(vals[0], in.width, vals[1], t);
-          if (t != TrapKind::None) {
-            trap(t);
-            return;
-          }
-          break;
-        case Opcode::FrameAddr:
-          destValue = frame.frameBase + static_cast<std::uint64_t>(in.offset);
-          writeDest = true;
-          break;
-        case Opcode::Br:
-          frame.block = in.target0;
-          frame.ip = 0;
-          continue;
-        case Opcode::CondBr:
-          frame.block = vals[0] != 0 ? in.target0 : in.target1;
-          frame.ip = 0;
-          continue;
-        case Opcode::Call: {
-          pushFrame(in.callee, std::span(vals.data(), nops), &in);
-          continue;
-        }
-        case Opcode::Ret: {
-          const std::uint64_t retVal = nops > 0 ? vals[0] : 0;
-          const Instr* call = frame.pendingCall;
-          popFrame();
-          if (frames_.empty()) {
-            result_.returnValue = ir::asI64(retVal);
-            return;  // main returned
-          }
-          if (call != nullptr && call->dest != ir::kNoReg) {
-            std::uint64_t v = retVal;
-            const std::uint64_t writeIdx = writeCandidates_++;
-            if (hook_ != nullptr)
-              hook_->onWrite(writeIdx, instructions_, *call, v);
-            regs_[frames_.back().regBase + call->dest] = v;
-          }
-          continue;
-        }
-        case Opcode::Const:
-          destValue = in.imm;
-          writeDest = true;
-          break;
-        case Opcode::Move:
-          destValue = vals[0];
-          writeDest = true;
-          break;
-        case Opcode::Intrinsic:
-          destValue = applyIntrinsic(in, std::span(vals.data(), nops));
-          writeDest = true;
-          break;
-        case Opcode::Print:
-          printValue(in, vals[0]);
-          break;
-        case Opcode::Alloc: {
-          destValue = mem_.alloc(ir::asI64(vals[0]), t);
-          if (t != TrapKind::None) {
-            trap(t);
-            return;
-          }
-          writeDest = true;
-          break;
-        }
-        case Opcode::Abort:
-          trap(TrapKind::Abort);
-          return;
-      }
-
-      if (writeDest && in.dest != ir::kNoReg) {
-        // Const/FrameAddr materialize immediates; LLVM has no such
-        // instructions (constants are operands there), so they are not
-        // inject-on-write candidates.
-        if (in.op != Opcode::Const && in.op != Opcode::FrameAddr) {
-          const std::uint64_t writeIdx = writeCandidates_++;
-          if (hook_ != nullptr)
-            hook_->onWrite(writeIdx, instructions_, in, destValue);
-        }
-        regs_[frame.regBase + in.dest] = destValue;
-      }
-    }
-  }
-
-  const ir::Module& mod_;
-  const ExecLimits& limits_;
-  ExecHook* hook_;
-  Memory mem_;
-  std::vector<CallFrame> frames_;
-  std::vector<std::uint64_t> regs_;
-  std::uint64_t sp_ = 0;
-  std::uint64_t instructions_ = 0;
-  std::uint64_t readCandidates_ = 0;
-  std::uint64_t writeCandidates_ = 0;
-  ExecResult result_;
-};
-
-}  // namespace
 
 ExecResult execute(const ir::Module& mod, const ExecLimits& limits,
                    ExecHook* hook) {

@@ -9,6 +9,12 @@
 // The interpreter also counts both candidate streams so that fault plans can
 // address injection points by candidate index, exactly like LLFI addresses
 // (time, location) pairs over a fault-free profiling run.
+//
+// This header is the stable execution surface (hook interface, limits,
+// results, execute()). The resumable execution engine itself lives in
+// vm/machine.hpp, and vm/snapshot.hpp adds mid-run checkpoints: capture
+// snapshots during a run and resume() them bit-identically later — the
+// golden-prefix fast-forward the fault-injection layer is built on.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,13 @@
 namespace onebit::vm {
 
 /// Observer/mutator interface for fault injection.
+///
+/// A hook that can no longer mutate (or wants to observe) any future
+/// candidate should call markExhausted(): the interpreter then stops
+/// dispatching to it entirely and finishes the run on the same
+/// virtual-call-free fast path golden runs use. Exhaustion is a promise
+/// about the future, not a request — callbacks already in flight for the
+/// current instruction are still delivered.
 class ExecHook {
  public:
   virtual ~ExecHook() = default;
@@ -43,6 +56,19 @@ class ExecHook {
   /// inject-on-write candidate stream. The hook may mutate `value`.
   virtual void onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
                        const ir::Instr& instr, std::uint64_t& value) = 0;
+
+  /// True once the hook has promised to never mutate another candidate.
+  /// Deliberately non-virtual: the interpreter polls it once per dynamic
+  /// instruction while the hook is attached.
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+ protected:
+  /// Irreversibly mark this hook as done; the interpreter detaches it and
+  /// continues on the hook-free fast path.
+  void markExhausted() noexcept { exhausted_ = true; }
+
+ private:
+  bool exhausted_ = false;
 };
 
 enum class ExecStatus : unsigned char {

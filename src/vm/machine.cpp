@@ -1,0 +1,540 @@
+#include "vm/machine.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace onebit::vm {
+
+using ir::Instr;
+using ir::Opcode;
+
+Machine::Machine(const ir::Module& mod, const ExecLimits& limits,
+                 ExecHook* hook)
+    : mod_(mod),
+      limits_(limits),
+      hook_(hook),
+      mem_(mod.globalData, limits.stackBytes, limits.maxHeapBytes) {
+  pushFrame(mod_.entry, {}, nullptr);
+}
+
+namespace {
+
+[[noreturn]] void badSnapshot(const char* what) {
+  throw std::invalid_argument(std::string("vm::resume: snapshot ") + what);
+}
+
+}  // namespace
+
+Machine::Machine(const ir::Module& mod, const Snapshot& snap,
+                 const ExecLimits& limits, ExecHook* hook)
+    : mod_(mod),
+      limits_(limits),
+      hook_(hook),
+      mem_(mod.globalData, limits.stackBytes, limits.maxHeapBytes) {
+  if (snap.frames.empty()) badSnapshot("has no call frames");
+  if (snap.stackHighWater > limits.stackBytes ||
+      snap.sp > limits.stackBytes ||
+      snap.stack.size() != snap.stackHighWater) {
+    badSnapshot("stack image does not fit the limits");
+  }
+  // A from-scratch run under these limits must be able to reach the
+  // snapshot point, or the resumed continuation would diverge from it.
+  if (snap.frames.size() > limits.maxCallDepth ||
+      snap.instructions > limits.maxInstructions ||
+      snap.output.size() > limits.maxOutputBytes) {
+    badSnapshot("state exceeds the limits");
+  }
+  mem_.restoreSegments(snap.globals, snap.stack, snap.heap);
+
+  frames_.reserve(snap.frames.size());
+  std::size_t expectRegBase = 0;
+  for (std::size_t i = 0; i < snap.frames.size(); ++i) {
+    const Snapshot::Frame& sf = snap.frames[i];
+    if (sf.fn >= mod.functions.size()) badSnapshot("references an unknown function");
+    const ir::Function& fn = mod.functions[sf.fn];
+    if (sf.block >= fn.blocks.size() ||
+        sf.ip >= fn.blocks[sf.block].instrs.size()) {
+      badSnapshot("references an unknown instruction");
+    }
+    if (sf.regBase != expectRegBase) badSnapshot("register bases are corrupt");
+    expectRegBase += fn.numRegs;
+    CallFrame frame;
+    frame.fn = &fn;
+    frame.block = sf.block;
+    frame.ip = sf.ip;
+    frame.regBase = static_cast<std::size_t>(sf.regBase);
+    frame.frameBase = sf.frameBase;
+    if (i > 0) {
+      // The pending call is always the caller's previously fetched
+      // instruction (pushFrame is only reached from Opcode::Call, which
+      // leaves the caller's ip pointing one past the call).
+      const CallFrame& caller = frames_.back();
+      const auto& callerInstrs = caller.fn->blocks[caller.block].instrs;
+      if (caller.ip == 0 || callerInstrs[caller.ip - 1].op != Opcode::Call) {
+        badSnapshot("call chain is corrupt");
+      }
+      frame.pendingCall = &callerInstrs[caller.ip - 1];
+    }
+    frames_.push_back(frame);
+  }
+  if (snap.regs.size() != expectRegBase) badSnapshot("register file size is corrupt");
+
+  regs_ = snap.regs;
+  sp_ = snap.sp;
+  instructions_ = snap.instructions;
+  readCandidates_ = snap.readCandidates;
+  writeCandidates_ = snap.writeCandidates;
+  result_.output = snap.output;
+  result_.outputTruncated = snap.outputTruncated;
+}
+
+void Machine::captureEvery(std::uint64_t interval, SnapshotSink sink) {
+  captureInterval_ = interval == 0 ? 1 : interval;
+  snapshotSink_ = std::move(sink);
+  const std::uint64_t combined = readCandidates_ + writeCandidates_;
+  nextCaptureAt_ = combined - combined % captureInterval_ + captureInterval_;
+}
+
+Snapshot Machine::capture() const {
+  Snapshot s;
+  s.frames.reserve(frames_.size());
+  for (const CallFrame& f : frames_) {
+    s.frames.push_back({static_cast<std::uint32_t>(f.fn - mod_.functions.data()),
+                        f.block, f.ip, static_cast<std::uint64_t>(f.regBase),
+                        f.frameBase});
+  }
+  s.regs = regs_;
+  const std::size_t stackUsed = mem_.stackStoreHighWater();
+  mem_.captureSegments(stackUsed, s.globals, s.stack, s.heap);
+  s.sp = sp_;
+  s.stackHighWater = stackUsed;
+  s.instructions = instructions_;
+  s.readCandidates = readCandidates_;
+  s.writeCandidates = writeCandidates_;
+  s.outputTruncated = result_.outputTruncated;
+  s.output = result_.output;
+  return s;
+}
+
+void Machine::maybeCapture() {
+  const std::uint64_t newInterval = snapshotSink_(capture());
+  if (newInterval != 0) captureInterval_ = newInterval;
+  const std::uint64_t combined = readCandidates_ + writeCandidates_;
+  nextCaptureAt_ = combined - combined % captureInterval_ + captureInterval_;
+}
+
+ExecResult Machine::finish() {
+  result_.instructions = instructions_;
+  result_.readCandidates = readCandidates_;
+  result_.writeCandidates = writeCandidates_;
+  return std::move(result_);
+}
+
+void Machine::trap(TrapKind k) {
+  result_.status = ExecStatus::Trapped;
+  result_.trap = k;
+}
+
+void Machine::pushFrame(std::uint32_t fnId, std::span<const std::uint64_t> args,
+                        const Instr* pendingCall) {
+  const ir::Function& fn = mod_.functions[fnId];
+  if (frames_.size() >= limits_.maxCallDepth) {
+    trap(TrapKind::SegFault);  // runaway recursion = stack overflow
+    return;
+  }
+  const std::uint64_t alignedFrame =
+      (static_cast<std::uint64_t>(fn.frameBytes) + 7U) & ~7ULL;
+  if (sp_ + alignedFrame > mem_.stackBytes()) {
+    trap(TrapKind::SegFault);
+    return;
+  }
+  CallFrame frame;
+  frame.fn = &fn;
+  frame.regBase = regs_.size();
+  frame.frameBase = ir::kStackBase + sp_;
+  frame.pendingCall = pendingCall;
+  sp_ += alignedFrame;
+  regs_.resize(regs_.size() + fn.numRegs, 0);
+  for (std::size_t i = 0; i < args.size() && i < fn.numParams; ++i) {
+    regs_[frame.regBase + i] = args[i];
+  }
+  frames_.push_back(frame);
+}
+
+void Machine::popFrame() {
+  const CallFrame& frame = frames_.back();
+  const std::uint64_t alignedFrame =
+      (static_cast<std::uint64_t>(frame.fn->frameBytes) + 7U) & ~7ULL;
+  sp_ -= alignedFrame;
+  regs_.resize(frame.regBase);
+  frames_.pop_back();
+}
+
+void Machine::appendOutput(const char* data, std::size_t n) {
+  if (result_.output.size() + n > limits_.maxOutputBytes) {
+    result_.outputTruncated = true;
+    return;
+  }
+  result_.output.append(data, n);
+}
+
+void Machine::printValue(const Instr& in, std::uint64_t v) {
+  char buf[64];
+  switch (in.printKind) {
+    case ir::PrintKind::I64: {
+      const int n = std::snprintf(buf, sizeof buf, "%lld",
+                                  static_cast<long long>(ir::asI64(v)));
+      appendOutput(buf, static_cast<std::size_t>(n));
+      break;
+    }
+    case ir::PrintKind::F64: {
+      double d = ir::asF64(v);
+      // Normalize non-finite and negative-zero values so the golden
+      // comparison is well defined across platforms.
+      if (std::isnan(d)) {
+        appendOutput("nan", 3);
+        break;
+      }
+      if (std::isinf(d)) {
+        if (d < 0) appendOutput("-inf", 4);
+        else appendOutput("inf", 3);
+        break;
+      }
+      if (d == 0.0) d = 0.0;  // collapse -0.0 into +0.0
+      const int n = std::snprintf(buf, sizeof buf, "%.6f", d);
+      appendOutput(buf, static_cast<std::size_t>(n));
+      break;
+    }
+    case ir::PrintKind::Char: {
+      buf[0] = static_cast<char>(v & 0xff);
+      appendOutput(buf, 1);
+      break;
+    }
+  }
+}
+
+namespace {
+
+std::int64_t saturatingFpToSi(double d) noexcept {
+  if (std::isnan(d)) return 0;
+  if (d >= 9.2233720368547758e18) return std::numeric_limits<std::int64_t>::max();
+  if (d <= -9.2233720368547758e18) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(d);
+}
+
+}  // namespace
+
+std::uint64_t Machine::applyIntrinsic(const Instr& in,
+                                      std::span<const std::uint64_t> v) {
+  const double a = ir::asF64(v[0]);
+  const double b = v.size() > 1 ? ir::asF64(v[1]) : 0.0;
+  double r = 0.0;
+  switch (in.intrinsic) {
+    case ir::IntrinsicKind::Sqrt: r = std::sqrt(a); break;
+    case ir::IntrinsicKind::Sin: r = std::sin(a); break;
+    case ir::IntrinsicKind::Cos: r = std::cos(a); break;
+    case ir::IntrinsicKind::Tan: r = std::tan(a); break;
+    case ir::IntrinsicKind::Atan: r = std::atan(a); break;
+    case ir::IntrinsicKind::Exp: r = std::exp(a); break;
+    case ir::IntrinsicKind::Log: r = std::log(a); break;
+    case ir::IntrinsicKind::Fabs: r = std::fabs(a); break;
+    case ir::IntrinsicKind::Floor: r = std::floor(a); break;
+    case ir::IntrinsicKind::Ceil: r = std::ceil(a); break;
+    case ir::IntrinsicKind::Pow: r = std::pow(a, b); break;
+    case ir::IntrinsicKind::Atan2: r = std::atan2(a, b); break;
+  }
+  return ir::fromF64(r);
+}
+
+ExecResult Machine::run() {
+  if (result_.status == ExecStatus::Ok && !halted_) {
+    const bool capturing = captureInterval_ != 0;
+    if (hook_ != nullptr && !hook_->exhausted()) {
+      if (capturing) loop<true, true>();
+      else loop<true, false>();
+    }
+    // Hook-free fast path: golden runs, and the tail of a faulty run once
+    // the hook can no longer mutate anything (no virtual dispatch at all).
+    if (result_.status == ExecStatus::Ok && !halted_) {
+      if (capturing) loop<false, true>();
+      else loop<false, false>();
+    }
+  }
+  return finish();
+}
+
+template <bool Hooked, bool Capturing>
+void Machine::loop() {
+  while (result_.status == ExecStatus::Ok) {
+    if constexpr (Hooked) {
+      if (hook_->exhausted()) return;  // caller re-enters the unhooked loop
+    }
+    if constexpr (Capturing) {
+      if (readCandidates_ + writeCandidates_ >= nextCaptureAt_) maybeCapture();
+    }
+    CallFrame& frame = frames_.back();
+    const ir::BasicBlock& bb = frame.fn->blocks[frame.block];
+    const Instr& in = bb.instrs[frame.ip++];
+
+    if (++instructions_ > limits_.maxInstructions) {
+      result_.status = ExecStatus::FuelExhausted;
+      return;
+    }
+
+    // Gather operand values; give the read hook a chance to corrupt them.
+    std::array<std::uint64_t, 8> vals{};
+    std::array<bool, 8> isReg{};
+    const std::size_t nops = in.operands.size();
+    bool anyReg = false;
+    for (std::size_t i = 0; i < nops; ++i) {
+      const ir::Operand& op = in.operands[i];
+      if (op.isReg()) {
+        vals[i] = regs_[frame.regBase + op.reg];
+        isReg[i] = true;
+        anyReg = true;
+      } else {
+        vals[i] = op.imm;
+      }
+    }
+    if (anyReg) {
+      const std::uint64_t readIdx = readCandidates_++;
+      if constexpr (Hooked) {
+        hook_->onRead(readIdx, instructions_, in, std::span(vals.data(), nops),
+                      std::span(isReg.data(), nops));
+      }
+    }
+
+    std::uint64_t destValue = 0;
+    bool writeDest = false;
+    TrapKind t = TrapKind::None;
+
+    switch (in.op) {
+      case Opcode::Add:
+        destValue = vals[0] + vals[1];
+        writeDest = true;
+        break;
+      case Opcode::Sub:
+        destValue = vals[0] - vals[1];
+        writeDest = true;
+        break;
+      case Opcode::Mul:
+        destValue = vals[0] * vals[1];
+        writeDest = true;
+        break;
+      case Opcode::SDiv: {
+        const auto num = ir::asI64(vals[0]);
+        const auto den = ir::asI64(vals[1]);
+        if (den == 0) {
+          trap(TrapKind::DivByZero);
+          return;
+        }
+        if (den == -1 && num == std::numeric_limits<std::int64_t>::min()) {
+          destValue = vals[0];  // wraps, like x86 would fault; define it
+        } else {
+          destValue = ir::fromI64(num / den);
+        }
+        writeDest = true;
+        break;
+      }
+      case Opcode::SRem: {
+        const auto num = ir::asI64(vals[0]);
+        const auto den = ir::asI64(vals[1]);
+        if (den == 0) {
+          trap(TrapKind::DivByZero);
+          return;
+        }
+        if (den == -1) {
+          destValue = 0;
+        } else {
+          destValue = ir::fromI64(num % den);
+        }
+        writeDest = true;
+        break;
+      }
+      case Opcode::And: destValue = vals[0] & vals[1]; writeDest = true; break;
+      case Opcode::Or: destValue = vals[0] | vals[1]; writeDest = true; break;
+      case Opcode::Xor: destValue = vals[0] ^ vals[1]; writeDest = true; break;
+      case Opcode::Shl:
+        destValue = vals[0] << (vals[1] & 63U);
+        writeDest = true;
+        break;
+      case Opcode::LShr:
+        destValue = vals[0] >> (vals[1] & 63U);
+        writeDest = true;
+        break;
+      case Opcode::AShr:
+        destValue =
+            ir::fromI64(ir::asI64(vals[0]) >> (vals[1] & 63U));
+        writeDest = true;
+        break;
+      case Opcode::FAdd:
+        destValue = ir::fromF64(ir::asF64(vals[0]) + ir::asF64(vals[1]));
+        writeDest = true;
+        break;
+      case Opcode::FSub:
+        destValue = ir::fromF64(ir::asF64(vals[0]) - ir::asF64(vals[1]));
+        writeDest = true;
+        break;
+      case Opcode::FMul:
+        destValue = ir::fromF64(ir::asF64(vals[0]) * ir::asF64(vals[1]));
+        writeDest = true;
+        break;
+      case Opcode::FDiv:
+        destValue = ir::fromF64(ir::asF64(vals[0]) / ir::asF64(vals[1]));
+        writeDest = true;
+        break;
+      case Opcode::ICmpEq:
+        destValue = vals[0] == vals[1] ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::ICmpNe:
+        destValue = vals[0] != vals[1] ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::ICmpLt:
+        destValue = ir::asI64(vals[0]) < ir::asI64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::ICmpLe:
+        destValue = ir::asI64(vals[0]) <= ir::asI64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::ICmpGt:
+        destValue = ir::asI64(vals[0]) > ir::asI64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::ICmpGe:
+        destValue = ir::asI64(vals[0]) >= ir::asI64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::FCmpEq:
+        destValue = ir::asF64(vals[0]) == ir::asF64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::FCmpNe:
+        destValue = ir::asF64(vals[0]) != ir::asF64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::FCmpLt:
+        destValue = ir::asF64(vals[0]) < ir::asF64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::FCmpLe:
+        destValue = ir::asF64(vals[0]) <= ir::asF64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::FCmpGt:
+        destValue = ir::asF64(vals[0]) > ir::asF64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::FCmpGe:
+        destValue = ir::asF64(vals[0]) >= ir::asF64(vals[1]) ? 1 : 0;
+        writeDest = true;
+        break;
+      case Opcode::SIToFP:
+        destValue = ir::fromF64(static_cast<double>(ir::asI64(vals[0])));
+        writeDest = true;
+        break;
+      case Opcode::FPToSI:
+        destValue = ir::fromI64(saturatingFpToSi(ir::asF64(vals[0])));
+        writeDest = true;
+        break;
+      case Opcode::Load:
+        destValue = mem_.load(vals[0], in.width, t);
+        if (t != TrapKind::None) {
+          trap(t);
+          return;
+        }
+        writeDest = true;
+        break;
+      case Opcode::Store:
+        mem_.store(vals[0], in.width, vals[1], t);
+        if (t != TrapKind::None) {
+          trap(t);
+          return;
+        }
+        break;
+      case Opcode::FrameAddr:
+        destValue = frame.frameBase + static_cast<std::uint64_t>(in.offset);
+        writeDest = true;
+        break;
+      case Opcode::Br:
+        frame.block = in.target0;
+        frame.ip = 0;
+        continue;
+      case Opcode::CondBr:
+        frame.block = vals[0] != 0 ? in.target0 : in.target1;
+        frame.ip = 0;
+        continue;
+      case Opcode::Call: {
+        pushFrame(in.callee, std::span(vals.data(), nops), &in);
+        continue;
+      }
+      case Opcode::Ret: {
+        const std::uint64_t retVal = nops > 0 ? vals[0] : 0;
+        const Instr* call = frame.pendingCall;
+        popFrame();
+        if (frames_.empty()) {
+          result_.returnValue = ir::asI64(retVal);
+          halted_ = true;
+          return;  // main returned
+        }
+        if (call != nullptr && call->dest != ir::kNoReg) {
+          std::uint64_t v = retVal;
+          const std::uint64_t writeIdx = writeCandidates_++;
+          if constexpr (Hooked) {
+            hook_->onWrite(writeIdx, instructions_, *call, v);
+          }
+          regs_[frames_.back().regBase + call->dest] = v;
+        }
+        continue;
+      }
+      case Opcode::Const:
+        destValue = in.imm;
+        writeDest = true;
+        break;
+      case Opcode::Move:
+        destValue = vals[0];
+        writeDest = true;
+        break;
+      case Opcode::Intrinsic:
+        destValue = applyIntrinsic(in, std::span(vals.data(), nops));
+        writeDest = true;
+        break;
+      case Opcode::Print:
+        printValue(in, vals[0]);
+        break;
+      case Opcode::Alloc: {
+        destValue = mem_.alloc(ir::asI64(vals[0]), t);
+        if (t != TrapKind::None) {
+          trap(t);
+          return;
+        }
+        writeDest = true;
+        break;
+      }
+      case Opcode::Abort:
+        trap(TrapKind::Abort);
+        return;
+    }
+
+    if (writeDest && in.dest != ir::kNoReg) {
+      // Const/FrameAddr materialize immediates; LLVM has no such
+      // instructions (constants are operands there), so they are not
+      // inject-on-write candidates.
+      if (in.op != Opcode::Const && in.op != Opcode::FrameAddr) {
+        const std::uint64_t writeIdx = writeCandidates_++;
+        if constexpr (Hooked) {
+          hook_->onWrite(writeIdx, instructions_, in, destValue);
+        }
+      }
+      regs_[frame.regBase + in.dest] = destValue;
+    }
+  }
+}
+
+}  // namespace onebit::vm

@@ -1,0 +1,103 @@
+// The resumable interpreter core behind vm::execute / vm::resume.
+//
+// A Machine owns the full mid-execution state of one run (frames, register
+// stack, memory segments, counters, partial output) and can
+//   * start fresh from a module's entry function,
+//   * be reconstructed from a vm::Snapshot and continue bit-identically, and
+//   * capture snapshots of itself at candidate-count boundaries while running
+//     (the instrumented golden run of a fi::Workload).
+//
+// The execution loop is templated on whether a hook is attached: once an
+// attached hook reports exhausted() — it can no longer mutate any future
+// candidate — run() switches to the hook-free instantiation, so the tail of
+// a faulty run pays no virtual hook dispatch at all (the same fast path
+// golden runs use).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/memory.hpp"
+#include "vm/snapshot.hpp"
+
+namespace onebit::vm {
+
+class Machine {
+ public:
+  /// Fresh run: pushes the entry frame (a frame too large for the stack
+  /// traps immediately; run() then returns that trap).
+  Machine(const ir::Module& mod, const ExecLimits& limits, ExecHook* hook);
+
+  /// Resumed run: reconstructs the snapshot's state. Throws
+  /// std::invalid_argument when the snapshot does not fit `mod`/`limits`.
+  Machine(const ir::Module& mod, const Snapshot& snap, const ExecLimits& limits,
+          ExecHook* hook);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Snapshot sink: receives each captured snapshot and returns the capture
+  /// interval to use from here on (in combined candidate indices, >= 1) —
+  /// collectors coarsen the cadence on the fly to honor retention budgets.
+  using SnapshotSink = std::function<std::uint64_t(Snapshot&&)>;
+
+  /// Capture a snapshot each time the combined candidate count
+  /// (readCandidates + writeCandidates) crosses a multiple of `interval`
+  /// (>= 1). Call before run().
+  void captureEvery(std::uint64_t interval, SnapshotSink sink);
+
+  /// Run to completion (or trap / fuel exhaustion). Call once.
+  ExecResult run();
+
+  /// Snapshot the current between-instructions state.
+  [[nodiscard]] Snapshot capture() const;
+
+ private:
+  struct CallFrame {
+    const ir::Function* fn = nullptr;
+    std::uint32_t block = 0;
+    std::uint32_t ip = 0;         ///< next instruction index within block
+    std::size_t regBase = 0;      ///< base into the shared register stack
+    std::uint64_t frameBase = 0;  ///< base address of this frame's stack slot
+    const ir::Instr* pendingCall = nullptr;  ///< call awaiting a return value
+  };
+
+  ExecResult finish();
+  void trap(TrapKind k);
+  void pushFrame(std::uint32_t fnId, std::span<const std::uint64_t> args,
+                 const ir::Instr* pendingCall);
+  void popFrame();
+  void appendOutput(const char* data, std::size_t n);
+  void printValue(const ir::Instr& in, std::uint64_t v);
+  std::uint64_t applyIntrinsic(const ir::Instr& in,
+                               std::span<const std::uint64_t> v);
+  void maybeCapture();
+
+  /// The interpreter loop. `Hooked` instantiations dispatch to hook_ and
+  /// return early once it is exhausted; `Capturing` instantiations check the
+  /// snapshot cadence at each instruction boundary.
+  template <bool Hooked, bool Capturing>
+  void loop();
+
+  const ir::Module& mod_;
+  ExecLimits limits_;
+  ExecHook* hook_;
+  Memory mem_;
+  std::vector<CallFrame> frames_;
+  std::vector<std::uint64_t> regs_;
+  std::uint64_t sp_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t readCandidates_ = 0;
+  std::uint64_t writeCandidates_ = 0;
+  bool halted_ = false;  ///< main returned
+  std::uint64_t captureInterval_ = 0;  ///< 0 = not capturing
+  std::uint64_t nextCaptureAt_ = 0;
+  SnapshotSink snapshotSink_;
+  ExecResult result_;
+};
+
+}  // namespace onebit::vm

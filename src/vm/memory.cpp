@@ -1,6 +1,8 @@
 #include "vm/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 namespace onebit::vm {
 
@@ -53,11 +55,43 @@ void Memory::store(std::uint64_t addr, unsigned width, std::uint64_t value,
                    TrapKind& trap) noexcept {
   std::uint8_t* p = resolve(addr, width, trap);
   if (p == nullptr) return;
+  const std::uint64_t stackOff = addr - kStackBase;  // wraps below kStackBase
+  if (stackOff < stack_.size()) {
+    storeHighWater_ =
+        std::max(storeHighWater_, static_cast<std::size_t>(stackOff) + width);
+  }
   if (width == 8) {
     std::memcpy(p, &value, 8);
   } else {
     *p = static_cast<std::uint8_t>(value);
   }
+}
+
+void Memory::captureSegments(std::size_t stackUsed,
+                             std::vector<std::uint8_t>& globals,
+                             std::vector<std::uint8_t>& stack,
+                             std::vector<std::uint8_t>& heap) const {
+  globals = globals_;
+  stackUsed = std::min(stackUsed, stack_.size());
+  stack.assign(stack_.begin(),
+               stack_.begin() + static_cast<std::ptrdiff_t>(stackUsed));
+  heap = heap_;
+}
+
+void Memory::restoreSegments(const std::vector<std::uint8_t>& globals,
+                             const std::vector<std::uint8_t>& stackPrefix,
+                             const std::vector<std::uint8_t>& heap) {
+  if (globals.size() != globals_.size() ||
+      stackPrefix.size() > stack_.size() || heap.size() > maxHeapBytes_) {
+    throw std::invalid_argument(
+        "vm::Memory: snapshot segments do not fit this memory geometry");
+  }
+  globals_ = globals;
+  std::copy(stackPrefix.begin(), stackPrefix.end(), stack_.begin());
+  std::fill(stack_.begin() + static_cast<std::ptrdiff_t>(stackPrefix.size()),
+            stack_.end(), 0);
+  storeHighWater_ = stackPrefix.size();
+  heap_ = heap;
 }
 
 std::uint64_t Memory::alloc(std::int64_t bytes, TrapKind& trap) {

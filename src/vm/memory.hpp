@@ -38,6 +38,32 @@ class Memory {
   }
   [[nodiscard]] std::size_t heapUsed() const noexcept { return heap_.size(); }
 
+  /// One past the highest stack byte ever written through store(). Stack
+  /// content only changes via store(), so every byte at or beyond this
+  /// offset is still zero — the exact bound VM snapshots copy up to. (A
+  /// frame-pointer high-water mark would not do: stores anywhere inside the
+  /// stack segment are legal, including above the current frames.)
+  [[nodiscard]] std::size_t stackStoreHighWater() const noexcept {
+    return storeHighWater_;
+  }
+
+  /// Copy the three segments into a VM snapshot. Only the first `stackUsed`
+  /// bytes of the stack are copied — the caller (vm::Machine) tracks the
+  /// stack high-water mark, and bytes beyond it are untouched zeros.
+  void captureSegments(std::size_t stackUsed,
+                       std::vector<std::uint8_t>& globals,
+                       std::vector<std::uint8_t>& stack,
+                       std::vector<std::uint8_t>& heap) const;
+
+  /// Restore segments captured by captureSegments: globals are replaced,
+  /// the stack becomes `stackPrefix` followed by zeros, the heap becomes
+  /// `heap`. Throws std::invalid_argument when an image does not fit this
+  /// Memory's geometry (globals size mismatch, stack prefix longer than the
+  /// stack, heap beyond the heap budget).
+  void restoreSegments(const std::vector<std::uint8_t>& globals,
+                       const std::vector<std::uint8_t>& stackPrefix,
+                       const std::vector<std::uint8_t>& heap);
+
  private:
   /// Resolve addr/width to a host pointer, or nullptr with trap set.
   std::uint8_t* resolve(std::uint64_t addr, unsigned width,
@@ -47,6 +73,7 @@ class Memory {
   std::vector<std::uint8_t> stack_;
   std::vector<std::uint8_t> heap_;
   std::size_t maxHeapBytes_;
+  std::size_t storeHighWater_ = 0;
 };
 
 }  // namespace onebit::vm

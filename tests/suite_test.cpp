@@ -1,8 +1,8 @@
 // fi::CampaignSuite tests: suite-vs-solo bit-identity for every
 // threads/shard-size combination, mixed-size cells, store record/resume
 // through (and across) suite and solo modes, the per-cell checkpoint cap,
-// suite-level progress accounting, and the round-robin interleaving of
-// shards across cells (a long cell must not serialize behind short ones).
+// suite-level progress accounting, and the cost-ordered (longest cell
+// first) shard scheduling across cells.
 #include <unistd.h>
 
 #include <algorithm>
@@ -289,22 +289,71 @@ TEST_F(CampaignSuiteFixture, PerShardCallbackSeesCellLocalSnapshots) {
   EXPECT_EQ(merged, total);
 }
 
-TEST_F(CampaignSuiteFixture, LongCellDoesNotSerializeBehindShortOnes) {
-  // Round-robin interleaving, observed deterministically at threads = 1:
-  // with a short cell queued FIRST and a long cell queued LAST, the long
-  // cell's early shards must complete before the short cell's last shard —
-  // i.e. scheduling alternates between cells instead of draining them in
-  // add order.
+TEST_F(CampaignSuiteFixture, CostOrderedSchedulingRunsLongestCellFirst) {
+  // Cost-ordered (LPT) scheduling, observed deterministically at
+  // threads = 1: the cell with the larger estimated cost — golden dynamic
+  // instructions × pending experiments — runs ALL of its shards before the
+  // cheaper cell starts, regardless of addCell order. Results stay
+  // bit-identical either way (covered by the suite-vs-solo test).
+  const std::size_t cheapExperiments = 24;  // 3 shards at shardSize 8
+  const std::size_t costlyExperiments = 64;  // 8 shards
+  // alpha_ has the larger golden instruction count per experiment; pick
+  // experiment counts so the "costly" cell wins on the product too.
+  const std::uint64_t alphaCost =
+      alpha_->golden().instructions * costlyExperiments;
+  const std::uint64_t betaCost =
+      beta_->golden().instructions * cheapExperiments;
+  ASSERT_GT(alphaCost, betaCost);
+
+  for (const bool costlyFirst : {false, true}) {
+    SuiteConfig config;
+    config.threads = 1;
+    config.shardSize = 8;
+    CampaignSuite suite(config);
+    std::size_t costlyCell;
+    std::size_t cheapCell;
+    if (costlyFirst) {
+      costlyCell = suite.addCell("costly", *alpha_,
+                                 FaultSpec::singleBit(Technique::Write),
+                                 costlyExperiments, 0x52);
+      cheapCell = suite.addCell("cheap", *beta_,
+                                FaultSpec::singleBit(Technique::Read),
+                                cheapExperiments, 0x51);
+    } else {
+      cheapCell = suite.addCell("cheap", *beta_,
+                                FaultSpec::singleBit(Technique::Read),
+                                cheapExperiments, 0x51);
+      costlyCell = suite.addCell("costly", *alpha_,
+                                 FaultSpec::singleBit(Technique::Write),
+                                 costlyExperiments, 0x52);
+    }
+
+    std::vector<std::size_t> completionOrder;
+    suite.onProgress([&](const SuiteProgress& p) {
+      completionOrder.push_back(p.cellIndex);
+    });
+    (void)suite.run();
+
+    ASSERT_EQ(completionOrder.size(), 3u + 8u);
+    for (std::size_t i = 0; i < completionOrder.size(); ++i) {
+      EXPECT_EQ(completionOrder[i], i < 8 ? costlyCell : cheapCell)
+          << "shard " << i << " (costlyFirst=" << costlyFirst << ")";
+    }
+  }
+}
+
+TEST_F(CampaignSuiteFixture, CostOrderTieBreaksByAddOrder) {
+  // Two cells with identical estimated cost (same workload, same experiment
+  // count) keep their addCell order in the schedule, so task order — and
+  // with it intermediate progress states — is deterministic.
   SuiteConfig config;
   config.threads = 1;
   config.shardSize = 8;
   CampaignSuite suite(config);
-  const std::size_t shortCell =
-      suite.addCell("short", *alpha_, FaultSpec::singleBit(Technique::Read),
-                    24, 0x51);  // 3 shards
-  const std::size_t longCell =
-      suite.addCell("long", *beta_, FaultSpec::singleBit(Technique::Write),
-                    64, 0x52);  // 8 shards
+  const std::size_t first = suite.addCell(
+      "first", *alpha_, FaultSpec::singleBit(Technique::Read), 16, 0x61);
+  const std::size_t second = suite.addCell(
+      "second", *alpha_, FaultSpec::singleBit(Technique::Write), 16, 0x62);
 
   std::vector<std::size_t> completionOrder;
   suite.onProgress([&](const SuiteProgress& p) {
@@ -312,21 +361,11 @@ TEST_F(CampaignSuiteFixture, LongCellDoesNotSerializeBehindShortOnes) {
   });
   (void)suite.run();
 
-  ASSERT_EQ(completionOrder.size(), 3u + 8u);
-  std::size_t firstLong = completionOrder.size();
-  std::size_t lastShort = 0;
-  for (std::size_t i = 0; i < completionOrder.size(); ++i) {
-    if (completionOrder[i] == longCell && i < firstLong) firstLong = i;
-    if (completionOrder[i] == shortCell) lastShort = i;
-  }
-  EXPECT_LT(firstLong, lastShort)
-      << "long cell's shards were serialized behind the short cell";
-  // Exact round-robin at one thread: short/long alternate while both have
-  // pending shards.
-  EXPECT_EQ(completionOrder[0], shortCell);
-  EXPECT_EQ(completionOrder[1], longCell);
-  EXPECT_EQ(completionOrder[2], shortCell);
-  EXPECT_EQ(completionOrder[3], longCell);
+  ASSERT_EQ(completionOrder.size(), 4u);
+  EXPECT_EQ(completionOrder[0], first);
+  EXPECT_EQ(completionOrder[1], first);
+  EXPECT_EQ(completionOrder[2], second);
+  EXPECT_EQ(completionOrder[3], second);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 // Unit tests for src/vm: memory, traps, interpreter semantics, hooks.
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -433,6 +434,31 @@ TEST(Output, NaNPrintsStably) {
                 ir::PrintKind::F64);
   bld.emitRet(Operand::makeImm(0));
   EXPECT_EQ(execute(mod).output, "nan");
+}
+
+TEST(Output, InfinityPrintsStably) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  const double inf = std::numeric_limits<double>::infinity();
+  bld.emitPrint(Operand::makeImm(ir::fromF64(inf)), ir::PrintKind::F64);
+  bld.emitPrint(Operand::makeImm(' '), ir::PrintKind::Char);
+  bld.emitPrint(Operand::makeImm(ir::fromF64(-inf)), ir::PrintKind::F64);
+  bld.emitRet(Operand::makeImm(0));
+  EXPECT_EQ(execute(mod).output, "inf -inf");
+}
+
+TEST(Output, NegativeZeroPrintsAsPositiveZero) {
+  Module mod;
+  IRBuilder bld(mod);
+  bld.createFunction("main", Type::I64, 0);
+  const auto entry = bld.createBlock("entry");
+  bld.setInsertBlock(entry);
+  bld.emitPrint(Operand::makeImm(ir::fromF64(-0.0)), ir::PrintKind::F64);
+  bld.emitRet(Operand::makeImm(0));
+  EXPECT_EQ(execute(mod).output, "0.000000");
 }
 
 TEST(Output, TruncationIsFlagged) {
