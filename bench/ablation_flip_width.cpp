@@ -23,7 +23,7 @@ int main() {
 
   struct Row {
     std::string name;
-    fi::Technique tech;
+    fi::FaultDomain tech;
     unsigned maxMbf;
     std::vector<std::size_t> cells;  // one per width
   };
@@ -31,13 +31,13 @@ int main() {
   std::vector<Row> rows;
   std::uint64_t salt = 90000;
   for (const auto& [name, w] : workloads) {
-    for (const fi::Technique tech :
-         {fi::Technique::Read, fi::Technique::Write}) {
+    for (const fi::FaultDomain tech :
+         {fi::FaultDomain::RegisterRead, fi::FaultDomain::RegisterWrite}) {
       for (const unsigned maxMbf : {1U, 3U}) {
-        fi::FaultSpec spec =
+        fi::FaultModel spec =
             maxMbf == 1
-                ? fi::FaultSpec::singleBit(tech)
-                : fi::FaultSpec::multiBit(tech, maxMbf,
+                ? fi::FaultModel::singleBit(tech)
+                : fi::FaultModel::multiBitTemporal(tech, maxMbf,
                                           fi::WinSize::fixed(1));
         if (!bench::specSelected(spec)) {
           salt += std::size(widths);  // keep later seeds stable
@@ -46,8 +46,8 @@ int main() {
         Row row{name, tech, maxMbf, {}};
         for (const unsigned width : widths) {
           fi::CampaignConfig config;
-          config.spec = spec;
-          config.spec.flipWidth = width;
+          config.model = spec;
+          config.model.flipWidth = width;
           config.experiments = n;
           config.seed = util::hashCombine(bench::masterSeed(), salt++);
           row.cells.push_back(sweep.addConfig(name, w, config));
@@ -69,7 +69,7 @@ int main() {
       sdc.push_back(r.sdc().fraction);
       benign.push_back(r.counts.proportion(stats::Outcome::Benign).fraction);
     }
-    table.addRow({row.name, row.tech == fi::Technique::Read ? "read" : "write",
+    table.addRow({row.name, row.tech == fi::FaultDomain::RegisterRead ? "read" : "write",
                   row.maxMbf == 1 ? "single" : "m=3,w=1",
                   util::fmtPercent(sdc[0]), util::fmtPercent(sdc[1]),
                   util::fmtPercent(sdc[2]), util::fmtPercent(benign[0]),

@@ -19,8 +19,8 @@ int main() {
   bench::printHeaderNote("Ablation: hang-detection budget factor", n);
 
   const std::uint64_t factors[] = {5, 20, 50, 200};
-  const fi::FaultSpec spec =
-      fi::FaultSpec::multiBit(fi::Technique::Write, 3, fi::WinSize::fixed(1));
+  const fi::FaultModel spec =
+      fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterWrite, 3, fi::WinSize::fixed(1));
 
   struct Row {
     std::string name;

@@ -23,7 +23,7 @@ int main() {
   bench::printHeaderNote("Ablation: -O0 vs -O1 IR under single-bit injection",
                          n);
 
-  const fi::FaultSpec spec = fi::FaultSpec::singleBit(fi::Technique::Write);
+  const fi::FaultModel spec = fi::FaultModel::singleBit(fi::FaultDomain::RegisterWrite);
 
   struct Row {
     std::string name;
@@ -48,8 +48,8 @@ int main() {
     const fi::Workload& optd = *workloads.back();
     rows.push_back({info.name, sweep.add(info.name, raw, spec, n, salt),
                     sweep.add(info.name, optd, spec, n, salt),
-                    raw.candidates(fi::Technique::Write),
-                    optd.candidates(fi::Technique::Write)});
+                    raw.candidates(fi::FaultDomain::RegisterWrite),
+                    optd.candidates(fi::FaultDomain::RegisterWrite)});
     ++salt;
   }
   sweep.run();

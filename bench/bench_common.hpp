@@ -8,7 +8,7 @@
 //   ONEBIT_SPECS        semicolon-separated subset of fault-spec labels,
 //                       e.g. "read/single;write/m=3,w=1" (semicolons
 //                       because multi-bit labels contain commas); matches
-//                       whole FaultSpec::label() strings
+//                       whole FaultModel::label() strings
 //   ONEBIT_CSV          1 = emit tables as CSV (for plotting scripts)
 //   ONEBIT_FLIP_WIDTH   integer-register width of the flip model
 //                       (default 32 = paper-faithful; 64 = raw VM width)
@@ -80,17 +80,26 @@ inline bool programSelected(const std::string& name) {
   return std::find(items.begin(), items.end(), name) != items.end();
 }
 
-/// True when the spec's label passes the ONEBIT_SPECS filter (an unset or
-/// empty filter selects everything). The list is semicolon-separated —
-/// multi-bit labels like "write/m=3,w=1" contain commas — and matches whole
-/// FaultSpec::label() strings. Drivers apply this when building their spec
+/// True when the model passes the ONEBIT_SPECS filter (an unset or empty
+/// filter selects everything). The list is semicolon-separated — multi-bit
+/// labels like "write/m=3,w=1" contain commas. Each item is parsed through
+/// FaultModel::parse and matched as a MODEL (FaultModel::matches), not as a
+/// raw string, so any spelling that denotes the same (domain, pattern,
+/// spread) cell selects it; an item that does not parse falls back to an
+/// exact label comparison. Drivers apply this when building their spec
 /// axes, so tables shrink coherently, the same way ONEBIT_PROGRAMS drops
 /// whole workload rows.
-inline bool specSelected(const fi::FaultSpec& spec) {
+inline bool specSelected(const fi::FaultModel& model) {
   const std::string filter = util::envStr("ONEBIT_SPECS", "");
   if (filter.empty()) return true;
-  const std::vector<std::string> items = util::splitList(filter, ';');
-  return std::find(items.begin(), items.end(), spec.label()) != items.end();
+  for (const std::string& item : util::splitList(filter, ';')) {
+    if (const auto parsed = fi::FaultModel::parse(item)) {
+      if (parsed->matches(model)) return true;
+    } else if (item == model.label()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// The golden-prefix snapshot policy selected by the environment knobs.
@@ -217,7 +226,7 @@ class SweepBuilder {
   /// here, exactly as campaign() applies them. Returns the cell's index
   /// into the run() result vector.
   std::size_t add(const std::string& workloadName, const fi::Workload& w,
-                  fi::FaultSpec spec, std::size_t n, std::uint64_t seedSalt) {
+                  fi::FaultModel spec, std::size_t n, std::uint64_t seedSalt) {
     spec.flipWidth = flipWidth();
     std::string label = spec.label();
     if (!workloadName.empty()) label = workloadName + " " + label;
@@ -232,9 +241,9 @@ class SweepBuilder {
   /// their own per-campaign seeds.
   std::size_t addConfig(const std::string& workloadName, const fi::Workload& w,
                         const fi::CampaignConfig& config) {
-    std::string label = config.spec.label();
+    std::string label = config.model.label();
     if (!workloadName.empty()) label = workloadName + " " + label;
-    return suite_.addCell(std::move(label), w, config.spec,
+    return suite_.addCell(std::move(label), w, config.model,
                           config.experiments, config.seed, workloadName);
   }
 
@@ -281,7 +290,7 @@ class SweepBuilder {
 /// for drivers and examples that genuinely have one campaign; anything
 /// iterating workloads or specs should batch cells on a SweepBuilder.
 inline fi::CampaignResult campaign(const fi::Workload& w,
-                                   const fi::FaultSpec& spec, std::size_t n,
+                                   const fi::FaultModel& spec, std::size_t n,
                                    std::uint64_t seedSalt,
                                    std::string workloadName = {}) {
   SweepBuilder sweep;

@@ -20,7 +20,7 @@ int main() {
   std::uint64_t salt = 98000;
   for (const auto& [name, w] : workloads) {
     cells.push_back(sweep.add(
-        name, w, fi::FaultSpec::singleBit(fi::Technique::Read), n, salt++));
+        name, w, fi::FaultModel::singleBit(fi::FaultDomain::RegisterRead), n, salt++));
   }
   sweep.run();
 
@@ -29,7 +29,7 @@ int main() {
                          "<=10 errors space", "layer-3 prunable"});
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const auto& [name, w] = workloads[i];
-    const std::uint64_t d = w.candidates(fi::Technique::Read);
+    const std::uint64_t d = w.candidates(fi::FaultDomain::RegisterRead);
     const double benign =
         sweep[cells[i]].counts.proportion(stats::Outcome::Benign).fraction;
     char buf[64];

@@ -16,17 +16,17 @@ int main() {
   const auto workloads = bench::loadWorkloads();
 
   struct Section {
-    fi::Technique tech;
+    fi::FaultDomain tech;
     std::vector<std::size_t> cells;  // one per workload, sweep indices
   };
   bench::SweepBuilder sweep;
   std::vector<Section> sections;
-  for (const fi::Technique tech :
-       {fi::Technique::Read, fi::Technique::Write}) {
-    const fi::FaultSpec spec = fi::FaultSpec::singleBit(tech);
+  for (const fi::FaultDomain tech :
+       {fi::FaultDomain::RegisterRead, fi::FaultDomain::RegisterWrite}) {
+    const fi::FaultModel spec = fi::FaultModel::singleBit(tech);
     if (!bench::specSelected(spec)) continue;
     Section section{tech, {}};
-    std::uint64_t salt = tech == fi::Technique::Read ? 100 : 200;
+    std::uint64_t salt = tech == fi::FaultDomain::RegisterRead ? 100 : 200;
     for (const auto& [name, w] : workloads) {
       section.cells.push_back(sweep.add(name, w, spec, n, salt++));
     }
@@ -36,8 +36,8 @@ int main() {
 
   for (const Section& section : sections) {
     std::printf("--- (%c) %s ---\n",
-                section.tech == fi::Technique::Read ? 'a' : 'b',
-                fi::techniqueName(section.tech).data());
+                section.tech == fi::FaultDomain::RegisterRead ? 'a' : 'b',
+                fi::domainName(section.tech).data());
     util::TextTable table({"program", "Benign%", "Detection%", "SDC%",
                            "SDC +/-", "hang", "no-output"});
     for (std::size_t i = 0; i < workloads.size(); ++i) {

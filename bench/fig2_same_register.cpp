@@ -18,23 +18,23 @@ int main() {
   const auto workloads = bench::loadWorkloads();
 
   struct Section {
-    fi::Technique tech;
-    std::vector<fi::FaultSpec> specs;        // table columns
+    fi::FaultDomain tech;
+    std::vector<fi::FaultModel> specs;        // table columns
     std::vector<std::size_t> cells;          // workload-major × spec
   };
   bench::SweepBuilder sweep;
   std::vector<Section> sections;
-  for (const fi::Technique tech :
-       {fi::Technique::Read, fi::Technique::Write}) {
-    const std::vector<fi::FaultSpec> allSpecs = fi::sameRegisterCampaigns(tech);
+  for (const fi::FaultDomain tech :
+       {fi::FaultDomain::RegisterRead, fi::FaultDomain::RegisterWrite}) {
+    const std::vector<fi::FaultModel> allSpecs = fi::sameRegisterCampaigns(tech);
     std::vector<bool> selected;
     Section section{tech, {}, {}};
-    for (const fi::FaultSpec& spec : allSpecs) {
+    for (const fi::FaultModel& spec : allSpecs) {
       selected.push_back(bench::specSelected(spec));
       if (selected.back()) section.specs.push_back(spec);
     }
     if (section.specs.empty()) continue;
-    std::uint64_t salt = tech == fi::Technique::Read ? 1000 : 2000;
+    std::uint64_t salt = tech == fi::FaultDomain::RegisterRead ? 1000 : 2000;
     for (const auto& [name, w] : workloads) {
       // Salt over the FULL spec axis so an ONEBIT_SPECS-filtered run keeps
       // every surviving cell's seed (and store campaign key) identical to
@@ -53,11 +53,11 @@ int main() {
 
   for (const Section& section : sections) {
     std::printf("--- (%c) %s ---\n",
-                section.tech == fi::Technique::Read ? 'a' : 'b',
-                fi::techniqueName(section.tech).data());
+                section.tech == fi::FaultDomain::RegisterRead ? 'a' : 'b',
+                fi::domainName(section.tech).data());
     std::vector<std::string> header = {"program"};
-    for (const fi::FaultSpec& s : section.specs) {
-      header.push_back("m=" + std::to_string(s.maxMbf));
+    for (const fi::FaultModel& s : section.specs) {
+      header.push_back("m=" + std::to_string(s.pattern.count));
     }
     util::TextTable table(header);
     std::size_t cell = 0;

@@ -18,16 +18,16 @@ int main() {
   const auto workloads = bench::loadWorkloads();
 
   struct Section {
-    fi::Technique tech;
+    fi::FaultDomain tech;
     // cells[program] = suite indices of that program's win-size campaigns
     std::vector<std::vector<std::size_t>> cells;
   };
   bench::SweepBuilder sweep;
   std::vector<Section> sections;
-  for (const fi::Technique tech :
-       {fi::Technique::Read, fi::Technique::Write}) {
+  for (const fi::FaultDomain tech :
+       {fi::FaultDomain::RegisterRead, fi::FaultDomain::RegisterWrite}) {
     Section section{tech, {}};
-    std::uint64_t salt = tech == fi::Technique::Read ? 3000 : 4000;
+    std::uint64_t salt = tech == fi::FaultDomain::RegisterRead ? 3000 : 4000;
     for (const auto& [name, w] : workloads) {
       std::vector<std::size_t> programCells;
       for (const fi::CampaignConfig& config : pruning::activationCampaigns(
@@ -44,8 +44,8 @@ int main() {
 
   for (const Section& section : sections) {
     std::printf("--- (%c) %s ---\n",
-                section.tech == fi::Technique::Read ? 'a' : 'b',
-                fi::techniqueName(section.tech).data());
+                section.tech == fi::FaultDomain::RegisterRead ? 'a' : 'b',
+                fi::domainName(section.tech).data());
     util::TextTable table(
         {"program", "crashes", "1-5 errors", "6-10 errors", ">10 errors"});
     pruning::ActivationBuckets total;

@@ -32,7 +32,7 @@ void printFigure(const char* title, const std::vector<ProgramGrid>& grids) {
   // One row per program/win-size, SDC% per max-MBF column (the bar series
   // of the figure).
   std::vector<std::string> header = {"program", "win-size", "m=1"};
-  for (const unsigned m : fi::FaultSpec::paperMaxMbf()) {
+  for (const unsigned m : fi::FaultModel::paperMaxMbf()) {
     header.push_back("m=" + std::to_string(m));
   }
   util::TextTable table(header);
@@ -41,19 +41,19 @@ void printFigure(const char* title, const std::vector<ProgramGrid>& grids) {
     std::map<std::string, std::vector<const pruning::CampaignSdc*>> byWin;
     double singleSdc = 0.0;
     for (const auto& c : grid.result.all) {
-      if (c.spec.isSingleBit()) {
+      if (c.model.isSingleBit()) {
         singleSdc = c.sdc.fraction;
         continue;
       }
-      byWin[c.spec.winSize.label()].push_back(&c);
+      byWin[c.model.spread.label()].push_back(&c);
     }
     for (const auto& [win, cells] : byWin) {
       std::vector<std::string> row = {grid.name, win,
                                       util::fmtPercent(singleSdc)};
-      for (const unsigned m : fi::FaultSpec::paperMaxMbf()) {
+      for (const unsigned m : fi::FaultModel::paperMaxMbf()) {
         const pruning::CampaignSdc* found = nullptr;
         for (const auto* c : cells) {
-          if (c->spec.maxMbf == m) found = c;
+          if (c->model.pattern.count == m) found = c;
         }
         row.push_back(found != nullptr
                           ? util::fmtPercent(found->sdc.fraction)
@@ -83,12 +83,12 @@ void printTableThree(
     const auto& w = write[i].result;
     pessimisticCampaignsRead += r.singleIsPessimistic() ? 1 : 0;
     pessimisticCampaignsWrite += w.singleIsPessimistic() ? 1 : 0;
-    table.addRow({read[i].name, std::to_string(r.bestSpec.maxMbf),
-                  r.bestSpec.winSize.label(),
+    table.addRow({read[i].name, std::to_string(r.bestModel.pattern.count),
+                  r.bestModel.spread.label(),
                   util::fmtPercent(r.validatedBestSdc.fraction),
                   util::fmtPercent(r.singleSdc.fraction),
-                  std::to_string(w.bestSpec.maxMbf),
-                  w.bestSpec.winSize.label(),
+                  std::to_string(w.bestModel.pattern.count),
+                  w.bestModel.spread.label(),
                   util::fmtPercent(w.validatedBestSdc.fraction),
                   util::fmtPercent(w.singleSdc.fraction)});
   }
@@ -107,10 +107,10 @@ void printTableThree(
   int atMostThreeRead = 0;
   int atMostThreeWrite = 0;
   for (const auto& g : read) {
-    atMostThreeRead += g.result.bestSpec.maxMbf <= 3 ? 1 : 0;
+    atMostThreeRead += g.result.bestModel.pattern.count <= 3 ? 1 : 0;
   }
   for (const auto& g : write) {
-    atMostThreeWrite += g.result.bestSpec.maxMbf <= 3 ? 1 : 0;
+    atMostThreeWrite += g.result.bestModel.pattern.count <= 3 ? 1 : 0;
   }
   std::printf(
       "RQ3: best multi-bit config needs <=3 flips for %d/%zu programs "
@@ -133,7 +133,7 @@ struct GridSweep {
 
 std::vector<GridSweep> queueGrids(bench::SweepBuilder& sweep,
                                   const std::vector<bench::NamedWorkload>& ws,
-                                  fi::Technique tech, std::size_t n,
+                                  fi::FaultDomain tech, std::size_t n,
                                   std::uint64_t& salt) {
   std::vector<GridSweep> grids;
   for (const auto& [name, w] : ws) {
@@ -164,14 +164,14 @@ std::vector<ProgramGrid> selectGrids(bench::SweepBuilder& gridSweep,
   for (const GridSweep& grid : grids) {
     std::vector<pruning::CampaignSdc> all;
     for (std::size_t j = 0; j < grid.configs.size(); ++j) {
-      all.push_back({grid.configs[j].spec, gridSweep[grid.cells[j]].sdc()});
+      all.push_back({grid.configs[j].model, gridSweep[grid.cells[j]].sdc()});
     }
     ProgramGrid pg{grid.name, pruning::selectPessimisticPair(std::move(all))};
     validationCells.push_back(
         pg.result.hasBest
             ? validation.addConfig(
                   grid.name, *grid.workload,
-                  pruning::validationCampaign(pg.result.bestSpec, n,
+                  pruning::validationCampaign(pg.result.bestModel, n,
                                               grid.baseSeed, 3))
             : 0);
     out.push_back(std::move(pg));
@@ -204,9 +204,9 @@ int main() {
   bench::SweepBuilder gridSweep;
   std::uint64_t salt = 50000;
   std::vector<GridSweep> readGrids =
-      queueGrids(gridSweep, workloads, fi::Technique::Read, n, salt);
+      queueGrids(gridSweep, workloads, fi::FaultDomain::RegisterRead, n, salt);
   std::vector<GridSweep> writeGrids =
-      queueGrids(gridSweep, workloads, fi::Technique::Write, n, salt);
+      queueGrids(gridSweep, workloads, fi::FaultDomain::RegisterWrite, n, salt);
   gridSweep.run();
 
   // Phase 2+3: one SHARED validation suite for read and write batches.

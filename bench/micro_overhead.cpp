@@ -45,8 +45,8 @@ BENCHMARK(BM_InterpreterThroughput);
 void BM_InterpreterWithInjectorHook(benchmark::State& state) {
   const ir::Module mod = lang::compileMiniC(kLoopProgram);
   fi::FaultPlan plan;
-  plan.technique = fi::Technique::Write;
-  plan.maxMbf = 1;
+  plan.domain = fi::FaultDomain::RegisterWrite;
+  plan.pattern = fi::BitPattern::singleBit();
   plan.firstIndex = 1ULL << 60;  // never fires: measures pure hook overhead
   std::uint64_t instructions = 0;
   for (auto _ : state) {
@@ -62,11 +62,11 @@ BENCHMARK(BM_InterpreterWithInjectorHook);
 void BM_SingleExperiment(benchmark::State& state) {
   const progs::ProgramInfo* info = progs::findProgram("fft");
   const fi::Workload w(progs::compileProgram(*info));
-  const fi::FaultSpec spec = fi::FaultSpec::singleBit(fi::Technique::Write);
+  const fi::FaultModel spec = fi::FaultModel::singleBit(fi::FaultDomain::RegisterWrite);
   std::uint64_t i = 0;
   for (auto _ : state) {
     const fi::FaultPlan plan = fi::FaultPlan::forExperiment(
-        spec, w.candidates(spec.technique), 7, i++);
+        spec, w.candidates(spec.domain), 7, i++);
     benchmark::DoNotOptimize(fi::runExperiment(w, plan));
   }
 }
@@ -76,8 +76,8 @@ void BM_Campaign100(benchmark::State& state) {
   const progs::ProgramInfo* info = progs::findProgram("dijkstra");
   const fi::Workload w(progs::compileProgram(*info));
   fi::CampaignConfig config;
-  config.spec =
-      fi::FaultSpec::multiBit(fi::Technique::Read, 3, fi::WinSize::fixed(4));
+  config.model =
+      fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterRead, 3, fi::WinSize::fixed(4));
   config.experiments = 100;
   std::uint64_t seed = 1;
   for (auto _ : state) {

@@ -1,13 +1,14 @@
 // §III-A motivation: "80-90% of randomly injected faults are often not even
-// activated". Compares the blind random-register fault model against
-// LLFI-style inject-on-read (which activates every injected fault by
-// construction) on all 15 workloads.
+// activated". Compares the blind random-register fault model (the
+// RandomValue fault domain) against LLFI-style inject-on-read (which
+// activates every injected fault by construction) on all 15 workloads.
 //
 // The reference inject-on-read campaigns are batched as one SweepBuilder
-// sweep; the blind random-register loop is not a campaign (it drives a
-// custom hook), so it stays serial per program.
+// sweep. The blind loop pins each fault's landing time itself — it draws
+// (target instruction, plan seed) pairs from one per-program stream, the
+// historical sampling scheme of this driver — so it builds RandomValue
+// FaultPlans directly instead of going through a campaign.
 #include "bench_common.hpp"
-#include "fi/random_reg_hook.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -26,7 +27,8 @@ int main() {
     blindSeeds.push_back(util::hashCombine(bench::masterSeed(), salt++));
     // Reference: LLFI-style single-bit inject-on-read campaign.
     refCells.push_back(sweep.add(
-        name, w, fi::FaultSpec::singleBit(fi::Technique::Read), n, salt++));
+        name, w,
+        fi::FaultModel::singleBit(fi::FaultDomain::RegisterRead), n, salt++));
   }
   sweep.run();
 
@@ -38,12 +40,13 @@ int main() {
     stats::OutcomeCounts counts;
     util::Rng rng(blindSeeds[i]);
     for (std::size_t e = 0; e < n; ++e) {
-      const std::uint64_t t = rng.below(w.golden().instructions);
-      fi::RandomRegisterHook hook(t, rng.next());
-      const vm::ExecResult faulty =
-          vm::execute(w.module(), w.faultyLimits(), &hook);
-      activated += hook.activated() ? 1 : 0;
-      counts.add(fi::classify(faulty, w.golden()));
+      fi::FaultPlan plan;
+      plan.domain = fi::FaultDomain::RandomValue;
+      plan.firstIndex = rng.below(w.golden().instructions);
+      plan.seed = rng.next();
+      const fi::ExperimentResult r = fi::runExperiment(w, plan);
+      activated += r.activations > 0 ? 1 : 0;
+      counts.add(r.outcome);
     }
     const double actFrac = static_cast<double>(activated) /
                            static_cast<double>(n);

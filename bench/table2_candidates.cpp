@@ -45,8 +45,9 @@ int main() {
     rec.minicLoc = progs::sourceLines(info);
     rec.irInstrs = w.module().instrCount();
     rec.dynInstrs = w.golden().instructions;
-    rec.candRead = w.candidates(fi::Technique::Read);
-    rec.candWrite = w.candidates(fi::Technique::Write);
+    rec.candRead = w.candidates(fi::FaultDomain::RegisterRead);
+    rec.candWrite = w.candidates(fi::FaultDomain::RegisterWrite);
+    rec.candStore = w.candidates(fi::FaultDomain::MemoryData);
     if (store != nullptr && !store->appendWorkload(rec)) {
       std::fprintf(stderr,
                    "warning: could not record workload '%s' to store '%s'; "

@@ -15,13 +15,13 @@ int main() {
   const std::size_t n = bench::experimentsPerCampaign(300);
   bench::printHeaderNote("Table IV: Transition I / II likelihoods", n);
 
-  fi::FaultSpec readSpec = fi::FaultSpec::multiBit(
-      fi::Technique::Read,
+  fi::FaultModel readSpec = fi::FaultModel::multiBitTemporal(
+      fi::FaultDomain::RegisterRead,
       static_cast<unsigned>(util::envInt("ONEBIT_T4_MBF_READ", 2)),
       fi::WinSize::fixed(
           static_cast<std::uint64_t>(util::envInt("ONEBIT_T4_WIN_READ", 100))));
-  fi::FaultSpec writeSpec = fi::FaultSpec::multiBit(
-      fi::Technique::Write,
+  fi::FaultModel writeSpec = fi::FaultModel::multiBitTemporal(
+      fi::FaultDomain::RegisterWrite,
       static_cast<unsigned>(util::envInt("ONEBIT_T4_MBF_WRITE", 3)),
       fi::WinSize::fixed(
           static_cast<std::uint64_t>(util::envInt("ONEBIT_T4_WIN_WRITE", 1))));

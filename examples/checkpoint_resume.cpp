@@ -51,7 +51,7 @@ int main() {
   const fi::Workload workload(lang::compileMiniC(kProgram));
 
   fi::CampaignConfig config;
-  config.spec = fi::FaultSpec::multiBit(fi::Technique::Write, 3,
+  config.model = fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterWrite, 3,
                                         fi::WinSize::fixed(2));
   config.experiments = static_cast<std::size_t>(
       util::envInt("ONEBIT_EXPERIMENTS", 400));

@@ -58,7 +58,7 @@ int main() {
   std::printf("golden output: %s", workload.golden().output.c_str());
 
   fi::CampaignConfig config;
-  config.spec = fi::FaultSpec::singleBit(fi::Technique::Read);
+  config.model = fi::FaultModel::singleBit(fi::FaultDomain::RegisterRead);
   config.experiments = 300;
   const fi::CampaignResult r = fi::runCampaign(workload, config);
   for (unsigned i2 = 0; i2 < stats::kOutcomeCount; ++i2) {

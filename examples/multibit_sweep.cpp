@@ -32,13 +32,14 @@ int main(int argc, char** argv) {
               "per campaign)\n\n",
               progName, static_cast<unsigned long long>(win), n);
   std::printf("%-16s %-8s %10s %10s\n", "technique", "max-MBF", "SDC%", "+/-");
-  for (const fi::Technique tech :
-       {fi::Technique::Read, fi::Technique::Write}) {
+  for (const fi::FaultDomain domain :
+       {fi::FaultDomain::RegisterRead, fi::FaultDomain::RegisterWrite}) {
     for (const unsigned m : {1U, 2U, 3U, 4U, 5U, 6U, 8U, 10U, 30U}) {
       fi::CampaignConfig config;
-      config.spec = m == 1 ? fi::FaultSpec::singleBit(tech)
-                           : fi::FaultSpec::multiBit(tech, m,
-                                                     fi::WinSize::fixed(win));
+      config.model =
+          m == 1 ? fi::FaultModel::singleBit(domain)
+                 : fi::FaultModel::multiBitTemporal(domain, m,
+                                                    fi::WinSize::fixed(win));
       config.experiments = n;
       config.seed = 0xace0fba5eULL + m;
       config.shardSize = static_cast<std::size_t>(
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
       const fi::CampaignResult r = fi::CampaignEngine(config).run(workload);
       const auto sdc = r.sdc();
       std::printf("%-16s %-8u %9.2f%% %9.2f%%\n",
-                  fi::techniqueName(tech).data(), m, sdc.fraction * 100.0,
+                  fi::domainName(domain).data(), m, sdc.fraction * 100.0,
                   sdc.ciHalfWidth * 100.0);
     }
     std::printf("\n");

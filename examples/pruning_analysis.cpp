@@ -23,17 +23,17 @@ int main(int argc, char** argv) {
   const auto n =
       static_cast<std::size_t>(util::envInt("ONEBIT_EXPERIMENTS", 400));
 
-  for (const fi::Technique tech :
-       {fi::Technique::Read, fi::Technique::Write}) {
+  for (const fi::FaultDomain domain :
+       {fi::FaultDomain::RegisterRead, fi::FaultDomain::RegisterWrite}) {
     // A low win-size, 3-flip configuration — the kind Table III finds
     // pessimistic for inject-on-write.
-    const fi::FaultSpec multi =
-        fi::FaultSpec::multiBit(tech, 3, fi::WinSize::fixed(1));
+    const fi::FaultModel multi =
+        fi::FaultModel::multiBitTemporal(domain, 3, fi::WinSize::fixed(1));
     const pruning::TransitionStudyResult r =
         pruning::transitionStudy(workload, multi, n, 0x5eed + n);
 
     std::printf("%s / %s, %zu paired experiments:\n", progName,
-                fi::techniqueName(tech).data(), n);
+                fi::domainName(domain).data(), n);
     std::printf("  Transition I  (Detection -> SDC): %5.1f%%\n",
                 r.transitionI() * 100.0);
     std::printf("  Transition II (Benign    -> SDC): %5.1f%%\n",

@@ -63,9 +63,9 @@ int main() {
               "%llu write candidates\noutput: %s\n",
               static_cast<unsigned long long>(workload.golden().instructions),
               static_cast<unsigned long long>(
-                  workload.candidates(fi::Technique::Read)),
+                  workload.candidates(fi::FaultDomain::RegisterRead)),
               static_cast<unsigned long long>(
-                  workload.candidates(fi::Technique::Write)),
+                  workload.candidates(fi::FaultDomain::RegisterWrite)),
               workload.golden().output.c_str());
 
   const auto n = static_cast<std::size_t>(
@@ -73,7 +73,7 @@ int main() {
 
   // 3. Single bit-flip campaign (inject-on-write).
   fi::CampaignConfig single;
-  single.spec = fi::FaultSpec::singleBit(fi::Technique::Write);
+  single.model = fi::FaultModel::singleBit(fi::FaultDomain::RegisterWrite);
   single.experiments = n;
   report("single bit-flip, inject-on-write:",
          fi::runCampaign(workload, single));
@@ -81,7 +81,7 @@ int main() {
   // 4. Multi bit-flip campaign: 3 flips, one dynamic instruction apart.
   // Driven through CampaignEngine directly to show per-shard progress.
   fi::CampaignConfig multi;
-  multi.spec = fi::FaultSpec::multiBit(fi::Technique::Write, 3,
+  multi.model = fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterWrite, 3,
                                        fi::WinSize::fixed(1));
   multi.experiments = n;
   fi::CampaignEngine engine(multi);

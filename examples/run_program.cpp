@@ -26,9 +26,9 @@ void show(const onebit::progs::ProgramInfo& info) {
               static_cast<unsigned long long>(g.instructions));
   std::printf("candidates: read=%llu write=%llu\n",
               static_cast<unsigned long long>(
-                  workload.candidates(fi::Technique::Read)),
+                  workload.candidates(fi::FaultDomain::RegisterRead)),
               static_cast<unsigned long long>(
-                  workload.candidates(fi::Technique::Write)));
+                  workload.candidates(fi::FaultDomain::RegisterWrite)));
   std::printf("--- output ---\n%s--------------\n\n", g.output.c_str());
 }
 

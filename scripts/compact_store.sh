@@ -1,0 +1,26 @@
+#!/bin/sh
+# Compact a campaign-results store (JSONL): keep only the newest record per
+# (campaign key, shard) and per workload name, drop torn/invalid lines.
+#
+#   scripts/compact_store.sh STORE.jsonl [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build (relative to the repo root); it must contain
+# the compact_store tool (built by the default CMake configuration).
+set -eu
+
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+  echo "usage: $0 STORE.jsonl [BUILD_DIR]" >&2
+  exit 2
+fi
+
+store=$1
+build=${2:-build}
+
+tool="$build/compact_store"
+if [ ! -x "$tool" ]; then
+  echo "error: $tool not found or not executable; build the repo first" >&2
+  echo "  cmake -B $build -S . && cmake --build $build --target compact_store" >&2
+  exit 1
+fi
+
+exec "$tool" "$store"

@@ -93,7 +93,7 @@ CampaignResult CampaignEngine::run(const Workload& workload) const {
   cfg.record = record_;
   cfg.resume = resume_;
   CampaignSuite suite(cfg);
-  suite.addCell(SuiteCell{config_.spec.label(), &workload, config_.spec,
+  suite.addCell(SuiteCell{config_.model.label(), &workload, config_.model,
                           config_.experiments, config_.seed, recordWorkload_});
   if (progress_ != nullptr) suite.onShardDone(progress_);
   std::vector<CampaignResult> results = suite.run();

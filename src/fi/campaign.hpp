@@ -2,7 +2,7 @@
 // executed as fixed-size shards of experiments batched onto a thread pool.
 //
 // Determinism contract: the outcome counts and activation histogram of a
-// campaign depend ONLY on (spec, experiments, seed). Experiment i derives its
+// campaign depend ONLY on (model, experiments, seed). Experiment i derives its
 // fault plan — and therefore its entire RNG stream — from (seed, i) alone, and
 // shard aggregates are merged with commutative integer additions, so `threads`
 // and `shardSize` affect scheduling and progress granularity but never the
@@ -13,7 +13,7 @@
 // (fi/campaign_store.hpp) with recordTo()/resumeFrom() and every completed
 // shard is persisted, while shards already in the store are merged from it
 // instead of re-executed. Because a shard's aggregates depend only on
-// (spec, seed, experiment range), a campaign interrupted after k shards and
+// (model, seed, experiment range), a campaign interrupted after k shards and
 // resumed later is bit-identical to an uninterrupted run.
 //
 // Multi-campaign sweeps should not call run() in a loop — that puts a
@@ -35,7 +35,7 @@ class CampaignStore;
 struct StoreBinding;
 
 struct CampaignConfig {
-  FaultSpec spec;
+  FaultModel model;
   std::size_t experiments = 1000;
   std::uint64_t seed = 0x0b17f11e;  ///< campaign master seed
   std::size_t threads = 0;          ///< 0 = hardware concurrency

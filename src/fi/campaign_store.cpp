@@ -80,25 +80,96 @@ std::uint64_t getUint(const util::Json& obj, std::string_view field,
 }  // namespace
 
 std::uint64_t CampaignStore::campaignKey(
-    const FaultSpec& spec, std::size_t experiments, std::uint64_t seed,
+    const FaultModel& model, std::size_t experiments, std::uint64_t seed,
     std::uint64_t workloadFingerprint) noexcept {
   // Chain every field the determinism contract names; any difference in the
   // fault model, campaign size, seed, workload behavior, or experiment
-  // semantics yields a new key.
+  // semantics yields a new key. Paper cells (register domains under the
+  // single/temporal patterns) hash the exact chain the former FaultSpec key
+  // used, so every record written before the FaultModel redesign still
+  // resumes; extension cells additionally fold in their own semantics
+  // version and the pattern kind, so they can never collide with a paper
+  // key and can be re-versioned independently.
   std::uint64_t h = 0x0b17c4a9'5708e11fULL ^ kFormatVersion;
   h = util::hashCombine(h, kResultSemanticsVersion);
-  h = util::hashCombine(h, static_cast<std::uint64_t>(spec.technique));
-  h = util::hashCombine(h, spec.maxMbf);
-  h = util::hashCombine(h, static_cast<std::uint64_t>(spec.winSize.kind));
-  h = util::hashCombine(h, spec.winSize.value);
-  h = util::hashCombine(h, spec.winSize.lo);
-  h = util::hashCombine(h, spec.winSize.hi);
-  h = util::hashCombine(h, spec.flipWidth);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(model.domain));
+  h = util::hashCombine(h, model.pattern.count);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(model.spread.kind));
+  h = util::hashCombine(h, model.spread.value);
+  h = util::hashCombine(h, model.spread.lo);
+  h = util::hashCombine(h, model.spread.hi);
+  h = util::hashCombine(h, model.flipWidth);
+  if (!model.isPaperModel()) {
+    h = util::hashCombine(h, kExtendedSemanticsVersion);
+    h = util::hashCombine(h, static_cast<std::uint64_t>(model.pattern.kind));
+  }
   h = util::hashCombine(h, static_cast<std::uint64_t>(experiments));
   h = util::hashCombine(h, seed);
   h = util::hashCombine(h, workloadFingerprint);
   return h;
 }
+
+namespace {
+
+/// One decoded-and-validated shard record (shared by load and compact).
+struct ParsedShard {
+  std::uint64_t key = 0;
+  std::size_t first = 0;
+  std::size_t count = 0;
+  CampaignStore::ShardAggregate agg;
+};
+
+/// Decode a "shard" record. Integrity: the shard range must lie inside the
+/// campaign and both aggregates must tally exactly `count` experiments — a
+/// mangled record is worth less than a re-run shard.
+bool parseShardRecord(const util::Json& record, ParsedShard& out) {
+  const util::Json* keyField = record.find("key");
+  const std::optional<std::uint64_t> key =
+      keyField != nullptr ? keyFromHex(keyField->asString()) : std::nullopt;
+  const std::uint64_t bad = ~0ULL;
+  const std::uint64_t first = getUint(record, "first", bad);
+  const std::uint64_t count = getUint(record, "count", bad);
+  const std::uint64_t experiments = getUint(record, "experiments", bad);
+  const util::Json* outcomes = record.find("outcomes");
+  const util::Json* hist = record.find("hist");
+  if (!key || first == bad || count == bad || count == 0 ||
+      experiments == bad || first + count > experiments ||
+      outcomes == nullptr || !stats::fromJson(*outcomes, out.agg.counts) ||
+      hist == nullptr || !histFromJson(*hist, out.agg.hist) ||
+      out.agg.counts.total() != count || histTotal(out.agg.hist) != count) {
+    return false;
+  }
+  out.key = *key;
+  out.first = static_cast<std::size_t>(first);
+  out.count = static_cast<std::size_t>(count);
+  return true;
+}
+
+/// Decode a "workload" record (only the name is mandatory).
+bool parseWorkloadRecord(const util::Json& record,
+                         CampaignStore::WorkloadRecord& rec) {
+  const util::Json* name = record.find("name");
+  if (name == nullptr || name->asString().empty()) return false;
+  rec.name = std::string(name->asString());
+  if (const util::Json* f = record.find("suite")) {
+    rec.suite = std::string(f->asString());
+  }
+  if (const util::Json* f = record.find("package")) {
+    rec.package = std::string(f->asString());
+  }
+  if (const util::Json* f = record.find("src_hash")) {
+    rec.sourceHash = keyFromHex(f->asString()).value_or(0);
+  }
+  rec.minicLoc = getUint(record, "minic_loc", 0);
+  rec.irInstrs = getUint(record, "ir_instrs", 0);
+  rec.dynInstrs = getUint(record, "dyn_instrs", 0);
+  rec.candRead = getUint(record, "cand_read", 0);
+  rec.candWrite = getUint(record, "cand_write", 0);
+  rec.candStore = getUint(record, "cand_store", 0);
+  return true;
+}
+
+}  // namespace
 
 CampaignStore::LoadStats CampaignStore::load() {
   LoadStats stats;
@@ -112,33 +183,13 @@ CampaignStore::LoadStats CampaignStore::load() {
           return;
         }
         if (kind->asString() == "shard") {
-          const util::Json* keyField = record.find("key");
-          const std::optional<std::uint64_t> key =
-              keyField != nullptr ? keyFromHex(keyField->asString())
-                                  : std::nullopt;
-          const std::uint64_t bad = ~0ULL;
-          const std::uint64_t first = getUint(record, "first", bad);
-          const std::uint64_t count = getUint(record, "count", bad);
-          const std::uint64_t experiments =
-              getUint(record, "experiments", bad);
-          ShardAggregate agg;
-          const util::Json* outcomes = record.find("outcomes");
-          const util::Json* hist = record.find("hist");
-          // Integrity: the shard range must lie inside the campaign and
-          // both aggregates must tally exactly `count` experiments — a
-          // mangled record is worth less than a re-run shard.
-          if (!key || first == bad || count == bad || count == 0 ||
-              experiments == bad || first + count > experiments ||
-              outcomes == nullptr || !stats::fromJson(*outcomes, agg.counts) ||
-              hist == nullptr || !histFromJson(*hist, agg.hist) ||
-              agg.counts.total() != count || histTotal(agg.hist) != count) {
+          ParsedShard shard;
+          if (!parseShardRecord(record, shard)) {
             ++stats.malformed;
             return;
           }
-          if (indexShard(*key,
-                         {static_cast<std::size_t>(first),
-                          static_cast<std::size_t>(count)},
-                         std::move(agg))) {
+          if (indexShard(shard.key, {shard.first, shard.count},
+                         std::move(shard.agg))) {
             ++stats.shardRecords;
           } else {
             ++stats.duplicates;
@@ -146,27 +197,11 @@ CampaignStore::LoadStats CampaignStore::load() {
           return;
         }
         if (kind->asString() == "workload") {
-          const util::Json* name = record.find("name");
-          if (name == nullptr || name->asString().empty()) {
+          WorkloadRecord rec;
+          if (!parseWorkloadRecord(record, rec)) {
             ++stats.malformed;
             return;
           }
-          WorkloadRecord rec;
-          rec.name = std::string(name->asString());
-          if (const util::Json* f = record.find("suite")) {
-            rec.suite = std::string(f->asString());
-          }
-          if (const util::Json* f = record.find("package")) {
-            rec.package = std::string(f->asString());
-          }
-          if (const util::Json* f = record.find("src_hash")) {
-            rec.sourceHash = keyFromHex(f->asString()).value_or(0);
-          }
-          rec.minicLoc = getUint(record, "minic_loc", 0);
-          rec.irInstrs = getUint(record, "ir_instrs", 0);
-          rec.dynInstrs = getUint(record, "dyn_instrs", 0);
-          rec.candRead = getUint(record, "cand_read", 0);
-          rec.candWrite = getUint(record, "cand_write", 0);
           workloads_.insert_or_assign(rec.name, std::move(rec));
           ++stats.workloadRecords;
           return;
@@ -174,6 +209,93 @@ CampaignStore::LoadStats CampaignStore::load() {
         ++stats.malformed;  // unknown record kind
       });
   stats.malformed += read.malformed;
+  return stats;
+}
+
+std::optional<CampaignStore::CompactStats> CampaignStore::compact(
+    const std::string& path) {
+  CompactStats stats;
+  // Collect the surviving records in first-seen identity order, newest
+  // content winning per identity — duplicates carry identical aggregates by
+  // the determinism contract, so "newest" only matters for records written
+  // by different semantics versions, which hash to different keys anyway.
+  std::vector<util::Json> kept;
+  std::map<std::pair<std::uint64_t, std::pair<std::size_t, std::size_t>>,
+           std::size_t>
+      shardAt;
+  std::map<std::string, std::size_t, std::less<>> workloadAt;
+  const util::JsonlReadStats read =
+      util::readJsonl(path, [&](util::Json&& record) {
+        const std::uint64_t v = getUint(record, "v", 0);
+        const util::Json* kind = record.find("kind");
+        if (v != kFormatVersion || kind == nullptr) {
+          ++stats.droppedMalformed;
+          return;
+        }
+        if (kind->asString() == "shard") {
+          ParsedShard shard;
+          if (!parseShardRecord(record, shard)) {
+            ++stats.droppedMalformed;
+            return;
+          }
+          const auto [it, inserted] = shardAt.try_emplace(
+              {shard.key, {shard.first, shard.count}}, kept.size());
+          if (inserted) {
+            kept.push_back(std::move(record));
+          } else {
+            kept[it->second] = std::move(record);
+            ++stats.droppedDuplicates;
+          }
+          return;
+        }
+        if (kind->asString() == "workload") {
+          WorkloadRecord rec;
+          if (!parseWorkloadRecord(record, rec)) {
+            ++stats.droppedMalformed;
+            return;
+          }
+          const auto [it, inserted] =
+              workloadAt.try_emplace(rec.name, kept.size());
+          if (inserted) {
+            kept.push_back(std::move(record));
+          } else {
+            kept[it->second] = std::move(record);
+            ++stats.droppedDuplicates;
+          }
+          return;
+        }
+        ++stats.droppedMalformed;  // unknown record kind
+      });
+  stats.droppedMalformed += read.malformed;  // torn/unparseable lines
+  stats.shardRecords = shardAt.size();
+  stats.workloadRecords = workloadAt.size();
+  // Already canonical (including the missing-file case): leave the file
+  // byte-identical instead of rewriting it.
+  if (stats.droppedDuplicates == 0 && stats.droppedMalformed == 0) {
+    return stats;
+  }
+  // Crash-safe rewrite: write a sibling temp file, then rename over the
+  // original — a reader never observes a half-written store. Remove any
+  // stale temp left by a killed compaction first: JsonlWriter opens in
+  // append mode, and renaming stale-lines-plus-fresh-lines over the store
+  // would reintroduce superseded records.
+  const std::string tmp = path + ".compact.tmp";
+  std::remove(tmp.c_str());
+  {
+    util::JsonlWriter writer(tmp);
+    if (!writer.ok()) return std::nullopt;
+    for (const util::Json& record : kept) {
+      if (!writer.writeLine(record)) {
+        std::remove(tmp.c_str());
+        return std::nullopt;
+      }
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return std::nullopt;
+  }
+  stats.rewritten = true;
   return stats;
 }
 
@@ -244,6 +366,7 @@ bool CampaignStore::appendWorkload(const WorkloadRecord& rec) {
   record.set("dyn_instrs", util::Json::number(rec.dynInstrs));
   record.set("cand_read", util::Json::number(rec.candRead));
   record.set("cand_write", util::Json::number(rec.candWrite));
+  record.set("cand_store", util::Json::number(rec.candStore));
 
   std::lock_guard lock(mutex_);
   const auto existing = workloads_.find(rec.name);

@@ -25,10 +25,10 @@
 //     {"v":1,"kind":"workload","name":"qsort","suite":"MiBench",
 //      "package":"automotive","src_hash":"0x<16 hex>","minic_loc":57,
 //      "ir_instrs":210,"dyn_instrs":51234,"cand_read":30321,
-//      "cand_write":20117}
+//      "cand_write":20117,"cand_store":9876}
 //
 // Campaign key: a 64-bit hash of everything the determinism contract says a
-// campaign result depends on — the full FaultSpec (technique, max-MBF,
+// campaign result depends on — the full FaultModel (technique, max-MBF,
 // win-size, flip width), experiment count, master seed — plus the
 // workload's fingerprint (golden output, dynamic instruction count,
 // candidate counts), which binds records to the observable behavior of the
@@ -64,6 +64,15 @@ class CampaignStore {
   /// campaign would mix results no uninterrupted run could produce.
   static constexpr std::uint64_t kResultSemanticsVersion = 1;
 
+  /// Semantics version of the EXTENSION cells of the fault-model algebra —
+  /// the MemoryData/RandomValue domains and the BurstAdjacent pattern
+  /// (everything FaultModel::isPaperModel() excludes). Folded into those
+  /// campaign keys on top of kResultSemanticsVersion, so extension
+  /// semantics can evolve (bump this) without invalidating the paper
+  /// cells' recorded results, and extension records can never collide with
+  /// a paper-cell key.
+  static constexpr std::uint64_t kExtendedSemanticsVersion = 1;
+
   /// Aggregates of one recorded shard.
   struct ShardAggregate {
     stats::OutcomeCounts counts;
@@ -75,7 +84,7 @@ class CampaignStore {
   struct CampaignMeta {
     std::uint64_t key = 0;
     std::string workload;   ///< caller-supplied name; may be empty
-    std::string specLabel;  ///< FaultSpec::label()
+    std::string specLabel;  ///< FaultModel::label()
     std::uint64_t seed = 0;
     std::size_t experiments = 0;
     std::uint64_t candidates = 0;
@@ -95,6 +104,7 @@ class CampaignStore {
     std::uint64_t dynInstrs = 0;
     std::uint64_t candRead = 0;
     std::uint64_t candWrite = 0;
+    std::uint64_t candStore = 0;
 
     bool operator==(const WorkloadRecord&) const = default;
   };
@@ -107,6 +117,14 @@ class CampaignStore {
     std::size_t duplicates = 0;  ///< re-recorded shards (first one wins)
   };
 
+  struct CompactStats {
+    std::size_t shardRecords = 0;     ///< surviving shard records
+    std::size_t workloadRecords = 0;  ///< surviving workload records
+    std::size_t droppedDuplicates = 0;  ///< superseded records dropped
+    std::size_t droppedMalformed = 0;   ///< torn/invalid lines dropped
+    bool rewritten = false;  ///< false = file was already canonical
+  };
+
   /// Opens (lazily) the store at `path`. The file need not exist yet; the
   /// first append creates it.
   explicit CampaignStore(std::string path) : path_(std::move(path)) {}
@@ -116,14 +134,15 @@ class CampaignStore {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
-  /// The campaign key binding a record to (spec, experiments, seed,
-  /// workload identity). `workloadFingerprint` is Workload::fingerprint()
-  /// — a hash of golden output, dynamic instruction count, candidate
-  /// counts, and the faulty-run instruction budget — so editing the
-  /// injected program (or its hang budget) invalidates its records even
-  /// when a single summary statistic happens to survive the edit. See the
-  /// file header for the rationale.
-  static std::uint64_t campaignKey(const FaultSpec& spec,
+  /// The campaign key binding a record to (model, experiments, seed,
+  /// workload identity). `workloadFingerprint` is
+  /// Workload::fingerprintFor(model) — a hash of golden output, dynamic
+  /// instruction count, candidate counts (including the store-event stream
+  /// for extension cells), and the faulty-run instruction budget — so
+  /// editing the injected program (or its hang budget) invalidates its
+  /// records even when a single summary statistic happens to survive the
+  /// edit. See the file header for the rationale.
+  static std::uint64_t campaignKey(const FaultModel& model,
                                    std::size_t experiments,
                                    std::uint64_t seed,
                                    std::uint64_t workloadFingerprint) noexcept;
@@ -132,6 +151,19 @@ class CampaignStore {
   /// file loads as empty. Malformed lines are counted, never fatal: the
   /// torn last line of a killed writer must not poison the store.
   LoadStats load();
+
+  /// Rewrite the JSONL store at `path` in place, keeping only the newest
+  /// record per (campaign key, shard range) and per workload name, and
+  /// dropping torn or integrity-failing lines — the maintenance pass for a
+  /// store grown by interrupted runs or by several concurrent writer
+  /// processes (whose appends bypass each other's in-memory dedup index).
+  /// Resuming from a compacted store is identical to resuming from the
+  /// original: the surviving records are exactly the ones load() would
+  /// index. Crash-safe (temp file + rename); a file that is already
+  /// canonical is left untouched byte for byte. Returns nullopt on I/O
+  /// failure (the original file is preserved). Do not run it on a store an
+  /// open CampaignStore instance is appending to.
+  static std::optional<CompactStats> compact(const std::string& path);
 
   /// Append one completed shard (thread-safe; serialized internally). The
   /// line is flushed before the call returns. A shard already present in

@@ -39,20 +39,39 @@ Workload::Workload(ir::Module mod, std::uint64_t hangFactor,
       util::hashCombine(
           util::hashCombine(golden_.readCandidates, golden_.writeCandidates),
           faultyLimits_.maxInstructions));
+  // Extension-cell fingerprint: also bind the store-event stream size
+  // (MemoryData's candidate space). Kept separate so paper-cell campaign
+  // keys — which predate the store stream — stay stable across the
+  // FaultModel redesign.
+  extendedFingerprint_ =
+      util::hashCombine(fingerprint_, golden_.storeCandidates);
 }
 
 const vm::Snapshot* Workload::snapshotAtOrBefore(
-    Technique t, std::uint64_t firstIndex,
+    FaultDomain d, std::uint64_t firstIndex,
     std::uint64_t maxInstructions) const noexcept {
-  // Snapshots are ordered by capture time, so both candidate counters and
+  // Snapshots are ordered by capture time, so every candidate counter and
   // the instruction counter are nondecreasing across the vector. Binary
-  // search for the last snapshot whose stream position is <= firstIndex...
-  const auto position = [t](const vm::Snapshot& s) noexcept {
-    return t == Technique::Read ? s.readCandidates : s.writeCandidates;
+  // search for the last snapshot whose stream position is below `bound`...
+  const auto position = [d](const vm::Snapshot& s) noexcept {
+    switch (d) {
+      case FaultDomain::RegisterRead: return s.readCandidates;
+      case FaultDomain::RegisterWrite: return s.writeCandidates;
+      case FaultDomain::MemoryData: return s.storeCandidates;
+      case FaultDomain::RandomValue: return s.instructions;
+    }
+    return s.readCandidates;
   };
+  // Candidate streams are post-incremented: a snapshot at stream position p
+  // precedes the callback with candidate index p, so position <= firstIndex
+  // is safe. RandomValue addresses the (pre-incremented) instruction counter
+  // itself; the arming callback carries instrIndex == firstIndex only when
+  // the snapshot sits strictly before it.
+  const std::uint64_t bound =
+      d == FaultDomain::RandomValue ? firstIndex : firstIndex + 1;
   auto it = std::upper_bound(
-      snapshots_.begin(), snapshots_.end(), firstIndex,
-      [&](std::uint64_t v, const vm::Snapshot& s) { return v < position(s); });
+      snapshots_.begin(), snapshots_.end(), bound,
+      [&](std::uint64_t v, const vm::Snapshot& s) { return v <= position(s); });
   // ...then walk back over any whose instruction count a from-scratch run
   // could not reach within `maxInstructions` (tiny hang factors only).
   while (it != snapshots_.begin()) {
@@ -98,7 +117,7 @@ ExperimentResult runExperiment(const Workload& workload,
   // consumes randomness before its first index), so resume from the densest
   // snapshot at-or-before that index instead of re-interpreting the prefix.
   const vm::Snapshot* snap = workload.snapshotAtOrBefore(
-      plan.technique, plan.firstIndex, limits.maxInstructions);
+      plan.domain, plan.firstIndex, limits.maxInstructions);
   const vm::ExecResult faulty =
       snap != nullptr
           ? vm::resume(workload.module(), *snap, limits, &hook)

@@ -49,9 +49,9 @@ struct SnapshotPolicy {
 };
 
 /// A program + input pair (the paper's "workload"), with its fault-free
-/// profile: golden output, dynamic instruction count, and per-technique
+/// profile: golden output, dynamic instruction count, and per-domain
 /// candidate counts (Table II's "candidate instructions for fault
-/// injection").
+/// injection", plus the store-event stream of the MemoryData domain).
 class Workload {
  public:
   /// Default faulty-run budget factor (LLFI uses one to two orders of
@@ -71,31 +71,54 @@ class Workload {
   [[nodiscard]] const vm::ExecResult& golden() const noexcept {
     return golden_;
   }
-  [[nodiscard]] std::uint64_t candidates(Technique t) const noexcept {
-    return t == Technique::Read ? golden_.readCandidates
-                                : golden_.writeCandidates;
+  /// Size of a fault domain's candidate stream over the golden run:
+  /// read/write candidates for the register domains, committed store events
+  /// for MemoryData, and dynamic instructions for RandomValue (the blind
+  /// model addresses points in time).
+  [[nodiscard]] std::uint64_t candidates(FaultDomain d) const noexcept {
+    switch (d) {
+      case FaultDomain::RegisterRead: return golden_.readCandidates;
+      case FaultDomain::RegisterWrite: return golden_.writeCandidates;
+      case FaultDomain::MemoryData: return golden_.storeCandidates;
+      case FaultDomain::RandomValue: return golden_.instructions;
+    }
+    return golden_.readCandidates;
   }
   [[nodiscard]] const vm::ExecLimits& faultyLimits() const noexcept {
     return faultyLimits_;
   }
   /// Stable 64-bit identity of this workload's observable behavior: a hash
-  /// of the golden output, dynamic instruction count, both candidate
-  /// counts, and the faulty-run instruction budget (hangFactor). Two
-  /// workloads that differ in any of these cannot share persisted campaign
-  /// results (see fi/campaign_store.hpp). Snapshot policy is deliberately
-  /// NOT part of the fingerprint — it cannot affect results.
+  /// of the golden output, dynamic instruction count, both register
+  /// candidate counts, and the faulty-run instruction budget (hangFactor).
+  /// Two workloads that differ in any of these cannot share persisted
+  /// campaign results (see fi/campaign_store.hpp). Snapshot policy is
+  /// deliberately NOT part of the fingerprint — it cannot affect results.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return fingerprint_;
   }
 
+  /// The fingerprint campaign keys should bind for `model`: the legacy
+  /// fingerprint() for paper cells (so pre-FaultModel store records still
+  /// resume), and an extended fingerprint additionally chaining the
+  /// store-event candidate count for extension cells — MemoryData plans
+  /// draw their first index from that stream, so its size is part of the
+  /// result contract there.
+  [[nodiscard]] std::uint64_t fingerprintFor(
+      const FaultModel& model) const noexcept {
+    return model.isPaperModel() ? fingerprint_ : extendedFingerprint_;
+  }
+
   /// The densest golden-run snapshot usable for a faulty run whose first
-  /// injection is at candidate `firstIndex` of technique `t`'s stream: the
-  /// latest snapshot whose stream position is <= firstIndex and whose
-  /// instruction count fits `maxInstructions` (so a from-scratch run would
-  /// reach the snapshot point without exhausting fuel). nullptr when the
-  /// cache is empty or no snapshot qualifies.
+  /// injection is at candidate `firstIndex` of domain `d`'s stream: the
+  /// latest snapshot whose stream position is <= firstIndex (strictly
+  /// before it for RandomValue, whose stream is the instruction counter
+  /// itself: the arming callback at instruction `firstIndex` must still
+  /// fire in the resumed run) and whose instruction count fits
+  /// `maxInstructions` (so a from-scratch run would reach the snapshot
+  /// point without exhausting fuel). nullptr when the cache is empty or no
+  /// snapshot qualifies.
   [[nodiscard]] const vm::Snapshot* snapshotAtOrBefore(
-      Technique t, std::uint64_t firstIndex,
+      FaultDomain d, std::uint64_t firstIndex,
       std::uint64_t maxInstructions) const noexcept;
 
   [[nodiscard]] std::size_t snapshotCount() const noexcept {
@@ -109,6 +132,7 @@ class Workload {
   vm::ExecResult golden_;
   vm::ExecLimits faultyLimits_;
   std::uint64_t fingerprint_ = 0;
+  std::uint64_t extendedFingerprint_ = 0;
   std::vector<vm::Snapshot> snapshots_;
 };
 

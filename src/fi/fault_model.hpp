@@ -1,0 +1,169 @@
+// The composable fault-model algebra: FaultModel = domain × pattern × spread.
+//
+// The paper's error model (§III-C) — register read/write flips with
+// temporal multi-bit spread (max-MBF × win-size) — is one point in a larger
+// space. A fi::FaultModel factors that space into three orthogonal axes:
+//
+//   * FaultDomain — WHERE a bit lives when it flips: a register value being
+//     read (RegisterRead) or written (RegisterWrite) — the paper's two
+//     techniques — the bytes of a committed memory store (MemoryData), or a
+//     blind architectural register with no liveness knowledge (RandomValue,
+//     the §III-A motivation model).
+//   * BitPattern — WHICH bits flip per error: a single bit, the paper's
+//     temporal multi-bit model (max-MBF single-bit events), or a spatially
+//     adjacent burst of k bits in one event (the Rao et al. cluster model
+//     for single-particle multi-bit upsets).
+//   * TemporalSpread — WHEN follow-up events land: the Table I win-size,
+//     fixed or RND(α,β) drawn once per experiment. Only meaningful for
+//     MultiBitTemporal; win-size 0 reproduces the same-register mode.
+//
+// RegisterRead/RegisterWrite × SingleBit/MultiBitTemporal are bit-for-bit
+// the semantics of the former closed FaultSpec type: same labels, same
+// fault-plan RNG streams, same campaign-store keys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace onebit::fi {
+
+/// Where an injected bit lives. The first two enumerators keep the former
+/// Technique enum's values (0, 1): persisted campaign keys hash the raw
+/// value.
+enum class FaultDomain : unsigned char {
+  RegisterRead,   ///< inject-on-read (flip a source-register operand)
+  RegisterWrite,  ///< inject-on-write (flip the destination register)
+  MemoryData,     ///< flip bits of freshly stored bytes (store-event stream)
+  RandomValue,    ///< blind architectural-register fault (§III-A motivation)
+};
+
+/// "inject-on-read", "inject-on-write", "memory-data", "random-value".
+std::string_view domainName(FaultDomain d) noexcept;
+
+/// The win-size parameter: fixed or RND(lo,hi) drawn once per experiment.
+/// (`WinSize` below keeps the Table I name in paper-facing code.)
+struct TemporalSpread {
+  enum class Kind : unsigned char { Fixed, Random } kind = Kind::Fixed;
+  std::uint64_t value = 0;  ///< Fixed
+  std::uint64_t lo = 0;     ///< Random, inclusive
+  std::uint64_t hi = 0;     ///< Random, inclusive
+
+  static TemporalSpread fixed(std::uint64_t v) { return {Kind::Fixed, v, 0, 0}; }
+  static TemporalSpread random(std::uint64_t lo, std::uint64_t hi) {
+    return {Kind::Random, 0, lo, hi};
+  }
+
+  /// Draw the concrete window for one experiment.
+  std::uint64_t sample(util::Rng& rng) const;
+
+  /// "0", "100", "RND(2-10)", ... (Table I spelling).
+  [[nodiscard]] std::string label() const;
+
+  bool operator==(const TemporalSpread&) const = default;
+};
+
+using WinSize = TemporalSpread;
+
+/// Which bits flip per error.
+struct BitPattern {
+  enum class Kind : unsigned char {
+    SingleBit,        ///< one flipped bit per experiment
+    MultiBitTemporal, ///< up to `count` (max-MBF) single-bit events, spaced
+                      ///< by the model's TemporalSpread (win-size)
+    BurstAdjacent,    ///< `count` spatially adjacent bits in ONE event
+  };
+  Kind kind = Kind::SingleBit;
+  /// Flip budget: max-MBF for MultiBitTemporal, burst width k for
+  /// BurstAdjacent, 1 for SingleBit.
+  unsigned count = 1;
+
+  static constexpr BitPattern singleBit() { return {Kind::SingleBit, 1}; }
+  static constexpr BitPattern multiBitTemporal(unsigned maxMbf) {
+    return {Kind::MultiBitTemporal, maxMbf};
+  }
+  static constexpr BitPattern burstAdjacent(unsigned k) {
+    return {Kind::BurstAdjacent, k};
+  }
+
+  bool operator==(const BitPattern&) const = default;
+};
+
+struct FaultModel {
+  FaultDomain domain = FaultDomain::RegisterRead;
+  BitPattern pattern{};
+  /// Dynamic-instruction distance between consecutive MultiBitTemporal
+  /// events; ignored by the other patterns.
+  TemporalSpread spread{};
+  /// Register width the bit-flip model assumes for INTEGER values. Our VM
+  /// registers are 64-bit; the paper's LLVM integer values were mostly i32.
+  /// Set to 32 to confine integer flips to the low 32 bits (the paper-
+  /// faithful model; see bench/ablation_flip_width). f64 values always use
+  /// the full 64 bits, as in the paper. MemoryData ignores this knob: its
+  /// flip locus is the stored bytes themselves (8 or 64 bits wide).
+  unsigned flipWidth = 64;
+
+  /// One flipped bit per experiment (the paper's single bit-flip model).
+  [[nodiscard]] bool isSingleBit() const noexcept {
+    return pattern.kind != BitPattern::Kind::BurstAdjacent &&
+           pattern.count <= 1;
+  }
+
+  /// Whether fault plans sample a concrete window for this model (only the
+  /// temporal pattern with a real flip budget spreads over time).
+  [[nodiscard]] bool samplesWindow() const noexcept {
+    return pattern.kind == BitPattern::Kind::MultiBitTemporal &&
+           pattern.count > 1;
+  }
+
+  /// The paper-faithful cells of the algebra: register domains under the
+  /// single/temporal patterns (the former FaultSpec space). Extension cells
+  /// — new domains or the burst pattern — get their own campaign-store
+  /// semantics version (see fi/campaign_store.hpp).
+  [[nodiscard]] bool isPaperModel() const noexcept {
+    return (domain == FaultDomain::RegisterRead ||
+            domain == FaultDomain::RegisterWrite) &&
+           pattern.kind != BitPattern::Kind::BurstAdjacent;
+  }
+
+  /// e.g. "read/single", "write/m=3,w=RND(2-10)", "mem/burst=4",
+  /// "rand/single". Identical to the former FaultSpec::label() on the paper
+  /// cells. flipWidth is deliberately not part of the label (as before).
+  [[nodiscard]] std::string label() const;
+
+  /// Inverse of label(): parse any label() spelling back into a model
+  /// (flipWidth comes back as the default 64). Returns nullopt on anything
+  /// else — a truncated label, trailing garbage, or an unknown domain.
+  static std::optional<FaultModel> parse(std::string_view label);
+
+  /// True when the two models denote the same fault semantics, ignoring
+  /// flipWidth (which labels never carried). Models are compared in
+  /// canonical form, so a degenerate m=1 temporal model matches the
+  /// single-bit model it behaves as.
+  [[nodiscard]] bool matches(const FaultModel& other) const noexcept;
+
+  static FaultModel singleBit(FaultDomain d) {
+    return {d, BitPattern::singleBit(), {}};
+  }
+  static FaultModel multiBitTemporal(FaultDomain d, unsigned maxMbf,
+                                     TemporalSpread w) {
+    return {d, BitPattern::multiBitTemporal(maxMbf), w};
+  }
+  /// A burst of k adjacent bits in one event. k <= 1 degenerates to the
+  /// single-bit model (identical semantics, identical RNG stream).
+  static FaultModel burstAdjacent(FaultDomain d, unsigned k) {
+    if (k <= 1) return singleBit(d);
+    return {d, BitPattern::burstAdjacent(k), {}};
+  }
+
+  /// Table I max-MBF values: 2,3,4,5,6,7,8,9,10,30.
+  static const std::vector<unsigned>& paperMaxMbf();
+  /// Table I win-size values: 0,1,4,RND(2-10),10,RND(11-100),100,
+  /// RND(101-1000),1000.
+  static const std::vector<TemporalSpread>& paperWinSizes();
+};
+
+}  // namespace onebit::fi

@@ -2,34 +2,34 @@
 
 namespace onebit::fi {
 
-FaultPlan FaultPlan::forExperiment(const FaultSpec& spec,
+FaultPlan FaultPlan::forExperiment(const FaultModel& model,
                                    std::uint64_t candidateCount,
                                    std::uint64_t campaignSeed,
                                    std::uint64_t expIndex) {
   util::Rng rng(util::hashCombine(campaignSeed, expIndex));
   FaultPlan plan;
-  plan.technique = spec.technique;
-  plan.maxMbf = spec.maxMbf;
+  plan.domain = model.domain;
+  plan.pattern = model.pattern;
   plan.firstIndex = candidateCount > 0 ? rng.below(candidateCount) : 0;
-  plan.window = spec.maxMbf > 1 ? spec.winSize.sample(rng) : 0;
+  plan.window = model.samplesWindow() ? model.spread.sample(rng) : 0;
   plan.seed = rng.next();
-  plan.flipWidth = spec.flipWidth;
+  plan.flipWidth = model.flipWidth;
   return plan;
 }
 
-FaultPlan FaultPlan::atLocation(const FaultSpec& spec,
+FaultPlan FaultPlan::atLocation(const FaultModel& model,
                                 std::uint64_t firstIndex,
                                 std::uint64_t campaignSeed,
                                 std::uint64_t expIndex) {
   util::Rng rng(util::hashCombine(campaignSeed, expIndex));
   (void)rng.next();  // keep stream layout aligned with forExperiment
   FaultPlan plan;
-  plan.technique = spec.technique;
-  plan.maxMbf = spec.maxMbf;
+  plan.domain = model.domain;
+  plan.pattern = model.pattern;
   plan.firstIndex = firstIndex;
-  plan.window = spec.maxMbf > 1 ? spec.winSize.sample(rng) : 0;
+  plan.window = model.samplesWindow() ? model.spread.sample(rng) : 0;
   plan.seed = rng.next();
-  plan.flipWidth = spec.flipWidth;
+  plan.flipWidth = model.flipWidth;
   return plan;
 }
 

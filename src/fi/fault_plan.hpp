@@ -6,29 +6,32 @@
 
 #include <cstdint>
 
-#include "fi/fault_spec.hpp"
+#include "fi/fault_model.hpp"
 
 namespace onebit::fi {
 
 struct FaultPlan {
-  Technique technique = Technique::Read;
-  unsigned maxMbf = 1;
-  /// Candidate index (within the technique's candidate stream of the golden
-  /// run) of the first injection — LLFI's "time" coordinate.
+  FaultDomain domain = FaultDomain::RegisterRead;
+  BitPattern pattern{};
+  /// Position of the first injection in the domain's candidate stream of
+  /// the golden run — LLFI's "time" coordinate. RegisterRead/RegisterWrite
+  /// count read/write candidates, MemoryData counts committed store events,
+  /// and RandomValue counts dynamic instructions (the blind model lands at
+  /// a point in time, not at a liveness-aware candidate).
   std::uint64_t firstIndex = 0;
-  /// Concrete dynamic-instruction distance between consecutive injections
-  /// (already sampled if the spec used RND(α,β)). 0 = all flips target the
-  /// same register of the same dynamic instruction.
+  /// Concrete dynamic-instruction distance between consecutive
+  /// MultiBitTemporal events (already sampled if the model used RND(α,β)).
+  /// 0 = all flips target the same register of the same dynamic instruction.
   std::uint64_t window = 0;
   /// Seed of the stream choosing operand positions and bit positions.
   std::uint64_t seed = 0;
-  /// Bit width flips are confined to (see FaultSpec::flipWidth).
+  /// Bit width flips are confined to (see FaultModel::flipWidth).
   unsigned flipWidth = 64;
 
   /// Build the plan for experiment `expIndex` of a campaign: draws the first
   /// injection index uniformly from [0, candidateCount) and samples the
   /// window, all from a deterministic (campaignSeed, expIndex) stream.
-  static FaultPlan forExperiment(const FaultSpec& spec,
+  static FaultPlan forExperiment(const FaultModel& model,
                                  std::uint64_t candidateCount,
                                  std::uint64_t campaignSeed,
                                  std::uint64_t expIndex);
@@ -36,7 +39,7 @@ struct FaultPlan {
   /// Build a plan with a pinned first-injection location (used by the
   /// transition study, §IV-C3, which replays multi-bit experiments from the
   /// exact locations of earlier single-bit experiments).
-  static FaultPlan atLocation(const FaultSpec& spec, std::uint64_t firstIndex,
+  static FaultPlan atLocation(const FaultModel& model, std::uint64_t firstIndex,
                               std::uint64_t campaignSeed,
                               std::uint64_t expIndex);
 };

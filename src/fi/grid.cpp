@@ -2,44 +2,56 @@
 
 namespace onebit::fi {
 
-std::vector<FaultSpec> paperCampaigns(Technique t) {
-  std::vector<FaultSpec> specs;
-  specs.push_back(FaultSpec::singleBit(t));
-  for (const unsigned m : FaultSpec::paperMaxMbf()) {
-    for (const WinSize& w : FaultSpec::paperWinSizes()) {
-      specs.push_back(FaultSpec::multiBit(t, m, w));
+std::vector<FaultModel> paperCampaigns(FaultDomain t) {
+  std::vector<FaultModel> specs;
+  specs.push_back(FaultModel::singleBit(t));
+  for (const unsigned m : FaultModel::paperMaxMbf()) {
+    for (const WinSize& w : FaultModel::paperWinSizes()) {
+      specs.push_back(FaultModel::multiBitTemporal(t, m, w));
     }
   }
   return specs;
 }
 
-std::vector<FaultSpec> paperCampaigns() {
-  std::vector<FaultSpec> specs = paperCampaigns(Technique::Read);
-  const std::vector<FaultSpec> write = paperCampaigns(Technique::Write);
+std::vector<FaultModel> paperCampaigns() {
+  std::vector<FaultModel> specs = paperCampaigns(FaultDomain::RegisterRead);
+  const std::vector<FaultModel> write = paperCampaigns(FaultDomain::RegisterWrite);
   specs.insert(specs.end(), write.begin(), write.end());
   return specs;
 }
 
-std::vector<FaultSpec> multiRegisterCampaigns(Technique t) {
-  std::vector<FaultSpec> specs;
-  specs.push_back(FaultSpec::singleBit(t));
-  for (const WinSize& w : FaultSpec::paperWinSizes()) {
+std::vector<FaultModel> multiRegisterCampaigns(FaultDomain t) {
+  std::vector<FaultModel> specs;
+  specs.push_back(FaultModel::singleBit(t));
+  for (const WinSize& w : FaultModel::paperWinSizes()) {
     const bool isZero = w.kind == WinSize::Kind::Fixed && w.value == 0;
     if (isZero) continue;
-    for (const unsigned m : FaultSpec::paperMaxMbf()) {
-      specs.push_back(FaultSpec::multiBit(t, m, w));
+    for (const unsigned m : FaultModel::paperMaxMbf()) {
+      specs.push_back(FaultModel::multiBitTemporal(t, m, w));
     }
   }
   return specs;
 }
 
-std::vector<FaultSpec> sameRegisterCampaigns(Technique t) {
-  std::vector<FaultSpec> specs;
-  specs.push_back(FaultSpec::singleBit(t));
-  for (const unsigned m : FaultSpec::paperMaxMbf()) {
-    specs.push_back(FaultSpec::multiBit(t, m, WinSize::fixed(0)));
+std::vector<FaultModel> sameRegisterCampaigns(FaultDomain t) {
+  std::vector<FaultModel> specs;
+  specs.push_back(FaultModel::singleBit(t));
+  for (const unsigned m : FaultModel::paperMaxMbf()) {
+    specs.push_back(FaultModel::multiBitTemporal(t, m, WinSize::fixed(0)));
   }
   return specs;
+}
+
+std::vector<FaultModel> memoryScenarioModels() {
+  const FaultDomain d = FaultDomain::MemoryData;
+  return {
+      FaultModel::singleBit(d),
+      FaultModel::burstAdjacent(d, 2),
+      FaultModel::burstAdjacent(d, 4),
+      FaultModel::multiBitTemporal(d, 2, WinSize::fixed(0)),
+      FaultModel::multiBitTemporal(d, 3, WinSize::fixed(10)),
+      FaultModel::multiBitTemporal(d, 2, WinSize::random(2, 10)),
+  };
 }
 
 }  // namespace onebit::fi

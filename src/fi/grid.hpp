@@ -4,23 +4,30 @@
 
 #include <vector>
 
-#include "fi/fault_spec.hpp"
+#include "fi/fault_model.hpp"
 
 namespace onebit::fi {
 
 /// All 91 fault specs for one technique, single-bit first, then the
 /// max-MBF x win-size grid in Table I order.
-std::vector<FaultSpec> paperCampaigns(Technique t);
+std::vector<FaultModel> paperCampaigns(FaultDomain t);
 
 /// The full 182-campaign grid (read first, then write).
-std::vector<FaultSpec> paperCampaigns();
+std::vector<FaultModel> paperCampaigns();
 
 /// The multi-register subset (win-size > 0) used by Fig. 4 / Fig. 5:
 /// for each win-size > 0, max-MBF in {1(single), 2..10, 30}.
-std::vector<FaultSpec> multiRegisterCampaigns(Technique t);
+std::vector<FaultModel> multiRegisterCampaigns(FaultDomain t);
 
 /// The same-register subset (win-size = 0) used by Fig. 2:
 /// max-MBF in {1(single), 2..10, 30}.
-std::vector<FaultSpec> sameRegisterCampaigns(Technique t);
+std::vector<FaultModel> sameRegisterCampaigns(FaultDomain t);
+
+/// The MemoryData scenario sweep (bench/scenario_memory_faults): every
+/// bit-pattern family applied to the stored-bytes domain — SingleBit,
+/// BurstAdjacent(2) and BurstAdjacent(4) (the Rao et al. spatial-cluster
+/// models), and MultiBitTemporal cells covering same-word (w=0), fixed and
+/// RND windows.
+std::vector<FaultModel> memoryScenarioModels();
 
 }  // namespace onebit::fi

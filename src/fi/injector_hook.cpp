@@ -1,5 +1,7 @@
 #include "fi/injector_hook.hpp"
 
+#include <algorithm>
+
 #include "util/bitops.hpp"
 
 namespace onebit::fi {
@@ -29,16 +31,31 @@ unsigned effectiveWidth(unsigned flipWidth, bool isF64) noexcept {
   return flipWidth == 0 ? 64U : flipWidth;
 }
 
+std::uint64_t lowBits(unsigned n) noexcept {
+  return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
 }  // namespace
 
 InjectorHook::InjectorHook(const FaultPlan& plan)
     : plan_(plan), rng_(plan.seed) {
-  if (plan_.maxMbf == 0) markExhausted();
+  if (flipBudget() == 0) markExhausted();
+}
+
+unsigned InjectorHook::flipBudget() const noexcept {
+  switch (plan_.pattern.kind) {
+    case BitPattern::Kind::SingleBit:
+      return 1;
+    case BitPattern::Kind::MultiBitTemporal:
+    case BitPattern::Kind::BurstAdjacent:
+      return plan_.pattern.count;
+  }
+  return 1;
 }
 
 bool InjectorHook::shouldInject(std::uint64_t candidateIndex,
                                 std::uint64_t instrIndex) const noexcept {
-  if (injectionsPlanned_ >= plan_.maxMbf) return false;
+  if (exhausted() || injectionsPlanned_ >= flipBudget()) return false;
   if (!sawFirst_) return candidateIndex == plan_.firstIndex;
   // window == 0 never reaches here (all flips are applied at the first hit).
   return instrIndex >= nextMinInstr_;
@@ -48,11 +65,64 @@ void InjectorHook::armNext(std::uint64_t instrIndex) noexcept {
   nextMinInstr_ = instrIndex + plan_.window;
 }
 
+std::uint64_t InjectorHook::eventMask(unsigned width, unsigned& flips) {
+  switch (plan_.pattern.kind) {
+    case BitPattern::Kind::BurstAdjacent: {
+      // Rao et al.: one particle strike upsets k spatially adjacent bits.
+      const unsigned k =
+          std::min(std::max(plan_.pattern.count, 1U), width);
+      const unsigned start =
+          static_cast<unsigned>(rng_.below(width - k + 1));
+      flips = k;
+      return lowBits(k) << start;
+    }
+    case BitPattern::Kind::MultiBitTemporal:
+      if (!sawFirst_ && plan_.window == 0 && plan_.pattern.count > 1) {
+        // Same-register mode: all max-MBF flips at once, distinct bits.
+        const auto bits =
+            util::pickDistinctBits(rng_, width, plan_.pattern.count);
+        flips = static_cast<unsigned>(bits.size());
+        return util::maskFromBits(bits);
+      }
+      [[fallthrough]];
+    case BitPattern::Kind::SingleBit:
+      break;
+  }
+  flips = 1;
+  return 1ULL << rng_.below(width);
+}
+
+void InjectorHook::commitEvent(std::uint64_t candidateIndex,
+                               std::uint64_t instrIndex, int operandIndex,
+                               std::uint64_t mask, unsigned flips) {
+  // Same-register/same-word mode applies ALL flips in this first event; the
+  // error is spent even when the locus was narrower than the flip budget
+  // (e.g. max-MBF 30 into an 8-bit stored byte) — leaking the remainder
+  // onto later candidates would contradict the window == 0 semantics.
+  const bool allAtOnce =
+      plan_.pattern.kind == BitPattern::Kind::MultiBitTemporal &&
+      plan_.window == 0 && plan_.pattern.count > 1;
+  sawFirst_ = true;
+  injectionsPlanned_ += flips;
+  activations_ += flips;
+  records_.push_back({candidateIndex, instrIndex, operandIndex, mask});
+  armNext(instrIndex);
+  // A burst is likewise ONE event by definition, clamped locus or not.
+  if (plan_.pattern.kind == BitPattern::Kind::BurstAdjacent || allAtOnce ||
+      injectionsPlanned_ >= flipBudget()) {
+    markExhausted();
+  }
+}
+
 void InjectorHook::onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
                           const ir::Instr& instr,
                           std::span<std::uint64_t> values,
                           std::span<const bool> isReg) {
-  if (plan_.technique != Technique::Read) return;
+  if (plan_.domain == FaultDomain::RandomValue) {
+    blindRead(readIndex, instrIndex, instr, values, isReg);
+    return;
+  }
+  if (plan_.domain != FaultDomain::RegisterRead) return;
   if (!shouldInject(readIndex, instrIndex)) return;
 
   // Pick one register operand uniformly.
@@ -69,50 +139,93 @@ void InjectorHook::onRead(std::uint64_t readIndex, std::uint64_t instrIndex,
   }
 
   const unsigned width = effectiveWidth(plan_.flipWidth, readsF64(instr));
-  std::uint64_t mask;
-  unsigned flips;
-  if (!sawFirst_ && plan_.window == 0 && plan_.maxMbf > 1) {
-    // Same-register mode: all max-MBF flips at once, distinct bits.
-    const auto bits = util::pickDistinctBits(rng_, width, plan_.maxMbf);
-    mask = util::maskFromBits(bits);
-    flips = static_cast<unsigned>(bits.size());
-  } else {
-    mask = 1ULL << rng_.below(width);
-    flips = 1;
-  }
+  unsigned flips = 0;
+  const std::uint64_t mask = eventMask(width, flips);
   values[static_cast<std::size_t>(opIndex)] ^= mask;
-  sawFirst_ = true;
-  injectionsPlanned_ += flips;
-  activations_ += flips;
-  records_.push_back({readIndex, instrIndex, opIndex, mask});
-  armNext(instrIndex);
-  if (injectionsPlanned_ >= plan_.maxMbf) markExhausted();
+  commitEvent(readIndex, instrIndex, opIndex, mask, flips);
 }
 
 void InjectorHook::onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
                            const ir::Instr& instr, std::uint64_t& value) {
-  if (plan_.technique != Technique::Write) return;
+  if (plan_.domain == FaultDomain::RandomValue) {
+    blindWrite(instrIndex, instr);
+    return;
+  }
+  if (plan_.domain != FaultDomain::RegisterWrite) return;
   if (!shouldInject(writeIndex, instrIndex)) return;
 
   const unsigned width =
       effectiveWidth(plan_.flipWidth, instr.type == ir::Type::F64);
-  std::uint64_t mask;
-  unsigned flips;
-  if (!sawFirst_ && plan_.window == 0 && plan_.maxMbf > 1) {
-    const auto bits = util::pickDistinctBits(rng_, width, plan_.maxMbf);
-    mask = util::maskFromBits(bits);
-    flips = static_cast<unsigned>(bits.size());
-  } else {
-    mask = 1ULL << rng_.below(width);
-    flips = 1;
-  }
+  unsigned flips = 0;
+  const std::uint64_t mask = eventMask(width, flips);
   value ^= mask;
-  sawFirst_ = true;
-  injectionsPlanned_ += flips;
-  activations_ += flips;
-  records_.push_back({writeIndex, instrIndex, -1, mask});
-  armNext(instrIndex);
-  if (injectionsPlanned_ >= plan_.maxMbf) markExhausted();
+  commitEvent(writeIndex, instrIndex, -1, mask, flips);
+}
+
+void InjectorHook::onStore(std::uint64_t storeIndex, std::uint64_t instrIndex,
+                           const ir::Instr& instr, std::uint64_t addr,
+                           vm::Memory& mem) {
+  if (plan_.domain != FaultDomain::MemoryData) return;
+  if (!shouldInject(storeIndex, instrIndex)) return;
+
+  // The flip locus is the freshly stored bytes (1 or 8 of them); the
+  // register-width knob does not apply to memory.
+  const unsigned width = instr.width * 8U;
+  unsigned flips = 0;
+  const std::uint64_t mask = eventMask(width, flips);
+  vm::TrapKind trap = vm::TrapKind::None;
+  mem.poke(addr, instr.width, mask, trap);  // store() just succeeded here
+  commitEvent(storeIndex, instrIndex, -1, mask, flips);
+}
+
+void InjectorHook::blindArm(std::uint64_t instrIndex) {
+  if (landed_ || instrIndex < plan_.firstIndex) return;
+  landed_ = true;
+  blindReg_ = static_cast<ir::Reg>(rng_.below(kArchRegisters));
+  // The stuck mask is pattern-shaped: one bit (the classic blind model,
+  // RNG-identical to the former RandomRegisterHook), k adjacent bits, or
+  // max-MBF distinct bits — all applied on every read until overwritten.
+  if (plan_.pattern.kind == BitPattern::Kind::MultiBitTemporal &&
+      plan_.pattern.count > 1) {
+    blindMask_ =
+        util::maskFromBits(util::pickDistinctBits(rng_, 64, plan_.pattern.count));
+  } else {
+    unsigned flips = 0;
+    blindMask_ = eventMask(64, flips);
+  }
+}
+
+void InjectorHook::blindRead(std::uint64_t readIndex, std::uint64_t instrIndex,
+                             const ir::Instr& instr,
+                             std::span<std::uint64_t> values,
+                             std::span<const bool> isReg) {
+  blindArm(instrIndex);
+  if (!landed_ || overwritten_) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (isReg[i] && instr.operands[i].reg == blindReg_) {
+      values[i] ^= blindMask_;
+      // Record only the first consumption: the stuck fault can flip reads
+      // until the register is overwritten (potentially millions in a hot
+      // loop), and nothing consumes per-read records for this domain.
+      if (activations_ == 0) {
+        records_.push_back({readIndex, instrIndex, static_cast<int>(i),
+                            blindMask_});
+      }
+      ++activations_;
+    }
+  }
+}
+
+void InjectorHook::blindWrite(std::uint64_t instrIndex,
+                              const ir::Instr& instr) {
+  blindArm(instrIndex);
+  if (!landed_ || overwritten_) return;
+  if (instr.dest == blindReg_) {
+    // The register is rewritten: the stuck fault is flushed and can never
+    // mutate another value.
+    overwritten_ = true;
+    markExhausted();
+  }
 }
 
 }  // namespace onebit::fi

@@ -61,7 +61,7 @@ std::size_t CampaignSuite::addCell(SuiteCell cell) {
 }
 
 std::size_t CampaignSuite::addCell(std::string label, const Workload& workload,
-                                   FaultSpec spec, std::size_t experiments,
+                                   FaultModel spec, std::size_t experiments,
                                    std::uint64_t seed, std::string storeName) {
   return addCell(SuiteCell{std::move(label), &workload, spec, experiments,
                            seed, std::move(storeName)});
@@ -100,7 +100,7 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     const std::size_t n = cell.experiments;
     suiteTotal += n;
     if (n == 0) continue;  // trivially complete; zero shards
-    plan.candidates = cell.workload->candidates(cell.spec.technique);
+    plan.candidates = cell.workload->candidates(cell.model.domain);
     plan.shardSize = resolveShardSize(n, config_.shardSize);
     plan.shards = (n + plan.shardSize - 1) / plan.shardSize;
     plan.partial.resize(plan.shards);
@@ -108,10 +108,10 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     plan.executed.assign(plan.shards, 0);
     plan.pending.reserve(plan.shards);
     if (useStore) {
-      plan.meta.key = CampaignStore::campaignKey(cell.spec, n, cell.seed,
-                                                 cell.workload->fingerprint());
+      plan.meta.key = CampaignStore::campaignKey(
+          cell.model, n, cell.seed, cell.workload->fingerprintFor(cell.model));
       plan.meta.workload = cell.storeName;
-      plan.meta.specLabel = cell.spec.label();
+      plan.meta.specLabel = cell.model.label();
       plan.meta.seed = cell.seed;
       plan.meta.experiments = n;
       plan.meta.candidates = plan.candidates;
@@ -237,7 +237,7 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     ShardAccumulator& acc = plan.partial[s];
     for (std::size_t i = first; i < last; ++i) {
       const FaultPlan fp =
-          FaultPlan::forExperiment(cell.spec, plan.candidates, cell.seed, i);
+          FaultPlan::forExperiment(cell.model, plan.candidates, cell.seed, i);
       acc.add(runExperiment(*cell.workload, fp));
     }
     if (config_.record != nullptr &&
@@ -273,7 +273,7 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     const SuiteCell& cell = cells_[c];
     CellPlan& plan = plans[c];
     CampaignResult& result = results[c];
-    result.config.spec = cell.spec;
+    result.config.model = cell.model;
     result.config.experiments = cell.experiments;
     result.config.seed = cell.seed;
     result.config.threads = config_.threads;

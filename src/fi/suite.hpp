@@ -11,7 +11,7 @@
 // barrier is the one at the end of the suite.
 //
 // Determinism contract (extends fi/campaign.hpp): a cell's outcome counts
-// and activation histogram depend ONLY on its (spec, experiments, seed).
+// and activation histogram depend ONLY on its (model, experiments, seed).
 // Cells share the pool but no state; shard aggregates land in per-cell
 // per-shard slots and are merged in shard order per cell. Suite-mode output
 // is therefore bit-identical to running each campaign alone through
@@ -43,7 +43,7 @@ namespace onebit::fi {
 struct SuiteCell {
   std::string label;  ///< shown by progress callbacks; free-form
   const Workload* workload = nullptr;
-  FaultSpec spec;
+  FaultModel model;
   std::size_t experiments = 0;
   std::uint64_t seed = 0;
   /// Workload name stamped into store records (the `workload` field of
@@ -101,7 +101,7 @@ class CampaignSuite {
   /// Queue one campaign cell; returns its index into run()'s result vector.
   std::size_t addCell(SuiteCell cell);
   std::size_t addCell(std::string label, const Workload& workload,
-                      FaultSpec spec, std::size_t experiments,
+                      FaultModel model, std::size_t experiments,
                       std::uint64_t seed, std::string storeName = {});
 
   /// Install the suite-level progress callback (serialized; one call per

@@ -22,14 +22,14 @@ double ActivationBuckets::fracMoreThanTen() const noexcept {
 }
 
 std::vector<fi::CampaignConfig> activationCampaigns(
-    fi::Technique technique, std::size_t experimentsPerCampaign,
+    fi::FaultDomain technique, std::size_t experimentsPerCampaign,
     std::uint64_t seed, unsigned flipWidth) {
   std::vector<fi::CampaignConfig> configs;
   std::uint64_t campaignIdx = 0;
-  for (const fi::WinSize& w : fi::FaultSpec::paperWinSizes()) {
+  for (const fi::WinSize& w : fi::FaultModel::paperWinSizes()) {
     fi::CampaignConfig config;
-    config.spec = fi::FaultSpec::multiBit(technique, 30, w);
-    config.spec.flipWidth = flipWidth;
+    config.model = fi::FaultModel::multiBitTemporal(technique, 30, w);
+    config.model.flipWidth = flipWidth;
     config.experiments = experimentsPerCampaign;
     config.seed = util::hashCombine(seed, campaignIdx++);
     configs.push_back(config);
@@ -49,7 +49,7 @@ void accumulateActivations(ActivationBuckets& buckets,
 }
 
 ActivationBuckets activationStudy(const fi::Workload& workload,
-                                  fi::Technique technique,
+                                  fi::FaultDomain technique,
                                   std::size_t experimentsPerCampaign,
                                   std::uint64_t seed, unsigned flipWidth) {
   ActivationBuckets buckets;

@@ -30,7 +30,7 @@ struct ActivationBuckets {
 /// program's campaigns) and fold each result in with accumulateActivations;
 /// activationStudy() below is the run-them-serially convenience wrapper.
 std::vector<fi::CampaignConfig> activationCampaigns(
-    fi::Technique technique, std::size_t experimentsPerCampaign,
+    fi::FaultDomain technique, std::size_t experimentsPerCampaign,
     std::uint64_t seed, unsigned flipWidth = 64);
 
 /// Fold one campaign's crashed-experiment activation histogram into buckets.
@@ -41,7 +41,7 @@ void accumulateActivations(ActivationBuckets& buckets,
 /// the activation distribution of crashed experiments.
 /// `experimentsPerCampaign` experiments per win-size value.
 ActivationBuckets activationStudy(const fi::Workload& workload,
-                                  fi::Technique technique,
+                                  fi::FaultDomain technique,
                                   std::size_t experimentsPerCampaign,
                                   std::uint64_t seed,
                                   unsigned flipWidth = 64);

@@ -8,14 +8,14 @@
 namespace onebit::pruning {
 
 std::vector<fi::CampaignConfig> gridCampaigns(
-    fi::Technique technique, std::size_t experimentsPerCampaign,
+    fi::FaultDomain technique, std::size_t experimentsPerCampaign,
     std::uint64_t seed, unsigned flipWidth) {
   std::vector<fi::CampaignConfig> configs;
   std::uint64_t campaignIdx = 0;
-  for (fi::FaultSpec spec : fi::multiRegisterCampaigns(technique)) {
+  for (fi::FaultModel spec : fi::multiRegisterCampaigns(technique)) {
     spec.flipWidth = flipWidth;
     fi::CampaignConfig config;
-    config.spec = spec;
+    config.model = spec;
     config.experiments = experimentsPerCampaign;
     config.seed = util::hashCombine(seed, campaignIdx++);
     configs.push_back(config);
@@ -27,14 +27,14 @@ PessimisticPairResult selectPessimisticPair(std::vector<CampaignSdc> all) {
   PessimisticPairResult out;
   out.all = std::move(all);
   for (const CampaignSdc& c : out.all) {
-    if (c.spec.isSingleBit()) {
+    if (c.model.isSingleBit()) {
       out.singleSdc = c.sdc;
       continue;
     }
     if (!out.hasBest || c.sdc.fraction > out.bestSdc.fraction) {
       out.hasBest = true;
       out.bestSdc = c.sdc;
-      out.bestSpec = c.spec;
+      out.bestModel = c.model;
     }
   }
   // Until the caller re-validates, the (biased) grid argmax is the best
@@ -43,12 +43,12 @@ PessimisticPairResult selectPessimisticPair(std::vector<CampaignSdc> all) {
   return out;
 }
 
-fi::CampaignConfig validationCampaign(const fi::FaultSpec& bestSpec,
+fi::CampaignConfig validationCampaign(const fi::FaultModel& bestModel,
                                       std::size_t experimentsPerCampaign,
                                       std::uint64_t seed,
                                       std::size_t validationFactor) {
   fi::CampaignConfig config;
-  config.spec = bestSpec;
+  config.model = bestModel;
   config.experiments =
       experimentsPerCampaign * std::max<std::size_t>(1, validationFactor);
   config.seed = util::hashCombine(seed ^ 0x5eedbeefULL, 0xfeedULL);
@@ -56,7 +56,7 @@ fi::CampaignConfig validationCampaign(const fi::FaultSpec& bestSpec,
 }
 
 PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
-                                          fi::Technique technique,
+                                          fi::FaultDomain technique,
                                           std::size_t experimentsPerCampaign,
                                           std::uint64_t seed,
                                           std::size_t validationFactor,
@@ -67,14 +67,14 @@ PessimisticPairResult findPessimisticPair(const fi::Workload& workload,
        gridCampaigns(technique, experimentsPerCampaign, seed, flipWidth)) {
     const fi::CampaignResult result =
         fi::CampaignEngine(config).withStore(binding).run(workload);
-    all.push_back({config.spec, result.sdc()});
+    all.push_back({config.model, result.sdc()});
   }
   PessimisticPairResult out = selectPessimisticPair(std::move(all));
   // Two-stage estimate: re-run the selected pair on an independent sample to
   // strip the argmax selection bias.
   if (out.hasBest) {
     const fi::CampaignConfig config = validationCampaign(
-        out.bestSpec, experimentsPerCampaign, seed, validationFactor);
+        out.bestModel, experimentsPerCampaign, seed, validationFactor);
     out.validatedBestSdc =
         fi::CampaignEngine(config).withStore(binding).run(workload).sdc();
   }

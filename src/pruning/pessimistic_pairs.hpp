@@ -21,7 +21,7 @@
 namespace onebit::pruning {
 
 struct CampaignSdc {
-  fi::FaultSpec spec;
+  fi::FaultModel model;
   stats::Proportion sdc;
 };
 
@@ -29,12 +29,12 @@ struct PessimisticPairResult {
   /// SDC of the single bit-flip campaign.
   stats::Proportion singleSdc;
   /// The multi-bit campaign with the highest SDC percentage.
-  fi::FaultSpec bestSpec;
+  fi::FaultModel bestModel;
   stats::Proportion bestSdc;
   /// True when the grid contained at least one multi-bit campaign (so
-  /// bestSpec/bestSdc are meaningful).
+  /// bestModel/bestSdc are meaningful).
   bool hasBest = false;
-  /// Unbiased re-estimate of bestSpec's SDC from an independent, larger
+  /// Unbiased re-estimate of bestModel's SDC from an independent, larger
   /// sample. Selecting the argmax over dozens of noisy campaign estimates
   /// inflates `bestSdc` (winner's curse) at small campaign sizes; the paper
   /// avoids this with 10,000-experiment campaigns, we avoid it by
@@ -55,7 +55,7 @@ struct PessimisticPairResult {
 /// fi::multiRegisterCampaigns(t) with `flipWidth` applied and per-campaign
 /// seeds derived from `seed` by grid position.
 std::vector<fi::CampaignConfig> gridCampaigns(
-    fi::Technique technique, std::size_t experimentsPerCampaign,
+    fi::FaultDomain technique, std::size_t experimentsPerCampaign,
     std::uint64_t seed, unsigned flipWidth = 64);
 
 /// Phase 2: pick the single-bit baseline and the highest-SDC multi-bit pair
@@ -66,7 +66,7 @@ PessimisticPairResult selectPessimisticPair(std::vector<CampaignSdc> all);
 
 /// Phase 3: the independent re-validation campaign for the selected pair
 /// (`experimentsPerCampaign * validationFactor` experiments, fresh seed).
-fi::CampaignConfig validationCampaign(const fi::FaultSpec& bestSpec,
+fi::CampaignConfig validationCampaign(const fi::FaultModel& bestModel,
                                       std::size_t experimentsPerCampaign,
                                       std::uint64_t seed,
                                       std::size_t validationFactor = 3);
@@ -79,7 +79,7 @@ fi::CampaignConfig validationCampaign(const fi::FaultSpec& bestSpec,
 /// restarting — each of the ~81 campaigns has its own campaign key in the
 /// shared store file.
 PessimisticPairResult findPessimisticPair(
-    const fi::Workload& workload, fi::Technique technique,
+    const fi::Workload& workload, fi::FaultDomain technique,
     std::size_t experimentsPerCampaign, std::uint64_t seed,
     std::size_t validationFactor = 3, unsigned flipWidth = 64,
     const fi::StoreBinding& storeBinding = {});

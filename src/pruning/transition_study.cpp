@@ -41,18 +41,18 @@ double TransitionStudyResult::transitionII() const noexcept {
 }
 
 TransitionStudyResult transitionStudy(const fi::Workload& workload,
-                                      const fi::FaultSpec& multiSpec,
+                                      const fi::FaultModel& multiModel,
                                       std::size_t experiments,
                                       std::uint64_t seed) {
   TransitionStudyResult out;
-  fi::FaultSpec singleSpec = fi::FaultSpec::singleBit(multiSpec.technique);
-  singleSpec.flipWidth = multiSpec.flipWidth;
+  fi::FaultModel singleModel = fi::FaultModel::singleBit(multiModel.domain);
+  singleModel.flipWidth = multiModel.flipWidth;
   const std::uint64_t candidates =
-      workload.candidates(multiSpec.technique);
+      workload.candidates(multiModel.domain);
 
   for (std::size_t i = 0; i < experiments; ++i) {
     const fi::FaultPlan singlePlan =
-        fi::FaultPlan::forExperiment(singleSpec, candidates, seed, i);
+        fi::FaultPlan::forExperiment(singleModel, candidates, seed, i);
     const fi::ExperimentResult single =
         fi::runExperiment(workload, singlePlan);
 
@@ -60,10 +60,10 @@ TransitionStudyResult transitionStudy(const fi::Workload& workload,
     // first candidate index and same plan seed, so the injector's first
     // operand/bit draw is bit-identical; only max-MBF/window differ.
     fi::FaultPlan multiPlan = singlePlan;
-    multiPlan.maxMbf = multiSpec.maxMbf;
+    multiPlan.pattern = multiModel.pattern;
     util::Rng winRng(util::hashCombine(seed ^ 0x7a115afeULL, i));
     multiPlan.window =
-        multiSpec.maxMbf > 1 ? multiSpec.winSize.sample(winRng) : 0;
+        multiModel.samplesWindow() ? multiModel.spread.sample(winRng) : 0;
     const fi::ExperimentResult multi = fi::runExperiment(workload, multiPlan);
 
     ++out.transitions[idx(single.outcome)][idx(multi.outcome)];

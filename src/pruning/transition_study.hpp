@@ -32,10 +32,10 @@ struct TransitionStudyResult {
 
 /// Run `experiments` paired (single-bit, multi-bit) experiments. The
 /// multi-bit run reuses the single-bit plan's first injection (same candidate
-/// index, same operand and bit choice) and extends it to `multiSpec`'s
+/// index, same operand and bit choice) and extends it to `multiModel`'s
 /// max-MBF/win-size.
 TransitionStudyResult transitionStudy(const fi::Workload& workload,
-                                      const fi::FaultSpec& multiSpec,
+                                      const fi::FaultModel& multiModel,
                                       std::size_t experiments,
                                       std::uint64_t seed);
 

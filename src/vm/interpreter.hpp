@@ -1,14 +1,17 @@
 // The onebit IR interpreter.
 //
 // Plays the role native execution plays for LLFI: it runs a module to
-// completion while exposing the two hook points the fault model needs —
+// completion while exposing the hook points the fault models need —
 //   * inject-on-read:  a dynamic instruction is about to consume its source
-//     register operands (ExecHook::onRead), and
+//     register operands (ExecHook::onRead),
 //   * inject-on-write: a dynamic instruction has produced its destination
-//     register value (ExecHook::onWrite).
-// The interpreter also counts both candidate streams so that fault plans can
-// address injection points by candidate index, exactly like LLFI addresses
-// (time, location) pairs over a fault-free profiling run.
+//     register value (ExecHook::onWrite), and
+//   * store events:    a dynamic Store instruction has just written memory
+//     (ExecHook::onStore) — the candidate stream of the MemoryData fault
+//     domain, which flips bits of the freshly stored bytes in place.
+// The interpreter also counts all three candidate streams so that fault
+// plans can address injection points by candidate index, exactly like LLFI
+// addresses (time, location) pairs over a fault-free profiling run.
 //
 // This header is the stable execution surface (hook interface, limits,
 // results, execute()). The resumable execution engine itself lives in
@@ -57,6 +60,17 @@ class ExecHook {
   virtual void onWrite(std::uint64_t writeIndex, std::uint64_t instrIndex,
                        const ir::Instr& instr, std::uint64_t& value) = 0;
 
+  /// Called after a dynamic Store instruction successfully wrote
+  /// `instr.width` bytes at `addr`. `storeIndex` counts the store-event
+  /// candidate stream (the MemoryData fault domain). The hook may corrupt
+  /// the stored bytes in place through Memory::poke. Default: no-op, so
+  /// register-domain hooks need not care about the memory stream.
+  virtual void onStore(std::uint64_t storeIndex, std::uint64_t instrIndex,
+                       const ir::Instr& instr, std::uint64_t addr,
+                       Memory& mem) {
+    (void)storeIndex; (void)instrIndex; (void)instr; (void)addr; (void)mem;
+  }
+
   /// True once the hook has promised to never mutate another candidate.
   /// Deliberately non-virtual: the interpreter polls it once per dynamic
   /// instruction while the hook is attached.
@@ -91,6 +105,7 @@ struct ExecResult {
   std::uint64_t instructions = 0;      ///< dynamic instructions executed
   std::uint64_t readCandidates = 0;    ///< inject-on-read candidate count
   std::uint64_t writeCandidates = 0;   ///< inject-on-write candidate count
+  std::uint64_t storeCandidates = 0;   ///< store-event candidate count
   std::int64_t returnValue = 0;
   bool outputTruncated = false;
   std::string output;

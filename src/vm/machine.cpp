@@ -88,6 +88,7 @@ Machine::Machine(const ir::Module& mod, const Snapshot& snap,
   instructions_ = snap.instructions;
   readCandidates_ = snap.readCandidates;
   writeCandidates_ = snap.writeCandidates;
+  storeCandidates_ = snap.storeCandidates;
   result_.output = snap.output;
   result_.outputTruncated = snap.outputTruncated;
 }
@@ -115,6 +116,7 @@ Snapshot Machine::capture() const {
   s.instructions = instructions_;
   s.readCandidates = readCandidates_;
   s.writeCandidates = writeCandidates_;
+  s.storeCandidates = storeCandidates_;
   s.outputTruncated = result_.outputTruncated;
   s.output = result_.output;
   return s;
@@ -131,6 +133,7 @@ ExecResult Machine::finish() {
   result_.instructions = instructions_;
   result_.readCandidates = readCandidates_;
   result_.writeCandidates = writeCandidates_;
+  result_.storeCandidates = storeCandidates_;
   return std::move(result_);
 }
 
@@ -451,13 +454,20 @@ void Machine::loop() {
         }
         writeDest = true;
         break;
-      case Opcode::Store:
+      case Opcode::Store: {
         mem_.store(vals[0], in.width, vals[1], t);
         if (t != TrapKind::None) {
           trap(t);
           return;
         }
+        // Only committed stores are MemoryData candidates: a trapped store
+        // wrote nothing, so there are no stored bytes to corrupt.
+        const std::uint64_t storeIdx = storeCandidates_++;
+        if constexpr (Hooked) {
+          hook_->onStore(storeIdx, instructions_, in, vals[0], mem_);
+        }
         break;
+      }
       case Opcode::FrameAddr:
         destValue = frame.frameBase + static_cast<std::uint64_t>(in.offset);
         writeDest = true;

@@ -93,6 +93,7 @@ class Machine {
   std::uint64_t instructions_ = 0;
   std::uint64_t readCandidates_ = 0;
   std::uint64_t writeCandidates_ = 0;
+  std::uint64_t storeCandidates_ = 0;
   bool halted_ = false;  ///< main returned
   std::uint64_t captureInterval_ = 0;  ///< 0 = not capturing
   std::uint64_t nextCaptureAt_ = 0;

@@ -67,6 +67,25 @@ void Memory::store(std::uint64_t addr, unsigned width, std::uint64_t value,
   }
 }
 
+void Memory::poke(std::uint64_t addr, unsigned width, std::uint64_t mask,
+                  TrapKind& trap) noexcept {
+  std::uint8_t* p = resolve(addr, width, trap);
+  if (p == nullptr) return;
+  const std::uint64_t stackOff = addr - kStackBase;  // wraps below kStackBase
+  if (stackOff < stack_.size()) {
+    storeHighWater_ =
+        std::max(storeHighWater_, static_cast<std::size_t>(stackOff) + width);
+  }
+  if (width == 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    v ^= mask;
+    std::memcpy(p, &v, 8);
+  } else {
+    *p ^= static_cast<std::uint8_t>(mask);
+  }
+}
+
 void Memory::captureSegments(std::size_t stackUsed,
                              std::vector<std::uint8_t>& globals,
                              std::vector<std::uint8_t>& stack,

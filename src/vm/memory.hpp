@@ -29,6 +29,15 @@ class Memory {
   void store(std::uint64_t addr, unsigned width, std::uint64_t value,
              TrapKind& trap) noexcept;
 
+  /// XOR the low `width` bytes of `mask` into the bytes at addr — the fault
+  /// injectors' poke interface for flipping bits of stored data in place
+  /// (the MemoryData fault domain). Same addressing rules as store(); on an
+  /// unmapped or misaligned target sets `trap` and changes nothing. Updates
+  /// the stack store high-water mark exactly like store(), so VM snapshots
+  /// always capture poked bytes.
+  void poke(std::uint64_t addr, unsigned width, std::uint64_t mask,
+            TrapKind& trap) noexcept;
+
   /// Bump-allocate a zeroed heap block (8-byte aligned). Returns its
   /// address, or 0 with `trap` set when the heap budget is exhausted.
   std::uint64_t alloc(std::int64_t bytes, TrapKind& trap);

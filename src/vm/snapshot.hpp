@@ -54,6 +54,7 @@ struct Snapshot {
   std::uint64_t instructions = 0;
   std::uint64_t readCandidates = 0;   ///< inject-on-read stream position
   std::uint64_t writeCandidates = 0;  ///< inject-on-write stream position
+  std::uint64_t storeCandidates = 0;  ///< store-event stream position
   bool outputTruncated = false;
   std::string output;  ///< program output produced so far
 

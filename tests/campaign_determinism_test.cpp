@@ -41,7 +41,7 @@ class CampaignDeterminismFixture : public ::testing::Test {
 
   static CampaignConfig baseConfig() {
     CampaignConfig config;
-    config.spec = FaultSpec::multiBit(Technique::Write, 3, WinSize::fixed(2));
+    config.model = FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 3, WinSize::fixed(2));
     config.experiments = kExperiments;
     config.seed = 0xd5e7e2414157ULL;
     return config;
@@ -52,10 +52,10 @@ class CampaignDeterminismFixture : public ::testing::Test {
     CampaignResult ref;
     ref.config = config;
     const std::uint64_t candidates =
-        workload_->candidates(config.spec.technique);
+        workload_->candidates(config.model.domain);
     for (std::size_t i = 0; i < config.experiments; ++i) {
       const FaultPlan plan =
-          FaultPlan::forExperiment(config.spec, candidates, config.seed, i);
+          FaultPlan::forExperiment(config.model, candidates, config.seed, i);
       const ExperimentResult r = runExperiment(*workload_, plan);
       ref.counts.add(r.outcome);
       const unsigned bucket = std::min(r.activations, kMaxActivationBucket);

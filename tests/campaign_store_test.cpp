@@ -47,7 +47,7 @@ class CampaignStoreFixture : public ::testing::Test {
 
   static CampaignConfig baseConfig() {
     CampaignConfig config;
-    config.spec = FaultSpec::multiBit(Technique::Write, 3, WinSize::fixed(2));
+    config.model = FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 3, WinSize::fixed(2));
     config.experiments = kExperiments;
     config.seed = 0xd5e7e2414157ULL;
     config.shardSize = kShardSize;
@@ -227,7 +227,7 @@ TEST_F(CampaignStoreFixture, CampaignKeyMismatchResumesNothing) {
 
   // Changing the fault spec (flip width) must also change the key.
   CampaignConfig narrower = baseConfig();
-  narrower.spec.flipWidth = 32;
+  narrower.model.flipWidth = 32;
   CampaignEngine narrowEngine(narrower);
   narrowEngine.resumeFrom(store);
   EXPECT_EQ(narrowEngine.run(*workload_).resumedExperiments, 0u);
@@ -378,19 +378,159 @@ int main() { print_s("other\n"); return 0; }
   EXPECT_EQ(budgetEngine.run(tightBudget).resumedExperiments, 0u);
 }
 
+TEST_F(CampaignStoreFixture, CompactDropsDuplicatesAndTornLines) {
+  {
+    // Two blind writers produce duplicate shard lines (as in the duplicate
+    // test above), then the second writer dies mid-record.
+    CampaignConfig capped = baseConfig();
+    capped.maxShards = 3;
+    CampaignStore first(path_);
+    CampaignEngine(capped).recordTo(first).run(*workload_);
+    CampaignStore second(path_);
+    CampaignEngine(capped).recordTo(second).run(*workload_);
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"v\":1,\"kind\":\"shard\",\"key\":\"0x12", f);
+    std::fclose(f);
+  }
+  const auto stats = CampaignStore::compact(path_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->shardRecords, 3u);
+  EXPECT_EQ(stats->droppedDuplicates, 3u);
+  EXPECT_EQ(stats->droppedMalformed, 1u);
+  EXPECT_TRUE(stats->rewritten);
+
+  // The compacted store loads clean and resumes exactly like the original.
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats loaded = store.load();
+  EXPECT_EQ(loaded.shardRecords, 3u);
+  EXPECT_EQ(loaded.duplicates, 0u);
+  EXPECT_EQ(loaded.malformed, 0u);
+  const CampaignResult r =
+      CampaignEngine(baseConfig()).resumeFrom(store).run(*workload_);
+  const CampaignResult ref = uninterrupted();
+  EXPECT_EQ(r.resumedExperiments, 3 * kShardSize);
+  EXPECT_EQ(r.counts, ref.counts);
+  EXPECT_EQ(r.activationHist, ref.activationHist);
+}
+
+TEST_F(CampaignStoreFixture, CompactLeavesCanonicalFilesUntouched) {
+  {
+    CampaignStore store(path_);
+    CampaignEngine(baseConfig()).recordTo(store, "guinea-pig").run(*workload_);
+  }
+  std::string before;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) before.append(buf, n);
+    std::fclose(f);
+  }
+  const auto stats = CampaignStore::compact(path_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->shardRecords, kExperiments / kShardSize);
+  EXPECT_EQ(stats->droppedDuplicates, 0u);
+  EXPECT_EQ(stats->droppedMalformed, 0u);
+  EXPECT_FALSE(stats->rewritten);
+  std::string after;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) after.append(buf, n);
+    std::fclose(f);
+  }
+  EXPECT_EQ(before, after);  // byte-identical: no gratuitous rewrite
+}
+
+TEST_F(CampaignStoreFixture, CompactKeepsTheNewestRecordPerShard) {
+  {
+    // Two hand-written records for the SAME (key, shard range) with
+    // different (both integrity-valid) aggregates: the newest must win.
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "{\"v\":1,\"kind\":\"shard\",\"key\":\"0x00000000000000ab\","
+        "\"spec\":\"read/single\",\"seed\":\"0x0000000000000001\","
+        "\"experiments\":8,\"candidates\":10,\"shard\":0,\"first\":0,"
+        "\"count\":4,\"outcomes\":[4,0,0,0,0],\"hist\":[[0,0,4]]}\n",
+        f);
+    std::fputs(
+        "{\"v\":1,\"kind\":\"shard\",\"key\":\"0x00000000000000ab\","
+        "\"spec\":\"read/single\",\"seed\":\"0x0000000000000001\","
+        "\"experiments\":8,\"candidates\":10,\"shard\":0,\"first\":0,"
+        "\"count\":4,\"outcomes\":[0,4,0,0,0],\"hist\":[[1,0,4]]}\n",
+        f);
+    std::fclose(f);
+  }
+  const auto stats = CampaignStore::compact(path_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->shardRecords, 1u);
+  EXPECT_EQ(stats->droppedDuplicates, 1u);
+  CampaignStore store(path_);
+  EXPECT_EQ(store.load().shardRecords, 1u);
+  const CampaignStore::ShardAggregate* agg = store.findShard(0xab, 0, 4);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->counts.count(stats::Outcome::Detected), 4u);
+  EXPECT_EQ(agg->counts.count(stats::Outcome::Benign), 0u);
+}
+
+TEST_F(CampaignStoreFixture, CompactIgnoresAStaleTempFromAKilledRun) {
+  {
+    // Duplicates (so compact() actually rewrites) plus a stale temp file
+    // left by a compaction killed before its rename: the stale lines must
+    // NOT leak into the rewritten store (JsonlWriter appends).
+    CampaignConfig capped = baseConfig();
+    capped.maxShards = 2;
+    CampaignStore first(path_);
+    CampaignEngine(capped).recordTo(first).run(*workload_);
+    CampaignStore second(path_);
+    CampaignEngine(capped).recordTo(second).run(*workload_);
+    std::FILE* f = std::fopen((path_ + ".compact.tmp").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"v\":1,\"kind\":\"workload\",\"name\":\"stale-ghost\"}\n", f);
+    std::fclose(f);
+  }
+  const auto stats = CampaignStore::compact(path_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->rewritten);
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats loaded = store.load();
+  EXPECT_EQ(loaded.shardRecords, 2u);
+  EXPECT_EQ(loaded.workloadRecords, 0u);  // the ghost record must be gone
+  EXPECT_EQ(store.findWorkload("stale-ghost"), nullptr);
+  std::remove((path_ + ".compact.tmp").c_str());
+}
+
+TEST(CampaignStoreCompact, MissingFileIsANoOp) {
+  const std::string path = ::testing::TempDir() + "no_such_store.jsonl";
+  std::remove(path.c_str());
+  const auto stats = CampaignStore::compact(path);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->shardRecords, 0u);
+  EXPECT_EQ(stats->droppedMalformed, 0u);
+  EXPECT_FALSE(stats->rewritten);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);  // compaction must not create the file
+  if (f != nullptr) std::fclose(f);
+}
+
 TEST(CampaignKey, DistinguishesEveryContractField) {
-  const FaultSpec base = FaultSpec::multiBit(Technique::Write, 3,
+  const FaultModel base = FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 3,
                                              WinSize::fixed(2));
   const std::uint64_t key = CampaignStore::campaignKey(base, 100, 7, 999);
 
-  FaultSpec spec = base;
-  spec.technique = Technique::Read;
+  FaultModel spec = base;
+  spec.domain = FaultDomain::RegisterRead;
   EXPECT_NE(CampaignStore::campaignKey(spec, 100, 7, 999), key);
   spec = base;
-  spec.maxMbf = 4;
+  spec.pattern = BitPattern::multiBitTemporal(4);
   EXPECT_NE(CampaignStore::campaignKey(spec, 100, 7, 999), key);
   spec = base;
-  spec.winSize = WinSize::random(2, 2);
+  spec.spread = WinSize::random(2, 2);
   EXPECT_NE(CampaignStore::campaignKey(spec, 100, 7, 999), key);
   spec = base;
   spec.flipWidth = 32;

@@ -81,8 +81,8 @@ TEST(Experiment, BenignWhenInjectionNeverActivates) {
       lang::compileMiniC("int main() { print_i(5); return 0; }");
   const Workload w(mod);
   FaultPlan plan;
-  plan.technique = Technique::Read;
-  plan.maxMbf = 1;
+  plan.domain = FaultDomain::RegisterRead;
+  plan.pattern = BitPattern::singleBit();
   plan.firstIndex = 1'000'000;  // never reached
   const ExperimentResult r = runExperiment(w, plan);
   EXPECT_EQ(r.outcome, Outcome::Benign);
@@ -98,8 +98,8 @@ TEST(Experiment, FlippingPrintedValueIsSdc) {
   int sdcSeen = 0;
   for (std::uint64_t i = 0; i < 40; ++i) {
     const FaultPlan plan = FaultPlan::forExperiment(
-        FaultSpec::singleBit(Technique::Read),
-        w.candidates(Technique::Read), 7, i);
+        FaultModel::singleBit(FaultDomain::RegisterRead),
+        w.candidates(FaultDomain::RegisterRead), 7, i);
     const ExperimentResult r = runExperiment(w, plan);
     if (r.outcome == Outcome::SDC) ++sdcSeen;
   }
@@ -135,7 +135,7 @@ class CampaignFixture : public ::testing::Test {
 
 TEST_F(CampaignFixture, CountsSumToExperimentCount) {
   CampaignConfig config;
-  config.spec = FaultSpec::singleBit(Technique::Write);
+  config.model = FaultModel::singleBit(FaultDomain::RegisterWrite);
   config.experiments = 300;
   const CampaignResult r = runCampaign(*workload_, config);
   EXPECT_EQ(r.counts.total(), 300u);
@@ -143,7 +143,7 @@ TEST_F(CampaignFixture, CountsSumToExperimentCount) {
 
 TEST_F(CampaignFixture, DeterministicAcrossRuns) {
   CampaignConfig config;
-  config.spec = FaultSpec::multiBit(Technique::Read, 3, WinSize::fixed(4));
+  config.model = FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 3, WinSize::fixed(4));
   config.experiments = 200;
   config.seed = 31337;
   const CampaignResult a = runCampaign(*workload_, config);
@@ -156,7 +156,7 @@ TEST_F(CampaignFixture, DeterministicAcrossRuns) {
 
 TEST_F(CampaignFixture, ThreadCountDoesNotChangeResults) {
   CampaignConfig config;
-  config.spec = FaultSpec::multiBit(Technique::Write, 2, WinSize::fixed(1));
+  config.model = FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 2, WinSize::fixed(1));
   config.experiments = 150;
   config.seed = 777;
   config.threads = 1;
@@ -171,7 +171,7 @@ TEST_F(CampaignFixture, ThreadCountDoesNotChangeResults) {
 
 TEST_F(CampaignFixture, EngineResolvesShardingParameters) {
   CampaignConfig config;
-  config.spec = FaultSpec::singleBit(Technique::Read);
+  config.model = FaultModel::singleBit(FaultDomain::RegisterRead);
   config.experiments = 100;
   config.threads = 2;
   config.shardSize = 30;
@@ -183,7 +183,7 @@ TEST_F(CampaignFixture, EngineResolvesShardingParameters) {
 
 TEST_F(CampaignFixture, EngineMatchesRunCampaignWrapper) {
   CampaignConfig config;
-  config.spec = FaultSpec::singleBit(Technique::Write);
+  config.model = FaultModel::singleBit(FaultDomain::RegisterWrite);
   config.experiments = 200;
   config.seed = 4242;
   const CampaignResult viaWrapper = runCampaign(*workload_, config);
@@ -194,7 +194,7 @@ TEST_F(CampaignFixture, EngineMatchesRunCampaignWrapper) {
 
 TEST_F(CampaignFixture, DifferentSeedsGiveDifferentSamples) {
   CampaignConfig config;
-  config.spec = FaultSpec::singleBit(Technique::Read);
+  config.model = FaultModel::singleBit(FaultDomain::RegisterRead);
   config.experiments = 200;
   config.seed = 1;
   const CampaignResult a = runCampaign(*workload_, config);
@@ -210,7 +210,7 @@ TEST_F(CampaignFixture, DifferentSeedsGiveDifferentSamples) {
 
 TEST_F(CampaignFixture, ActivationHistogramMatchesOutcomeCounts) {
   CampaignConfig config;
-  config.spec = FaultSpec::multiBit(Technique::Write, 30, WinSize::fixed(10));
+  config.model = FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 30, WinSize::fixed(10));
   config.experiments = 200;
   const CampaignResult r = runCampaign(*workload_, config);
   for (unsigned o = 0; o < stats::kOutcomeCount; ++o) {
@@ -222,7 +222,7 @@ TEST_F(CampaignFixture, ActivationHistogramMatchesOutcomeCounts) {
 
 TEST_F(CampaignFixture, SingleBitActivationsAreZeroOrOne) {
   CampaignConfig config;
-  config.spec = FaultSpec::singleBit(Technique::Read);
+  config.model = FaultModel::singleBit(FaultDomain::RegisterRead);
   config.experiments = 200;
   const CampaignResult r = runCampaign(*workload_, config);
   for (unsigned o = 0; o < stats::kOutcomeCount; ++o) {
@@ -234,7 +234,7 @@ TEST_F(CampaignFixture, SingleBitActivationsAreZeroOrOne) {
 
 TEST_F(CampaignFixture, SdcProportionMatchesCounts) {
   CampaignConfig config;
-  config.spec = FaultSpec::singleBit(Technique::Write);
+  config.model = FaultModel::singleBit(FaultDomain::RegisterWrite);
   config.experiments = 250;
   const CampaignResult r = runCampaign(*workload_, config);
   const auto sdc = r.sdc();
@@ -246,7 +246,7 @@ TEST_F(CampaignFixture, InjectionsHaveVisibleEffect) {
   // A decent fraction of single-bit injections must not be Benign —
   // otherwise the injector is not actually corrupting state.
   CampaignConfig config;
-  config.spec = FaultSpec::singleBit(Technique::Write);
+  config.model = FaultModel::singleBit(FaultDomain::RegisterWrite);
   config.experiments = 300;
   const CampaignResult r = runCampaign(*workload_, config);
   EXPECT_LT(r.counts.count(Outcome::Benign), 295u);

@@ -13,26 +13,104 @@
 namespace onebit::fi {
 namespace {
 
-// --- FaultSpec / WinSize --------------------------------------------------------
+// --- FaultModel / WinSize --------------------------------------------------------
 
-TEST(FaultSpec, PaperParameterGridMatchesTableOne) {
-  EXPECT_EQ(FaultSpec::paperMaxMbf().size(), 10u);
-  EXPECT_EQ(FaultSpec::paperMaxMbf().front(), 2u);
-  EXPECT_EQ(FaultSpec::paperMaxMbf().back(), 30u);
-  EXPECT_EQ(FaultSpec::paperWinSizes().size(), 9u);
+TEST(FaultModel, PaperParameterGridMatchesTableOne) {
+  EXPECT_EQ(FaultModel::paperMaxMbf().size(), 10u);
+  EXPECT_EQ(FaultModel::paperMaxMbf().front(), 2u);
+  EXPECT_EQ(FaultModel::paperMaxMbf().back(), 30u);
+  EXPECT_EQ(FaultModel::paperWinSizes().size(), 9u);
 }
 
-TEST(FaultSpec, Labels) {
-  EXPECT_EQ(FaultSpec::singleBit(Technique::Read).label(), "read/single");
+TEST(FaultModel, Labels) {
+  EXPECT_EQ(FaultModel::singleBit(FaultDomain::RegisterRead).label(), "read/single");
   EXPECT_EQ(
-      FaultSpec::multiBit(Technique::Write, 3, WinSize::random(2, 10)).label(),
+      FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 3, WinSize::random(2, 10)).label(),
       "write/m=3,w=RND(2-10)");
   EXPECT_EQ(WinSize::fixed(100).label(), "100");
+  EXPECT_EQ(FaultModel::singleBit(FaultDomain::MemoryData).label(),
+            "mem/single");
+  EXPECT_EQ(FaultModel::burstAdjacent(FaultDomain::MemoryData, 4).label(),
+            "mem/burst=4");
+  EXPECT_EQ(FaultModel::singleBit(FaultDomain::RandomValue).label(),
+            "rand/single");
+  EXPECT_EQ(FaultModel::multiBitTemporal(FaultDomain::MemoryData, 2,
+                                         WinSize::fixed(0)).label(),
+            "mem/m=2,w=0");
 }
 
-TEST(FaultSpec, TechniqueNames) {
-  EXPECT_EQ(techniqueName(Technique::Read), "inject-on-read");
-  EXPECT_EQ(techniqueName(Technique::Write), "inject-on-write");
+TEST(FaultModel, DomainNames) {
+  EXPECT_EQ(domainName(FaultDomain::RegisterRead), "inject-on-read");
+  EXPECT_EQ(domainName(FaultDomain::RegisterWrite), "inject-on-write");
+  EXPECT_EQ(domainName(FaultDomain::MemoryData), "memory-data");
+  EXPECT_EQ(domainName(FaultDomain::RandomValue), "random-value");
+}
+
+TEST(FaultModel, ParseRoundTripsEveryTableOneSpelling) {
+  // The full 182-label paper grid (every Table I spelling for both register
+  // domains) plus the extension cells must round-trip label -> parse ->
+  // label exactly.
+  std::vector<FaultModel> models = paperCampaigns();
+  for (const FaultModel& m : memoryScenarioModels()) models.push_back(m);
+  models.push_back(FaultModel::singleBit(FaultDomain::RandomValue));
+  models.push_back(FaultModel::burstAdjacent(FaultDomain::RegisterWrite, 3));
+  for (const FaultModel& model : models) {
+    const auto parsed = FaultModel::parse(model.label());
+    ASSERT_TRUE(parsed.has_value()) << model.label();
+    EXPECT_EQ(parsed->label(), model.label());
+    EXPECT_EQ(parsed->domain, model.domain);
+    EXPECT_EQ(parsed->pattern, model.pattern);
+    EXPECT_TRUE(parsed->matches(model)) << model.label();
+  }
+}
+
+TEST(FaultModel, ParseRejectsMalformedLabels) {
+  const char* const bad[] = {
+      "", "read", "read/", "/single", "bogus/single", "read/singleX",
+      "read/m=,w=1", "read/m=3", "read/m=3,w=", "read/m=3,w=RND(2-)",
+      "read/m=3,w=RND(2-10", "read/m=3,w=RND(10-2)", "read/m=3,w=1x",
+      "read/burst=", "read/burst=0", "read/burst=65", "read/m=1,w=0",
+      "write/m=3,w=1;read/single", "read/m=3,w=-1", "mem/burst=4x",
+  };
+  for (const char* label : bad) {
+    EXPECT_FALSE(FaultModel::parse(label).has_value()) << label;
+  }
+}
+
+TEST(FaultModel, MatchesIgnoresFlipWidthAndCanonicalizes) {
+  FaultModel narrow = FaultModel::singleBit(FaultDomain::RegisterRead);
+  narrow.flipWidth = 32;
+  EXPECT_TRUE(narrow.matches(FaultModel::singleBit(FaultDomain::RegisterRead)));
+  // A degenerate m=1 temporal model labels and behaves as single-bit.
+  const FaultModel degenerate = FaultModel::multiBitTemporal(
+      FaultDomain::RegisterRead, 1, WinSize::fixed(5));
+  EXPECT_EQ(degenerate.label(), "read/single");
+  EXPECT_TRUE(degenerate.matches(FaultModel::singleBit(FaultDomain::RegisterRead)));
+  // Distinct cells never match.
+  EXPECT_FALSE(FaultModel::singleBit(FaultDomain::RegisterRead)
+                   .matches(FaultModel::singleBit(FaultDomain::MemoryData)));
+  EXPECT_FALSE(
+      FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 3, WinSize::fixed(1))
+          .matches(FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 3,
+                                                WinSize::fixed(2))));
+  EXPECT_FALSE(FaultModel::burstAdjacent(FaultDomain::MemoryData, 2)
+                   .matches(FaultModel::burstAdjacent(FaultDomain::MemoryData, 4)));
+}
+
+TEST(FaultModel, BurstOfOneIsTheSingleBitModel) {
+  const FaultModel burst1 = FaultModel::burstAdjacent(FaultDomain::MemoryData, 1);
+  EXPECT_EQ(burst1.pattern, BitPattern::singleBit());
+  EXPECT_EQ(burst1.label(), "mem/single");
+}
+
+TEST(FaultModel, PaperModelClassification) {
+  EXPECT_TRUE(FaultModel::singleBit(FaultDomain::RegisterRead).isPaperModel());
+  EXPECT_TRUE(FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 3,
+                                           WinSize::fixed(1)).isPaperModel());
+  EXPECT_FALSE(FaultModel::singleBit(FaultDomain::MemoryData).isPaperModel());
+  EXPECT_FALSE(FaultModel::singleBit(FaultDomain::RandomValue).isPaperModel());
+  EXPECT_FALSE(
+      FaultModel::burstAdjacent(FaultDomain::RegisterRead, 2).isPaperModel());
 }
 
 class WinSizeSample
@@ -70,8 +148,8 @@ TEST(WinSize, FixedSampleIsConstant) {
 // --- FaultPlan -------------------------------------------------------------------
 
 TEST(FaultPlan, DeterministicForSameInputs) {
-  const FaultSpec spec =
-      FaultSpec::multiBit(Technique::Read, 5, WinSize::random(2, 10));
+  const FaultModel spec =
+      FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 5, WinSize::random(2, 10));
   const FaultPlan a = FaultPlan::forExperiment(spec, 100000, 42, 7);
   const FaultPlan b = FaultPlan::forExperiment(spec, 100000, 42, 7);
   EXPECT_EQ(a.firstIndex, b.firstIndex);
@@ -80,14 +158,14 @@ TEST(FaultPlan, DeterministicForSameInputs) {
 }
 
 TEST(FaultPlan, DifferentExperimentsDiffer) {
-  const FaultSpec spec = FaultSpec::singleBit(Technique::Write);
+  const FaultModel spec = FaultModel::singleBit(FaultDomain::RegisterWrite);
   const FaultPlan a = FaultPlan::forExperiment(spec, 100000, 42, 0);
   const FaultPlan b = FaultPlan::forExperiment(spec, 100000, 42, 1);
   EXPECT_TRUE(a.firstIndex != b.firstIndex || a.seed != b.seed);
 }
 
 TEST(FaultPlan, FirstIndexWithinCandidateCount) {
-  const FaultSpec spec = FaultSpec::singleBit(Technique::Read);
+  const FaultModel spec = FaultModel::singleBit(FaultDomain::RegisterRead);
   for (std::uint64_t i = 0; i < 200; ++i) {
     const FaultPlan p = FaultPlan::forExperiment(spec, 37, 99, i);
     EXPECT_LT(p.firstIndex, 37u);
@@ -95,16 +173,16 @@ TEST(FaultPlan, FirstIndexWithinCandidateCount) {
 }
 
 TEST(FaultPlan, WindowSampledOnlyForMultiBit) {
-  const FaultSpec single = FaultSpec::singleBit(Technique::Read);
+  const FaultModel single = FaultModel::singleBit(FaultDomain::RegisterRead);
   EXPECT_EQ(FaultPlan::forExperiment(single, 10, 1, 0).window, 0u);
-  const FaultSpec multi =
-      FaultSpec::multiBit(Technique::Read, 2, WinSize::fixed(55));
+  const FaultModel multi =
+      FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 2, WinSize::fixed(55));
   EXPECT_EQ(FaultPlan::forExperiment(multi, 10, 1, 0).window, 55u);
 }
 
 TEST(FaultPlan, AtLocationPinsFirstIndex) {
-  const FaultSpec spec =
-      FaultSpec::multiBit(Technique::Write, 3, WinSize::fixed(4));
+  const FaultModel spec =
+      FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 3, WinSize::fixed(4));
   const FaultPlan p = FaultPlan::atLocation(spec, 777, 1, 0);
   EXPECT_EQ(p.firstIndex, 777u);
   EXPECT_EQ(p.window, 4u);
@@ -113,30 +191,30 @@ TEST(FaultPlan, AtLocationPinsFirstIndex) {
 // --- grids -----------------------------------------------------------------------
 
 TEST(Grid, PaperCampaignCountIs182) {
-  EXPECT_EQ(paperCampaigns(Technique::Read).size(), 91u);
+  EXPECT_EQ(paperCampaigns(FaultDomain::RegisterRead).size(), 91u);
   EXPECT_EQ(paperCampaigns().size(), 182u);
 }
 
 TEST(Grid, FirstCampaignIsSingleBit) {
-  EXPECT_TRUE(paperCampaigns(Technique::Read).front().isSingleBit());
+  EXPECT_TRUE(paperCampaigns(FaultDomain::RegisterRead).front().isSingleBit());
 }
 
 TEST(Grid, MultiRegisterGridExcludesWinZero) {
-  const auto specs = multiRegisterCampaigns(Technique::Write);
+  const auto specs = multiRegisterCampaigns(FaultDomain::RegisterWrite);
   EXPECT_EQ(specs.size(), 81u);  // 1 single + 8 win-sizes x 10 max-MBF
   for (const auto& s : specs) {
     if (s.isSingleBit()) continue;
-    EXPECT_FALSE(s.winSize.kind == WinSize::Kind::Fixed &&
-                 s.winSize.value == 0);
+    EXPECT_FALSE(s.spread.kind == WinSize::Kind::Fixed &&
+                 s.spread.value == 0);
   }
 }
 
 TEST(Grid, SameRegisterGridIsElevenBars) {
-  const auto specs = sameRegisterCampaigns(Technique::Read);
+  const auto specs = sameRegisterCampaigns(FaultDomain::RegisterRead);
   EXPECT_EQ(specs.size(), 11u);  // single + {2..10, 30}
   for (const auto& s : specs) {
     if (s.isSingleBit()) continue;
-    EXPECT_EQ(s.winSize.value, 0u);
+    EXPECT_EQ(s.spread.value, 0u);
   }
 }
 
@@ -164,8 +242,8 @@ ir::Module chainModule(int length) {
 TEST(Injector, SingleBitFlipsExactlyOneBitOnce) {
   const ir::Module mod = chainModule(50);
   FaultPlan plan;
-  plan.technique = Technique::Read;
-  plan.maxMbf = 1;
+  plan.domain = FaultDomain::RegisterRead;
+  plan.pattern = BitPattern::singleBit();
   plan.firstIndex = 10;
   plan.seed = 77;
   InjectorHook hook(plan);
@@ -182,8 +260,8 @@ TEST(Injector, ReadInjectionCorruptsTheValueChain) {
   const ir::Module mod = chainModule(50);
   const vm::ExecResult golden = vm::execute(mod);
   FaultPlan plan;
-  plan.technique = Technique::Read;
-  plan.maxMbf = 1;
+  plan.domain = FaultDomain::RegisterRead;
+  plan.pattern = BitPattern::singleBit();
   plan.firstIndex = 5;
   plan.seed = 3;
   InjectorHook hook(plan);
@@ -194,8 +272,8 @@ TEST(Injector, ReadInjectionCorruptsTheValueChain) {
 TEST(Injector, WriteTechniqueIgnoresReadStream) {
   const ir::Module mod = chainModule(20);
   FaultPlan plan;
-  plan.technique = Technique::Write;
-  plan.maxMbf = 1;
+  plan.domain = FaultDomain::RegisterWrite;
+  plan.pattern = BitPattern::singleBit();
   plan.firstIndex = 3;
   plan.seed = 5;
   InjectorHook hook(plan);
@@ -207,8 +285,8 @@ TEST(Injector, WriteTechniqueIgnoresReadStream) {
 TEST(Injector, SameRegisterModeFlipsDistinctBitsAtOnce) {
   const ir::Module mod = chainModule(50);
   FaultPlan plan;
-  plan.technique = Technique::Write;
-  plan.maxMbf = 5;
+  plan.domain = FaultDomain::RegisterWrite;
+  plan.pattern = BitPattern::multiBitTemporal(5);
   plan.window = 0;  // same-register mode
   plan.firstIndex = 7;
   plan.seed = 11;
@@ -222,8 +300,8 @@ TEST(Injector, SameRegisterModeFlipsDistinctBitsAtOnce) {
 TEST(Injector, WindowSpacingIsRespected) {
   const ir::Module mod = chainModule(200);
   FaultPlan plan;
-  plan.technique = Technique::Read;
-  plan.maxMbf = 4;
+  plan.domain = FaultDomain::RegisterRead;
+  plan.pattern = BitPattern::multiBitTemporal(4);
   plan.window = 10;
   plan.firstIndex = 20;
   plan.seed = 13;
@@ -239,8 +317,8 @@ TEST(Injector, WindowSpacingIsRespected) {
 TEST(Injector, WindowOneHitsConsecutiveCandidates) {
   const ir::Module mod = chainModule(100);
   FaultPlan plan;
-  plan.technique = Technique::Read;
-  plan.maxMbf = 3;
+  plan.domain = FaultDomain::RegisterRead;
+  plan.pattern = BitPattern::multiBitTemporal(3);
   plan.window = 1;
   plan.firstIndex = 10;
   plan.seed = 17;
@@ -256,8 +334,8 @@ TEST(Injector, ActivationsNeverExceedMaxMbf) {
   const ir::Module mod = chainModule(100);
   for (const unsigned m : {1U, 2U, 5U, 10U, 30U}) {
     FaultPlan plan;
-    plan.technique = Technique::Read;
-    plan.maxMbf = m;
+    plan.domain = FaultDomain::RegisterRead;
+    plan.pattern = BitPattern::multiBitTemporal(m);
     plan.window = 1;
     plan.firstIndex = 0;
     plan.seed = m;
@@ -270,8 +348,8 @@ TEST(Injector, ActivationsNeverExceedMaxMbf) {
 TEST(Injector, LateFirstIndexNeverActivates) {
   const ir::Module mod = chainModule(10);
   FaultPlan plan;
-  plan.technique = Technique::Read;
-  plan.maxMbf = 3;
+  plan.domain = FaultDomain::RegisterRead;
+  plan.pattern = BitPattern::multiBitTemporal(3);
   plan.window = 1;
   plan.firstIndex = 1'000'000;  // beyond the candidate stream
   plan.seed = 5;
@@ -284,8 +362,8 @@ TEST(Injector, LateFirstIndexNeverActivates) {
 TEST(Injector, DeterministicGivenPlan) {
   const ir::Module mod = chainModule(80);
   FaultPlan plan;
-  plan.technique = Technique::Write;
-  plan.maxMbf = 3;
+  plan.domain = FaultDomain::RegisterWrite;
+  plan.pattern = BitPattern::multiBitTemporal(3);
   plan.window = 5;
   plan.firstIndex = 12;
   plan.seed = 99;
@@ -307,8 +385,8 @@ TEST(Injector, ReadInjectionOnlyTargetsRegisterOperands) {
   // must always pick operand 0.
   const ir::Module mod = chainModule(30);
   FaultPlan plan;
-  plan.technique = Technique::Read;
-  plan.maxMbf = 5;
+  plan.domain = FaultDomain::RegisterRead;
+  plan.pattern = BitPattern::multiBitTemporal(5);
   plan.window = 1;
   plan.firstIndex = 2;
   plan.seed = 21;
@@ -317,6 +395,69 @@ TEST(Injector, ReadInjectionOnlyTargetsRegisterOperands) {
   for (const auto& rec : hook.records()) {
     EXPECT_EQ(rec.operandIndex, 0);
   }
+}
+
+// --- burst pattern -----------------------------------------------------------------
+
+/// The bits of `mask` form one contiguous run of exactly `k` set bits.
+bool isAdjacentRun(std::uint64_t mask, unsigned k) {
+  if (mask == 0) return false;
+  const int tz = std::countr_zero(mask);
+  const std::uint64_t run = mask >> tz;
+  return std::popcount(mask) == static_cast<int>(k) &&
+         (run & (run + 1)) == 0;  // run + 1 is a power of two
+}
+
+TEST(Injector, BurstFlipsAdjacentBitsInOneEvent) {
+  const ir::Module mod = chainModule(60);
+  for (const unsigned k : {2U, 4U, 7U}) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      FaultPlan plan;
+      plan.domain = FaultDomain::RegisterWrite;
+      plan.pattern = BitPattern::burstAdjacent(k);
+      plan.firstIndex = 9;
+      plan.seed = seed * 31 + k;
+      InjectorHook hook(plan);
+      vm::execute(mod, {}, &hook);
+      ASSERT_EQ(hook.records().size(), 1u);  // ONE event, k bits
+      EXPECT_TRUE(isAdjacentRun(hook.records()[0].flipMask, k))
+          << std::hex << hook.records()[0].flipMask;
+      EXPECT_EQ(hook.activations(), k);
+    }
+  }
+}
+
+TEST(Injector, BurstRespectsFlipWidth) {
+  const ir::Module mod = chainModule(60);
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    FaultPlan plan;
+    plan.domain = FaultDomain::RegisterRead;
+    plan.pattern = BitPattern::burstAdjacent(4);
+    plan.flipWidth = 16;
+    plan.firstIndex = 5;
+    plan.seed = seed;
+    InjectorHook hook(plan);
+    vm::execute(mod, {}, &hook);
+    ASSERT_EQ(hook.records().size(), 1u);
+    EXPECT_EQ(hook.records()[0].flipMask & ~0xffffULL, 0u)
+        << std::hex << hook.records()[0].flipMask;
+  }
+}
+
+TEST(Injector, BurstWiderThanLocusClampsAndExhausts) {
+  // k wider than the flip width still applies exactly one clamped event.
+  const ir::Module mod = chainModule(60);
+  FaultPlan plan;
+  plan.domain = FaultDomain::RegisterWrite;
+  plan.pattern = BitPattern::burstAdjacent(32);
+  plan.flipWidth = 8;
+  plan.firstIndex = 3;
+  plan.seed = 11;
+  InjectorHook hook(plan);
+  vm::execute(mod, {}, &hook);
+  ASSERT_EQ(hook.records().size(), 1u);
+  EXPECT_EQ(hook.records()[0].flipMask, 0xffULL);  // the whole 8-bit locus
+  EXPECT_EQ(hook.activations(), 8u);
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ namespace {
 
 TEST(GridCoverage, AllLabelsAreUnique) {
   std::set<std::string> labels;
-  for (const FaultSpec& spec : paperCampaigns()) {
+  for (const FaultModel& spec : paperCampaigns()) {
     EXPECT_TRUE(labels.insert(spec.label()).second)
         << "duplicate label " << spec.label();
   }
@@ -23,8 +23,8 @@ TEST(GridCoverage, AllLabelsAreUnique) {
 TEST(GridCoverage, ExactlyHalfPerTechnique) {
   int read = 0;
   int write = 0;
-  for (const FaultSpec& spec : paperCampaigns()) {
-    (spec.technique == Technique::Read ? read : write) += 1;
+  for (const FaultModel& spec : paperCampaigns()) {
+    (spec.domain == FaultDomain::RegisterRead ? read : write) += 1;
   }
   EXPECT_EQ(read, 91);
   EXPECT_EQ(write, 91);
@@ -32,8 +32,8 @@ TEST(GridCoverage, ExactlyHalfPerTechnique) {
 
 TEST(GridCoverage, MaxMbfValuesMatchTableOne) {
   std::set<unsigned> seen;
-  for (const FaultSpec& spec : paperCampaigns(Technique::Read)) {
-    if (!spec.isSingleBit()) seen.insert(spec.maxMbf);
+  for (const FaultModel& spec : paperCampaigns(FaultDomain::RegisterRead)) {
+    if (!spec.isSingleBit()) seen.insert(spec.pattern.count);
   }
   const std::set<unsigned> want = {2, 3, 4, 5, 6, 7, 8, 9, 10, 30};
   EXPECT_EQ(seen, want);
@@ -41,8 +41,8 @@ TEST(GridCoverage, MaxMbfValuesMatchTableOne) {
 
 TEST(GridCoverage, WinSizeValuesMatchTableOne) {
   std::set<std::string> seen;
-  for (const FaultSpec& spec : paperCampaigns(Technique::Write)) {
-    if (!spec.isSingleBit()) seen.insert(spec.winSize.label());
+  for (const FaultModel& spec : paperCampaigns(FaultDomain::RegisterWrite)) {
+    if (!spec.isSingleBit()) seen.insert(spec.spread.label());
   }
   const std::set<std::string> want = {
       "0", "1", "4", "RND(2-10)", "10", "RND(11-100)", "100",
@@ -53,9 +53,9 @@ TEST(GridCoverage, WinSizeValuesMatchTableOne) {
 TEST(GridCoverage, EveryMaxMbfWinSizePairAppearsOnce) {
   // 10 x 9 multi-bit clusters per technique (the paper's "180 clusters").
   std::set<std::pair<unsigned, std::string>> pairs;
-  for (const FaultSpec& spec : paperCampaigns(Technique::Read)) {
+  for (const FaultModel& spec : paperCampaigns(FaultDomain::RegisterRead)) {
     if (spec.isSingleBit()) continue;
-    EXPECT_TRUE(pairs.insert({spec.maxMbf, spec.winSize.label()}).second);
+    EXPECT_TRUE(pairs.insert({spec.pattern.count, spec.spread.label()}).second);
   }
   EXPECT_EQ(pairs.size(), 90u);
 }
@@ -63,20 +63,20 @@ TEST(GridCoverage, EveryMaxMbfWinSizePairAppearsOnce) {
 class EverySpec : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(EverySpec, PlansAreWellFormed) {
-  const std::vector<FaultSpec> specs = paperCampaigns();
-  const FaultSpec& spec = specs[GetParam()];
+  const std::vector<FaultModel> specs = paperCampaigns();
+  const FaultModel& spec = specs[GetParam()];
   const std::uint64_t candidates = 50'000;
   for (std::uint64_t i = 0; i < 25; ++i) {
     const FaultPlan plan = FaultPlan::forExperiment(spec, candidates, 7, i);
     EXPECT_LT(plan.firstIndex, candidates);
-    EXPECT_EQ(plan.maxMbf, spec.maxMbf);
+    EXPECT_EQ(plan.pattern, spec.pattern);
     if (spec.isSingleBit()) {
       EXPECT_EQ(plan.window, 0u);
-    } else if (spec.winSize.kind == WinSize::Kind::Random) {
-      EXPECT_GE(plan.window, spec.winSize.lo);
-      EXPECT_LE(plan.window, spec.winSize.hi);
+    } else if (spec.spread.kind == WinSize::Kind::Random) {
+      EXPECT_GE(plan.window, spec.spread.lo);
+      EXPECT_LE(plan.window, spec.spread.hi);
     } else {
-      EXPECT_EQ(plan.window, spec.winSize.value);
+      EXPECT_EQ(plan.window, spec.spread.value);
     }
   }
 }

@@ -19,7 +19,7 @@ fi::Workload makeWorkload(const char* name) {
 TEST(Integration, SingleBitCampaignOnCrc32) {
   const fi::Workload w = makeWorkload("crc32");
   fi::CampaignConfig config;
-  config.spec = fi::FaultSpec::singleBit(fi::Technique::Write);
+  config.model = fi::FaultModel::singleBit(fi::FaultDomain::RegisterWrite);
   config.experiments = 200;
   const fi::CampaignResult r = fi::runCampaign(w, config);
   EXPECT_EQ(r.counts.total(), 200u);
@@ -31,7 +31,7 @@ TEST(Integration, SingleBitCampaignOnCrc32) {
 TEST(Integration, AddressHeavyProgramDetectsFaults) {
   const fi::Workload w = makeWorkload("dijkstra");
   fi::CampaignConfig config;
-  config.spec = fi::FaultSpec::singleBit(fi::Technique::Read);
+  config.model = fi::FaultModel::singleBit(fi::FaultDomain::RegisterRead);
   config.experiments = 200;
   const fi::CampaignResult r = fi::runCampaign(w, config);
   // Pointer-chasing programs raise hardware exceptions under injection.
@@ -41,8 +41,8 @@ TEST(Integration, AddressHeavyProgramDetectsFaults) {
 TEST(Integration, MultiBitCampaignActivationsBounded) {
   const fi::Workload w = makeWorkload("qsort");
   fi::CampaignConfig config;
-  config.spec =
-      fi::FaultSpec::multiBit(fi::Technique::Write, 30, fi::WinSize::fixed(1));
+  config.model =
+      fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterWrite, 30, fi::WinSize::fixed(1));
   config.experiments = 100;
   const fi::CampaignResult r = fi::runCampaign(w, config);
   EXPECT_EQ(r.counts.total(), 100u);
@@ -60,10 +60,10 @@ TEST(Integration, MoreFlipsDoNotIncreaseBenignRate) {
   const fi::Workload w = makeWorkload("sha");
   auto benignCount = [&](unsigned maxMbf) {
     fi::CampaignConfig config;
-    config.spec =
+    config.model =
         maxMbf == 1
-            ? fi::FaultSpec::singleBit(fi::Technique::Write)
-            : fi::FaultSpec::multiBit(fi::Technique::Write, maxMbf,
+            ? fi::FaultModel::singleBit(fi::FaultDomain::RegisterWrite)
+            : fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterWrite, maxMbf,
                                       fi::WinSize::fixed(1));
     config.experiments = 250;
     config.seed = 99;
@@ -76,8 +76,8 @@ TEST(Integration, MoreFlipsDoNotIncreaseBenignRate) {
 
 TEST(Integration, TransitionStudyOnRealProgram) {
   const fi::Workload w = makeWorkload("stringsearch");
-  const fi::FaultSpec multi =
-      fi::FaultSpec::multiBit(fi::Technique::Read, 2, fi::WinSize::fixed(100));
+  const fi::FaultModel multi =
+      fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterRead, 2, fi::WinSize::fixed(100));
   const pruning::TransitionStudyResult r =
       pruning::transitionStudy(w, multi, 100, 4242);
   std::uint64_t total = 0;

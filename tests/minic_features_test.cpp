@@ -160,12 +160,12 @@ TEST(FlipWidth, ConfinedFlipsStayInLowBits) {
       "int main() { int s = 0; for (int i = 0; i < 200; i++) { s = s + 1; } "
       "print_i(s); return 0; }";
   fi::Workload w(lang::compileMiniC(src));
-  fi::FaultSpec spec = fi::FaultSpec::singleBit(fi::Technique::Write);
+  fi::FaultModel spec = fi::FaultModel::singleBit(fi::FaultDomain::RegisterWrite);
   spec.flipWidth = 8;
   // With flips confined to the low 8 bits of small loop counters/sums, any
   // SDC output must differ from golden by less than 2^8 + carry effects —
   // verify via the plan records instead: every mask fits in the low 8 bits.
-  const std::uint64_t candidates = w.candidates(spec.technique);
+  const std::uint64_t candidates = w.candidates(spec.domain);
   for (std::uint64_t i = 0; i < 50; ++i) {
     const fi::FaultPlan plan =
         fi::FaultPlan::forExperiment(spec, candidates, 3, i);
@@ -187,8 +187,8 @@ TEST(FlipWidth, NarrowWidthChangesCampaignResults) {
   fi::Workload w(lang::compileMiniC(src));
   auto sdcAt = [&](unsigned width) {
     fi::CampaignConfig config;
-    config.spec = fi::FaultSpec::singleBit(fi::Technique::Write);
-    config.spec.flipWidth = width;
+    config.model = fi::FaultModel::singleBit(fi::FaultDomain::RegisterWrite);
+    config.model.flipWidth = width;
     config.experiments = 300;
     config.seed = 17;
     return fi::runCampaign(w, config).counts.count(stats::Outcome::Benign);
@@ -199,7 +199,7 @@ TEST(FlipWidth, NarrowWidthChangesCampaignResults) {
 }
 
 TEST(FlipWidth, DefaultIsSixtyFour) {
-  EXPECT_EQ(fi::FaultSpec::singleBit(fi::Technique::Read).flipWidth, 64u);
+  EXPECT_EQ(fi::FaultModel::singleBit(fi::FaultDomain::RegisterRead).flipWidth, 64u);
   EXPECT_EQ(fi::FaultPlan{}.flipWidth, 64u);
 }
 

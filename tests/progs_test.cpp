@@ -81,8 +81,8 @@ TEST_P(EveryProgram, GoldenRunIsDeterministic) {
 TEST_P(EveryProgram, HasCandidatesForBothTechniques) {
   const ir::Module mod = compileProgram(info());
   const fi::Workload w(mod);
-  EXPECT_GT(w.candidates(fi::Technique::Read), 1000u);
-  EXPECT_GT(w.candidates(fi::Technique::Write), 1000u);
+  EXPECT_GT(w.candidates(fi::FaultDomain::RegisterRead), 1000u);
+  EXPECT_GT(w.candidates(fi::FaultDomain::RegisterWrite), 1000u);
 }
 
 TEST_P(EveryProgram, GoldenRunIsReasonablySized) {

@@ -57,7 +57,7 @@ TEST(ActivationBuckets, EmptyIsAllZero) {
 
 TEST_F(PruningFixture, ActivationStudyCountsOnlyCrashes) {
   const ActivationBuckets b =
-      activationStudy(*workload_, fi::Technique::Write, 40, 123);
+      activationStudy(*workload_, fi::FaultDomain::RegisterWrite, 40, 123);
   // Every bucketed experiment crashed; totals are bounded by the experiment
   // count (9 win-sizes x 40 experiments).
   EXPECT_LE(b.total(), 9u * 40u);
@@ -67,9 +67,9 @@ TEST_F(PruningFixture, ActivationStudyCountsOnlyCrashes) {
 
 TEST_F(PruningFixture, ActivationStudyIsDeterministic) {
   const ActivationBuckets a =
-      activationStudy(*workload_, fi::Technique::Read, 25, 9);
+      activationStudy(*workload_, fi::FaultDomain::RegisterRead, 25, 9);
   const ActivationBuckets b =
-      activationStudy(*workload_, fi::Technique::Read, 25, 9);
+      activationStudy(*workload_, fi::FaultDomain::RegisterRead, 25, 9);
   EXPECT_EQ(a.upToFive, b.upToFive);
   EXPECT_EQ(a.sixToTen, b.sixToTen);
   EXPECT_EQ(a.moreThanTen, b.moreThanTen);
@@ -79,13 +79,13 @@ TEST_F(PruningFixture, ActivationStudyIsDeterministic) {
 
 TEST_F(PruningFixture, PessimisticPairCoversFullGrid) {
   const PessimisticPairResult r =
-      findPessimisticPair(*workload_, fi::Technique::Write, 30, 11, 1);
+      findPessimisticPair(*workload_, fi::FaultDomain::RegisterWrite, 30, 11, 1);
   EXPECT_EQ(r.all.size(), 81u);  // single + 8 win x 10 mbf
-  EXPECT_FALSE(r.bestSpec.isSingleBit());
+  EXPECT_FALSE(r.bestModel.isSingleBit());
   EXPECT_GT(r.validatedBestSdc.n, 0u);
   // The best multi-bit SDC is the max over all multi-bit campaigns.
   for (const auto& c : r.all) {
-    if (c.spec.isSingleBit()) continue;
+    if (c.model.isSingleBit()) continue;
     EXPECT_LE(c.sdc.fraction, r.bestSdc.fraction + 1e-12);
   }
 }
@@ -106,8 +106,8 @@ TEST_F(PruningFixture, SingleIsPessimisticDefinition) {
 // --- TransitionStudy ---------------------------------------------------------------
 
 TEST_F(PruningFixture, TransitionMatrixSumsToExperimentCount) {
-  const fi::FaultSpec multi =
-      fi::FaultSpec::multiBit(fi::Technique::Write, 3, fi::WinSize::fixed(1));
+  const fi::FaultModel multi =
+      fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterWrite, 3, fi::WinSize::fixed(1));
   const TransitionStudyResult r =
       transitionStudy(*workload_, multi, 120, 2024);
   std::uint64_t total = 0;
@@ -122,12 +122,12 @@ TEST_F(PruningFixture, TransitionRowMarginalsMatchSingleBitCampaign) {
   // single-bit campaign with the same seed, so row marginals must agree.
   const std::uint64_t seed = 555;
   const std::size_t n = 100;
-  const fi::FaultSpec multi =
-      fi::FaultSpec::multiBit(fi::Technique::Read, 2, fi::WinSize::fixed(4));
+  const fi::FaultModel multi =
+      fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterRead, 2, fi::WinSize::fixed(4));
   const TransitionStudyResult t = transitionStudy(*workload_, multi, n, seed);
 
   fi::CampaignConfig config;
-  config.spec = fi::FaultSpec::singleBit(fi::Technique::Read);
+  config.model = fi::FaultModel::singleBit(fi::FaultDomain::RegisterRead);
   config.experiments = n;
   config.seed = seed;
   const fi::CampaignResult c = fi::runCampaign(*workload_, config);
@@ -140,8 +140,8 @@ TEST_F(PruningFixture, TransitionRowMarginalsMatchSingleBitCampaign) {
 }
 
 TEST_F(PruningFixture, TransitionLikelihoodsAreProbabilities) {
-  const fi::FaultSpec multi =
-      fi::FaultSpec::multiBit(fi::Technique::Write, 3, fi::WinSize::fixed(1));
+  const fi::FaultModel multi =
+      fi::FaultModel::multiBitTemporal(fi::FaultDomain::RegisterWrite, 3, fi::WinSize::fixed(1));
   const TransitionStudyResult r = transitionStudy(*workload_, multi, 80, 77);
   EXPECT_GE(r.transitionI(), 0.0);
   EXPECT_LE(r.transitionI(), 1.0);

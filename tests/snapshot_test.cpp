@@ -481,15 +481,15 @@ TEST(WorkloadSnapshots, ExperimentsBitIdenticalWithCacheOnAndOff) {
   EXPECT_EQ(cached.fingerprint(), scratch.fingerprint());
   EXPECT_EQ(cached.golden().output, scratch.golden().output);
 
-  const FaultSpec specs[] = {
-      FaultSpec::singleBit(Technique::Read),
-      FaultSpec::singleBit(Technique::Write),
-      FaultSpec::multiBit(Technique::Read, 3, WinSize::fixed(2)),
-      FaultSpec::multiBit(Technique::Write, 4, WinSize::fixed(0)),
+  const FaultModel specs[] = {
+      FaultModel::singleBit(FaultDomain::RegisterRead),
+      FaultModel::singleBit(FaultDomain::RegisterWrite),
+      FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 3, WinSize::fixed(2)),
+      FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 4, WinSize::fixed(0)),
   };
-  for (const FaultSpec& spec : specs) {
-    const std::uint64_t candidates = cached.candidates(spec.technique);
-    ASSERT_EQ(candidates, scratch.candidates(spec.technique));
+  for (const FaultModel& spec : specs) {
+    const std::uint64_t candidates = cached.candidates(spec.domain);
+    ASSERT_EQ(candidates, scratch.candidates(spec.domain));
     for (std::uint64_t i = 0; i < 120; ++i) {
       const FaultPlan plan =
           FaultPlan::forExperiment(spec, candidates, 0xfeed, i);
@@ -506,7 +506,7 @@ TEST(WorkloadSnapshots, CampaignBitIdenticalWithCacheOnAndOff) {
   const Workload scratch(lang::compileMiniC(kBusy), 50,
                          SnapshotPolicy::disabled());
   CampaignConfig config;
-  config.spec = FaultSpec::multiBit(Technique::Write, 2, WinSize::fixed(3));
+  config.model = FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 2, WinSize::fixed(3));
   config.experiments = 300;
   config.seed = 0xabcd;
   config.threads = 2;
@@ -530,25 +530,25 @@ TEST(WorkloadSnapshots, LookupPicksDensestUsableSnapshot) {
   dense.interval = 32;
   const Workload w(lang::compileMiniC(kBusy), 50, dense);
   ASSERT_GT(w.snapshotCount(), 2u);
-  const std::uint64_t candidates = w.candidates(Technique::Read);
+  const std::uint64_t candidates = w.candidates(FaultDomain::RegisterRead);
   const std::uint64_t budget = w.faultyLimits().maxInstructions;
 
   // Nothing usable before the first capture point.
-  EXPECT_EQ(w.snapshotAtOrBefore(Technique::Read, 0, budget), nullptr);
+  EXPECT_EQ(w.snapshotAtOrBefore(FaultDomain::RegisterRead, 0, budget), nullptr);
   // The last candidate index must map to some snapshot, positioned at or
   // before it.
   const vm::Snapshot* last =
-      w.snapshotAtOrBefore(Technique::Read, candidates - 1, budget);
+      w.snapshotAtOrBefore(FaultDomain::RegisterRead, candidates - 1, budget);
   ASSERT_NE(last, nullptr);
   EXPECT_LE(last->readCandidates, candidates - 1);
   // A snapshot found for index k is the densest: the next snapshot (if any)
   // is past k.
   const std::uint64_t mid = candidates / 2;
-  const vm::Snapshot* snap = w.snapshotAtOrBefore(Technique::Read, mid, budget);
+  const vm::Snapshot* snap = w.snapshotAtOrBefore(FaultDomain::RegisterRead, mid, budget);
   ASSERT_NE(snap, nullptr);
   EXPECT_LE(snap->readCandidates, mid);
   // An instruction budget below every snapshot disables the fast-forward.
-  EXPECT_EQ(w.snapshotAtOrBefore(Technique::Read, mid, 0), nullptr);
+  EXPECT_EQ(w.snapshotAtOrBefore(FaultDomain::RegisterRead, mid, 0), nullptr);
 }
 
 TEST(WorkloadSnapshots, TinyHangFactorStillBitIdentical) {
@@ -560,8 +560,8 @@ TEST(WorkloadSnapshots, TinyHangFactorStillBitIdentical) {
   const Workload cached(lang::compileMiniC(kBusy), 0, dense);
   const Workload scratch(lang::compileMiniC(kBusy), 0,
                          SnapshotPolicy::disabled());
-  const FaultSpec spec = FaultSpec::singleBit(Technique::Read);
-  const std::uint64_t candidates = cached.candidates(Technique::Read);
+  const FaultModel spec = FaultModel::singleBit(FaultDomain::RegisterRead);
+  const std::uint64_t candidates = cached.candidates(FaultDomain::RegisterRead);
   for (std::uint64_t i = 0; i < 150; ++i) {
     const FaultPlan plan =
         FaultPlan::forExperiment(spec, candidates, 0xb0b, i);

@@ -59,27 +59,27 @@ class CampaignSuiteFixture : public ::testing::Test {
   /// specs, experiment counts, and seeds per cell.
   struct CellSpec {
     const Workload* workload;
-    FaultSpec spec;
+    FaultModel model;
     std::size_t experiments;
     std::uint64_t seed;
   };
 
   [[nodiscard]] std::vector<CellSpec> mixedCells() const {
     return {
-        {alpha_.get(), FaultSpec::singleBit(Technique::Read), 96, 0xaaa1},
+        {alpha_.get(), FaultModel::singleBit(FaultDomain::RegisterRead), 96, 0xaaa1},
         {alpha_.get(),
-         FaultSpec::multiBit(Technique::Write, 3, WinSize::fixed(2)), 240,
+         FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 3, WinSize::fixed(2)), 240,
          0xaaa2},
-        {beta_.get(), FaultSpec::multiBit(Technique::Read, 2, WinSize::fixed(0)),
+        {beta_.get(), FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 2, WinSize::fixed(0)),
          57, 0xbbb1},
-        {beta_.get(), FaultSpec::singleBit(Technique::Write), 10, 0xbbb2},
+        {beta_.get(), FaultModel::singleBit(FaultDomain::RegisterWrite), 10, 0xbbb2},
     };
   }
 
   /// Solo reference for one cell: single-threaded CampaignEngine run.
   [[nodiscard]] CampaignResult solo(const CellSpec& cell) const {
     CampaignConfig config;
-    config.spec = cell.spec;
+    config.model = cell.model;
     config.experiments = cell.experiments;
     config.seed = cell.seed;
     config.threads = 1;
@@ -91,7 +91,7 @@ class CampaignSuiteFixture : public ::testing::Test {
     CampaignSuite suite(config);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       suite.addCell("cell" + std::to_string(i), *cells[i].workload,
-                    cells[i].spec, cells[i].experiments, cells[i].seed);
+                    cells[i].model, cells[i].experiments, cells[i].seed);
     }
     return suite;
   }
@@ -131,7 +131,7 @@ TEST_F(CampaignSuiteFixture, SuiteMatchesSoloForAllThreadShardCombinations) {
 
 TEST_F(CampaignSuiteFixture, ZeroExperimentCellIsTriviallyComplete) {
   std::vector<CellSpec> cells = mixedCells();
-  cells.push_back({beta_.get(), FaultSpec::singleBit(Technique::Read), 0, 1});
+  cells.push_back({beta_.get(), FaultModel::singleBit(FaultDomain::RegisterRead), 0, 1});
   SuiteConfig config;
   config.threads = 4;
   const std::vector<CampaignResult> results = makeSuite(cells, config).run();
@@ -173,7 +173,7 @@ TEST_F(CampaignSuiteFixture, StoreRecordsThroughSuiteAndResumesInBothModes) {
   // store records are identical across modes.
   for (const CellSpec& cell : cells) {
     CampaignConfig config;
-    config.spec = cell.spec;
+    config.model = cell.model;
     config.experiments = cell.experiments;
     config.seed = cell.seed;
     config.threads = 2;
@@ -195,7 +195,7 @@ TEST_F(CampaignSuiteFixture, SuiteResumesWhatSoloModeRecorded) {
     CampaignStore store(path);
     for (const CellSpec& cell : cells) {
       CampaignConfig config;
-      config.spec = cell.spec;
+      config.model = cell.model;
       config.experiments = cell.experiments;
       config.seed = cell.seed;
       config.threads = 1;
@@ -314,17 +314,17 @@ TEST_F(CampaignSuiteFixture, CostOrderedSchedulingRunsLongestCellFirst) {
     std::size_t cheapCell;
     if (costlyFirst) {
       costlyCell = suite.addCell("costly", *alpha_,
-                                 FaultSpec::singleBit(Technique::Write),
+                                 FaultModel::singleBit(FaultDomain::RegisterWrite),
                                  costlyExperiments, 0x52);
       cheapCell = suite.addCell("cheap", *beta_,
-                                FaultSpec::singleBit(Technique::Read),
+                                FaultModel::singleBit(FaultDomain::RegisterRead),
                                 cheapExperiments, 0x51);
     } else {
       cheapCell = suite.addCell("cheap", *beta_,
-                                FaultSpec::singleBit(Technique::Read),
+                                FaultModel::singleBit(FaultDomain::RegisterRead),
                                 cheapExperiments, 0x51);
       costlyCell = suite.addCell("costly", *alpha_,
-                                 FaultSpec::singleBit(Technique::Write),
+                                 FaultModel::singleBit(FaultDomain::RegisterWrite),
                                  costlyExperiments, 0x52);
     }
 
@@ -351,9 +351,9 @@ TEST_F(CampaignSuiteFixture, CostOrderTieBreaksByAddOrder) {
   config.shardSize = 8;
   CampaignSuite suite(config);
   const std::size_t first = suite.addCell(
-      "first", *alpha_, FaultSpec::singleBit(Technique::Read), 16, 0x61);
+      "first", *alpha_, FaultModel::singleBit(FaultDomain::RegisterRead), 16, 0x61);
   const std::size_t second = suite.addCell(
-      "second", *alpha_, FaultSpec::singleBit(Technique::Write), 16, 0x62);
+      "second", *alpha_, FaultModel::singleBit(FaultDomain::RegisterWrite), 16, 0x62);
 
   std::vector<std::size_t> completionOrder;
   suite.onProgress([&](const SuiteProgress& p) {

@@ -1,0 +1,27 @@
+// Compact a campaign-results store in place: keep the newest record per
+// (campaign key, shard range) / workload name, drop torn lines. See
+// CampaignStore::compact and scripts/compact_store.sh.
+#include <cstdio>
+#include <cstring>
+
+#include "fi/campaign_store.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr, "usage: %s STORE.jsonl\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const auto stats = onebit::fi::CampaignStore::compact(path);
+  if (!stats) {
+    std::fprintf(stderr, "error: could not compact '%s' (I/O failure); "
+                 "the original file is untouched\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu shard record(s), %zu workload record(s) kept; "
+              "%zu duplicate(s), %zu malformed line(s) dropped%s\n",
+              path.c_str(), stats->shardRecords, stats->workloadRecords,
+              stats->droppedDuplicates, stats->droppedMalformed,
+              stats->rewritten ? "" : " (already canonical; file untouched)");
+  return 0;
+}
