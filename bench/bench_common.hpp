@@ -26,6 +26,14 @@
 //   ONEBIT_SNAPSHOT_BUDGET    per-workload byte budget for kept snapshots
 //                       (default 16 MiB); 0 = disable the cache
 //
+// Outcome-equivalence pruning knobs (see docs/ARCHITECTURE.md):
+//   ONEBIT_PRUNE        1 = short-circuit experiments whose post-injection
+//                       state hash matches the golden run or an earlier
+//                       experiment (default 0). Pure speedup: all outputs
+//                       are bit-identical with it on or off.
+//   ONEBIT_PRUNE_GRID   state-hash boundary spacing in dynamic instructions
+//                       (unset/0 = auto, ~128 boundaries per golden run)
+//
 // Results-store knobs (checkpoint/resume; see docs/ARCHITECTURE.md):
 //   ONEBIT_STORE        path of a JSONL campaign store; every completed
 //                       shard is appended (and flushed) there
@@ -115,15 +123,26 @@ inline fi::SnapshotPolicy snapshotPolicyFromEnv() {
   return policy;
 }
 
+/// The outcome-equivalence pruning policy selected by ONEBIT_PRUNE /
+/// ONEBIT_PRUNE_GRID (default off).
+inline fi::PrunePolicy prunePolicyFromEnv() {
+  fi::PrunePolicy policy;
+  policy.enabled = util::envInt("ONEBIT_PRUNE", 0) != 0;
+  policy.grid = util::envSize("ONEBIT_PRUNE_GRID");
+  return policy;
+}
+
 /// Compile and profile all (selected) Table II workloads.
 inline std::vector<NamedWorkload> loadWorkloads() {
   const fi::SnapshotPolicy snapshots = snapshotPolicyFromEnv();
+  const fi::PrunePolicy prune = prunePolicyFromEnv();
   std::vector<NamedWorkload> out;
   for (const auto& info : progs::allPrograms()) {
     if (!programSelected(info.name)) continue;
     out.push_back({info.name,
                    fi::Workload(progs::compileProgram(info),
-                                fi::Workload::kDefaultHangFactor, snapshots)});
+                                fi::Workload::kDefaultHangFactor, snapshots,
+                                prune)});
   }
   return out;
 }
@@ -188,6 +207,7 @@ inline fi::SuiteConfig suiteConfigFromEnv() {
   cfg.threads = util::envSize("ONEBIT_THREADS");
   cfg.shardSize = util::envSize("ONEBIT_SHARD_SIZE");
   cfg.maxShards = util::envSize("ONEBIT_MAX_SHARDS");
+  cfg.pruning = prunePolicyFromEnv().enabled;
   cfg.withStore(storeBinding({}));
   return cfg;
 }
@@ -270,6 +290,19 @@ class SweepBuilder {
                          ? "resume with ONEBIT_RESUME=1 to finish"
                          : "nothing was recorded; set ONEBIT_STORE to make "
                            "partial runs resumable");
+      }
+      // Machine-greppable pruning summary (scripts/bench_prune.sh parses
+      // this line). Stderr, not stdout: hit counters depend on thread
+      // scheduling, and bench stdout must stay byte-identical under
+      // ONEBIT_PRUNE.
+      if (prunePolicyFromEnv().enabled) {
+        fi::PruneStats total;
+        for (const fi::CampaignResult& r : results_) total += r.prune;
+        std::fprintf(stderr,
+                     "[prune] golden_hits=%zu cache_hits=%zu misses=%zu "
+                     "short_circuited=%zu\n",
+                     total.goldenHits, total.cacheHits, total.misses,
+                     total.shortCircuited());
       }
     }
     return results_;

@@ -109,6 +109,13 @@ std::uint64_t CampaignStore::campaignKey(
   return h;
 }
 
+std::uint64_t CampaignStore::outcomeCacheKey(
+    std::uint64_t campaignKey) noexcept {
+  return util::hashCombine(
+      util::hashCombine(0x0b17'0c0d'e11f'ca5eULL, kPruneSemanticsVersion),
+      campaignKey);
+}
+
 namespace {
 
 /// One decoded-and-validated shard record (shared by load and compact).
@@ -169,6 +176,41 @@ bool parseWorkloadRecord(const util::Json& record,
   return true;
 }
 
+/// One decoded-and-validated outcome record (shared by load and compact).
+struct ParsedOutcome {
+  std::uint64_t key = 0;
+  CampaignStore::OutcomeRecord rec;
+};
+
+/// Decode an "outcome" record. The enums are range-checked: a record whose
+/// outcome or trap no longer decodes would replay garbage into results.
+bool parseOutcomeRecord(const util::Json& record, ParsedOutcome& out) {
+  const util::Json* keyField = record.find("key");
+  const std::optional<std::uint64_t> key =
+      keyField != nullptr ? keyFromHex(keyField->asString()) : std::nullopt;
+  const util::Json* hashField = record.find("hash");
+  const std::optional<std::uint64_t> hash =
+      hashField != nullptr ? keyFromHex(hashField->asString()) : std::nullopt;
+  const std::uint64_t bad = ~0ULL;
+  const std::uint64_t boundary = getUint(record, "boundary", bad);
+  const std::uint64_t outcome = getUint(record, "outcome", bad);
+  const std::uint64_t trap = getUint(record, "trap", bad);
+  const std::uint64_t instructions = getUint(record, "instructions", bad);
+  if (!key || !hash || boundary == bad || boundary == 0 ||
+      outcome >= stats::kOutcomeCount ||
+      trap > static_cast<std::uint64_t>(vm::TrapKind::Abort) ||
+      instructions == bad) {
+    return false;
+  }
+  out.key = *key;
+  out.rec.boundary = boundary;
+  out.rec.hash = *hash;
+  out.rec.outcome = static_cast<stats::Outcome>(outcome);
+  out.rec.trap = static_cast<vm::TrapKind>(trap);
+  out.rec.instructions = instructions;
+  return true;
+}
+
 }  // namespace
 
 CampaignStore::LoadStats CampaignStore::load() {
@@ -206,6 +248,23 @@ CampaignStore::LoadStats CampaignStore::load() {
           ++stats.workloadRecords;
           return;
         }
+        if (kind->asString() == "outcome") {
+          ParsedOutcome outcome;
+          if (!parseOutcomeRecord(record, outcome)) {
+            ++stats.malformed;
+            return;
+          }
+          if (outcomes_[outcome.key]
+                  .emplace(
+                      OutcomeKey{outcome.rec.boundary, outcome.rec.hash},
+                      outcome.rec)
+                  .second) {
+            ++stats.outcomeRecords;
+          } else {
+            ++stats.duplicates;
+          }
+          return;
+        }
         ++stats.malformed;  // unknown record kind
       });
   stats.malformed += read.malformed;
@@ -224,6 +283,9 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
            std::size_t>
       shardAt;
   std::map<std::string, std::size_t, std::less<>> workloadAt;
+  std::map<std::pair<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>,
+           std::size_t>
+      outcomeAt;
   const util::JsonlReadStats read =
       util::readJsonl(path, [&](util::Json&& record) {
         const std::uint64_t v = getUint(record, "v", 0);
@@ -264,11 +326,29 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
           }
           return;
         }
+        if (kind->asString() == "outcome") {
+          ParsedOutcome outcome;
+          if (!parseOutcomeRecord(record, outcome)) {
+            ++stats.droppedMalformed;
+            return;
+          }
+          const auto [it, inserted] = outcomeAt.try_emplace(
+              {outcome.key, {outcome.rec.boundary, outcome.rec.hash}},
+              kept.size());
+          if (inserted) {
+            kept.push_back(std::move(record));
+          } else {
+            kept[it->second] = std::move(record);
+            ++stats.droppedDuplicates;
+          }
+          return;
+        }
         ++stats.droppedMalformed;  // unknown record kind
       });
   stats.droppedMalformed += read.malformed;  // torn/unparseable lines
   stats.shardRecords = shardAt.size();
   stats.workloadRecords = workloadAt.size();
+  stats.outcomeRecords = outcomeAt.size();
   // Already canonical (including the missing-file case): leave the file
   // byte-identical instead of rewriting it.
   if (stats.droppedDuplicates == 0 && stats.droppedMalformed == 0) {
@@ -379,6 +459,43 @@ bool CampaignStore::appendWorkload(const WorkloadRecord& rec) {
   if (!writer_->writeLine(record)) return false;
   workloads_.insert_or_assign(rec.name, rec);
   return true;
+}
+
+bool CampaignStore::appendOutcome(std::uint64_t cacheKey,
+                                  const OutcomeRecord& rec) {
+  util::Json record = util::Json::object();
+  record.set("v", util::Json::number(kFormatVersion));
+  record.set("kind", util::Json::string("outcome"));
+  record.set("key", util::Json::string(keyToHex(cacheKey)));
+  record.set("boundary", util::Json::number(rec.boundary));
+  record.set("hash", util::Json::string(keyToHex(rec.hash)));
+  record.set("outcome", util::Json::number(
+                            static_cast<std::uint64_t>(rec.outcome)));
+  record.set("trap",
+             util::Json::number(static_cast<std::uint64_t>(rec.trap)));
+  record.set("instructions", util::Json::number(rec.instructions));
+
+  std::lock_guard lock(mutex_);
+  const auto cache = outcomes_.find(cacheKey);
+  if (cache != outcomes_.end() &&
+      cache->second.count({rec.boundary, rec.hash}) != 0) {
+    return true;  // already on file; entry values are key-determined
+  }
+  if (writer_ == nullptr) {
+    writer_ = std::make_unique<util::JsonlWriter>(path_);
+  }
+  if (!writer_->writeLine(record)) return false;
+  outcomes_[cacheKey].emplace(OutcomeKey{rec.boundary, rec.hash}, rec);
+  return true;
+}
+
+void CampaignStore::forEachOutcome(
+    std::uint64_t cacheKey,
+    const std::function<void(const OutcomeRecord&)>& fn) const {
+  std::lock_guard lock(mutex_);
+  const auto cache = outcomes_.find(cacheKey);
+  if (cache == outcomes_.end()) return;
+  for (const auto& [key, rec] : cache->second) fn(rec);
 }
 
 const CampaignStore::ShardAggregate* CampaignStore::findShard(

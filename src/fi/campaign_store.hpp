@@ -27,6 +27,15 @@
 //      "ir_instrs":210,"dyn_instrs":51234,"cand_read":30321,
 //      "cand_write":20117,"cand_store":9876}
 //
+//   outcome record (kind "outcome") — one outcome-equivalence cache entry
+//   (fi/outcome_cache.hpp), so resumed pruned campaigns keep their warm
+//   cache and hit rates:
+//     {"v":1,"kind":"outcome","key":"0x<16 hex>","boundary":4096,
+//      "hash":"0x<16 hex>","outcome":0,"trap":0,"instructions":51234}
+//   `key` is outcomeCacheKey(campaign key) — derived from, but never equal
+//   to, a campaign key, so outcome records can never collide with shard
+//   records and paper-cell results are untouched by pruning.
+//
 // Campaign key: a 64-bit hash of everything the determinism contract says a
 // campaign result depends on — the full FaultModel (technique, max-MBF,
 // win-size, flip width), experiment count, master seed — plus the
@@ -39,6 +48,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,6 +82,13 @@ class CampaignStore {
   /// cells' recorded results, and extension records can never collide with
   /// a paper-cell key.
   static constexpr std::uint64_t kExtendedSemanticsVersion = 1;
+
+  /// Semantics version of the outcome-equivalence pruning layer (state-hash
+  /// definition, boundary placement, cache soundness rules). Folded into
+  /// every outcome-cache key: bump it whenever the hash function or pruning
+  /// semantics change, so stale cache entries are orphaned instead of
+  /// replayed into results they no longer describe.
+  static constexpr std::uint64_t kPruneSemanticsVersion = 1;
 
   /// Aggregates of one recorded shard.
   struct ShardAggregate {
@@ -109,9 +126,19 @@ class CampaignStore {
     bool operator==(const WorkloadRecord&) const = default;
   };
 
+  /// One outcome-equivalence cache entry (see fi/outcome_cache.hpp).
+  struct OutcomeRecord {
+    std::uint64_t boundary = 0;  ///< hash-grid boundary (dynamic instructions)
+    std::uint64_t hash = 0;      ///< vm::Machine::stateHash() at the boundary
+    stats::Outcome outcome = stats::Outcome::Benign;
+    vm::TrapKind trap = vm::TrapKind::None;
+    std::uint64_t instructions = 0;  ///< final faulty instruction count
+  };
+
   struct LoadStats {
     std::size_t shardRecords = 0;     ///< accepted shard records
     std::size_t workloadRecords = 0;  ///< accepted workload records
+    std::size_t outcomeRecords = 0;   ///< accepted outcome-cache records
     std::size_t malformed = 0;  ///< unparseable or integrity-failing lines
                                 ///< (incl. a torn final line)
     std::size_t duplicates = 0;  ///< re-recorded shards (first one wins)
@@ -120,6 +147,7 @@ class CampaignStore {
   struct CompactStats {
     std::size_t shardRecords = 0;     ///< surviving shard records
     std::size_t workloadRecords = 0;  ///< surviving workload records
+    std::size_t outcomeRecords = 0;   ///< surviving outcome-cache records
     std::size_t droppedDuplicates = 0;  ///< superseded records dropped
     std::size_t droppedMalformed = 0;   ///< torn/invalid lines dropped
     bool rewritten = false;  ///< false = file was already canonical
@@ -146,6 +174,13 @@ class CampaignStore {
                                    std::size_t experiments,
                                    std::uint64_t seed,
                                    std::uint64_t workloadFingerprint) noexcept;
+
+  /// The key outcome-cache records are stored under for a campaign cell:
+  /// a salted rehash of the cell's campaign key chained with
+  /// kPruneSemanticsVersion. Deriving (rather than reusing) the campaign key
+  /// keeps the two record populations disjoint, and the version fold orphans
+  /// cached outcomes whenever pruning semantics change.
+  static std::uint64_t outcomeCacheKey(std::uint64_t campaignKey) noexcept;
 
   /// Read all records currently on disk into the in-memory index. Missing
   /// file loads as empty. Malformed lines are counted, never fatal: the
@@ -178,6 +213,19 @@ class CampaignStore {
   /// in the index is skipped. Returns false on I/O error.
   bool appendWorkload(const WorkloadRecord& record);
 
+  /// Append one outcome-cache entry under `cacheKey` (thread-safe). An entry
+  /// already indexed for (cacheKey, boundary, hash) is skipped — entry
+  /// values are pure functions of their key, so the first record is as good
+  /// as any later one. Returns false on I/O error.
+  bool appendOutcome(std::uint64_t cacheKey, const OutcomeRecord& record);
+
+  /// Visit every outcome-cache entry recorded under `cacheKey` (the warm
+  /// start of a resumed pruned campaign). Do not call appendOutcome from
+  /// inside the callback (the store lock is held).
+  void forEachOutcome(
+      std::uint64_t cacheKey,
+      const std::function<void(const OutcomeRecord&)>& fn) const;
+
   /// Look up a recorded shard by campaign key and exact experiment range.
   /// Returns nullptr when absent. Pointers stay valid until the store is
   /// destroyed (records are never evicted).
@@ -194,6 +242,7 @@ class CampaignStore {
 
  private:
   using ShardRange = std::pair<std::size_t, std::size_t>;  ///< (first, count)
+  using OutcomeKey = std::pair<std::uint64_t, std::uint64_t>;  ///< (bnd, hash)
 
   bool indexShard(std::uint64_t key, ShardRange range, ShardAggregate agg);
 
@@ -203,6 +252,8 @@ class CampaignStore {
   std::unordered_map<std::uint64_t, std::map<ShardRange, ShardAggregate>>
       shards_;
   std::map<std::string, WorkloadRecord, std::less<>> workloads_;
+  std::unordered_map<std::uint64_t, std::map<OutcomeKey, OutcomeRecord>>
+      outcomes_;
 };
 
 /// How a campaign engine (or a driver built on one) should use a store:

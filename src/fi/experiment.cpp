@@ -3,24 +3,66 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fi/outcome_cache.hpp"
 #include "util/rng.hpp"
+#include "vm/machine.hpp"
 
 namespace onebit::fi {
 
 Workload::Workload(ir::Module mod, std::uint64_t hangFactor,
-                   SnapshotPolicy snapshots)
+                   SnapshotPolicy snapshots, PrunePolicy prune)
     : mod_(std::move(mod)) {
   vm::ExecLimits goldenLimits;
-  if (snapshots.enabled()) {
-    vm::SnapshotCapturePolicy capture;  // default interval = the auto spacing
-    if (snapshots.interval != SnapshotPolicy::kAutoInterval) {
-      capture.interval = snapshots.interval;
+  vm::SnapshotCapturePolicy capture;  // default interval = the auto spacing
+  if (snapshots.interval != SnapshotPolicy::kAutoInterval) {
+    capture.interval = snapshots.interval;
+  }
+  capture.maxSnapshots = snapshots.maxSnapshots;
+  capture.budgetBytes = snapshots.budgetBytes;
+  if (!prune.enabled) {
+    if (snapshots.enabled()) {
+      golden_ =
+          vm::executeWithSnapshots(mod_, goldenLimits, capture, snapshots_);
+    } else {
+      golden_ = vm::execute(mod_, goldenLimits, nullptr);
     }
-    capture.maxSnapshots = snapshots.maxSnapshots;
-    capture.budgetBytes = snapshots.budgetBytes;
-    golden_ = vm::executeWithSnapshots(mod_, goldenLimits, capture, snapshots_);
   } else {
+    // Pass 1: the plain golden profile. The auto grid heuristic needs the
+    // dynamic instruction count before the hashing pass can place its
+    // boundaries, and the plain result doubles as the reference for the
+    // differential self-check below.
     golden_ = vm::execute(mod_, goldenLimits, nullptr);
+    if (golden_.status == vm::ExecStatus::Ok) {
+      hashGrid_ = prune.grid != 0
+                      ? prune.grid
+                      : std::clamp<std::uint64_t>(golden_.instructions / 128,
+                                                  64, 16384);
+      // Pass 2: the hashing golden run records the boundary-hash table and
+      // (when snapshots are on) captures the snapshot cache — with
+      // Snapshot::stateHash stamped — under the same retention policy.
+      vm::ExecLimits hashedLimits = goldenLimits;
+      hashedLimits.trackStateHash = true;
+      vm::Machine machine(mod_, hashedLimits, nullptr);
+      if (snapshots.enabled()) {
+        machine.captureEvery(capture.interval == 0 ? 1 : capture.interval,
+                             vm::makeRetentionSink(capture, snapshots_));
+      }
+      while (machine.runToBoundary(hashGrid_)) {
+        goldenHashes_.push_back(machine.stateHash());
+      }
+      const vm::ExecResult hashed = machine.run();
+      // Differential self-check: state hashing must never change execution.
+      if (hashed.status != golden_.status ||
+          hashed.instructions != golden_.instructions ||
+          hashed.output != golden_.output ||
+          hashed.readCandidates != golden_.readCandidates ||
+          hashed.writeCandidates != golden_.writeCandidates ||
+          hashed.storeCandidates != golden_.storeCandidates) {
+        throw std::logic_error(
+            "fi::Workload: hashing golden run diverged from the plain golden "
+            "run");
+      }
+    }
   }
   if (golden_.status != vm::ExecStatus::Ok) {
     throw std::runtime_error(
@@ -88,6 +130,16 @@ std::size_t Workload::snapshotBytes() const noexcept {
   return bytes;
 }
 
+std::optional<std::uint64_t> Workload::goldenHashAt(
+    std::uint64_t boundary) const noexcept {
+  if (hashGrid_ == 0 || boundary == 0 || boundary % hashGrid_ != 0) {
+    return std::nullopt;
+  }
+  const std::uint64_t idx = boundary / hashGrid_ - 1;
+  if (idx >= goldenHashes_.size()) return std::nullopt;  // past golden's end
+  return goldenHashes_[idx];
+}
+
 stats::Outcome classify(const vm::ExecResult& faulty,
                         const vm::ExecResult& golden) noexcept {
   switch (faulty.status) {
@@ -123,6 +175,81 @@ ExperimentResult runExperiment(const Workload& workload,
           ? vm::resume(workload.module(), *snap, limits, &hook)
           : vm::execute(workload.module(), limits, &hook);
   ExperimentResult result;
+  result.outcome = classify(faulty, workload.golden());
+  result.trap = faulty.trap;
+  result.activations = hook.activations();
+  result.instructions = faulty.instructions;
+  return result;
+}
+
+ExperimentResult runExperiment(const Workload& workload, const FaultPlan& plan,
+                               OutcomeCache* cache) {
+  if (cache == nullptr || !workload.pruningEnabled()) {
+    return runExperiment(workload, plan);
+  }
+  InjectorHook hook(plan);
+  vm::ExecLimits limits = workload.faultyLimits();
+  limits.trackStateHash = true;
+  const vm::Snapshot* snap = workload.snapshotAtOrBefore(
+      plan.domain, plan.firstIndex, limits.maxInstructions);
+  std::optional<vm::Machine> machine;
+  if (snap != nullptr) {
+    machine.emplace(workload.module(), *snap, limits, &hook);
+  } else {
+    machine.emplace(workload.module(), limits, &hook);
+  }
+  ExperimentResult result;
+  if (machine->runToBoundary(workload.hashGrid())) {
+    // Paused between instructions with the hook exhausted: hash comparisons
+    // are sound from here on (no pending injections, deterministic suffix).
+    const std::uint64_t boundary = machine->instructions();
+    const std::uint64_t hash = machine->stateHash();
+    const std::optional<std::uint64_t> goldenHash =
+        workload.goldenHashAt(boundary);
+    if (goldenHash.has_value() && *goldenHash == hash &&
+        workload.golden().instructions <= limits.maxInstructions) {
+      // Masked fault: the state collapsed to the golden state at the same
+      // dynamic point, so the hook-free continuation IS the golden
+      // continuation — same output, normal termination, golden instruction
+      // count. (The budget guard covers degenerate hangFactor < 1 setups
+      // where the faulty fuel could not replay the golden suffix.)
+      result.outcome = stats::Outcome::Benign;
+      result.activations = hook.activations();
+      result.instructions = workload.golden().instructions;
+      result.prune = PruneEvent::GoldenHash;
+      return result;
+    }
+    if (const std::optional<OutcomeCache::Entry> hit =
+            cache->find(boundary, hash)) {
+      // Same state at the same dynamic point as an earlier experiment of
+      // this cell: identical continuation, so the cached outcome applies.
+      // Activations stay per-experiment — they describe the injection, not
+      // the continuation.
+      result.outcome = hit->outcome;
+      result.trap = hit->trap;
+      result.activations = hook.activations();
+      result.instructions = hit->instructions;
+      result.prune = PruneEvent::CachedOutcome;
+      return result;
+    }
+    // The cache decision is made; the hash is dead weight from here on, so
+    // run the remainder on the hash-free fast path.
+    machine->stopStateHashTracking();
+    const vm::ExecResult faulty = machine->run();
+    result.outcome = classify(faulty, workload.golden());
+    result.trap = faulty.trap;
+    result.activations = hook.activations();
+    result.instructions = faulty.instructions;
+    result.prune = PruneEvent::Miss;
+    cache->insert(boundary, hash,
+                  {result.outcome, result.trap, result.instructions});
+    return result;
+  }
+  // The run ended (halt / trap / fuel) before a comparable boundary, or the
+  // hook never exhausts (unbounded RandomValue windows): plain
+  // classification, nothing cacheable.
+  machine->stopStateHashTracking();
+  const vm::ExecResult faulty = machine->run();
   result.outcome = classify(faulty, workload.golden());
   result.trap = faulty.trap;
   result.activations = hook.activations();

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "vm/snapshot.hpp"
 
 namespace onebit::fi {
+
+class OutcomeCache;
 
 /// Golden-prefix fast-forward knobs: how densely a Workload checkpoints its
 /// golden run, and how much memory those checkpoints may hold. Every faulty
@@ -48,6 +51,31 @@ struct SnapshotPolicy {
   }
 };
 
+/// Outcome-equivalence pruning knobs (AFL exec_cksum-style). When enabled,
+/// the Workload's golden run additionally records the incremental VM state
+/// hash (vm/state_hash.hpp) at every multiple of a dynamic-instruction
+/// `grid`, and runExperiment(w, plan, cache) pauses each faulty run at the
+/// first boundary past hook exhaustion to compare hashes: a golden-hash
+/// match short-circuits to the golden (masked) outcome, a cache match
+/// replays a previously computed outcome, a miss runs to completion and
+/// populates the cache. Like SnapshotPolicy, pruning is a pure speedup — it
+/// must never change results — and is therefore NOT part of the workload
+/// fingerprint.
+struct PrunePolicy {
+  bool enabled = false;
+  /// Boundary spacing in dynamic instructions. 0 = auto: ~128 boundaries
+  /// over the golden run, clamped to [64, 16384]. Grid choice trades pause
+  /// overhead against how early a short-circuit can trigger; it never
+  /// affects correctness (cache entries are keyed by exact boundary).
+  std::uint64_t grid = 0;
+
+  static PrunePolicy on() noexcept {
+    PrunePolicy p;
+    p.enabled = true;
+    return p;
+  }
+};
+
 /// A program + input pair (the paper's "workload"), with its fault-free
 /// profile: golden output, dynamic instruction count, and per-domain
 /// candidate counts (Table II's "candidate instructions for fault
@@ -63,9 +91,13 @@ class Workload {
   /// golden run. `snapshots` controls the golden-prefix snapshot cache
   /// captured during that same golden run (on by default; pass
   /// SnapshotPolicy::disabled() to interpret every experiment from scratch).
+  /// `prune` additionally records the golden boundary-hash table for
+  /// outcome-equivalence pruning (off by default; the golden run is then
+  /// executed twice — once plain, once hashing — and the two are
+  /// cross-checked to be identical).
   explicit Workload(ir::Module mod,
                     std::uint64_t hangFactor = kDefaultHangFactor,
-                    SnapshotPolicy snapshots = {});
+                    SnapshotPolicy snapshots = {}, PrunePolicy prune = {});
 
   [[nodiscard]] const ir::Module& module() const noexcept { return mod_; }
   [[nodiscard]] const vm::ExecResult& golden() const noexcept {
@@ -127,6 +159,17 @@ class Workload {
   /// Total byteSize() of the kept snapshots (<= the policy's budget).
   [[nodiscard]] std::size_t snapshotBytes() const noexcept;
 
+  /// True when this workload was built with PrunePolicy.enabled (the golden
+  /// boundary-hash table exists and pruned experiments may run on it).
+  [[nodiscard]] bool pruningEnabled() const noexcept { return hashGrid_ != 0; }
+  /// The resolved boundary grid in dynamic instructions (0 = pruning off).
+  [[nodiscard]] std::uint64_t hashGrid() const noexcept { return hashGrid_; }
+  /// The golden run's state hash at dynamic instruction count `boundary`,
+  /// or nullopt when `boundary` is not a recorded grid multiple (off-grid,
+  /// or past the golden run's end).
+  [[nodiscard]] std::optional<std::uint64_t> goldenHashAt(
+      std::uint64_t boundary) const noexcept;
+
  private:
   ir::Module mod_;
   vm::ExecResult golden_;
@@ -134,6 +177,16 @@ class Workload {
   std::uint64_t fingerprint_ = 0;
   std::uint64_t extendedFingerprint_ = 0;
   std::vector<vm::Snapshot> snapshots_;
+  std::uint64_t hashGrid_ = 0;  ///< 0 = pruning off
+  std::vector<std::uint64_t> goldenHashes_;  ///< [i] = hash at (i+1)*grid
+};
+
+/// How outcome-equivalence pruning resolved one experiment.
+enum class PruneEvent : unsigned char {
+  None,        ///< pruning off, or the run ended before a comparable boundary
+  GoldenHash,  ///< short-circuited: state collapsed to the golden state
+  CachedOutcome,  ///< short-circuited: state matched a previously seen state
+  Miss,  ///< compared at a boundary with no match; ran to completion
 };
 
 /// Result of one fault-injection experiment.
@@ -142,6 +195,7 @@ struct ExperimentResult {
   vm::TrapKind trap = vm::TrapKind::None;  ///< set when outcome == Detected
   unsigned activations = 0;  ///< bit-flip errors actually applied (RQ1)
   std::uint64_t instructions = 0;
+  PruneEvent prune = PruneEvent::None;
 };
 
 /// Classify a faulty run against the golden run (§III-E taxonomy).
@@ -153,5 +207,17 @@ stats::Outcome classify(const vm::ExecResult& faulty,
 /// Bit-identical to a from-scratch run for every plan and policy.
 ExperimentResult runExperiment(const Workload& workload,
                                const FaultPlan& plan);
+
+/// Pruned variant: once the injector hook is exhausted, pause at the next
+/// boundary of the workload's hash grid and compare state hashes — golden
+/// match returns the golden (masked) outcome, a `cache` hit replays the
+/// cached outcome, a miss runs to completion and populates `cache`. The
+/// outcome/trap/instruction data is bit-identical to the unpruned overload
+/// for every plan (activations are always computed per experiment); only
+/// `prune` and wall-clock differ. Falls back to the unpruned overload when
+/// `cache` is null or the workload was built without PrunePolicy.enabled.
+/// Thread-safe for concurrent calls sharing one cache.
+ExperimentResult runExperiment(const Workload& workload, const FaultPlan& plan,
+                               OutcomeCache* cache);
 
 }  // namespace onebit::fi

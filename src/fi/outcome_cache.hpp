@@ -1,0 +1,80 @@
+// Per-cell outcome-equivalence cache: the dynamic pruning layer.
+//
+// The paper prunes the error space statically (def/use analysis, Table IV);
+// AFL-style fuzzers prune dynamically with a cheap execution checksum. This
+// cache is the dynamic variant for fault-injection campaigns: every pruned
+// experiment pauses at the first hash-grid boundary after its injector hook
+// is exhausted and looks up (boundary, state hash) here. Two experiments
+// that collide have bit-identical machine state at the same dynamic point,
+// hence bit-identical hook-free continuations — so the first one's final
+// (outcome, trap, instructions) triple is simply replayed for the second,
+// skipping the whole tail of the run.
+//
+// One cache serves exactly one campaign cell (one workload × model ×
+// experiments × seed): entries are only transferable between runs of the
+// same cell, which is why persistence keys them with
+// CampaignStore::outcomeCacheKey(campaignKey) — the campaign key already
+// binds the workload fingerprint (and with it the faulty-run limits), the
+// model, the seed, and the experiment semantics version.
+//
+// Entry values are pure functions of their (boundary, hash) key modulo
+// 64-bit hash collisions, so concurrent insert races are idempotent and
+// hit/miss ordering can never change campaign results — only wall-clock and
+// the hit counters (which are kept out of all result data for exactly that
+// reason).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "fi/campaign_store.hpp"
+#include "stats/outcome_counts.hpp"
+#include "vm/trap.hpp"
+
+namespace onebit::fi {
+
+class OutcomeCache {
+ public:
+  /// The replayable tail of one experiment: everything an ExperimentResult
+  /// needs except the per-experiment activation count.
+  struct Entry {
+    stats::Outcome outcome = stats::Outcome::Benign;
+    vm::TrapKind trap = vm::TrapKind::None;
+    std::uint64_t instructions = 0;
+  };
+
+  OutcomeCache() = default;
+  OutcomeCache(const OutcomeCache&) = delete;
+  OutcomeCache& operator=(const OutcomeCache&) = delete;
+
+  /// Persist every future insert() to `store` as an "outcome" record under
+  /// `cacheKey` (CampaignStore::outcomeCacheKey of the cell's campaign
+  /// key). The store must outlive this cache.
+  void bindStore(CampaignStore* store, std::uint64_t cacheKey);
+
+  /// Preload every entry recorded under `cacheKey` in `store` — the warm
+  /// cache of a resumed campaign. Returns the number of entries loaded.
+  std::size_t warmFrom(const CampaignStore& store, std::uint64_t cacheKey);
+
+  /// Look up the entry for (boundary, hash); nullopt on a miss.
+  [[nodiscard]] std::optional<Entry> find(std::uint64_t boundary,
+                                          std::uint64_t hash) const;
+
+  /// Record the outcome computed for (boundary, hash), appending it to the
+  /// bound store (if any). First insert wins; duplicates carry identical
+  /// values by construction.
+  void insert(std::uint64_t boundary, std::uint64_t hash, const Entry& entry);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Entry> entries_;
+  CampaignStore* record_ = nullptr;
+  std::uint64_t cacheKey_ = 0;
+};
+
+}  // namespace onebit::fi

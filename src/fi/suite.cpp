@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <utility>
 
+#include "fi/outcome_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace onebit::fi {
@@ -16,11 +18,18 @@ namespace {
 struct ShardAccumulator {
   stats::OutcomeCounts counts;
   ActivationHistogram hist{};
+  PruneStats prune;
 
   void add(const ExperimentResult& r) noexcept {
     counts.add(r.outcome);
     const unsigned bucket = std::min(r.activations, kMaxActivationBucket);
     ++hist[static_cast<std::size_t>(r.outcome)][bucket];
+    switch (r.prune) {
+      case PruneEvent::None: break;
+      case PruneEvent::GoldenHash: ++prune.goldenHits; break;
+      case PruneEvent::CachedOutcome: ++prune.cacheHits; break;
+      case PruneEvent::Miss: ++prune.misses; break;
+    }
   }
 };
 
@@ -38,6 +47,9 @@ struct CellPlan {
   std::vector<unsigned char> resumed;
   std::vector<unsigned char> executed;
   std::vector<std::size_t> pending;
+  /// The cell's outcome-equivalence cache; null when pruning is off or the
+  /// cell's workload has no golden boundary-hash table.
+  std::unique_ptr<OutcomeCache> cache;
   std::size_t resumedExperiments = 0;
   // Progress-side counters, guarded by the suite's progress mutex.
   std::size_t completedShards = 0;
@@ -116,6 +128,19 @@ std::vector<CampaignResult> CampaignSuite::run() const {
       plan.meta.experiments = n;
       plan.meta.candidates = plan.candidates;
     }
+    if (config_.pruning && cell.workload->pruningEnabled()) {
+      plan.cache = std::make_unique<OutcomeCache>();
+      if (useStore) {
+        const std::uint64_t cacheKey =
+            CampaignStore::outcomeCacheKey(plan.meta.key);
+        if (config_.resume != nullptr) {
+          plan.cache->warmFrom(*config_.resume, cacheKey);
+        }
+        if (config_.record != nullptr) {
+          plan.cache->bindStore(config_.record, cacheKey);
+        }
+      }
+    }
     for (std::size_t s = 0; s < plan.shards; ++s) {
       if (config_.resume != nullptr) {
         if (const CampaignStore::ShardAggregate* agg =
@@ -155,6 +180,7 @@ std::vector<CampaignResult> CampaignSuite::run() const {
 
   std::mutex progressMutex;
   std::size_t suiteCompleted = 0;
+  std::size_t suiteShortCircuited = 0;
   std::size_t completedCells = 0;
   for (const SuiteCell& cell : cells_) {
     if (cell.experiments == 0) ++completedCells;
@@ -171,6 +197,9 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     ++plan.completedShards;
     plan.completedExperiments += cnt;
     suiteCompleted += cnt;
+    if (!resumedShard) {
+      suiteShortCircuited += plan.partial[s].prune.shortCircuited();
+    }
     if (plan.completedExperiments == plan.cell->experiments) ++completedCells;
     if (shardProgress_ != nullptr) {
       shardProgress_(ShardProgress{s, plan.shards, plan.first(s), cnt,
@@ -182,7 +211,8 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     if (progress_ != nullptr) {
       progress_(SuiteProgress{c, plan.cell->label, plan.completedExperiments,
                               plan.cell->experiments, completedCells, nCells,
-                              suiteCompleted, suiteTotal, resumedShard});
+                              suiteCompleted, suiteTotal, resumedShard,
+                              suiteShortCircuited});
     }
   };
 
@@ -238,7 +268,7 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     for (std::size_t i = first; i < last; ++i) {
       const FaultPlan fp =
           FaultPlan::forExperiment(cell.model, plan.candidates, cell.seed, i);
-      acc.add(runExperiment(*cell.workload, fp));
+      acc.add(runExperiment(*cell.workload, fp, plan.cache.get()));
     }
     if (config_.record != nullptr &&
         !config_.record->appendShard(plan.meta, s, first, last - first,
@@ -279,6 +309,7 @@ std::vector<CampaignResult> CampaignSuite::run() const {
     result.config.threads = config_.threads;
     result.config.shardSize = config_.shardSize;
     result.config.maxShards = config_.maxShards;
+    result.config.pruning = config_.pruning;
     result.resumedExperiments = plan.resumedExperiments;
     for (const std::size_t s : plan.pending) plan.executed[s] = 1;
     for (std::size_t s = 0; s < plan.shards; ++s) {
@@ -286,6 +317,7 @@ std::vector<CampaignResult> CampaignSuite::run() const {
       result.completedExperiments += plan.count(s);
       result.counts.merge(plan.partial[s].counts);
       mergeHistogram(result.activationHist, plan.partial[s].hist);
+      result.prune += plan.partial[s].prune;  // zeros on resumed shards
     }
   }
   return results;

@@ -97,6 +97,14 @@ struct ExecLimits {
   std::size_t stackBytes = 1 << 20;
   std::size_t maxHeapBytes = 32 << 20;
   std::size_t maxOutputBytes = 4 << 20;
+  /// Maintain the incremental 64-bit state hash (vm/state_hash.hpp) while
+  /// running, exposing Machine::stateHash() / Snapshot::stateHash and
+  /// enabling Machine::runToBoundary(). Off by default: hashing never
+  /// changes execution semantics, but the per-write folds are not free, so
+  /// only the outcome-equivalence pruning layer (fi::OutcomeCache) turns it
+  /// on. Deliberately NOT part of any workload fingerprint — like snapshot
+  /// cadence, it must never affect results.
+  bool trackStateHash = false;
 };
 
 struct ExecResult {

@@ -18,6 +18,8 @@ Machine::Machine(const ir::Module& mod, const ExecLimits& limits,
       limits_(limits),
       hook_(hook),
       mem_(mod.globalData, limits.stackBytes, limits.maxHeapBytes) {
+  hashing_ = limits.trackStateHash;
+  if (hashing_) mem_.trackContentHash(true);  // global image may be non-zero
   pushFrame(mod_.entry, {}, nullptr);
 }
 
@@ -91,6 +93,25 @@ Machine::Machine(const ir::Module& mod, const Snapshot& snap,
   storeCandidates_ = snap.storeCandidates;
   result_.output = snap.output;
   result_.outputTruncated = snap.outputTruncated;
+
+  // Rebuild the incremental hash components from the restored state. The
+  // snapshot's own stateHash field is deliberately ignored: recomputing
+  // keeps capture/resume hash invariance a checkable property instead of a
+  // stored promise.
+  hashing_ = limits.trackStateHash;
+  if (hashing_) {
+    mem_.trackContentHash(true);
+    for (std::size_t i = 0; i < regs_.size(); ++i) {
+      if (regs_[i] != 0) regsHash_ ^= statehash::regTerm(i, regs_[i]);
+    }
+    for (std::size_t i = 0; i + 1 < frames_.size(); ++i) {
+      framesHash_ ^= frameTerm(i, frames_[i]);
+    }
+    for (const char c : result_.output) {
+      outputHash_ =
+          statehash::fnvByte(outputHash_, static_cast<unsigned char>(c));
+    }
+  }
 }
 
 void Machine::captureEvery(std::uint64_t interval, SnapshotSink sink) {
@@ -119,7 +140,81 @@ Snapshot Machine::capture() const {
   s.storeCandidates = storeCandidates_;
   s.outputTruncated = result_.outputTruncated;
   s.output = result_.output;
+  if (hashing_) s.stateHash = stateHash();
   return s;
+}
+
+std::uint64_t Machine::frameTerm(std::uint64_t depth,
+                                 const CallFrame& f) const noexcept {
+  using statehash::mix64;
+  // pendingCall is not folded: it is derivable from the caller's ip, which
+  // the caller's own term covers.
+  std::uint64_t h = mix64(statehash::kFrameSalt ^ (depth + 1));
+  h = mix64(h ^ static_cast<std::uint64_t>(f.fn - mod_.functions.data()));
+  h = mix64(h ^ ((static_cast<std::uint64_t>(f.block) << 32) | f.ip));
+  h = mix64(h ^ static_cast<std::uint64_t>(f.regBase));
+  h = mix64(h ^ f.frameBase);
+  return h;
+}
+
+std::uint64_t Machine::stateHash() const {
+  using statehash::mix64;
+  // The top frame mutates every instruction, so it is hashed on demand here
+  // rather than maintained incrementally; parked frames are immutable while
+  // parked and live in framesHash_ (updated on call/ret, i.e. on every
+  // control transfer between frames).
+  std::uint64_t frames = framesHash_;
+  if (!frames_.empty()) {
+    frames ^= frameTerm(frames_.size() - 1, frames_.back());
+  }
+  std::uint64_t h = statehash::kStateSalt;
+  h = mix64(h ^ regsHash_);
+  h = mix64(h ^ mem_.contentHash());
+  h = mix64(h ^ frames);
+  h = mix64(h ^ outputHash_);
+  h = mix64(h ^ static_cast<std::uint64_t>(result_.outputTruncated));
+  h = mix64(h ^ sp_);
+  // The counters pin the hash to one exact point of one exact execution:
+  // equal hashes then mean equal full machine state at the same dynamic
+  // time, so the (deterministic, hook-free) continuations are equal too.
+  h = mix64(h ^ instructions_);
+  h = mix64(h ^ readCandidates_);
+  h = mix64(h ^ writeCandidates_);
+  h = mix64(h ^ storeCandidates_);
+  return h;
+}
+
+std::uint64_t Machine::computeStateHash() const {
+  using statehash::mix64;
+  std::uint64_t regs = 0;
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    if (regs_[i] != 0) regs ^= statehash::regTerm(i, regs_[i]);
+  }
+  std::uint64_t frames = 0;
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    frames ^= frameTerm(i, frames_[i]);
+  }
+  std::uint64_t output = statehash::kFnvBasis;
+  for (const char c : result_.output) {
+    output = statehash::fnvByte(output, static_cast<unsigned char>(c));
+  }
+  std::uint64_t h = statehash::kStateSalt;
+  h = mix64(h ^ regs);
+  h = mix64(h ^ mem_.computeContentHash());
+  h = mix64(h ^ frames);
+  h = mix64(h ^ output);
+  h = mix64(h ^ static_cast<std::uint64_t>(result_.outputTruncated));
+  h = mix64(h ^ sp_);
+  h = mix64(h ^ instructions_);
+  h = mix64(h ^ readCandidates_);
+  h = mix64(h ^ writeCandidates_);
+  h = mix64(h ^ storeCandidates_);
+  return h;
+}
+
+void Machine::stopStateHashTracking() noexcept {
+  hashing_ = false;
+  mem_.trackContentHash(false);
 }
 
 void Machine::maybeCapture() {
@@ -166,6 +261,20 @@ void Machine::pushFrame(std::uint32_t fnId, std::span<const std::uint64_t> args,
     regs_[frame.regBase + i] = args[i];
   }
   frames_.push_back(frame);
+  if (hashing_) {
+    // The caller just became a parked frame (its fields are frozen until
+    // this call returns); the callee's fresh registers are zero except the
+    // copied arguments.
+    if (frames_.size() > 1) {
+      framesHash_ ^=
+          frameTerm(frames_.size() - 2, frames_[frames_.size() - 2]);
+    }
+    for (std::size_t i = 0; i < args.size() && i < fn.numParams; ++i) {
+      if (args[i] != 0) {
+        regsHash_ ^= statehash::regTerm(frame.regBase + i, args[i]);
+      }
+    }
+  }
 }
 
 void Machine::popFrame() {
@@ -173,6 +282,18 @@ void Machine::popFrame() {
   const std::uint64_t alignedFrame =
       (static_cast<std::uint64_t>(frame.fn->frameBytes) + 7U) & ~7ULL;
   sp_ -= alignedFrame;
+  if (hashing_) {
+    // The popped frame's registers vanish; the caller un-parks (its term
+    // still matches the one folded at call time — parked frames are
+    // immutable).
+    for (std::size_t i = frame.regBase; i < regs_.size(); ++i) {
+      if (regs_[i] != 0) regsHash_ ^= statehash::regTerm(i, regs_[i]);
+    }
+    if (frames_.size() > 1) {
+      framesHash_ ^=
+          frameTerm(frames_.size() - 2, frames_[frames_.size() - 2]);
+    }
+  }
   regs_.resize(frame.regBase);
   frames_.pop_back();
 }
@@ -183,6 +304,12 @@ void Machine::appendOutput(const char* data, std::size_t n) {
     return;
   }
   result_.output.append(data, n);
+  if (hashing_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      outputHash_ =
+          statehash::fnvByte(outputHash_, static_cast<unsigned char>(data[i]));
+    }
+  }
 }
 
 void Machine::printValue(const Instr& in, std::uint64_t v) {
@@ -253,28 +380,62 @@ std::uint64_t Machine::applyIntrinsic(const Instr& in,
   return ir::fromF64(r);
 }
 
+template <bool Hooked>
+void Machine::dispatchLoop(bool capturing) {
+  if (hashing_) {
+    if (capturing) loop<Hooked, true, true>();
+    else loop<Hooked, false, true>();
+  } else {
+    if (capturing) loop<Hooked, true, false>();
+    else loop<Hooked, false, false>();
+  }
+}
+
 ExecResult Machine::run() {
   if (result_.status == ExecStatus::Ok && !halted_) {
     const bool capturing = captureInterval_ != 0;
     if (hook_ != nullptr && !hook_->exhausted()) {
-      if (capturing) loop<true, true>();
-      else loop<true, false>();
+      dispatchLoop<true>(capturing);
     }
     // Hook-free fast path: golden runs, and the tail of a faulty run once
     // the hook can no longer mutate anything (no virtual dispatch at all).
     if (result_.status == ExecStatus::Ok && !halted_) {
-      if (capturing) loop<false, true>();
-      else loop<false, false>();
+      dispatchLoop<false>(capturing);
     }
   }
   return finish();
 }
 
-template <bool Hooked, bool Capturing>
+bool Machine::runToBoundary(std::uint64_t grid) {
+  if (!hashing_ || grid == 0) return false;
+  if (result_.status != ExecStatus::Ok || halted_) return false;
+  const bool capturing = captureInterval_ != 0;
+  if (hook_ != nullptr && !hook_->exhausted()) {
+    // No pausing while injections are pending: the hook's internal state is
+    // part of the dynamic system but not of the hash, so hash comparisons
+    // are only sound once it is exhausted. (pauseAt_ is still ~0 here.)
+    dispatchLoop<true>(capturing);
+    if (result_.status != ExecStatus::Ok || halted_) return false;
+    if (!hook_->exhausted()) return false;  // never-exhausting hook: done
+  }
+  // Strictly-next multiple: a machine paused exactly on a multiple advances
+  // to the following one instead of pausing forever.
+  pauseAt_ = (instructions_ / grid + 1) * grid;
+  dispatchLoop<false>(capturing);
+  const bool paused =
+      result_.status == ExecStatus::Ok && !halted_ && instructions_ >= pauseAt_;
+  pauseAt_ = ~0ULL;
+  return paused;
+}
+
+template <bool Hooked, bool Capturing, bool Hashing>
 void Machine::loop() {
   while (result_.status == ExecStatus::Ok) {
     if constexpr (Hooked) {
       if (hook_->exhausted()) return;  // caller re-enters the unhooked loop
+    }
+    if constexpr (Hashing) {
+      if (instructions_ >= pauseAt_) return;  // runToBoundary pause point
     }
     if constexpr (Capturing) {
       if (readCandidates_ + writeCandidates_ >= nextCaptureAt_) maybeCapture();
@@ -499,7 +660,15 @@ void Machine::loop() {
           if constexpr (Hooked) {
             hook_->onWrite(writeIdx, instructions_, *call, v);
           }
-          regs_[frames_.back().regBase + call->dest] = v;
+          const std::size_t idx = frames_.back().regBase + call->dest;
+          if constexpr (Hashing) {
+            const std::uint64_t old = regs_[idx];
+            if (old != v) {
+              if (old != 0) regsHash_ ^= statehash::regTerm(idx, old);
+              if (v != 0) regsHash_ ^= statehash::regTerm(idx, v);
+            }
+          }
+          regs_[idx] = v;
         }
         continue;
       }
@@ -542,7 +711,15 @@ void Machine::loop() {
           hook_->onWrite(writeIdx, instructions_, in, destValue);
         }
       }
-      regs_[frame.regBase + in.dest] = destValue;
+      const std::size_t idx = frame.regBase + in.dest;
+      if constexpr (Hashing) {
+        const std::uint64_t old = regs_[idx];
+        if (old != destValue) {
+          if (old != 0) regsHash_ ^= statehash::regTerm(idx, old);
+          if (destValue != 0) regsHash_ ^= statehash::regTerm(idx, destValue);
+        }
+      }
+      regs_[idx] = destValue;
     }
   }
 }

@@ -23,6 +23,7 @@
 #include "vm/interpreter.hpp"
 #include "vm/memory.hpp"
 #include "vm/snapshot.hpp"
+#include "vm/state_hash.hpp"
 
 namespace onebit::vm {
 
@@ -50,11 +51,48 @@ class Machine {
   /// (>= 1). Call before run().
   void captureEvery(std::uint64_t interval, SnapshotSink sink);
 
-  /// Run to completion (or trap / fuel exhaustion). Call once.
+  /// Run to completion (or trap / fuel exhaustion). Call once, after any
+  /// runToBoundary() pauses.
   ExecResult run();
 
-  /// Snapshot the current between-instructions state.
+  /// Run until the dynamic instruction counter reaches the next multiple of
+  /// `grid` (> the current count), then pause between instructions and
+  /// return true. Returns false when the run ends (halt / trap / fuel)
+  /// before that boundary — the caller then calls run() to collect the
+  /// result — or when state hashing is off / `grid` is 0.
+  ///
+  /// While an attached hook is not yet exhausted the run does NOT pause:
+  /// pending injections are part of the dynamic state but not of the hash,
+  /// so hash comparisons are only sound once the hook is exhausted. A hook
+  /// that never exhausts simply runs to completion (returns false).
+  bool runToBoundary(std::uint64_t grid);
+
+  /// Snapshot the current between-instructions state (stateHash stamped
+  /// when hashing is on).
   [[nodiscard]] Snapshot capture() const;
+
+  /// The incrementally maintained 64-bit state hash (requires
+  /// ExecLimits::trackStateHash). Two runs of the same module with equal
+  /// stateHash() at the same point have bit-identical machine state, so
+  /// their hook-free continuations are bit-identical too: the hash covers
+  /// frames, registers, memory, sp, output (and its truncation flag), and
+  /// the instruction/candidate counters.
+  [[nodiscard]] std::uint64_t stateHash() const;
+
+  /// From-scratch recomputation of stateHash() — the differential
+  /// cross-check for the incremental maintenance (tests/state_hash_test).
+  [[nodiscard]] std::uint64_t computeStateHash() const;
+
+  /// Stop maintaining the state hash for the rest of the run. Execution is
+  /// unchanged (the hash is passive), but stateHash() is stale afterwards
+  /// and snapshots are no longer stamped. Callers that made their pruning
+  /// decision at a boundary use this so the remainder runs at full speed.
+  void stopStateHashTracking() noexcept;
+
+  /// Dynamic instructions executed so far.
+  [[nodiscard]] std::uint64_t instructions() const noexcept {
+    return instructions_;
+  }
 
  private:
   struct CallFrame {
@@ -77,11 +115,22 @@ class Machine {
                                std::span<const std::uint64_t> v);
   void maybeCapture();
 
+  /// Mixed term of a parked (non-top) call frame at `depth` in frames_.
+  [[nodiscard]] std::uint64_t frameTerm(std::uint64_t depth,
+                                        const CallFrame& f) const noexcept;
+
   /// The interpreter loop. `Hooked` instantiations dispatch to hook_ and
   /// return early once it is exhausted; `Capturing` instantiations check the
-  /// snapshot cadence at each instruction boundary.
-  template <bool Hooked, bool Capturing>
+  /// snapshot cadence at each instruction boundary; `Hashing` instantiations
+  /// fold register writes into the incremental state hash and honor
+  /// runToBoundary() pauses. When Hashing is false the generated code is
+  /// identical to before state hashing existed.
+  template <bool Hooked, bool Capturing, bool Hashing>
   void loop();
+
+  /// Select the loop instantiation for the runtime hashing flag.
+  template <bool Hooked>
+  void dispatchLoop(bool capturing);
 
   const ir::Module& mod_;
   ExecLimits limits_;
@@ -99,6 +148,12 @@ class Machine {
   std::uint64_t nextCaptureAt_ = 0;
   SnapshotSink snapshotSink_;
   ExecResult result_;
+  // --- incremental state hash (ExecLimits::trackStateHash) ---
+  bool hashing_ = false;
+  std::uint64_t regsHash_ = 0;    ///< XOR of non-zero register terms
+  std::uint64_t framesHash_ = 0;  ///< XOR of parked (non-top) frame terms
+  std::uint64_t outputHash_ = statehash::kFnvBasis;  ///< rolling FNV-1a
+  std::uint64_t pauseAt_ = ~0ULL;  ///< runToBoundary pause point
 };
 
 }  // namespace onebit::vm

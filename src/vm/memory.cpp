@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "vm/state_hash.hpp"
+
 namespace onebit::vm {
 
 using ir::kGlobalBase;
@@ -60,11 +62,16 @@ void Memory::store(std::uint64_t addr, unsigned width, std::uint64_t value,
     storeHighWater_ =
         std::max(storeHighWater_, static_cast<std::size_t>(stackOff) + width);
   }
+  // Segment bases are 8-aligned, so the containing word never crosses a
+  // segment boundary; a width-1 store only ever changes its one word.
+  const std::uint64_t wordAddr = addr & ~7ULL;
+  const std::uint64_t oldWord = hashing_ ? wordValueAt(wordAddr) : 0;
   if (width == 8) {
     std::memcpy(p, &value, 8);
   } else {
     *p = static_cast<std::uint8_t>(value);
   }
+  if (hashing_) foldWordDelta(wordAddr, oldWord, wordValueAt(wordAddr));
 }
 
 void Memory::poke(std::uint64_t addr, unsigned width, std::uint64_t mask,
@@ -76,6 +83,8 @@ void Memory::poke(std::uint64_t addr, unsigned width, std::uint64_t mask,
     storeHighWater_ =
         std::max(storeHighWater_, static_cast<std::size_t>(stackOff) + width);
   }
+  const std::uint64_t wordAddr = addr & ~7ULL;
+  const std::uint64_t oldWord = hashing_ ? wordValueAt(wordAddr) : 0;
   if (width == 8) {
     std::uint64_t v;
     std::memcpy(&v, p, 8);
@@ -84,6 +93,7 @@ void Memory::poke(std::uint64_t addr, unsigned width, std::uint64_t mask,
   } else {
     *p ^= static_cast<std::uint8_t>(mask);
   }
+  if (hashing_) foldWordDelta(wordAddr, oldWord, wordValueAt(wordAddr));
 }
 
 void Memory::captureSegments(std::size_t stackUsed,
@@ -111,6 +121,61 @@ void Memory::restoreSegments(const std::vector<std::uint8_t>& globals,
             stack_.end(), 0);
   storeHighWater_ = stackPrefix.size();
   heap_ = heap;
+  if (hashing_) hash_ = computeContentHash();
+}
+
+void Memory::trackContentHash(bool on) {
+  hashing_ = on;
+  hash_ = on ? computeContentHash() : 0;
+}
+
+std::uint64_t Memory::wordValueAt(std::uint64_t wordAddr) const noexcept {
+  const std::vector<std::uint8_t>* seg = nullptr;
+  std::uint64_t base = 0;
+  if (wordAddr >= kStackBase && wordAddr - kStackBase < stack_.size()) {
+    seg = &stack_;
+    base = kStackBase;
+  } else if (wordAddr >= kGlobalBase &&
+             wordAddr - kGlobalBase < globals_.size()) {
+    seg = &globals_;
+    base = kGlobalBase;
+  } else if (wordAddr >= kHeapBase && wordAddr - kHeapBase < heap_.size()) {
+    seg = &heap_;
+    base = kHeapBase;
+  } else {
+    return 0;
+  }
+  const std::size_t off = static_cast<std::size_t>(wordAddr - base);
+  const std::size_t n = std::min<std::size_t>(8, seg->size() - off);
+  std::uint64_t w = 0;
+  std::memcpy(&w, seg->data() + off, n);
+  return w;
+}
+
+void Memory::foldWordDelta(std::uint64_t wordAddr, std::uint64_t oldWord,
+                           std::uint64_t newWord) noexcept {
+  if (oldWord == newWord) return;
+  if (oldWord != 0) hash_ ^= statehash::memTerm(wordAddr, oldWord);
+  if (newWord != 0) hash_ ^= statehash::memTerm(wordAddr, newWord);
+}
+
+std::uint64_t Memory::computeContentHash() const noexcept {
+  std::uint64_t h = 0;
+  const auto fold = [&](const std::vector<std::uint8_t>& seg,
+                        std::uint64_t base, std::size_t limit) {
+    for (std::size_t off = 0; off < limit; off += 8) {
+      const std::size_t n = std::min<std::size_t>(8, seg.size() - off);
+      std::uint64_t w = 0;
+      std::memcpy(&w, seg.data() + off, n);
+      if (w != 0) h ^= statehash::memTerm(base + off, w);
+    }
+  };
+  fold(globals_, kGlobalBase, globals_.size());
+  // Bytes at or beyond the store high-water mark are untouched zeros, so
+  // words there contribute nothing — skip them.
+  fold(stack_, kStackBase, storeHighWater_);
+  fold(heap_, kHeapBase, heap_.size());
+  return h;
 }
 
 std::uint64_t Memory::alloc(std::int64_t bytes, TrapKind& trap) {

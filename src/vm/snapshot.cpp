@@ -12,14 +12,11 @@ std::size_t Snapshot::byteSize() const noexcept {
          heap.size() + output.size();
 }
 
-ExecResult executeWithSnapshots(const ir::Module& mod, const ExecLimits& limits,
-                                const SnapshotCapturePolicy& policy,
-                                std::vector<Snapshot>& out) {
+std::function<std::uint64_t(Snapshot&&)> makeRetentionSink(
+    const SnapshotCapturePolicy& policy, std::vector<Snapshot>& out) {
   out.clear();
-  Machine m(mod, limits, nullptr);
-  std::uint64_t interval = policy.interval == 0 ? 1 : policy.interval;
-  std::size_t bytes = 0;
-  m.captureEvery(interval, [&](Snapshot&& snap) -> std::uint64_t {
+  return [&out, policy, interval = policy.interval == 0 ? 1 : policy.interval,
+          bytes = std::size_t{0}](Snapshot&& snap) mutable -> std::uint64_t {
     bytes += snap.byteSize();
     out.push_back(std::move(snap));
     // Retention: when a bound is exceeded, drop every other kept snapshot
@@ -40,7 +37,15 @@ ExecResult executeWithSnapshots(const ir::Module& mod, const ExecLimits& limits,
       interval *= 2;
     }
     return interval;
-  });
+  };
+}
+
+ExecResult executeWithSnapshots(const ir::Module& mod, const ExecLimits& limits,
+                                const SnapshotCapturePolicy& policy,
+                                std::vector<Snapshot>& out) {
+  Machine m(mod, limits, nullptr);
+  m.captureEvery(policy.interval == 0 ? 1 : policy.interval,
+                 makeRetentionSink(policy, out));
   return m.run();
 }
 

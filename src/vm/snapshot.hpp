@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,11 @@ struct Snapshot {
   std::uint64_t storeCandidates = 0;  ///< store-event stream position
   bool outputTruncated = false;
   std::string output;  ///< program output produced so far
+  /// Machine::stateHash() at the capture point when the capturing run had
+  /// ExecLimits::trackStateHash set; 0 otherwise. Not part of the resumed
+  /// state — a resumed hashing run recomputes it from the images — but
+  /// callers use it to cross-check capture/resume hash invariance.
+  std::uint64_t stateHash = 0;
 
   /// Approximate heap footprint (for snapshot-cache byte budgets).
   [[nodiscard]] std::size_t byteSize() const noexcept;
@@ -80,6 +86,16 @@ struct SnapshotCapturePolicy {
 ExecResult executeWithSnapshots(const ir::Module& mod, const ExecLimits& limits,
                                 const SnapshotCapturePolicy& policy,
                                 std::vector<Snapshot>& out);
+
+/// Build the snapshot sink executeWithSnapshots drives: snapshots are
+/// collected into `out` (cleared first) under `policy`'s retention bounds,
+/// dropping every other kept snapshot and doubling the cadence whenever a
+/// bound is exceeded. Exposed so callers that drive a Machine themselves
+/// (e.g. the pruning golden run, which interleaves capture with
+/// runToBoundary) collect snapshots with the exact same retention behavior.
+/// The returned type is Machine::SnapshotSink. `out` must outlive the sink.
+std::function<std::uint64_t(Snapshot&&)> makeRetentionSink(
+    const SnapshotCapturePolicy& policy, std::vector<Snapshot>& out);
 
 /// Continue a snapshotted execution of `mod` to completion. The continuation
 /// is bit-identical to a from-scratch execute(mod, limits, hook) run from the

@@ -1,0 +1,60 @@
+// Primitives of the VM's incremental state hash.
+//
+// The machine state hash is an XOR-homomorphic hash: every (location, value)
+// cell of the state contributes one mixed 64-bit term, the state hash XORs
+// the terms of all *non-zero* cells, and a write updates it in O(1) by
+// XOR-ing out the old cell's term and XOR-ing in the new one. Incremental
+// maintenance and a from-scratch recomputation therefore agree by
+// construction — the invariant tests/state_hash_test.cpp machine-checks.
+//
+// Zero-valued cells contribute nothing, so the giant zero-initialized
+// regions (fresh stack pages, zeroed registers, zero-filled heap blocks)
+// are free: pushing a frame of zeroed registers or growing the heap does
+// not touch the hash.
+//
+// Each state component gets its own salt so a register holding value v can
+// never cancel a memory word holding v at a numerically equal location.
+#pragma once
+
+#include <cstdint>
+
+namespace onebit::vm::statehash {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixer (Blackman & Vigna).
+inline constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline constexpr std::uint64_t kRegSalt = 0x9d39'247e'3377'6d41ULL;
+inline constexpr std::uint64_t kMemSalt = 0x1ef9'1d8c'5afc'82a7ULL;
+inline constexpr std::uint64_t kFrameSalt = 0x6b8f'ce74'21c5'0b63ULL;
+inline constexpr std::uint64_t kStateSalt = 0x0b17'ec5e'ba5e'ba11ULL;
+
+/// FNV-1a constants — identical to util::hashBytes, so the rolling output
+/// hash always equals hashBytes(output so far).
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Term of register slot `index` (absolute index into the shared register
+/// stack) holding the non-zero value `v`.
+inline constexpr std::uint64_t regTerm(std::uint64_t index,
+                                       std::uint64_t v) noexcept {
+  return mix64(mix64(kRegSalt ^ (index + 1)) ^ v);
+}
+
+/// Term of the aligned 8-byte memory word at virtual address `wordAddr`
+/// holding the non-zero little-endian value `word`.
+inline constexpr std::uint64_t memTerm(std::uint64_t wordAddr,
+                                       std::uint64_t word) noexcept {
+  return mix64(mix64(kMemSalt ^ wordAddr) ^ word);
+}
+
+/// Fold one FNV-1a byte into a rolling output hash.
+inline constexpr std::uint64_t fnvByte(std::uint64_t h,
+                                       unsigned char c) noexcept {
+  return (h ^ c) * kFnvPrime;
+}
+
+}  // namespace onebit::vm::statehash

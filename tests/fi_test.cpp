@@ -1,6 +1,8 @@
 // Unit tests for src/fi: fault specs, plans, the injector hook, grids.
 #include <bit>
+#include <random>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -111,6 +113,83 @@ TEST(FaultModel, PaperModelClassification) {
   EXPECT_FALSE(FaultModel::singleBit(FaultDomain::RandomValue).isPaperModel());
   EXPECT_FALSE(
       FaultModel::burstAdjacent(FaultDomain::RegisterRead, 2).isPaperModel());
+}
+
+TEST(FaultModel, FuzzedLabelsRoundTripAndMutationsNeverCrash) {
+  // Fuzz-style extension of the 182-spelling table: thousands of randomized
+  // valid models must round-trip label -> parse -> label exactly, and
+  // truncated / mutated / garbage-suffixed labels must be handled strictly —
+  // parse never crashes, and anything it does accept re-parses canonically.
+  std::mt19937_64 rng(0x5eedf00dULL);
+  const FaultDomain domains[] = {
+      FaultDomain::RegisterRead, FaultDomain::RegisterWrite,
+      FaultDomain::MemoryData, FaultDomain::RandomValue};
+  auto pick = [&](std::uint64_t n) {
+    return static_cast<std::uint64_t>(rng() % n);
+  };
+  auto randomModel = [&]() {
+    const FaultDomain d = domains[pick(4)];
+    switch (pick(4)) {
+      case 0: return FaultModel::singleBit(d);
+      case 1:
+        return FaultModel::burstAdjacent(d, 1 + static_cast<unsigned>(pick(64)));
+      case 2:
+        return FaultModel::multiBitTemporal(
+            d, 2 + static_cast<unsigned>(pick(29)), WinSize::fixed(pick(1000)));
+      default: {
+        const std::uint64_t lo = pick(50);
+        return FaultModel::multiBitTemporal(
+            d, 2 + static_cast<unsigned>(pick(29)),
+            WinSize::random(lo, lo + 1 + pick(100)));
+      }
+    }
+  };
+  // Checks that whatever parse() accepted is in canonical form: its label
+  // re-parses to the same label (the invariant every consumer of
+  // ONEBIT_SPECS and store spec fields relies on).
+  auto expectCanonical = [](const FaultModel& m, const std::string& from) {
+    const auto again = FaultModel::parse(m.label());
+    ASSERT_TRUE(again.has_value()) << "not canonical: " << from;
+    EXPECT_EQ(again->label(), m.label()) << "from: " << from;
+    EXPECT_TRUE(again->matches(m)) << "from: " << from;
+  };
+  const std::string printable =
+      "abcdefghijklmnopqrstuvwxyzRND0123456789/=,()-_ ;.!";
+  for (int iter = 0; iter < 2000; ++iter) {
+    const FaultModel model = randomModel();
+    const std::string label = model.label();
+    const auto parsed = FaultModel::parse(label);
+    ASSERT_TRUE(parsed.has_value()) << label;
+    EXPECT_EQ(parsed->label(), label);
+    EXPECT_EQ(parsed->domain, model.domain);
+    EXPECT_EQ(parsed->pattern, model.pattern);
+    EXPECT_TRUE(parsed->matches(model)) << label;
+
+    // Every proper prefix: strict rejection, except where truncation forms
+    // a different valid spelling (e.g. "...w=10" -> "...w=1") — which must
+    // then be canonical.
+    for (std::size_t n = 0; n < label.size(); ++n) {
+      if (const auto p = FaultModel::parse(label.substr(0, n))) {
+        expectCanonical(*p, label.substr(0, n));
+      }
+    }
+    // Single-character mutations: no crash; accepted mutants re-parse
+    // canonically (a digit swap is just a different cell).
+    for (int m = 0; m < 8; ++m) {
+      std::string mutated = label;
+      mutated[pick(mutated.size())] = printable[pick(printable.size())];
+      if (const auto p = FaultModel::parse(mutated)) {
+        expectCanonical(*p, mutated);
+      }
+    }
+    // Non-digit garbage appended to a canonical label is always rejected
+    // (labels end in "single", a digit run, or a closing paren — none of
+    // which may be followed by anything).
+    for (const char c : std::string("x;() -=/w,")) {
+      EXPECT_FALSE(FaultModel::parse(label + c).has_value())
+          << label << "+" << c;
+    }
+  }
 }
 
 class WinSizeSample

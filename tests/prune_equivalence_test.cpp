@@ -1,0 +1,384 @@
+// Differential equivalence harness for outcome-equivalence pruning: the
+// "pure speedup" contract of fi::OutcomeCache and CampaignConfig::pruning.
+//
+//  * a bench-style cell mix (two workloads × all four fault domains ×
+//    single-bit / multi-bit / burst patterns) produces bit-identical
+//    OutcomeCounts and activation histograms with pruning on and off, for
+//    thread counts {1, 8} and several shard sizes — while actually
+//    short-circuiting a nonzero share of experiments;
+//  * store shard records written under pruning are byte-identical to the
+//    unpruned ones; "outcome" records appear alongside, never instead;
+//  * capped checkpoint runs (maxShards) resumed across fresh store loads —
+//    with the outcome cache warmed from disk each cycle — converge to the
+//    exact uninterrupted unpruned result;
+//  * OutcomeCache persists through CampaignStore and warms back verbatim;
+//    compact() keeps outcome records and dedups them.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fi/campaign.hpp"
+#include "fi/campaign_store.hpp"
+#include "fi/outcome_cache.hpp"
+#include "fi/suite.hpp"
+#include "lang/compile.hpp"
+
+namespace onebit::fi {
+namespace {
+
+const char* const kMixer = R"MC(
+int a[48];
+int seed = 7;
+int rnd() { seed = (seed * 1103515245 + 12345) & 2147483647; return seed; }
+int main() {
+  for (int i = 0; i < 48; i++) { a[i] = rnd() % 601; }
+  int s = 0;
+  for (int round = 0; round < 12; round++) {
+    for (int i = 0; i < 48; i++) { s = (s * 29 + a[i] + round) & 1048575; }
+  }
+  print_s("s=");
+  print_i(s);
+  print_c(10);
+  return 0;
+}
+)MC";
+
+const char* const kBranchy = R"MC(
+int h[32];
+int main() {
+  int* heap = alloc_int(16);
+  for (int i = 0; i < 16; i++) { heap[i] = (i * 37 + 11) % 23; }
+  int odd = 0;
+  int even = 0;
+  for (int round = 0; round < 10; round++) {
+    for (int i = 0; i < 32; i++) {
+      h[i] = (h[(i + round) % 32] + heap[i % 16] * 3 + i) % 97;
+      if (h[i] % 2 == 1) { odd = odd + h[i]; } else { even = even + h[i]; }
+    }
+  }
+  print_i(odd);
+  print_c(32);
+  print_i(even);
+  print_c(10);
+  return odd % 5;
+}
+)MC";
+
+/// The bench-style model mix: every fault domain, single-bit, multi-bit
+/// temporal, and burst patterns.
+std::vector<FaultModel> modelMix() {
+  return {
+      FaultModel::singleBit(FaultDomain::RegisterRead),
+      FaultModel::singleBit(FaultDomain::RegisterWrite),
+      FaultModel::singleBit(FaultDomain::MemoryData),
+      FaultModel::singleBit(FaultDomain::RandomValue),
+      FaultModel::multiBitTemporal(FaultDomain::RegisterRead, 3,
+                                   WinSize::fixed(2)),
+      FaultModel::multiBitTemporal(FaultDomain::RegisterWrite, 2,
+                                   WinSize::fixed(3)),
+      FaultModel::burstAdjacent(FaultDomain::RegisterWrite, 3),
+  };
+}
+
+struct Bench {
+  std::unique_ptr<Workload> plain[2];   ///< no hash table (pruning off path)
+  std::unique_ptr<Workload> hashed[2];  ///< PrunePolicy::on
+};
+
+Bench buildBench() {
+  Bench b;
+  const char* const srcs[2] = {kMixer, kBranchy};
+  for (int i = 0; i < 2; ++i) {
+    b.plain[i] = std::make_unique<Workload>(lang::compileMiniC(srcs[i]));
+    b.hashed[i] = std::make_unique<Workload>(lang::compileMiniC(srcs[i]), 50,
+                                             SnapshotPolicy{},
+                                             PrunePolicy::on());
+  }
+  return b;
+}
+
+constexpr std::size_t kPerCell = 160;
+
+/// Queue the full (workload × model) cross-product on a suite.
+void addCells(CampaignSuite& suite, std::unique_ptr<Workload> const (&w)[2]) {
+  const std::vector<FaultModel> models = modelMix();
+  for (int p = 0; p < 2; ++p) {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      suite.addCell("cell", *w[p], models[m], kPerCell,
+                    0x5eed0000 + p * 100 + m,
+                    p == 0 ? "mixer" : "branchy");
+    }
+  }
+}
+
+void expectSameResults(const std::vector<CampaignResult>& got,
+                       const std::vector<CampaignResult>& want,
+                       const char* context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t c = 0; c < got.size(); ++c) {
+    EXPECT_EQ(got[c].counts, want[c].counts) << context << " cell " << c;
+    EXPECT_EQ(got[c].activationHist, want[c].activationHist)
+        << context << " cell " << c;
+    EXPECT_EQ(got[c].completedExperiments, want[c].completedExperiments)
+        << context << " cell " << c;
+  }
+}
+
+std::size_t totalShortCircuited(const std::vector<CampaignResult>& results) {
+  std::size_t total = 0;
+  for (const CampaignResult& r : results) total += r.prune.shortCircuited();
+  return total;
+}
+
+TEST(PruneEquivalence, SuiteBitIdenticalAcrossThreadsAndShardSizes) {
+  const Bench bench = buildBench();
+
+  SuiteConfig offCfg;
+  offCfg.threads = 1;
+  CampaignSuite off(offCfg);
+  addCells(off, bench.plain);
+  const std::vector<CampaignResult> baseline = off.run();
+  ASSERT_EQ(totalShortCircuited(baseline), 0u);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    for (const std::size_t shardSize : {std::size_t{0}, std::size_t{17}}) {
+      SuiteConfig onCfg;
+      onCfg.threads = threads;
+      onCfg.shardSize = shardSize;
+      onCfg.pruning = true;
+      CampaignSuite on(onCfg);
+      addCells(on, bench.hashed);
+      std::size_t lastShortCircuited = 0;
+      on.onProgress([&](const SuiteProgress& p) {
+        lastShortCircuited = p.suiteShortCircuited;
+      });
+      const std::vector<CampaignResult> pruned = on.run();
+      const std::string context =
+          "threads=" + std::to_string(threads) +
+          " shardSize=" + std::to_string(shardSize);
+      expectSameResults(pruned, baseline, context.c_str());
+      // The harness must prove pruning actually fired, or "identical" is
+      // vacuous.
+      EXPECT_GT(totalShortCircuited(pruned), 0u) << context;
+      EXPECT_EQ(lastShortCircuited, totalShortCircuited(pruned)) << context;
+    }
+  }
+}
+
+std::vector<std::string> linesOfKind(const std::string& path,
+                                     const std::string& kind) {
+  std::ifstream in(path);
+  std::vector<std::string> out;
+  const std::string needle = "\"kind\":\"" + kind + "\"";
+  for (std::string line; std::getline(in, line);) {
+    if (line.find(needle) != std::string::npos) out.push_back(line);
+  }
+  return out;
+}
+
+std::string tempStorePath(const char* tag) {
+  const std::string path = ::testing::TempDir() + "prune_equiv_" + tag + "_" +
+                           ::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name() +
+                           ".jsonl";
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(PruneEquivalence, StoreShardRecordsByteIdenticalOutcomesAlongside) {
+  const Bench bench = buildBench();
+  const std::string offPath = tempStorePath("off");
+  const std::string onPath = tempStorePath("on");
+  {
+    CampaignStore store(offPath);
+    SuiteConfig cfg;
+    cfg.threads = 4;
+    cfg.record = &store;
+    CampaignSuite suite(cfg);
+    addCells(suite, bench.plain);
+    (void)suite.run();
+  }
+  {
+    CampaignStore store(onPath);
+    SuiteConfig cfg;
+    cfg.threads = 4;
+    cfg.pruning = true;
+    cfg.record = &store;
+    CampaignSuite suite(cfg);
+    addCells(suite, bench.hashed);
+    const std::vector<CampaignResult> pruned = suite.run();
+    ASSERT_GT(totalShortCircuited(pruned), 0u);
+  }
+
+  // Shard records must be byte-identical (shard completion order is thread
+  // timing, so compare as sorted sets of lines)...
+  std::vector<std::string> offShards = linesOfKind(offPath, "shard");
+  std::vector<std::string> onShards = linesOfKind(onPath, "shard");
+  std::sort(offShards.begin(), offShards.end());
+  std::sort(onShards.begin(), onShards.end());
+  ASSERT_FALSE(offShards.empty());
+  EXPECT_EQ(onShards, offShards);
+
+  // ...with the pruned store carrying its cache as a separate record kind.
+  EXPECT_TRUE(linesOfKind(offPath, "outcome").empty());
+  EXPECT_FALSE(linesOfKind(onPath, "outcome").empty());
+
+  CampaignStore reload(onPath);
+  const CampaignStore::LoadStats stats = reload.load();
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_GT(stats.outcomeRecords, 0u);
+  EXPECT_EQ(stats.outcomeRecords, linesOfKind(onPath, "outcome").size());
+
+  std::remove(offPath.c_str());
+  std::remove(onPath.c_str());
+}
+
+TEST(PruneEquivalence, CappedResumeCyclesWithWarmCacheConverge) {
+  const Bench bench = buildBench();
+
+  SuiteConfig offCfg;
+  offCfg.threads = 2;
+  CampaignSuite off(offCfg);
+  addCells(off, bench.plain);
+  const std::vector<CampaignResult> baseline = off.run();
+
+  const std::string path = tempStorePath("cycle");
+  std::vector<CampaignResult> merged;
+  bool sawWarmOutcomes = false;
+  // Each cycle reopens the store cold — shards resume from disk and the
+  // outcome cache warms from the recorded "outcome" lines — and executes at
+  // most one fresh shard per cell, like a repeatedly killed campaign.
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    CampaignStore store(path);
+    const CampaignStore::LoadStats loaded = store.load();
+    EXPECT_EQ(loaded.malformed, 0u) << "cycle " << cycle;
+    if (cycle > 0) {
+      sawWarmOutcomes = sawWarmOutcomes || loaded.outcomeRecords > 0;
+    }
+    SuiteConfig cfg;
+    cfg.threads = 2;
+    cfg.maxShards = 1;
+    cfg.pruning = true;
+    cfg.record = &store;
+    cfg.resume = &store;
+    CampaignSuite suite(cfg);
+    addCells(suite, bench.hashed);
+    merged = suite.run();
+    bool complete = true;
+    for (const CampaignResult& r : merged) complete = complete && r.complete();
+    if (complete) break;
+  }
+  for (const CampaignResult& r : merged) ASSERT_TRUE(r.complete());
+  EXPECT_TRUE(sawWarmOutcomes);
+  expectSameResults(merged, baseline, "capped resume cycles");
+  std::remove(path.c_str());
+}
+
+TEST(OutcomeCachePersistence, RoundTripsThroughTheStore) {
+  const std::string path = tempStorePath("cache");
+  const std::uint64_t key = CampaignStore::outcomeCacheKey(0xfeedface);
+  ASSERT_NE(key, 0xfeedfaceULL);  // derived, never equal to the campaign key
+  {
+    CampaignStore store(path);
+    OutcomeCache cache;
+    cache.bindStore(&store, key);
+    cache.insert(128, 0xaaaa, {stats::Outcome::SDC, vm::TrapKind::None, 900});
+    cache.insert(256, 0xbbbb,
+                 {stats::Outcome::Detected, vm::TrapKind::SegFault, 450});
+    cache.insert(128, 0xaaaa, {stats::Outcome::Hang, vm::TrapKind::None, 1});
+    EXPECT_EQ(cache.size(), 2u);  // duplicate insert is a no-op
+  }
+  CampaignStore reloaded(path);
+  const CampaignStore::LoadStats stats = reloaded.load();
+  EXPECT_EQ(stats.outcomeRecords, 2u);
+  EXPECT_EQ(stats.malformed, 0u);
+
+  OutcomeCache warm;
+  EXPECT_EQ(warm.warmFrom(reloaded, key), 2u);
+  const auto hit = warm.find(128, 0xaaaa);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->outcome, stats::Outcome::SDC);  // first insert won
+  EXPECT_EQ(hit->instructions, 900u);
+  const auto trapHit = warm.find(256, 0xbbbb);
+  ASSERT_TRUE(trapHit.has_value());
+  EXPECT_EQ(trapHit->trap, vm::TrapKind::SegFault);
+  EXPECT_FALSE(warm.find(128, 0xcccc).has_value());
+
+  // A different campaign's cache key sees nothing.
+  OutcomeCache other;
+  EXPECT_EQ(other.warmFrom(reloaded, key ^ 1), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(OutcomeCachePersistence, CompactKeepsAndDedupsOutcomeRecords) {
+  const std::string path = tempStorePath("compact");
+  const std::uint64_t key = CampaignStore::outcomeCacheKey(0x1234);
+  {
+    CampaignStore store(path);
+    CampaignStore::OutcomeRecord rec;
+    rec.boundary = 64;
+    rec.hash = 0xdead;
+    rec.outcome = stats::Outcome::Benign;
+    rec.instructions = 321;
+    ASSERT_TRUE(store.appendOutcome(key, rec));
+  }
+  {
+    // A second writer instance re-appends the same record (its in-memory
+    // index is empty at open — the concurrent-writers scenario compaction
+    // exists for).
+    CampaignStore store(path);
+    CampaignStore::OutcomeRecord rec;
+    rec.boundary = 64;
+    rec.hash = 0xdead;
+    rec.outcome = stats::Outcome::Benign;
+    rec.instructions = 321;
+    ASSERT_TRUE(store.appendOutcome(key, rec));
+  }
+  ASSERT_EQ(linesOfKind(path, "outcome").size(), 2u);
+
+  const auto stats = CampaignStore::compact(path);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->outcomeRecords, 1u);
+  EXPECT_EQ(stats->droppedDuplicates, 1u);
+  EXPECT_TRUE(stats->rewritten);
+  EXPECT_EQ(linesOfKind(path, "outcome").size(), 1u);
+
+  CampaignStore reloaded(path);
+  EXPECT_EQ(reloaded.load().outcomeRecords, 1u);
+  OutcomeCache warm;
+  EXPECT_EQ(warm.warmFrom(reloaded, key), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(OutcomeCachePersistence, MalformedOutcomeRecordsAreRejected) {
+  const std::string path = tempStorePath("malformed");
+  {
+    std::ofstream out(path);
+    // Valid record, then: bad outcome enum, bad trap enum, missing hash,
+    // boundary zero.
+    out << R"({"v":1,"kind":"outcome","key":"0x0000000000000001","boundary":64,"hash":"0x0000000000000002","outcome":0,"trap":0,"instructions":10})"
+        << "\n";
+    out << R"({"v":1,"kind":"outcome","key":"0x0000000000000001","boundary":64,"hash":"0x0000000000000003","outcome":99,"trap":0,"instructions":10})"
+        << "\n";
+    out << R"({"v":1,"kind":"outcome","key":"0x0000000000000001","boundary":64,"hash":"0x0000000000000004","outcome":0,"trap":77,"instructions":10})"
+        << "\n";
+    out << R"({"v":1,"kind":"outcome","key":"0x0000000000000001","boundary":64,"outcome":0,"trap":0,"instructions":10})"
+        << "\n";
+    out << R"({"v":1,"kind":"outcome","key":"0x0000000000000001","boundary":0,"hash":"0x0000000000000005","outcome":0,"trap":0,"instructions":10})"
+        << "\n";
+  }
+  CampaignStore store(path);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.outcomeRecords, 1u);
+  EXPECT_EQ(stats.malformed, 4u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace onebit::fi
