@@ -34,6 +34,12 @@
 //   ONEBIT_PRUNE_GRID   state-hash boundary spacing in dynamic instructions
 //                       (unset/0 = auto, ~128 boundaries per golden run)
 //
+// Dispatch-backend knob (see docs/ARCHITECTURE.md):
+//   ONEBIT_DISPATCH     "threaded" (default) runs hook-free segments on the
+//                       pre-decoded direct-threaded loop; "switch" selects
+//                       the reference interpreter everywhere. Pure speedup:
+//                       all outputs are bit-identical either way.
+//
 // Results-store knobs (checkpoint/resume; see docs/ARCHITECTURE.md):
 //   ONEBIT_STORE        path of a JSONL campaign store; every completed
 //                       shard is appended (and flushed) there
@@ -132,17 +138,35 @@ inline fi::PrunePolicy prunePolicyFromEnv() {
   return policy;
 }
 
+/// The execution backend selected by ONEBIT_DISPATCH ("threaded" | "switch").
+/// Drivers default to the direct-threaded fast path — it is held
+/// bit-identical to the reference interpreter by the differential backend
+/// fuzzer, the equivalence sweep suite, and the CI smoke diff — and
+/// ONEBIT_DISPATCH=switch selects the reference loop everywhere (the
+/// comparison baseline scripts/bench_dispatch.sh measures against).
+inline vm::DispatchBackend dispatchFromEnv() {
+  const std::string v = util::envStr("ONEBIT_DISPATCH", "threaded");
+  if (v == "switch") return vm::DispatchBackend::Switch;
+  if (v != "threaded") {
+    std::fprintf(stderr,
+                 "[dispatch] unknown ONEBIT_DISPATCH=%s; using threaded\n",
+                 v.c_str());
+  }
+  return vm::DispatchBackend::Threaded;
+}
+
 /// Compile and profile all (selected) Table II workloads.
 inline std::vector<NamedWorkload> loadWorkloads() {
   const fi::SnapshotPolicy snapshots = snapshotPolicyFromEnv();
   const fi::PrunePolicy prune = prunePolicyFromEnv();
+  const vm::DispatchBackend dispatch = dispatchFromEnv();
   std::vector<NamedWorkload> out;
   for (const auto& info : progs::allPrograms()) {
     if (!programSelected(info.name)) continue;
     out.push_back({info.name,
                    fi::Workload(progs::compileProgram(info),
                                 fi::Workload::kDefaultHangFactor, snapshots,
-                                prune)});
+                                prune, dispatch)});
   }
   return out;
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# Dispatch-backend benchmark: times the fig1 and fig4 drivers on the reference
+# templated-switch loop (ONEBIT_DISPATCH=switch) and the direct-threaded loop
+# (ONEBIT_DISPATCH=threaded), checks the CSV outputs are byte-identical, and
+# writes a BENCH_7.json perf record.
+#
+# Usage: scripts/bench_dispatch.sh [build-dir] [output-json]
+# Knobs (env):
+#   BENCH_EXPERIMENTS_FIG1  experiments per fig1 campaign    (default 400)
+#   BENCH_EXPERIMENTS_FIG4  experiments per fig4 campaign    (default 48)
+#   BENCH_PROGRAMS          ONEBIT_PROGRAMS filter           (default all)
+#   ONEBIT_THREADS          worker threads                   (default 1, so
+#                           the measurement is pure interpreter time)
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_7.json}"
+FIG1_N="${BENCH_EXPERIMENTS_FIG1:-400}"
+FIG4_N="${BENCH_EXPERIMENTS_FIG4:-48}"
+THREADS="${ONEBIT_THREADS:-1}"
+PROGRAMS="${BENCH_PROGRAMS:-}"
+
+[ -x "$BUILD_DIR/bench_fig1_single_bit" ] || {
+  echo "error: $BUILD_DIR/bench_fig1_single_bit not built" >&2
+  exit 1
+}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+now_ms() {
+  # POSIX date has no %N; GNU date does. Fall back to second resolution.
+  if date +%s%3N | grep -q 'N'; then
+    echo "$(( $(date +%s) * 1000 ))"
+  else
+    date +%s%3N
+  fi
+}
+
+# run_driver <binary> <experiments> <switch|threaded> <output-file> -> elapsed ms
+run_driver() {
+  _bin="$1"; _n="$2"; _dispatch="$3"; _out="$4"
+  _start="$(now_ms)"
+  env ONEBIT_EXPERIMENTS="$_n" ONEBIT_CSV=1 ONEBIT_THREADS="$THREADS" \
+      ONEBIT_PROGRAMS="$PROGRAMS" ONEBIT_DISPATCH="$_dispatch" \
+      "$_bin" > "$_out" 2> /dev/null
+  _end="$(now_ms)"
+  echo "$(( _end - _start ))"
+}
+
+bench_one() {
+  _name="$1"; _bin="$2"; _n="$3"
+  echo "== $_name (n=$_n, threads=$THREADS) ==" >&2
+  _sw_ms="$(run_driver "$_bin" "$_n" switch "$TMP/$_name.sw")"
+  _th_ms="$(run_driver "$_bin" "$_n" threaded "$TMP/$_name.th")"
+  [ -s "$TMP/$_name.sw" ] || {
+    echo "error: $_name produced no CSV output" >&2
+    exit 1
+  }
+  if ! diff -q "$TMP/$_name.sw" "$TMP/$_name.th" > /dev/null; then
+    echo "error: $_name output differs between switch and threaded" >&2
+    diff "$TMP/$_name.sw" "$TMP/$_name.th" >&2 || true
+    exit 1
+  fi
+  echo "   switch: ${_sw_ms} ms   threaded: ${_th_ms} ms" >&2
+  printf '%s %s %s\n' "$_name" "$_sw_ms" "$_th_ms" >> "$TMP/rows"
+}
+
+: > "$TMP/rows"
+bench_one fig1_single_bit "$BUILD_DIR/bench_fig1_single_bit" "$FIG1_N"
+bench_one fig4_fig5_table3 "$BUILD_DIR/bench_fig4_fig5_table3" "$FIG4_N"
+
+# Assemble BENCH_7.json (no jq dependency).
+{
+  printf '{\n'
+  printf '  "bench": "PR7 direct-threaded dispatch",\n'
+  printf '  "metric": "wall-clock ms, reference switch loop (ONEBIT_DISPATCH=switch) vs direct-threaded (ONEBIT_DISPATCH=threaded)",\n'
+  printf '  "threads": %s,\n' "$THREADS"
+  printf '  "experiments": {"fig1_single_bit": %s, "fig4_fig5_table3": %s},\n' \
+         "$FIG1_N" "$FIG4_N"
+  printf '  "outputs_byte_identical": true,\n'
+  printf '  "drivers": {\n'
+  _first=1
+  while read -r _name _sw _th; do
+    [ "$_first" = 1 ] || printf ',\n'
+    _first=0
+    _speedup="$(awk "BEGIN { printf \"%.2f\", $_sw / ($_th > 0 ? $_th : 1) }")"
+    printf '    "%s": {"switch_ms": %s, "threaded_ms": %s, "speedup": %s}' \
+           "$_name" "$_sw" "$_th" "$_speedup"
+  done < "$TMP/rows"
+  printf '\n  }\n}\n'
+} > "$OUT_JSON"
+
+echo "wrote $OUT_JSON:" >&2
+cat "$OUT_JSON"

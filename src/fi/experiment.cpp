@@ -6,13 +6,33 @@
 #include "fi/outcome_cache.hpp"
 #include "util/rng.hpp"
 #include "vm/machine.hpp"
+#include "vm/threaded.hpp"
 
 namespace onebit::fi {
 
 Workload::Workload(ir::Module mod, std::uint64_t hangFactor,
-                   SnapshotPolicy snapshots, PrunePolicy prune)
+                   SnapshotPolicy snapshots, PrunePolicy prune,
+                   vm::DispatchBackend dispatch)
     : mod_(std::move(mod)) {
   vm::ExecLimits goldenLimits;
+  // The backend rides on the limits into every run this workload owns: the
+  // plain golden pass below executes threaded when selected (the hashing
+  // pass and snapshot-capturing runs stay on the reference loop by the
+  // eligibility rule in Machine::run — which makes the prune-mode
+  // differential self-check below a free cross-backend comparison), and
+  // faultyLimits_ carries it into runExperiment's post-exhaustion suffixes.
+  goldenLimits.dispatch = dispatch;
+  if (dispatch == vm::DispatchBackend::Threaded) {
+    // Precompile once: every faulty run would otherwise pay the registry's
+    // per-run structural-fingerprint validation (O(module size), ~10us —
+    // comparable to a short experiment suffix). A null stream means the
+    // decoder rejected the module shape; run everything on the reference
+    // loop instead of re-attempting the decode per experiment.
+    goldenLimits.threadedCode = vm::ThreadedCode::get(mod_);
+    if (goldenLimits.threadedCode == nullptr) {
+      goldenLimits.dispatch = vm::DispatchBackend::Switch;
+    }
+  }
   vm::SnapshotCapturePolicy capture;  // default interval = the auto spacing
   if (snapshots.interval != SnapshotPolicy::kAutoInterval) {
     capture.interval = snapshots.interval;

@@ -95,9 +95,16 @@ class Workload {
   /// outcome-equivalence pruning (off by default; the golden run is then
   /// executed twice — once plain, once hashing — and the two are
   /// cross-checked to be identical).
+  /// `dispatch` selects the execution backend for every hook-free,
+  /// non-capturing, non-hashing segment this workload runs — the plain
+  /// golden pass and the post-exhaustion suffix of every experiment.
+  /// Like the snapshot and prune policies it is a pure speedup
+  /// (bit-identical results, pinned by tests/dispatch_differential_test and
+  /// tests/dispatch_equivalence_test) and is NOT part of the fingerprint.
   explicit Workload(ir::Module mod,
                     std::uint64_t hangFactor = kDefaultHangFactor,
-                    SnapshotPolicy snapshots = {}, PrunePolicy prune = {});
+                    SnapshotPolicy snapshots = {}, PrunePolicy prune = {},
+                    vm::DispatchBackend dispatch = vm::DispatchBackend::Switch);
 
   [[nodiscard]] const ir::Module& module() const noexcept { return mod_; }
   [[nodiscard]] const vm::ExecResult& golden() const noexcept {

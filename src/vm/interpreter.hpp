@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -29,6 +30,8 @@
 #include "vm/trap.hpp"
 
 namespace onebit::vm {
+
+class ThreadedCode;
 
 /// Observer/mutator interface for fault injection.
 ///
@@ -91,6 +94,21 @@ enum class ExecStatus : unsigned char {
   FuelExhausted,  ///< instruction budget exceeded (classified as Hang)
 };
 
+/// Which execution loop runs the hook-free, non-capturing, non-hashing part
+/// of a run (golden executions and the post-exhaustion suffix of faulty
+/// runs). `Switch` is the templated reference interpreter in vm/machine.cpp;
+/// `Threaded` pre-decodes the module into a dense direct-threaded stream
+/// (computed-goto label pointers where the compiler supports them, a decoded
+/// switch otherwise — see vm/threaded.hpp) and runs that. The two are
+/// bit-identical for every program — pinned by the differential backend
+/// fuzzer (tests/dispatch_differential_test.cpp) — so the choice is a pure
+/// speedup. Hooked, capturing, and hashing segments always run on the
+/// reference loop regardless of this setting.
+enum class DispatchBackend : unsigned char {
+  Switch,    ///< templated switch interpreter (the reference semantics)
+  Threaded,  ///< pre-decoded direct-threaded stream (fast path)
+};
+
 struct ExecLimits {
   std::uint64_t maxInstructions = 1'000'000'000ULL;
   std::uint32_t maxCallDepth = 512;
@@ -105,6 +123,20 @@ struct ExecLimits {
   /// on. Deliberately NOT part of any workload fingerprint — like snapshot
   /// cadence, it must never affect results.
   bool trackStateHash = false;
+  /// Backend for the hook-free fast path. Like trackStateHash, a pure
+  /// performance choice that never affects results and is NOT part of any
+  /// workload fingerprint. Default is the reference loop; campaign drivers
+  /// opt into Threaded via the ONEBIT_DISPATCH bench knob.
+  DispatchBackend dispatch = DispatchBackend::Switch;
+  /// Optional precompiled stream for the module being executed. When null,
+  /// a Threaded run consults the per-process registry (ThreadedCode::get),
+  /// which re-validates the module's structural fingerprint on every run —
+  /// correct but O(module size). Callers that execute one module thousands
+  /// of times (fi::Workload) precompile once and pass the handle here.
+  /// Contract: must be ThreadedCode::get() of the exact module passed to
+  /// execute()/Machine; a stream decoded from a different module is
+  /// undefined behavior.
+  std::shared_ptr<const ThreadedCode> threadedCode;
 };
 
 struct ExecResult {

@@ -229,7 +229,16 @@ ExecResult Machine::finish() {
   result_.readCandidates = readCandidates_;
   result_.writeCandidates = writeCandidates_;
   result_.storeCandidates = storeCandidates_;
-  return std::move(result_);
+  ExecResult out = std::move(result_);
+  // Leave the machine's residual state deterministic (the moved-from output
+  // is defined-empty, the flags are restored) so a post-run
+  // computeStateHash() is well-defined — the differential backend fuzzer
+  // compares it across dispatch backends.
+  result_ = ExecResult{};
+  result_.status = out.status;
+  result_.trap = out.trap;
+  result_.outputTruncated = out.outputTruncated;
+  return out;
 }
 
 void Machine::trap(TrapKind k) {
@@ -312,9 +321,9 @@ void Machine::appendOutput(const char* data, std::size_t n) {
   }
 }
 
-void Machine::printValue(const Instr& in, std::uint64_t v) {
+void Machine::printValue(ir::PrintKind kind, std::uint64_t v) {
   char buf[64];
-  switch (in.printKind) {
+  switch (kind) {
     case ir::PrintKind::I64: {
       const int n = std::snprintf(buf, sizeof buf, "%lld",
                                   static_cast<long long>(ir::asI64(v)));
@@ -347,7 +356,7 @@ void Machine::printValue(const Instr& in, std::uint64_t v) {
   }
 }
 
-namespace {
+namespace detail {
 
 std::int64_t saturatingFpToSi(double d) noexcept {
   if (std::isnan(d)) return 0;
@@ -356,14 +365,14 @@ std::int64_t saturatingFpToSi(double d) noexcept {
   return static_cast<std::int64_t>(d);
 }
 
-}  // namespace
+}  // namespace detail
 
-std::uint64_t Machine::applyIntrinsic(const Instr& in,
+std::uint64_t Machine::applyIntrinsic(ir::IntrinsicKind kind,
                                       std::span<const std::uint64_t> v) {
   const double a = ir::asF64(v[0]);
   const double b = v.size() > 1 ? ir::asF64(v[1]) : 0.0;
   double r = 0.0;
-  switch (in.intrinsic) {
+  switch (kind) {
     case ir::IntrinsicKind::Sqrt: r = std::sqrt(a); break;
     case ir::IntrinsicKind::Sin: r = std::sin(a); break;
     case ir::IntrinsicKind::Cos: r = std::cos(a); break;
@@ -399,11 +408,34 @@ ExecResult Machine::run() {
     }
     // Hook-free fast path: golden runs, and the tail of a faulty run once
     // the hook can no longer mutate anything (no virtual dispatch at all).
+    // Only this segment is eligible for the threaded backend: hooked,
+    // capturing, and hashing segments need the per-instruction callbacks /
+    // boundary checks only the reference loop carries.
     if (result_.status == ExecStatus::Ok && !halted_) {
-      dispatchLoop<false>(capturing);
+      if (limits_.dispatch == DispatchBackend::Threaded && !capturing &&
+          !hashing_) {
+        runThreaded();
+      } else {
+        dispatchLoop<false>(capturing);
+      }
     }
   }
   return finish();
+}
+
+void Machine::runThreaded() {
+  if (threaded_ == nullptr) {
+    // Prefer a caller-precompiled stream (fi::Workload passes one so the
+    // thousands of short runs a campaign makes skip the per-run registry
+    // fingerprint validation); fall back to the validating registry.
+    threaded_ = limits_.threadedCode != nullptr ? limits_.threadedCode
+                                                : ThreadedCode::get(mod_);
+  }
+  if (threaded_ == nullptr) {
+    dispatchLoop<false>(false);  // decoder rejected the module shape
+    return;
+  }
+  detail::runThreadedLoop(this, threaded_.get(), nullptr);
 }
 
 bool Machine::runToBoundary(std::uint64_t grid) {
@@ -604,7 +636,7 @@ void Machine::loop() {
         writeDest = true;
         break;
       case Opcode::FPToSI:
-        destValue = ir::fromI64(saturatingFpToSi(ir::asF64(vals[0])));
+        destValue = ir::fromI64(detail::saturatingFpToSi(ir::asF64(vals[0])));
         writeDest = true;
         break;
       case Opcode::Load:
@@ -681,11 +713,11 @@ void Machine::loop() {
         writeDest = true;
         break;
       case Opcode::Intrinsic:
-        destValue = applyIntrinsic(in, std::span(vals.data(), nops));
+        destValue = applyIntrinsic(in.intrinsic, std::span(vals.data(), nops));
         writeDest = true;
         break;
       case Opcode::Print:
-        printValue(in, vals[0]);
+        printValue(in.printKind, vals[0]);
         break;
       case Opcode::Alloc: {
         destValue = mem_.alloc(ir::asI64(vals[0]), t);

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,8 +25,17 @@
 #include "vm/memory.hpp"
 #include "vm/snapshot.hpp"
 #include "vm/state_hash.hpp"
+#include "vm/threaded.hpp"
 
 namespace onebit::vm {
+
+namespace detail {
+
+/// FPToSI semantics shared by both dispatch backends: NaN converts to 0,
+/// out-of-range values saturate to the int64 extremes.
+std::int64_t saturatingFpToSi(double d) noexcept;
+
+}  // namespace detail
 
 class Machine {
  public:
@@ -110,8 +120,8 @@ class Machine {
                  const ir::Instr* pendingCall);
   void popFrame();
   void appendOutput(const char* data, std::size_t n);
-  void printValue(const ir::Instr& in, std::uint64_t v);
-  std::uint64_t applyIntrinsic(const ir::Instr& in,
+  void printValue(ir::PrintKind kind, std::uint64_t v);
+  std::uint64_t applyIntrinsic(ir::IntrinsicKind kind,
                                std::span<const std::uint64_t> v);
   void maybeCapture();
 
@@ -131,6 +141,18 @@ class Machine {
   /// Select the loop instantiation for the runtime hashing flag.
   template <bool Hooked>
   void dispatchLoop(bool capturing);
+
+  /// Run the hook-free remainder on the direct-threaded backend (decoded
+  /// stream from ThreadedCode::get, executed by detail::runThreadedLoop).
+  /// Falls back to the reference loop for modules the decoder rejects.
+  /// Preconditions: between instructions, hook-free/exhausted, not
+  /// capturing, not hashing.
+  void runThreaded();
+
+  /// The threaded loop lives in its own translation unit (computed goto)
+  /// and drives this machine's private state directly.
+  friend void detail::runThreadedLoop(Machine* m, const ThreadedCode* code,
+                                      const void* const** labelsOut);
 
   const ir::Module& mod_;
   ExecLimits limits_;
@@ -154,6 +176,9 @@ class Machine {
   std::uint64_t framesHash_ = 0;  ///< XOR of parked (non-top) frame terms
   std::uint64_t outputHash_ = statehash::kFnvBasis;  ///< rolling FNV-1a
   std::uint64_t pauseAt_ = ~0ULL;  ///< runToBoundary pause point
+  /// Decoded stream for the threaded backend (fetched lazily on the first
+  /// hook-free segment when limits_.dispatch == DispatchBackend::Threaded).
+  std::shared_ptr<const ThreadedCode> threaded_;
 };
 
 }  // namespace onebit::vm

@@ -1,7 +1,9 @@
 #include "vm/memory.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <stdexcept>
 
 #include "vm/state_hash.hpp"
@@ -12,11 +14,18 @@ using ir::kGlobalBase;
 using ir::kHeapBase;
 using ir::kStackBase;
 
+void Memory::CallocDeleter::operator()(std::uint8_t* p) const noexcept {
+  std::free(p);
+}
+
 Memory::Memory(const std::vector<std::uint8_t>& globalImage,
                std::size_t stackBytes, std::size_t maxHeapBytes)
     : globals_(globalImage),
-      stack_(stackBytes, 0),
+      stack_(static_cast<std::uint8_t*>(
+          std::calloc(stackBytes != 0 ? stackBytes : 1, 1))),
+      stackSize_(stackBytes),
       maxHeapBytes_(maxHeapBytes) {
+  if (stack_ == nullptr) throw std::bad_alloc();
   heap_.reserve(4096);
 }
 
@@ -26,17 +35,19 @@ std::uint8_t* Memory::resolve(std::uint64_t addr, unsigned width,
     trap = TrapKind::Misaligned;
     return nullptr;
   }
-  auto inSegment = [&](std::uint64_t base,
-                       std::vector<std::uint8_t>& seg) -> std::uint8_t* {
-    if (addr >= base && addr - base + width <= seg.size()) {
-      return seg.data() + (addr - base);
+  auto inSegment = [&](std::uint64_t base, std::uint8_t* data,
+                       std::size_t size) -> std::uint8_t* {
+    if (addr >= base && addr - base + width <= size) {
+      return data + (addr - base);
     }
     return nullptr;
   };
   // Order by expected access frequency: stack, globals, heap.
-  if (auto* p = inSegment(kStackBase, stack_)) return p;
-  if (auto* p = inSegment(kGlobalBase, globals_)) return p;
-  if (auto* p = inSegment(kHeapBase, heap_)) return p;
+  if (auto* p = inSegment(kStackBase, stack_.get(), stackSize_)) return p;
+  if (auto* p = inSegment(kGlobalBase, globals_.data(), globals_.size())) {
+    return p;
+  }
+  if (auto* p = inSegment(kHeapBase, heap_.data(), heap_.size())) return p;
   trap = TrapKind::SegFault;
   return nullptr;
 }
@@ -58,7 +69,7 @@ void Memory::store(std::uint64_t addr, unsigned width, std::uint64_t value,
   std::uint8_t* p = resolve(addr, width, trap);
   if (p == nullptr) return;
   const std::uint64_t stackOff = addr - kStackBase;  // wraps below kStackBase
-  if (stackOff < stack_.size()) {
+  if (stackOff < stackSize_) {
     storeHighWater_ =
         std::max(storeHighWater_, static_cast<std::size_t>(stackOff) + width);
   }
@@ -79,7 +90,7 @@ void Memory::poke(std::uint64_t addr, unsigned width, std::uint64_t mask,
   std::uint8_t* p = resolve(addr, width, trap);
   if (p == nullptr) return;
   const std::uint64_t stackOff = addr - kStackBase;  // wraps below kStackBase
-  if (stackOff < stack_.size()) {
+  if (stackOff < stackSize_) {
     storeHighWater_ =
         std::max(storeHighWater_, static_cast<std::size_t>(stackOff) + width);
   }
@@ -101,24 +112,30 @@ void Memory::captureSegments(std::size_t stackUsed,
                              std::vector<std::uint8_t>& stack,
                              std::vector<std::uint8_t>& heap) const {
   globals = globals_;
-  stackUsed = std::min(stackUsed, stack_.size());
-  stack.assign(stack_.begin(),
-               stack_.begin() + static_cast<std::ptrdiff_t>(stackUsed));
+  stackUsed = std::min(stackUsed, stackSize_);
+  stack.assign(stack_.get(), stack_.get() + stackUsed);
   heap = heap_;
 }
 
 void Memory::restoreSegments(const std::vector<std::uint8_t>& globals,
                              const std::vector<std::uint8_t>& stackPrefix,
                              const std::vector<std::uint8_t>& heap) {
-  if (globals.size() != globals_.size() ||
-      stackPrefix.size() > stack_.size() || heap.size() > maxHeapBytes_) {
+  if (globals.size() != globals_.size() || stackPrefix.size() > stackSize_ ||
+      heap.size() > maxHeapBytes_) {
     throw std::invalid_argument(
         "vm::Memory: snapshot segments do not fit this memory geometry");
   }
   globals_ = globals;
-  std::copy(stackPrefix.begin(), stackPrefix.end(), stack_.begin());
-  std::fill(stack_.begin() + static_cast<std::ptrdiff_t>(stackPrefix.size()),
-            stack_.end(), 0);
+  std::copy(stackPrefix.begin(), stackPrefix.end(), stack_.get());
+  // Every byte at or beyond storeHighWater_ is still zero (the class
+  // invariant), so only the slice the old content could have dirtied needs
+  // re-zeroing — not the whole stack. Campaigns resume thousands of
+  // snapshots per second; a full-stack fill here would dominate their
+  // backend-independent cost.
+  if (storeHighWater_ > stackPrefix.size()) {
+    std::fill(stack_.get() + stackPrefix.size(),
+              stack_.get() + storeHighWater_, 0);
+  }
   storeHighWater_ = stackPrefix.size();
   heap_ = heap;
   if (hashing_) hash_ = computeContentHash();
@@ -130,25 +147,29 @@ void Memory::trackContentHash(bool on) {
 }
 
 std::uint64_t Memory::wordValueAt(std::uint64_t wordAddr) const noexcept {
-  const std::vector<std::uint8_t>* seg = nullptr;
+  const std::uint8_t* seg = nullptr;
+  std::size_t segSize = 0;
   std::uint64_t base = 0;
-  if (wordAddr >= kStackBase && wordAddr - kStackBase < stack_.size()) {
-    seg = &stack_;
+  if (wordAddr >= kStackBase && wordAddr - kStackBase < stackSize_) {
+    seg = stack_.get();
+    segSize = stackSize_;
     base = kStackBase;
   } else if (wordAddr >= kGlobalBase &&
              wordAddr - kGlobalBase < globals_.size()) {
-    seg = &globals_;
+    seg = globals_.data();
+    segSize = globals_.size();
     base = kGlobalBase;
   } else if (wordAddr >= kHeapBase && wordAddr - kHeapBase < heap_.size()) {
-    seg = &heap_;
+    seg = heap_.data();
+    segSize = heap_.size();
     base = kHeapBase;
   } else {
     return 0;
   }
   const std::size_t off = static_cast<std::size_t>(wordAddr - base);
-  const std::size_t n = std::min<std::size_t>(8, seg->size() - off);
+  const std::size_t n = std::min<std::size_t>(8, segSize - off);
   std::uint64_t w = 0;
-  std::memcpy(&w, seg->data() + off, n);
+  std::memcpy(&w, seg + off, n);
   return w;
 }
 
@@ -161,20 +182,20 @@ void Memory::foldWordDelta(std::uint64_t wordAddr, std::uint64_t oldWord,
 
 std::uint64_t Memory::computeContentHash() const noexcept {
   std::uint64_t h = 0;
-  const auto fold = [&](const std::vector<std::uint8_t>& seg,
+  const auto fold = [&](const std::uint8_t* seg, std::size_t segSize,
                         std::uint64_t base, std::size_t limit) {
     for (std::size_t off = 0; off < limit; off += 8) {
-      const std::size_t n = std::min<std::size_t>(8, seg.size() - off);
+      const std::size_t n = std::min<std::size_t>(8, segSize - off);
       std::uint64_t w = 0;
-      std::memcpy(&w, seg.data() + off, n);
+      std::memcpy(&w, seg + off, n);
       if (w != 0) h ^= statehash::memTerm(base + off, w);
     }
   };
-  fold(globals_, kGlobalBase, globals_.size());
+  fold(globals_.data(), globals_.size(), kGlobalBase, globals_.size());
   // Bytes at or beyond the store high-water mark are untouched zeros, so
   // words there contribute nothing — skip them.
-  fold(stack_, kStackBase, storeHighWater_);
-  fold(heap_, kHeapBase, heap_.size());
+  fold(stack_.get(), stackSize_, kStackBase, storeHighWater_);
+  fold(heap_.data(), heap_.size(), kHeapBase, heap_.size());
   return h;
 }
 

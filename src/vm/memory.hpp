@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ir/module.hpp"
@@ -42,9 +43,7 @@ class Memory {
   /// address, or 0 with `trap` set when the heap budget is exhausted.
   std::uint64_t alloc(std::int64_t bytes, TrapKind& trap);
 
-  [[nodiscard]] std::size_t stackBytes() const noexcept {
-    return stack_.size();
-  }
+  [[nodiscard]] std::size_t stackBytes() const noexcept { return stackSize_; }
   [[nodiscard]] std::size_t heapUsed() const noexcept { return heap_.size(); }
 
   /// One past the highest stack byte ever written through store(). Stack
@@ -103,8 +102,19 @@ class Memory {
   void foldWordDelta(std::uint64_t wordAddr, std::uint64_t oldWord,
                      std::uint64_t newWord) noexcept;
 
+  struct CallocDeleter {
+    void operator()(std::uint8_t* p) const noexcept;
+  };
+
   std::vector<std::uint8_t> globals_;
-  std::vector<std::uint8_t> stack_;
+  /// The stack segment is calloc-backed rather than a zero-filled vector:
+  /// campaigns construct a Memory per experiment, and for the default 1 MiB
+  /// stack an eager memset would cost more than a short experiment's whole
+  /// execution. calloc hands out lazily-zeroed pages, so only the pages a
+  /// program actually touches are ever materialized. The contents contract
+  /// is identical: every byte reads as zero until written.
+  std::unique_ptr<std::uint8_t[], CallocDeleter> stack_;
+  std::size_t stackSize_ = 0;
   std::vector<std::uint8_t> heap_;
   std::size_t maxHeapBytes_;
   std::size_t storeHighWater_ = 0;

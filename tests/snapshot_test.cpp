@@ -376,6 +376,46 @@ TEST(SnapshotRoundTrip, ExhaustedHookFinishesOnFastPathIdentically) {
   EXPECT_TRUE(exhausting.exhausted());
 }
 
+TEST(SnapshotRoundTrip, ResumeWithPreExhaustedHookEntersHookFreeLoop) {
+  // A hook that is exhausted BEFORE the resumed run starts means run()
+  // skips the hooked leg entirely and drops straight into the hook-free
+  // loop from the snapshot's mid-block, mid-call-stack position — the
+  // entry path the threaded backend computes from blockStart[block] + ip.
+  // Both backends must reproduce the uninterrupted run exactly.
+  class AlreadyDone final : public ExecHook {
+   public:
+    AlreadyDone() { markExhausted(); }
+    void onRead(std::uint64_t, std::uint64_t, const ir::Instr&,
+                std::span<std::uint64_t>, std::span<const bool>) override {
+      ADD_FAILURE() << "exhausted hook saw onRead";
+    }
+    void onWrite(std::uint64_t, std::uint64_t, const ir::Instr&,
+                 std::uint64_t&) override {
+      ADD_FAILURE() << "exhausted hook saw onWrite";
+    }
+  };
+  const Module mod = lang::compileMiniC(kKitchenSink);
+  const ExecResult scratch = execute(mod, {}, nullptr);
+  std::vector<Snapshot> snaps;
+  (void)executeWithSnapshots(mod, {}, {/*interval=*/113, 0, 0}, snaps);
+  ASSERT_GT(snaps.size(), 2u);
+  for (const DispatchBackend backend :
+       {DispatchBackend::Switch, DispatchBackend::Threaded}) {
+    ExecLimits limits;
+    limits.dispatch = backend;
+    for (const std::size_t i :
+         {std::size_t{0}, snaps.size() / 2, snaps.size() - 1}) {
+      AlreadyDone hook;
+      const ExecResult resumed = resume(mod, snaps[i], limits, &hook);
+      const std::string context =
+          std::string(backend == DispatchBackend::Threaded ? "threaded"
+                                                           : "switch") +
+          " snapshot " + std::to_string(i);
+      expectSameResult(resumed, scratch, context.c_str());
+    }
+  }
+}
+
 TEST(SnapshotRetention, BoundsAreHonored) {
   const Module mod = lang::compileMiniC(kKitchenSink);
 

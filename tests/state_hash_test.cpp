@@ -237,6 +237,41 @@ TEST(StateHash, FaultedRunsHashExactlyAcrossAllDomains) {
   }
 }
 
+TEST(StateHash, StopTrackingMidRunFinishesOnEitherBackendIdentically) {
+  // The pruned-experiment suffix path: pause at a boundary, drop the hash,
+  // run() the remainder hash-free. After stopStateHashTracking the machine
+  // is hook-free AND hash-free, so the remainder is exactly the segment
+  // eligible for the threaded backend — both backends must finish the
+  // paused run with the same result as an uninterrupted plain run.
+  const Module mod = lang::compileMiniC(kKitchenSink);
+  const ExecResult plain = execute(mod, {}, nullptr);
+  for (const DispatchBackend backend :
+       {DispatchBackend::Switch, DispatchBackend::Threaded}) {
+    for (const int pauses : {1, 5, 20}) {
+      ExecLimits limits;
+      limits.trackStateHash = true;
+      limits.dispatch = backend;
+      Machine m(mod, limits, nullptr);
+      int paused = 0;
+      while (paused < pauses && m.runToBoundary(64)) ++paused;
+      ASSERT_EQ(paused, pauses);  // the sink runs long enough for 20 pauses
+      m.stopStateHashTracking();
+      const ExecResult finished = m.run();
+      const std::string context =
+          std::string(backend == DispatchBackend::Threaded ? "threaded"
+                                                           : "switch") +
+          " after " + std::to_string(pauses) + " pauses";
+      EXPECT_EQ(finished.status, plain.status) << context;
+      EXPECT_EQ(finished.instructions, plain.instructions) << context;
+      EXPECT_EQ(finished.readCandidates, plain.readCandidates) << context;
+      EXPECT_EQ(finished.writeCandidates, plain.writeCandidates) << context;
+      EXPECT_EQ(finished.storeCandidates, plain.storeCandidates) << context;
+      EXPECT_EQ(finished.returnValue, plain.returnValue) << context;
+      EXPECT_EQ(finished.output, plain.output) << context;
+    }
+  }
+}
+
 TEST(StateHash, ResumedSnapshotHashesLikeTheCapturingRun) {
   const Module mod = lang::compileMiniC(kKitchenSink);
   ExecLimits limits;
