@@ -49,6 +49,22 @@
 //                       (checkpoint cap; partial results, for testing
 //                       interruption without killing the process)
 //
+// Campaign-fleet knobs (multi-process execution; see fi/fleet.hpp and the
+// "Campaign fleet" section of docs/ARCHITECTURE.md):
+//   ONEBIT_FLEET_WORKERS      fork this many fleet worker processes and run
+//                       the sweep through the lease broker instead of the
+//                       in-process thread pool (0/unset = off). Output is
+//                       bit-identical to the in-process run. Uses
+//                       ONEBIT_STORE when set (the store doubles as the
+//                       fleet's work queue and makes the run resumable);
+//                       otherwise a temporary store is created and removed.
+//   ONEBIT_FLEET_LEASE_MS     shard lease duration (default 30000)
+//   ONEBIT_FLEET_HEARTBEAT_MS lease heartbeat period (default lease/3)
+//   ONEBIT_FLEET_KILL_AFTER   crash injection: the first worker SIGKILLs
+//                       itself right after its Nth lease claim; survivors
+//                       re-lease its shards (tests fault tolerance without
+//                       changing any output; 0/unset = off)
+//
 // Drivers that sweep several campaigns should not loop over campaign();
 // they should declare every (workload × spec) cell on a SweepBuilder and
 // run() it once: the whole sweep executes as ONE fi::CampaignSuite, shards
@@ -65,9 +81,11 @@
 
 #include "fi/campaign.hpp"
 #include "fi/campaign_store.hpp"
+#include "fi/fleet.hpp"
 #include "fi/suite.hpp"
 #include "progs/registry.hpp"
 #include "util/env.hpp"
+#include "util/file_lock.hpp"
 #include "util/table.hpp"
 
 namespace onebit::bench {
@@ -224,6 +242,24 @@ inline fi::StoreBinding storeBinding(std::string workloadName) {
   return binding;
 }
 
+/// Worker processes requested by ONEBIT_FLEET_WORKERS (0 = run in-process).
+inline std::size_t fleetWorkers() {
+  return util::envSize("ONEBIT_FLEET_WORKERS");
+}
+
+/// The local-fleet options selected by the ONEBIT_FLEET_* knobs.
+inline fi::LocalFleetOptions fleetOptionsFromEnv() {
+  fi::LocalFleetOptions opts;
+  opts.workers = fleetWorkers();
+  opts.config.leaseMs = static_cast<std::uint64_t>(
+      util::envSize("ONEBIT_FLEET_LEASE_MS", opts.config.leaseMs));
+  opts.config.heartbeatMs = static_cast<std::uint64_t>(
+      util::envSize("ONEBIT_FLEET_HEARTBEAT_MS", opts.config.heartbeatMs));
+  opts.config.pruning = prunePolicyFromEnv().enabled;
+  opts.killFirstWorkerAfterClaims = util::envSize("ONEBIT_FLEET_KILL_AFTER");
+  return opts;
+}
+
 /// The suite configuration every bench sweep runs under, resolved from the
 /// environment knobs once per builder.
 inline fi::SuiteConfig suiteConfigFromEnv() {
@@ -299,7 +335,7 @@ class SweepBuilder {
   /// executes, later calls return the cached results.
   const std::vector<fi::CampaignResult>& run() {
     if (!ran_) {
-      results_ = suite_.run();
+      results_ = fleetWorkers() != 0 ? runAsFleet() : suite_.run();
       ran_ = true;
       std::size_t incomplete = 0;
       for (const fi::CampaignResult& r : results_) {
@@ -338,6 +374,26 @@ class SweepBuilder {
   }
 
  private:
+  /// ONEBIT_FLEET_WORKERS path: run the queued cells as a forked local
+  /// fleet over ONEBIT_STORE (or a temporary store, removed afterwards).
+  /// Bit-identical to suite_.run() by the fleet's determinism contract.
+  std::vector<fi::CampaignResult> runAsFleet() {
+    std::string storePath = util::envStr("ONEBIT_STORE", "");
+    const bool temporary = storePath.empty();
+    if (temporary) {
+      storePath = util::envStr("TMPDIR", "/tmp") + "/onebit_fleet_" +
+                  std::to_string(util::currentPid()) + ".jsonl";
+    }
+    std::vector<fi::CampaignResult> results =
+        fi::runFleet(suite_, suiteConfigFromEnv(), storePath,
+                     fleetOptionsFromEnv());
+    if (temporary) {
+      std::remove(storePath.c_str());
+      std::remove((storePath + ".lock").c_str());
+    }
+    return results;
+  }
+
   fi::CampaignSuite suite_;
   std::vector<fi::CampaignResult> results_;
   bool ran_ = false;

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Fleet smoke: the multi-process campaign fleet must be a pure scheduling
+# change. Run a paper figure solo and as a 3-worker fleet whose first worker
+# SIGKILLs itself right after its first lease claim (the abandoned lease is
+# re-issued at the next epoch), then require:
+#
+#   1. byte-identical CSV stdout between the solo and fleet runs,
+#   2. byte-identical shard records between the solo and fleet stores
+#      (sorted + deduplicated: re-run shards are byte-duplicates by the
+#      determinism contract),
+#   3. store_stats reads the fleet store and reports it complete,
+#   4. compaction drops every (superseded) lease, and the compacted store
+#      still resumes to the same CSV.
+#
+#   scripts/fleet_smoke.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build; it must contain bench_fig1_single_bit,
+# store_stats, and compact_store (built by the default CMake configuration).
+set -eu
+
+build=${1:-build}
+
+for tool in bench_fig1_single_bit store_stats compact_store; do
+  if [ ! -x "$build/$tool" ]; then
+    echo "error: $build/$tool not found or not executable; build first" >&2
+    echo "  cmake -B $build -S . && cmake --build $build -j" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/onebit_fleet_smoke.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT
+
+export ONEBIT_CSV=1
+export ONEBIT_EXPERIMENTS=${ONEBIT_EXPERIMENTS:-64}
+export ONEBIT_PROGRAMS=${ONEBIT_PROGRAMS:-qsort,crc32}
+
+echo "== solo run (reference)"
+ONEBIT_STORE="$tmp/solo.jsonl" \
+  "$build/bench_fig1_single_bit" > "$tmp/fig1_solo.csv"
+
+echo "== fleet run: 3 workers, worker 0 SIGKILLed after its first claim"
+ONEBIT_STORE="$tmp/fleet.jsonl" \
+  ONEBIT_FLEET_WORKERS=3 \
+  ONEBIT_FLEET_KILL_AFTER=1 \
+  ONEBIT_FLEET_LEASE_MS=2000 \
+  "$build/bench_fig1_single_bit" > "$tmp/fig1_fleet.csv"
+
+echo "== CSV byte-identity"
+diff "$tmp/fig1_solo.csv" "$tmp/fig1_fleet.csv"
+
+echo "== shard-record byte-identity (sorted, deduplicated)"
+grep '"kind":"shard"' "$tmp/solo.jsonl" | sort -u > "$tmp/shards_solo.jsonl"
+grep '"kind":"shard"' "$tmp/fleet.jsonl" | sort -u > "$tmp/shards_fleet.jsonl"
+diff "$tmp/shards_solo.jsonl" "$tmp/shards_fleet.jsonl"
+
+echo "== store_stats on the fleet store"
+"$build/store_stats" "$tmp/fleet.jsonl"
+
+echo "== compact: every lease of a finished run is superseded"
+"$build/compact_store" "$tmp/fleet.jsonl"
+if grep -q '"kind":"lease"' "$tmp/fleet.jsonl"; then
+  echo "error: compacted store still contains lease records" >&2
+  exit 1
+fi
+
+echo "== resume from the compacted fleet store matches the solo CSV"
+ONEBIT_STORE="$tmp/fleet.jsonl" ONEBIT_RESUME=1 \
+  "$build/bench_fig1_single_bit" > "$tmp/fig1_resumed.csv"
+diff "$tmp/fig1_solo.csv" "$tmp/fig1_resumed.csv"
+
+echo "fleet smoke: OK"

@@ -77,6 +77,33 @@ std::uint64_t getUint(const util::Json& obj, std::string_view field,
   return v != nullptr ? v->asUint(fallback) : fallback;
 }
 
+/// Lock-order note: the cross-process file lock (when present) is always
+/// taken BEFORE the in-memory mutex, matching fleet claim sequences that
+/// hold fileLock() around whole read-decide-append critical sections.
+struct OptionalLockGuard {
+  util::FileLock* lock;
+  explicit OptionalLockGuard(util::FileLock* l) : lock(l) {
+    if (lock != nullptr) lock->lock();
+  }
+  ~OptionalLockGuard() {
+    if (lock != nullptr) lock->unlock();
+  }
+  OptionalLockGuard(const OptionalLockGuard&) = delete;
+  OptionalLockGuard& operator=(const OptionalLockGuard&) = delete;
+};
+
+std::uint64_t fileSizeOf(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::uint64_t size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long n = std::ftell(f);
+    if (n > 0) size = static_cast<std::uint64_t>(n);
+  }
+  std::fclose(f);
+  return size;
+}
+
 }  // namespace
 
 std::uint64_t CampaignStore::campaignKey(
@@ -211,13 +238,144 @@ bool parseOutcomeRecord(const util::Json& record, ParsedOutcome& out) {
   return true;
 }
 
+/// Decode a "cell" record. A cell a worker cannot fully reconstruct
+/// (missing name/spec/geometry) is worthless, so everything but the two
+/// advisory fields (hang_factor, dyn_instrs) is mandatory.
+bool parseCellRecord(const util::Json& record,
+                     CampaignStore::CellRecord& rec) {
+  const util::Json* keyField = record.find("key");
+  const std::optional<std::uint64_t> key =
+      keyField != nullptr ? keyFromHex(keyField->asString()) : std::nullopt;
+  const util::Json* name = record.find("workload");
+  const util::Json* spec = record.find("spec");
+  const util::Json* seedField = record.find("seed");
+  const std::optional<std::uint64_t> seed =
+      seedField != nullptr ? keyFromHex(seedField->asString()) : std::nullopt;
+  const std::uint64_t bad = ~0ULL;
+  const std::uint64_t flipWidth = getUint(record, "flip_width", bad);
+  const std::uint64_t experiments = getUint(record, "experiments", bad);
+  const std::uint64_t shardSize = getUint(record, "shard_size", bad);
+  if (!key || !seed || name == nullptr || name->asString().empty() ||
+      spec == nullptr || spec->asString().empty() || flipWidth == 0 ||
+      flipWidth > 64 || experiments == 0 || experiments == bad ||
+      shardSize == 0 || shardSize == bad) {
+    return false;
+  }
+  rec.key = *key;
+  rec.workload = std::string(name->asString());
+  rec.spec = std::string(spec->asString());
+  rec.flipWidth = static_cast<unsigned>(flipWidth);
+  rec.experiments = static_cast<std::size_t>(experiments);
+  rec.seed = *seed;
+  rec.shardSize = static_cast<std::size_t>(shardSize);
+  rec.hangFactor = getUint(record, "hang_factor", 0);
+  rec.dynInstrs = getUint(record, "dyn_instrs", 0);
+  return true;
+}
+
+/// One decoded-and-validated lease record (shared by load and compact).
+struct ParsedLease {
+  std::uint64_t key = 0;
+  CampaignStore::LeaseRecord rec;
+};
+
+bool parseLeaseRecord(const util::Json& record, ParsedLease& out) {
+  const util::Json* keyField = record.find("key");
+  const std::optional<std::uint64_t> key =
+      keyField != nullptr ? keyFromHex(keyField->asString()) : std::nullopt;
+  const util::Json* worker = record.find("worker");
+  const std::uint64_t bad = ~0ULL;
+  const std::uint64_t first = getUint(record, "first", bad);
+  const std::uint64_t count = getUint(record, "count", bad);
+  const std::uint64_t epoch = getUint(record, "epoch", bad);
+  const std::uint64_t deadline = getUint(record, "deadline", bad);
+  if (!key || worker == nullptr || worker->asString().empty() ||
+      first == bad || count == 0 || count == bad || epoch == 0 ||
+      epoch == bad || deadline == bad) {
+    return false;
+  }
+  out.key = *key;
+  out.rec.first = static_cast<std::size_t>(first);
+  out.rec.count = static_cast<std::size_t>(count);
+  out.rec.worker = std::string(worker->asString());
+  out.rec.epoch = epoch;
+  out.rec.deadlineMs = deadline;
+  return true;
+}
+
+util::Json cellToJson(const CampaignStore::CellRecord& rec) {
+  util::Json record = util::Json::object();
+  record.set("v", util::Json::number(CampaignStore::kFormatVersion));
+  record.set("kind", util::Json::string("cell"));
+  record.set("key", util::Json::string(keyToHex(rec.key)));
+  record.set("workload", util::Json::string(rec.workload));
+  record.set("spec", util::Json::string(rec.spec));
+  record.set("flip_width",
+             util::Json::number(static_cast<std::uint64_t>(rec.flipWidth)));
+  record.set("experiments",
+             util::Json::number(static_cast<std::uint64_t>(rec.experiments)));
+  record.set("seed", util::Json::string(keyToHex(rec.seed)));
+  record.set("shard_size",
+             util::Json::number(static_cast<std::uint64_t>(rec.shardSize)));
+  record.set("hang_factor", util::Json::number(rec.hangFactor));
+  record.set("dyn_instrs", util::Json::number(rec.dynInstrs));
+  return record;
+}
+
+util::Json leaseToJson(std::uint64_t key,
+                       const CampaignStore::LeaseRecord& rec) {
+  util::Json record = util::Json::object();
+  record.set("v", util::Json::number(CampaignStore::kFormatVersion));
+  record.set("kind", util::Json::string("lease"));
+  record.set("key", util::Json::string(keyToHex(key)));
+  record.set("first",
+             util::Json::number(static_cast<std::uint64_t>(rec.first)));
+  record.set("count",
+             util::Json::number(static_cast<std::uint64_t>(rec.count)));
+  record.set("worker", util::Json::string(rec.worker));
+  record.set("epoch", util::Json::number(rec.epoch));
+  record.set("deadline", util::Json::number(rec.deadlineMs));
+  return record;
+}
+
 }  // namespace
 
 CampaignStore::LoadStats CampaignStore::load() {
-  LoadStats stats;
+  OptionalLockGuard fileGuard(fileLock_.get());
   std::lock_guard lock(mutex_);
+  clearIndex();
+  return readInto(0, /*consumeTail=*/true);
+}
+
+CampaignStore::LoadStats CampaignStore::refresh() {
+  OptionalLockGuard fileGuard(fileLock_.get());
+  std::lock_guard lock(mutex_);
+  // A file smaller than the resume point was rewritten underneath us
+  // (compacted): the offset is meaningless, so re-read from scratch.
+  // Re-indexing is idempotent (first-wins shards, newest-wins the rest).
+  if (fileSizeOf(path_) < readOffset_) {
+    clearIndex();
+    return readInto(0, /*consumeTail=*/false);
+  }
+  return readInto(readOffset_, /*consumeTail=*/false);
+}
+
+void CampaignStore::clearIndex() {
+  shards_.clear();
+  workloads_.clear();
+  outcomes_.clear();
+  cellOrder_.clear();
+  cellIndex_.clear();
+  leases_.clear();
+  readOffset_ = 0;
+}
+
+CampaignStore::LoadStats CampaignStore::readInto(std::uint64_t offset,
+                                                 bool consumeTail) {
+  LoadStats stats;
   const util::JsonlReadStats read =
-      util::readJsonl(path_, [&](util::Json&& record) {
+      util::readJsonlFrom(path_, offset, consumeTail, [&](util::Json&&
+                                                              record) {
         const std::uint64_t v = getUint(record, "v", 0);
         const util::Json* kind = record.find("kind");
         if (v != kFormatVersion || kind == nullptr) {
@@ -265,14 +423,41 @@ CampaignStore::LoadStats CampaignStore::load() {
           }
           return;
         }
+        if (kind->asString() == "cell") {
+          CellRecord rec;
+          if (!parseCellRecord(record, rec)) {
+            ++stats.malformed;
+            return;
+          }
+          if (indexCell(rec)) {
+            ++stats.cellRecords;
+          } else {
+            ++stats.duplicates;
+          }
+          return;
+        }
+        if (kind->asString() == "lease") {
+          ParsedLease lease;
+          if (!parseLeaseRecord(record, lease)) {
+            ++stats.malformed;
+            return;
+          }
+          if (indexLease(lease.key, lease.rec)) {
+            ++stats.leaseRecords;
+          } else {
+            ++stats.duplicates;
+          }
+          return;
+        }
         ++stats.malformed;  // unknown record kind
       });
   stats.malformed += read.malformed;
+  readOffset_ = read.endOffset;
   return stats;
 }
 
 std::optional<CampaignStore::CompactStats> CampaignStore::compact(
-    const std::string& path) {
+    const std::string& path, std::uint64_t nowMs) {
   CompactStats stats;
   // Collect the surviving records in first-seen identity order, newest
   // content winning per identity — duplicates carry identical aggregates by
@@ -286,6 +471,14 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
   std::map<std::pair<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>,
            std::size_t>
       outcomeAt;
+  std::map<std::uint64_t, std::size_t> cellAt;
+  // Newest lease per (key, range); whether it survives is decided AFTER the
+  // scan, when every shard record is known (a superseding shard may appear
+  // later in the file than the lease it supersedes).
+  std::map<std::pair<std::uint64_t, std::pair<std::size_t, std::size_t>>,
+           std::size_t>
+      leaseAt;
+  std::map<std::size_t, ParsedLease> leaseBody;  ///< kept index → decoded
   const util::JsonlReadStats read =
       util::readJsonl(path, [&](util::Json&& record) {
         const std::uint64_t v = getUint(record, "v", 0);
@@ -343,15 +536,70 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
           }
           return;
         }
+        if (kind->asString() == "cell") {
+          CellRecord rec;
+          if (!parseCellRecord(record, rec)) {
+            ++stats.droppedMalformed;
+            return;
+          }
+          const auto [it, inserted] = cellAt.try_emplace(rec.key,
+                                                         kept.size());
+          if (inserted) {
+            kept.push_back(std::move(record));
+          } else {
+            kept[it->second] = std::move(record);
+            ++stats.droppedDuplicates;
+          }
+          return;
+        }
+        if (kind->asString() == "lease") {
+          ParsedLease lease;
+          if (!parseLeaseRecord(record, lease)) {
+            ++stats.droppedMalformed;
+            return;
+          }
+          const auto [it, inserted] = leaseAt.try_emplace(
+              {lease.key, {lease.rec.first, lease.rec.count}}, kept.size());
+          if (inserted) {
+            leaseBody.emplace(kept.size(), std::move(lease));
+            kept.push_back(std::move(record));
+          } else if (lease.rec.epoch >= leaseBody.at(it->second).rec.epoch) {
+            // Newest wins: higher epoch, or a later renewal within one.
+            kept[it->second] = std::move(record);
+            leaseBody.insert_or_assign(it->second, std::move(lease));
+            ++stats.droppedLeases;
+          } else {
+            ++stats.droppedLeases;  // stale epoch ordered late in the file
+          }
+          return;
+        }
         ++stats.droppedMalformed;  // unknown record kind
       });
   stats.droppedMalformed += read.malformed;  // torn/unparseable lines
+  // Post-filter the newest leases: one superseded by a shard record for its
+  // range is done, and one past its heartbeat deadline (when the caller
+  // supplied a clock) is abandoned — both drop. A dropped lease's kept slot
+  // is voided in place so identity-order bookkeeping stays intact.
+  for (const auto& [index, lease] : leaseBody) {
+    const bool superseded =
+        shardAt.count(
+            {lease.key, {lease.rec.first, lease.rec.count}}) != 0;
+    const bool expired = nowMs != 0 && lease.rec.deadlineMs <= nowMs;
+    if (superseded || expired) {
+      kept[index] = util::Json();  // null sentinel: skipped when writing
+      leaseAt.erase({lease.key, {lease.rec.first, lease.rec.count}});
+      ++stats.droppedLeases;
+    }
+  }
   stats.shardRecords = shardAt.size();
   stats.workloadRecords = workloadAt.size();
   stats.outcomeRecords = outcomeAt.size();
+  stats.cellRecords = cellAt.size();
+  stats.leaseRecords = leaseAt.size();
   // Already canonical (including the missing-file case): leave the file
   // byte-identical instead of rewriting it.
-  if (stats.droppedDuplicates == 0 && stats.droppedMalformed == 0) {
+  if (stats.droppedDuplicates == 0 && stats.droppedMalformed == 0 &&
+      stats.droppedLeases == 0) {
     return stats;
   }
   // Crash-safe rewrite: write a sibling temp file, then rename over the
@@ -365,6 +613,7 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
     util::JsonlWriter writer(tmp);
     if (!writer.ok()) return std::nullopt;
     for (const util::Json& record : kept) {
+      if (record.isNull()) continue;  // dropped-lease sentinel
       if (!writer.writeLine(record)) {
         std::remove(tmp.c_str());
         return std::nullopt;
@@ -385,6 +634,46 @@ bool CampaignStore::indexShard(std::uint64_t key, ShardRange range,
   // same aggregates, and keep-first makes replays of a partially-resumed
   // store idempotent.
   return shards_[key].emplace(range, std::move(agg)).second;
+}
+
+bool CampaignStore::indexCell(const CellRecord& record) {
+  const auto [it, inserted] =
+      cellIndex_.try_emplace(record.key, cellOrder_.size());
+  if (inserted) {
+    cellOrder_.push_back(record);
+    return true;
+  }
+  if (cellOrder_[it->second] == record) return false;  // exact duplicate
+  cellOrder_[it->second] = record;  // newest wins (scheduling metadata only)
+  return true;
+}
+
+bool CampaignStore::indexLease(std::uint64_t key, const LeaseRecord& record) {
+  auto& ranges = leases_[key];
+  const auto it = ranges.find(ShardRange{record.first, record.count});
+  if (it == ranges.end()) {
+    ranges.emplace(ShardRange{record.first, record.count}, record);
+    return true;
+  }
+  // Newest wins: a higher epoch always, a renewal within the current epoch
+  // by file order (appends are time-ordered). A stale epoch is ignored.
+  if (record.epoch < it->second.epoch || it->second == record) return false;
+  it->second = record;
+  return true;
+}
+
+bool CampaignStore::writeRecord(const util::Json& record) {
+  // Callers hold mutex_ (and, in Atomic mode, the file lock — taken first).
+  if (mode_ == WriteMode::Atomic) {
+    if (appender_ == nullptr) {
+      appender_ = std::make_unique<util::AtomicAppend>(path_);
+    }
+    return appender_->appendLine(record.dump());
+  }
+  if (writer_ == nullptr) {
+    writer_ = std::make_unique<util::JsonlWriter>(path_);
+  }
+  return writer_->writeLine(record);
 }
 
 bool CampaignStore::appendShard(const CampaignMeta& meta,
@@ -416,6 +705,7 @@ bool CampaignStore::appendShard(const CampaignMeta& meta,
   record.set("outcomes", stats::toJson(aggregate.counts));
   record.set("hist", histToJson(aggregate.hist));
 
+  OptionalLockGuard fileGuard(fileLock_.get());
   std::lock_guard lock(mutex_);
   // Known already (loaded from disk or appended via this instance): the
   // record on file is identical by the determinism contract — skip the
@@ -425,10 +715,7 @@ bool CampaignStore::appendShard(const CampaignMeta& meta,
       campaign->second.count({firstExperiment, experimentCount}) != 0) {
     return true;
   }
-  if (writer_ == nullptr) {
-    writer_ = std::make_unique<util::JsonlWriter>(path_);
-  }
-  if (!writer_->writeLine(record)) return false;
+  if (!writeRecord(record)) return false;
   indexShard(meta.key, {firstExperiment, experimentCount}, aggregate);
   return true;
 }
@@ -448,15 +735,13 @@ bool CampaignStore::appendWorkload(const WorkloadRecord& rec) {
   record.set("cand_write", util::Json::number(rec.candWrite));
   record.set("cand_store", util::Json::number(rec.candStore));
 
+  OptionalLockGuard fileGuard(fileLock_.get());
   std::lock_guard lock(mutex_);
   const auto existing = workloads_.find(rec.name);
   if (existing != workloads_.end() && existing->second == rec) {
     return true;  // identical record already on file
   }
-  if (writer_ == nullptr) {
-    writer_ = std::make_unique<util::JsonlWriter>(path_);
-  }
-  if (!writer_->writeLine(record)) return false;
+  if (!writeRecord(record)) return false;
   workloads_.insert_or_assign(rec.name, rec);
   return true;
 }
@@ -475,18 +760,81 @@ bool CampaignStore::appendOutcome(std::uint64_t cacheKey,
              util::Json::number(static_cast<std::uint64_t>(rec.trap)));
   record.set("instructions", util::Json::number(rec.instructions));
 
+  OptionalLockGuard fileGuard(fileLock_.get());
   std::lock_guard lock(mutex_);
   const auto cache = outcomes_.find(cacheKey);
   if (cache != outcomes_.end() &&
       cache->second.count({rec.boundary, rec.hash}) != 0) {
     return true;  // already on file; entry values are key-determined
   }
-  if (writer_ == nullptr) {
-    writer_ = std::make_unique<util::JsonlWriter>(path_);
-  }
-  if (!writer_->writeLine(record)) return false;
+  if (!writeRecord(record)) return false;
   outcomes_[cacheKey].emplace(OutcomeKey{rec.boundary, rec.hash}, rec);
   return true;
+}
+
+bool CampaignStore::appendCell(const CellRecord& rec) {
+  if (rec.experiments == 0 || rec.shardSize == 0 || rec.workload.empty() ||
+      rec.spec.empty() || rec.flipWidth == 0 || rec.flipWidth > 64) {
+    return false;  // a worker could not reconstruct this cell
+  }
+  const util::Json record = cellToJson(rec);
+  OptionalLockGuard fileGuard(fileLock_.get());
+  std::lock_guard lock(mutex_);
+  const auto it = cellIndex_.find(rec.key);
+  if (it != cellIndex_.end() && cellOrder_[it->second] == rec) {
+    return true;  // identical submission already on file
+  }
+  if (!writeRecord(record)) return false;
+  indexCell(rec);
+  return true;
+}
+
+bool CampaignStore::appendLease(std::uint64_t key, const LeaseRecord& rec) {
+  if (rec.count == 0 || rec.epoch == 0 || rec.worker.empty()) return false;
+  const util::Json record = leaseToJson(key, rec);
+  OptionalLockGuard fileGuard(fileLock_.get());
+  std::lock_guard lock(mutex_);
+  const auto ranges = leases_.find(key);
+  if (ranges != leases_.end()) {
+    const auto it = ranges->second.find(ShardRange{rec.first, rec.count});
+    if (it != ranges->second.end() && it->second == rec) {
+      return true;  // identical lease already the live one
+    }
+  }
+  if (!writeRecord(record)) return false;
+  indexLease(key, rec);
+  return true;
+}
+
+const CampaignStore::CellRecord* CampaignStore::findCell(
+    std::uint64_t key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = cellIndex_.find(key);
+  return it != cellIndex_.end() ? &cellOrder_[it->second] : nullptr;
+}
+
+std::vector<CampaignStore::CellRecord> CampaignStore::cells() const {
+  std::lock_guard lock(mutex_);
+  return cellOrder_;
+}
+
+std::optional<CampaignStore::LeaseRecord> CampaignStore::latestLease(
+    std::uint64_t key, std::size_t first, std::size_t count) const {
+  std::lock_guard lock(mutex_);
+  const auto ranges = leases_.find(key);
+  if (ranges == leases_.end()) return std::nullopt;
+  const auto it = ranges->second.find(ShardRange{first, count});
+  if (it == ranges->second.end()) return std::nullopt;
+  return it->second;
+}
+
+void CampaignStore::forEachLease(
+    std::uint64_t key,
+    const std::function<void(const LeaseRecord&)>& fn) const {
+  std::lock_guard lock(mutex_);
+  const auto ranges = leases_.find(key);
+  if (ranges == leases_.end()) return;
+  for (const auto& [range, rec] : ranges->second) fn(rec);
 }
 
 void CampaignStore::forEachOutcome(

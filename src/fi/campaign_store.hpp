@@ -36,6 +36,46 @@
 //   to, a campaign key, so outcome records can never collide with shard
 //   records and paper-cell results are untouched by pruning.
 //
+// Two further kinds turn the store into the campaign fleet's durable work
+// queue (fi/fleet.hpp):
+//
+//   cell record (kind "cell") — one submitted campaign cell, self-describing
+//   enough for a worker process to rebuild the workload and verify it
+//   reproduces the submitting broker's campaign key:
+//     {"v":1,"kind":"cell","key":"0x<16 hex>","workload":"qsort",
+//      "spec":"read/single","flip_width":32,"experiments":400,
+//      "seed":"0x<16 hex>","shard_size":16,"hang_factor":50,
+//      "dyn_instrs":51234}
+//   `shard_size` is the RESOLVED per-cell shard size: the submitting broker
+//   fixes the shard geometry once, so every worker computes identical
+//   (first, count) ranges. `dyn_instrs` is the golden dynamic instruction
+//   count, carried so workers can cost-order claims without compiling every
+//   cell first.
+//
+//   lease record (kind "lease") — one claim on a shard range:
+//     {"v":1,"kind":"lease","key":"0x<16 hex>","first":96,"count":32,
+//      "worker":"1234:3f2a","epoch":1,"deadline":1754700000000}
+//   `epoch` is the claim generation for that (key, range): a worker
+//   re-leasing an abandoned shard appends epoch+1, heartbeat renewals
+//   re-append the same epoch with a pushed-out `deadline` (util::wallClockMs
+//   milliseconds). The NEWEST lease per (key, range) — highest epoch, latest
+//   record within an epoch — is the live one; a lease is superseded the
+//   moment a shard record for its range exists. Leases are pure scheduling:
+//   results are assembled from shard records alone, so a stale, raced, or
+//   double-claimed lease can waste work but never change an outcome.
+//
+// Writer concurrency: by default a store instance assumes it is the ONLY
+// writer process (appends are dedup'd against the in-memory index and
+// buffered through stdio — the original single-writer design). Fleet-shared
+// stores must be opened with WriteMode::Atomic: every record is then written
+// with one O_APPEND write() + fdatasync under an advisory sibling ".lock"
+// file (util::FileLock), so concurrent worker processes can never tear or
+// interleave a line, and a line half-written by a crashed worker is healed
+// (newline-terminated) before the next append instead of swallowing it.
+// Cross-process appends bypass each other's in-memory dedup, so a shared
+// store accumulates duplicate records; load() keeps the first of each and
+// compact() drops the rest.
+//
 // Campaign key: a 64-bit hash of everything the determinism contract says a
 // campaign result depends on — the full FaultModel (technique, max-MBF,
 // win-size, flip width), experiment count, master seed — plus the
@@ -56,14 +96,24 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "fi/campaign.hpp"
+#include "util/file_lock.hpp"
 #include "util/jsonl.hpp"
 
 namespace onebit::fi {
 
 class CampaignStore {
  public:
+  /// How appends reach the disk. Buffered is the original single-writer
+  /// design (stdio stream, flushed per line); Atomic is for fleet stores
+  /// shared by several writer processes — each record goes out as one
+  /// O_APPEND write() + fdatasync under the sibling "<path>.lock" advisory
+  /// file lock (util::AtomicAppend), and fileLock() exposes that lock so
+  /// callers can make read-decide-append sequences (lease claims) atomic
+  /// across processes.
+  enum class WriteMode { Buffered, Atomic };
   /// Current record schema version; bump when the format changes shape.
   static constexpr std::uint64_t kFormatVersion = 1;
 
@@ -126,6 +176,51 @@ class CampaignStore {
     bool operator==(const WorkloadRecord&) const = default;
   };
 
+  /// One submitted fleet campaign cell (kind "cell"): everything a worker
+  /// process needs to rebuild the cell's workload and verify that its build
+  /// reproduces `key` before running a single experiment.
+  struct CellRecord {
+    std::uint64_t key = 0;     ///< campaignKey the submitting broker computed
+    std::string workload;      ///< progs registry name (worker resolver input)
+    std::string spec;          ///< FaultModel::label()
+    unsigned flipWidth = 64;   ///< not in the label; carried explicitly
+    std::size_t experiments = 0;
+    std::uint64_t seed = 0;
+    std::size_t shardSize = 0;   ///< RESOLVED (> 0): fixes fleet-wide geometry
+    std::uint64_t hangFactor = 0;  ///< Workload hang budget multiplier
+    std::uint64_t dynInstrs = 0;   ///< golden dynamic instrs (cost ordering)
+
+    bool operator==(const CellRecord&) const = default;
+
+    [[nodiscard]] std::size_t shardCount() const noexcept {
+      return shardSize == 0 ? 0 : (experiments + shardSize - 1) / shardSize;
+    }
+    [[nodiscard]] std::size_t shardFirst(std::size_t shard) const noexcept {
+      return shard * shardSize;
+    }
+    [[nodiscard]] std::size_t shardExperiments(
+        std::size_t shard) const noexcept {
+      const std::size_t first = shardFirst(shard);
+      return first >= experiments
+                 ? 0
+                 : (experiments - first < shardSize ? experiments - first
+                                                    : shardSize);
+    }
+  };
+
+  /// One shard-range claim (kind "lease"). The newest lease per
+  /// (key, first, count) — highest epoch, then latest record — is the live
+  /// one; see the file header for the protocol.
+  struct LeaseRecord {
+    std::size_t first = 0;
+    std::size_t count = 0;
+    std::string worker;        ///< "<pid>:<hex nonce>" worker id
+    std::uint64_t epoch = 0;   ///< claim generation, >= 1
+    std::uint64_t deadlineMs = 0;  ///< heartbeat deadline, wallClockMs
+
+    bool operator==(const LeaseRecord&) const = default;
+  };
+
   /// One outcome-equivalence cache entry (see fi/outcome_cache.hpp).
   struct OutcomeRecord {
     std::uint64_t boundary = 0;  ///< hash-grid boundary (dynamic instructions)
@@ -139,6 +234,8 @@ class CampaignStore {
     std::size_t shardRecords = 0;     ///< accepted shard records
     std::size_t workloadRecords = 0;  ///< accepted workload records
     std::size_t outcomeRecords = 0;   ///< accepted outcome-cache records
+    std::size_t cellRecords = 0;      ///< accepted fleet cell records
+    std::size_t leaseRecords = 0;     ///< accepted fleet lease records
     std::size_t malformed = 0;  ///< unparseable or integrity-failing lines
                                 ///< (incl. a torn final line)
     std::size_t duplicates = 0;  ///< re-recorded shards (first one wins)
@@ -148,14 +245,24 @@ class CampaignStore {
     std::size_t shardRecords = 0;     ///< surviving shard records
     std::size_t workloadRecords = 0;  ///< surviving workload records
     std::size_t outcomeRecords = 0;   ///< surviving outcome-cache records
+    std::size_t cellRecords = 0;      ///< surviving fleet cell records
+    std::size_t leaseRecords = 0;     ///< surviving (still-live) leases
     std::size_t droppedDuplicates = 0;  ///< superseded records dropped
+    std::size_t droppedLeases = 0;  ///< expired/superseded leases dropped
     std::size_t droppedMalformed = 0;   ///< torn/invalid lines dropped
     bool rewritten = false;  ///< false = file was already canonical
   };
 
   /// Opens (lazily) the store at `path`. The file need not exist yet; the
-  /// first append creates it.
-  explicit CampaignStore(std::string path) : path_(std::move(path)) {}
+  /// first append creates it. Pass WriteMode::Atomic for a store shared by
+  /// several writer processes (see the enum).
+  explicit CampaignStore(std::string path,
+                         WriteMode mode = WriteMode::Buffered)
+      : path_(std::move(path)), mode_(mode) {
+    if (mode_ == WriteMode::Atomic) {
+      fileLock_ = std::make_unique<util::FileLock>(path_ + ".lock");
+    }
+  }
 
   CampaignStore(const CampaignStore&) = delete;
   CampaignStore& operator=(const CampaignStore&) = delete;
@@ -187,6 +294,17 @@ class CampaignStore {
   /// torn last line of a killed writer must not poison the store.
   LoadStats load();
 
+  /// Incrementally index records OTHER processes appended since the last
+  /// load()/refresh(): reads from the previous end offset, so polling a
+  /// large fleet store costs only the new bytes. An unterminated final line
+  /// (a record mid-append, or a crashed writer's residue) is left for the
+  /// next refresh rather than counted malformed. Falls back to a full
+  /// re-read when the file shrank (someone compacted it) — safe because
+  /// indexing is idempotent and first-wins. In Atomic mode the file lock is
+  /// held for the read, so a refresh under fileLock() observes every record
+  /// of every completed claim sequence.
+  LoadStats refresh();
+
   /// Rewrite the JSONL store at `path` in place, keeping only the newest
   /// record per (campaign key, shard range) and per workload name, and
   /// dropping torn or integrity-failing lines — the maintenance pass for a
@@ -198,7 +316,14 @@ class CampaignStore {
   /// canonical is left untouched byte for byte. Returns nullopt on I/O
   /// failure (the original file is preserved). Do not run it on a store an
   /// open CampaignStore instance is appending to.
-  static std::optional<CompactStats> compact(const std::string& path);
+  ///
+  /// Fleet records: cells keep the newest per key; leases keep the newest
+  /// per (key, range) UNLESS superseded by a shard record for that range
+  /// or — when `nowMs` is nonzero (pass util::wallClockMs()) — expired
+  /// (deadline <= nowMs). Pass nowMs = 0 to keep every unsuperseded lease
+  /// regardless of age (time-independent compaction, e.g. in tests).
+  static std::optional<CompactStats> compact(const std::string& path,
+                                             std::uint64_t nowMs = 0);
 
   /// Append one completed shard (thread-safe; serialized internally). The
   /// line is flushed before the call returns. A shard already present in
@@ -227,8 +352,8 @@ class CampaignStore {
       const std::function<void(const OutcomeRecord&)>& fn) const;
 
   /// Look up a recorded shard by campaign key and exact experiment range.
-  /// Returns nullptr when absent. Pointers stay valid until the store is
-  /// destroyed (records are never evicted).
+  /// Returns nullptr when absent. Pointers stay valid until the next
+  /// load() or shrink-triggered refresh() (the only operations that evict).
   [[nodiscard]] const ShardAggregate* findShard(
       std::uint64_t key, std::size_t firstExperiment,
       std::size_t experimentCount) const;
@@ -240,20 +365,75 @@ class CampaignStore {
   [[nodiscard]] const WorkloadRecord* findWorkload(
       std::string_view name) const;
 
+  /// Append one fleet cell submission (thread-safe). A cell already indexed
+  /// under the same key with identical fields is skipped; differing fields
+  /// under the same key replace the index entry (newest wins — the key
+  /// binds the result-relevant fields, so a difference can only be in
+  /// scheduling metadata like shard_size). Returns false on I/O error or an
+  /// invalid record (shardSize or experiments of 0).
+  bool appendCell(const CellRecord& record);
+
+  /// Append one lease record for a shard range of campaign `key`
+  /// (thread-safe). Always writes (claims, renewals, and re-leases all
+  /// matter), except when the identical record is already the indexed
+  /// newest. Returns false on I/O error or an invalid record (count or
+  /// epoch of 0).
+  bool appendLease(std::uint64_t key, const LeaseRecord& record);
+
+  /// Look up a submitted cell by campaign key; nullptr when absent. Valid
+  /// until the next append/refresh/load.
+  [[nodiscard]] const CellRecord* findCell(std::uint64_t key) const;
+
+  /// All submitted cells, in first-submission order (fleet workers scan
+  /// these; the order is part of no contract but keeps logs readable).
+  [[nodiscard]] std::vector<CellRecord> cells() const;
+
+  /// The live (newest) lease for (key, first, count), if any.
+  [[nodiscard]] std::optional<LeaseRecord> latestLease(
+      std::uint64_t key, std::size_t first, std::size_t count) const;
+
+  /// Visit the live lease of every leased shard range of campaign `key`.
+  /// The store mutex is held across the callback: do not call ANY method of
+  /// this store from inside it (not even const readers like findShard —
+  /// the mutex is not recursive, so that self-deadlocks). Snapshot into a
+  /// local vector and post-process instead.
+  void forEachLease(std::uint64_t key,
+                    const std::function<void(const LeaseRecord&)>& fn) const;
+
+  /// The cross-process advisory lock of an Atomic-mode store (nullptr in
+  /// Buffered mode). Hold it (std::lock_guard) around read-decide-append
+  /// sequences such as lease claims; individual appends self-lock.
+  [[nodiscard]] util::FileLock* fileLock() noexcept {
+    return fileLock_.get();
+  }
+
  private:
   using ShardRange = std::pair<std::size_t, std::size_t>;  ///< (first, count)
   using OutcomeKey = std::pair<std::uint64_t, std::uint64_t>;  ///< (bnd, hash)
 
   bool indexShard(std::uint64_t key, ShardRange range, ShardAggregate agg);
+  bool indexCell(const CellRecord& record);
+  bool indexLease(std::uint64_t key, const LeaseRecord& record);
+  void clearIndex();
+  LoadStats readInto(std::uint64_t offset, bool consumeTail);
+  bool writeRecord(const util::Json& record);
 
   std::string path_;
+  WriteMode mode_ = WriteMode::Buffered;
   mutable std::mutex mutex_;
   std::unique_ptr<util::JsonlWriter> writer_;  ///< opened on first append
+  std::unique_ptr<util::FileLock> fileLock_;   ///< Atomic mode only
+  std::unique_ptr<util::AtomicAppend> appender_;  ///< opened on first append
+  std::uint64_t readOffset_ = 0;  ///< resume point for refresh()
   std::unordered_map<std::uint64_t, std::map<ShardRange, ShardAggregate>>
       shards_;
   std::map<std::string, WorkloadRecord, std::less<>> workloads_;
   std::unordered_map<std::uint64_t, std::map<OutcomeKey, OutcomeRecord>>
       outcomes_;
+  std::vector<CellRecord> cellOrder_;  ///< first-submission order
+  std::unordered_map<std::uint64_t, std::size_t> cellIndex_;  ///< key → idx
+  std::unordered_map<std::uint64_t, std::map<ShardRange, LeaseRecord>>
+      leases_;
 };
 
 /// How a campaign engine (or a driver built on one) should use a store:

@@ -13,7 +13,7 @@ namespace onebit::fi {
 Workload::Workload(ir::Module mod, std::uint64_t hangFactor,
                    SnapshotPolicy snapshots, PrunePolicy prune,
                    vm::DispatchBackend dispatch)
-    : mod_(std::move(mod)) {
+    : mod_(std::move(mod)), hangFactor_(hangFactor) {
   vm::ExecLimits goldenLimits;
   // The backend rides on the limits into every run this workload owns: the
   // plain golden pass below executes threaded when selected (the hashing

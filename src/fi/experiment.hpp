@@ -126,6 +126,12 @@ class Workload {
   [[nodiscard]] const vm::ExecLimits& faultyLimits() const noexcept {
     return faultyLimits_;
   }
+  /// The hang budget factor this workload was built with. Fleet brokers
+  /// stamp it into cell records so worker processes rebuild the workload
+  /// with the identical faulty-run budget (and thus fingerprint).
+  [[nodiscard]] std::uint64_t hangFactor() const noexcept {
+    return hangFactor_;
+  }
   /// Stable 64-bit identity of this workload's observable behavior: a hash
   /// of the golden output, dynamic instruction count, both register
   /// candidate counts, and the faulty-run instruction budget (hangFactor).
@@ -181,6 +187,7 @@ class Workload {
   ir::Module mod_;
   vm::ExecResult golden_;
   vm::ExecLimits faultyLimits_;
+  std::uint64_t hangFactor_ = kDefaultHangFactor;
   std::uint64_t fingerprint_ = 0;
   std::uint64_t extendedFingerprint_ = 0;
   std::vector<vm::Snapshot> snapshots_;

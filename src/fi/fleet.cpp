@@ -1,0 +1,508 @@
+#include "fi/fleet.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "fi/fault_plan.hpp"
+#include "fi/outcome_cache.hpp"
+#include "progs/registry.hpp"
+#include "util/file_lock.hpp"
+#include "util/rng.hpp"
+
+namespace onebit::fi {
+
+namespace {
+
+/// Shard-local tally — the same accumulation CampaignSuite's ShardAccumulator
+/// performs, so fleet shard records are field-for-field what a solo run
+/// writes (prune counters stay local; they never reach the record).
+struct ShardTally {
+  stats::OutcomeCounts counts;
+  ActivationHistogram hist{};
+
+  void add(const ExperimentResult& r) noexcept {
+    counts.add(r.outcome);
+    const unsigned bucket = std::min(r.activations, kMaxActivationBucket);
+    ++hist[static_cast<std::size_t>(r.outcome)][bucket];
+  }
+};
+
+/// The pid prefix of a "<pid>:<hex>" worker id; nullopt for foreign formats.
+std::optional<std::uint64_t> workerPid(const std::string& worker) {
+  std::uint64_t pid = 0;
+  std::size_t i = 0;
+  for (; i < worker.size() && worker[i] >= '0' && worker[i] <= '9'; ++i) {
+    pid = pid * 10 + static_cast<std::uint64_t>(worker[i] - '0');
+  }
+  if (i == 0 || i >= worker.size() || worker[i] != ':') return std::nullopt;
+  return pid;
+}
+
+/// Is this lease still holding its shard? Expired leases are dead; on a
+/// single host, so are leases whose recorded pid no longer exists (an early
+/// re-lease accelerator — expiry alone is always sufficient).
+bool leaseAlive(const CampaignStore::LeaseRecord& lease, std::uint64_t nowMs,
+                bool sameHostLiveness) {
+  if (lease.deadlineMs <= nowMs) return false;
+  if (sameHostLiveness) {
+    if (const std::optional<std::uint64_t> pid = workerPid(lease.worker)) {
+      if (!util::processAlive(*pid)) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t clockOf(const FleetConfig& config) {
+  return config.clock ? config.clock() : util::wallClockMs();
+}
+
+std::shared_ptr<const Workload> defaultResolve(
+    const CampaignStore::CellRecord& cell) {
+  const progs::ProgramInfo* info = progs::findProgram(cell.workload);
+  if (info == nullptr) return nullptr;
+  const std::uint64_t hangFactor =
+      cell.hangFactor != 0 ? cell.hangFactor : Workload::kDefaultHangFactor;
+  return std::make_shared<const Workload>(progs::compileProgram(*info),
+                                          hangFactor);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FleetBroker
+
+FleetBroker::FleetBroker(const std::string& storePath, FleetConfig config)
+    : store_(storePath, CampaignStore::WriteMode::Atomic),
+      config_(std::move(config)) {}
+
+std::optional<CampaignStore::CellRecord> FleetBroker::makeCell(
+    const std::string& name, const Workload& workload,
+    const FaultModel& model, std::size_t experiments, std::uint64_t seed,
+    std::size_t resolvedShardSize) {
+  if (name.empty() || experiments == 0 || resolvedShardSize == 0) {
+    return std::nullopt;
+  }
+  CampaignStore::CellRecord rec;
+  rec.key = CampaignStore::campaignKey(model, experiments, seed,
+                                       workload.fingerprintFor(model));
+  rec.workload = name;
+  rec.spec = model.label();
+  rec.flipWidth = model.flipWidth;
+  rec.experiments = experiments;
+  rec.seed = seed;
+  rec.shardSize = resolvedShardSize;
+  rec.hangFactor = workload.hangFactor();
+  rec.dynInstrs = workload.golden().instructions;
+  // The record carries the model as its label; a worker will re-parse it.
+  // Verify the round trip reproduces both the spelling and the campaign key
+  // — a degenerate model that re-parses to different semantics must run
+  // in-process, not stall the fleet as a cell nobody can validate.
+  std::optional<FaultModel> parsed = FaultModel::parse(rec.spec);
+  if (!parsed) return std::nullopt;
+  parsed->flipWidth = model.flipWidth;
+  if (parsed->label() != rec.spec ||
+      CampaignStore::campaignKey(*parsed, experiments, seed,
+                                 workload.fingerprintFor(*parsed)) !=
+          rec.key) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+bool FleetBroker::submit(const CampaignStore::CellRecord& cell) {
+  if (!loaded_) {
+    store_.load();
+    loaded_ = true;
+  }
+  return store_.appendCell(cell);
+}
+
+std::vector<FleetBroker::CellStatus> FleetBroker::status() {
+  if (!loaded_) {
+    store_.load();
+    loaded_ = true;
+  } else {
+    store_.refresh();
+  }
+  const std::uint64_t nowMs = clockOf(config_);
+  std::vector<CellStatus> out;
+  for (const CampaignStore::CellRecord& cell : store_.cells()) {
+    CellStatus st;
+    st.cell = cell;
+    for (std::size_t s = 0; s < cell.shardCount(); ++s) {
+      if (store_.findShard(cell.key, cell.shardFirst(s),
+                           cell.shardExperiments(s)) != nullptr) {
+        ++st.recordedShards;
+        st.recordedExperiments += cell.shardExperiments(s);
+      }
+    }
+    // Snapshot first: forEachLease holds the store mutex across the
+    // callback, so calling findShard from inside it would self-deadlock.
+    std::vector<CampaignStore::LeaseRecord> leases;
+    store_.forEachLease(cell.key, [&](const CampaignStore::LeaseRecord& l) {
+      leases.push_back(l);
+    });
+    for (const CampaignStore::LeaseRecord& l : leases) {
+      if (store_.findShard(cell.key, l.first, l.count) != nullptr) {
+        continue;  // superseded: the shard is done, the lease is history
+      }
+      if (leaseAlive(l, nowMs, config_.sameHostLiveness)) {
+        ++st.activeLeases;
+      } else {
+        ++st.expiredLeases;
+      }
+    }
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+bool FleetBroker::complete() {
+  const std::vector<CellStatus> cells = status();
+  if (cells.empty()) return false;
+  return std::all_of(cells.begin(), cells.end(),
+                     [](const CellStatus& c) { return c.complete(); });
+}
+
+std::optional<CampaignResult> FleetBroker::result(
+    const CampaignStore::CellRecord& cell) {
+  if (!loaded_) {
+    store_.load();
+    loaded_ = true;
+  } else {
+    store_.refresh();
+  }
+  CampaignResult result;
+  if (std::optional<FaultModel> model = FaultModel::parse(cell.spec)) {
+    model->flipWidth = cell.flipWidth;
+    result.config.model = *model;
+  }
+  result.config.experiments = cell.experiments;
+  result.config.seed = cell.seed;
+  result.config.shardSize = cell.shardSize;
+  // Merge in shard order, exactly like the suite's per-cell merge.
+  for (std::size_t s = 0; s < cell.shardCount(); ++s) {
+    const CampaignStore::ShardAggregate* agg = store_.findShard(
+        cell.key, cell.shardFirst(s), cell.shardExperiments(s));
+    if (agg == nullptr) return std::nullopt;
+    result.completedExperiments += cell.shardExperiments(s);
+    result.counts.merge(agg->counts);
+    mergeHistogram(result.activationHist, agg->hist);
+  }
+  result.resumedExperiments = result.completedExperiments;
+  return result;
+}
+
+// ---------------------------------------------------------------- FleetWorker
+
+/// A cell this worker has resolved and key-validated: the rebuilt workload,
+/// the re-parsed model, and the store metadata every shard record stamps.
+struct FleetWorker::CellExec {
+  std::shared_ptr<const Workload> workload;
+  FaultModel model;
+  std::uint64_t candidates = 0;
+  CampaignStore::CampaignMeta meta;
+  std::unique_ptr<OutcomeCache> cache;
+};
+
+FleetWorker::FleetWorker(const std::string& storePath, std::string workerId,
+                         FleetConfig config)
+    : store_(storePath, CampaignStore::WriteMode::Atomic),
+      config_(std::move(config)),
+      id_(std::move(workerId)) {
+  if (id_.empty()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu:%04llx",
+                  static_cast<unsigned long long>(util::currentPid()),
+                  static_cast<unsigned long long>(
+                      util::hashCombine(util::wallClockMs(),
+                                        util::currentPid()) &
+                      0xffff));
+    id_ = buf;
+  }
+}
+
+FleetWorker::~FleetWorker() = default;
+
+std::uint64_t FleetWorker::now() const { return clockOf(config_); }
+
+bool FleetWorker::leaseActive(const CampaignStore::LeaseRecord& lease,
+                              std::uint64_t nowMs) const {
+  // Our own lease never blocks us: this worker is single-threaded, so a
+  // lease under our id with no shard record is the residue of an earlier
+  // claim we abandoned (e.g. a cell that failed to resolve) — re-claimable.
+  if (lease.worker == id_) return false;
+  return leaseAlive(lease, nowMs, config_.sameHostLiveness);
+}
+
+FleetWorker::CellExec* FleetWorker::resolve(
+    const CampaignStore::CellRecord& cell) {
+  const auto it = execs_.find(cell.key);
+  if (it != execs_.end()) return it->second.get();
+  auto fail = [&](const char* why) -> CellExec* {
+    std::fprintf(stderr,
+                 "fleet worker %s: cell '%s' (%s) is unrunnable here: %s\n",
+                 id_.c_str(), cell.workload.c_str(), cell.spec.c_str(), why);
+    unrunnable_.insert(cell.key);
+    return nullptr;
+  };
+  std::optional<FaultModel> model = FaultModel::parse(cell.spec);
+  if (!model) return fail("unparseable fault spec");
+  model->flipWidth = cell.flipWidth;
+  const std::shared_ptr<const Workload> workload =
+      config_.workloadResolver ? config_.workloadResolver(cell)
+                               : defaultResolve(cell);
+  if (workload == nullptr) return fail("workload did not resolve");
+  // The submitting broker's campaign key must be reproduced bit for bit —
+  // a mismatch means our rebuilt workload behaves differently (source
+  // drift, wrong hang factor, version skew) and any shard we ran would be
+  // recorded under a key it does not belong to.
+  const std::uint64_t key = CampaignStore::campaignKey(
+      *model, cell.experiments, cell.seed, workload->fingerprintFor(*model));
+  if (key != cell.key) return fail("campaign key mismatch (version skew?)");
+  auto exec = std::make_unique<CellExec>();
+  exec->workload = workload;
+  exec->model = *model;
+  exec->candidates = workload->candidates(model->domain);
+  exec->meta.key = cell.key;
+  exec->meta.workload = cell.workload;
+  exec->meta.specLabel = cell.spec;
+  exec->meta.seed = cell.seed;
+  exec->meta.experiments = cell.experiments;
+  exec->meta.candidates = exec->candidates;
+  if (config_.pruning && workload->pruningEnabled()) {
+    exec->cache = std::make_unique<OutcomeCache>();
+    const std::uint64_t cacheKey = CampaignStore::outcomeCacheKey(cell.key);
+    exec->cache->warmFrom(store_, cacheKey);
+    exec->cache->bindStore(&store_, cacheKey);
+  }
+  return execs_.emplace(cell.key, std::move(exec)).first->second.get();
+}
+
+FleetWorker::Step FleetWorker::step() {
+  struct Claim {
+    CampaignStore::CellRecord cell;
+    std::size_t shard = 0;
+    std::uint64_t epoch = 0;
+  };
+  std::optional<Claim> claim;
+  bool allRecorded = true;
+  bool activeElsewhere = false;
+
+  {
+    // The whole read-decide-append sequence is one cross-process critical
+    // section; individual appends inside re-enter the same lock.
+    util::FileLock* fileLock = store_.fileLock();
+    std::lock_guard<util::FileLock> guard(*fileLock);
+    if (!loaded_) {
+      store_.load();
+      loaded_ = true;
+    } else {
+      store_.refresh();
+    }
+    const std::uint64_t nowMs = now();
+
+    // Cost-ordered scan: cells by descending estimated remaining work
+    // (golden instructions × pending experiments — the suite's LPT
+    // heuristic), shards ascending within a cell. Ties keep submission
+    // order. Claim order never affects results, only makespan.
+    const std::vector<CampaignStore::CellRecord> cells = store_.cells();
+    std::vector<std::size_t> pendingExperiments(cells.size(), 0);
+    std::vector<std::size_t> order(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      order[c] = c;
+      for (std::size_t s = 0; s < cells[c].shardCount(); ++s) {
+        if (store_.findShard(cells[c].key, cells[c].shardFirst(s),
+                             cells[c].shardExperiments(s)) == nullptr) {
+          pendingExperiments[c] += cells[c].shardExperiments(s);
+        }
+      }
+      if (pendingExperiments[c] != 0) allRecorded = false;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cells[a].dynInstrs * pendingExperiments[a] >
+                              cells[b].dynInstrs * pendingExperiments[b];
+                     });
+    for (const std::size_t c : order) {
+      if (claim) break;
+      const CampaignStore::CellRecord& cell = cells[c];
+      if (pendingExperiments[c] == 0) continue;
+      for (std::size_t s = 0; s < cell.shardCount(); ++s) {
+        const std::size_t first = cell.shardFirst(s);
+        const std::size_t count = cell.shardExperiments(s);
+        if (store_.findShard(cell.key, first, count) != nullptr) continue;
+        const std::optional<CampaignStore::LeaseRecord> lease =
+            store_.latestLease(cell.key, first, count);
+        if (lease && leaseActive(*lease, nowMs)) {
+          activeElsewhere = true;
+          continue;
+        }
+        if (unrunnable_.count(cell.key) != 0) continue;
+        Claim c2;
+        c2.cell = cell;
+        c2.shard = s;
+        c2.epoch = lease ? lease->epoch + 1 : 1;
+        store_.appendLease(cell.key,
+                           {first, count, id_, c2.epoch,
+                            nowMs + config_.leaseMs});
+        claim = std::move(c2);
+        break;
+      }
+    }
+  }
+
+  if (!claim) {
+    if (allRecorded) return Step::Done;
+    return activeElsewhere ? Step::Idle : Step::Stalled;
+  }
+  ++claims_;
+  if (config_.onClaim) config_.onClaim(claims_);
+
+  CellExec* exec = resolve(claim->cell);
+  if (exec == nullptr) {
+    // The claim is burned; our own lease never blocks us and lapses for
+    // everyone else. The next step() skips this cell via unrunnable_.
+    return Step::Idle;
+  }
+
+  const CampaignStore::CellRecord& cell = claim->cell;
+  const std::size_t first = cell.shardFirst(claim->shard);
+  const std::size_t count = cell.shardExperiments(claim->shard);
+  ShardTally acc;
+  std::uint64_t lastBeat = now();
+  for (std::size_t i = first; i < first + count; ++i) {
+    const FaultPlan fp = FaultPlan::forExperiment(exec->model,
+                                                  exec->candidates,
+                                                  cell.seed, i);
+    acc.add(runExperiment(*exec->workload, fp, exec->cache.get()));
+    const std::uint64_t t = now();
+    if (t - lastBeat >= config_.resolvedHeartbeatMs()) {
+      // Renew within our epoch: same claim, pushed-out deadline.
+      store_.appendLease(cell.key, {first, count, id_, claim->epoch,
+                                    t + config_.leaseMs});
+      lastBeat = t;
+    }
+  }
+  if (!store_.appendShard(exec->meta, claim->shard, first, count,
+                          {acc.counts, acc.hist})) {
+    std::fprintf(stderr,
+                 "fleet worker %s: store '%s' is not recording (write "
+                 "failed); shard %zu of '%s' was computed but lost\n",
+                 id_.c_str(), store_.path().c_str(), claim->shard,
+                 cell.workload.c_str());
+  }
+  ++shardsRun_;
+  return Step::Ran;
+}
+
+FleetWorker::Step FleetWorker::run(std::size_t maxShards) {
+  for (;;) {
+    const Step step = this->step();
+    if (step == Step::Done || step == Step::Stalled) return step;
+    if (step == Step::Ran && maxShards != 0 && shardsRun_ >= maxShards) {
+      return step;
+    }
+    if (step == Step::Idle) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.pollMs));
+    }
+  }
+}
+
+// ------------------------------------------------------------------- runFleet
+
+std::vector<CampaignResult> runFleet(const CampaignSuite& suite,
+                                     SuiteConfig config,
+                                     const std::string& storePath,
+                                     const LocalFleetOptions& options) {
+#if !defined(_WIN32)
+  {
+    FleetBroker broker(storePath, options.config);
+    std::size_t submitted = 0;
+    for (std::size_t c = 0; c < suite.cellCount(); ++c) {
+      const SuiteCell& cell = suite.cell(c);
+      if (cell.workload == nullptr || cell.experiments == 0) continue;
+      const std::optional<CampaignStore::CellRecord> rec =
+          FleetBroker::makeCell(
+              cell.storeName, *cell.workload, cell.model, cell.experiments,
+              cell.seed, resolveShardSize(cell.experiments,
+                                          config.shardSize));
+      // A cell makeCell() refuses (unnamed, or a degenerate model whose
+      // label does not round-trip) is simply left for the in-process
+      // remainder pass below.
+      if (rec && broker.submit(*rec)) ++submitted;
+    }
+    if (submitted != 0 && options.workers != 0) {
+      std::vector<pid_t> children;
+      for (std::size_t w = 0; w < options.workers; ++w) {
+        const pid_t pid = ::fork();
+        if (pid < 0) break;  // fork pressure: run with fewer workers
+        if (pid == 0) {
+          FleetConfig cfg = options.config;
+          if (w == 0 && options.killFirstWorkerAfterClaims != 0) {
+            const std::size_t killAfter = options.killFirstWorkerAfterClaims;
+            cfg.onClaim = [killAfter](std::size_t claims) {
+              if (claims >= killAfter) ::raise(SIGKILL);
+            };
+          }
+          int exitCode = 1;
+          try {
+            FleetWorker worker(storePath, {}, std::move(cfg));
+            const FleetWorker::Step last =
+                worker.run(options.maxShardsPerWorker);
+            exitCode = last == FleetWorker::Step::Stalled ? 3 : 0;
+          } catch (...) {
+            exitCode = 1;
+          }
+          // _Exit: no atexit handlers, no flushing the parent's inherited
+          // stdio buffers twice.
+          std::_Exit(exitCode);
+        }
+        children.push_back(pid);
+      }
+      for (const pid_t pid : children) {
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        if (WIFSIGNALED(status)) {
+          std::fprintf(stderr,
+                       "fleet worker (pid %ld) died on signal %d; its "
+                       "shards will be re-leased or finished in-process\n",
+                       static_cast<long>(pid), WTERMSIG(status));
+        }
+      }
+    }
+  }  // broker closes its store handle before the final pass reopens it
+#else
+  (void)options;
+#endif
+  // Final pass: a resume-bound suite over the fleet store completes any
+  // remainder (cells never submitted, shards lost to crashes) and performs
+  // the cell-order merge. By the suite's resume contract its results are
+  // bit-identical to suite.run() — this is what makes the fleet safe: no
+  // lease interleaving can change the answer, only how much of the work
+  // this final pass still has to do.
+  CampaignStore store(storePath, CampaignStore::WriteMode::Atomic);
+  store.load();
+  SuiteConfig finalConfig = config;
+  finalConfig.record = &store;
+  finalConfig.resume = &store;
+  CampaignSuite remainder(finalConfig);
+  for (std::size_t c = 0; c < suite.cellCount(); ++c) {
+    remainder.addCell(suite.cell(c));
+  }
+  return remainder.run();
+}
+
+}  // namespace onebit::fi

@@ -1,0 +1,232 @@
+// Campaign fleet: a durable lease broker and multi-process workers that
+// cooperate through the JSONL campaign store (fi/campaign_store.hpp).
+//
+// A CampaignSuite scales a sweep across the THREADS of one process; the
+// fleet scales it across PROCESSES (and, via a shared filesystem, hosts).
+// The store file is the only coordination channel — there is no server, no
+// socket, no shared memory:
+//
+//   broker  — turns suite cells into "cell" records (FleetBroker::makeCell +
+//             submit()), then watches shard records accumulate until every
+//             cell is fully recorded.
+//   worker  — FleetWorker::run(): repeatedly claims the cheapest-available
+//             shard by appending a "lease" record under the store's file
+//             lock, executes its experiments through the exact per-shard
+//             loop CampaignSuite uses, appends the "shard" record, and
+//             heartbeats the lease while it computes.
+//
+// Fault tolerance is lease-expiry based. A worker that dies (SIGKILL, OOM,
+// host loss) simply stops renewing its lease; once the heartbeat deadline
+// passes — or, on the same host, as soon as the recorded pid is gone — any
+// other worker re-leases the shard at epoch+1 and runs it again.
+//
+// Determinism contract (extends fi/suite.hpp): a shard's aggregate record
+// depends ONLY on (model, experiments, seed, workload, shard range) — never
+// on which worker ran it, when, or how many times. Duplicate shard records
+// from racing or resurrected workers are therefore byte-identical, and the
+// store's first-wins dedup makes every crash/re-lease interleaving converge
+// to the same record set. Fleet output is bit-identical to a solo
+// CampaignSuite run of the same cells for ANY worker count, crash pattern,
+// and lease timing: leases schedule work, they never gate correctness.
+//
+// The broker never trusts a label blindly: makeCell() round-trips the fault
+// model through label()/parse() and recomputes the campaign key; a cell
+// whose spelling does not reproduce its key (possible for degenerate
+// models) is refused at submission instead of stalling the fleet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fi/campaign_store.hpp"
+#include "fi/suite.hpp"
+
+namespace onebit::fi {
+
+/// Knobs shared by brokers and workers of one fleet.
+struct FleetConfig {
+  /// Lease duration: a claim or heartbeat extends the lease this far into
+  /// the future. A shard whose experiments outlast it is fine as long as
+  /// heartbeats keep landing.
+  std::uint64_t leaseMs = 30'000;
+  /// Heartbeat period; 0 resolves to leaseMs / 3 (three missed beats lose
+  /// the lease).
+  std::uint64_t heartbeatMs = 0;
+  /// Idle poll period for FleetWorker::run() when every pending shard is
+  /// actively leased by someone else.
+  std::uint64_t pollMs = 50;
+  /// Re-lease immediately when the lease holder's pid (the prefix of its
+  /// worker id) no longer exists on THIS host — a fast path for single-host
+  /// fleets; expiry alone is always sufficient. Disable for fleets spanning
+  /// hosts, where foreign pids are meaningless.
+  bool sameHostLiveness = true;
+  /// Run experiments with outcome-equivalence pruning when the resolved
+  /// workload carries a golden boundary-hash table (pure speedup; results
+  /// are bit-identical either way).
+  bool pruning = false;
+  /// The fleet clock, milliseconds. Null uses util::wallClockMs. Tests
+  /// inject a fake clock to make lease expiry deterministic.
+  std::function<std::uint64_t()> clock;
+  /// Test hook: called after each successful lease append, BEFORE the shard
+  /// runs, with the number of claims made so far (1-based). Throwing (or
+  /// raising a signal) here models a worker crashing right after claiming.
+  std::function<void(std::size_t)> onClaim;
+  /// Maps a cell record to the workload to run. Null uses the default
+  /// resolver: compile the progs registry program named by the record with
+  /// the record's hang factor and plain policies. A resolver returning null
+  /// marks the cell unrunnable for this worker.
+  std::function<std::shared_ptr<const Workload>(
+      const CampaignStore::CellRecord&)>
+      workloadResolver;
+
+  [[nodiscard]] std::uint64_t resolvedHeartbeatMs() const noexcept {
+    return heartbeatMs != 0 ? heartbeatMs : leaseMs / 3;
+  }
+};
+
+/// Submits work to a fleet store and reports on its progress. Stateless
+/// beyond the store handle: every query re-reads the file, so a broker can
+/// be started, killed, and restarted freely.
+class FleetBroker {
+ public:
+  /// Per-cell progress snapshot.
+  struct CellStatus {
+    CampaignStore::CellRecord cell;
+    std::size_t recordedExperiments = 0;
+    std::size_t recordedShards = 0;
+    std::size_t activeLeases = 0;   ///< live leases on unrecorded shards
+    std::size_t expiredLeases = 0;  ///< lapsed leases on unrecorded shards
+    [[nodiscard]] bool complete() const noexcept {
+      return recordedExperiments >= cell.experiments;
+    }
+  };
+
+  explicit FleetBroker(const std::string& storePath, FleetConfig config = {});
+
+  /// Build the cell record a worker needs to reproduce `(workload, model,
+  /// experiments, seed)` exactly: stamps the resolved shard size, the
+  /// workload's hang factor and golden cost, and validates that
+  /// parse(model.label()) + flipWidth reproduces the same campaign key.
+  /// Returns nullopt when it cannot (empty name, degenerate model whose
+  /// label re-parses to different semantics, zero experiments) — such cells
+  /// must run in-process instead of being submitted.
+  static std::optional<CampaignStore::CellRecord> makeCell(
+      const std::string& name, const Workload& workload,
+      const FaultModel& model, std::size_t experiments, std::uint64_t seed,
+      std::size_t resolvedShardSize);
+
+  /// Append a cell submission (idempotent: resubmitting the identical cell
+  /// writes nothing). Returns false on I/O failure.
+  bool submit(const CampaignStore::CellRecord& cell);
+
+  /// Re-read the store and report every submitted cell's progress, in
+  /// submission order.
+  [[nodiscard]] std::vector<CellStatus> status();
+
+  /// True when every submitted cell is fully recorded.
+  [[nodiscard]] bool complete();
+
+  /// Assemble the CampaignResult for one submitted cell from its shard
+  /// records, merged in shard order — the same merge a solo run performs.
+  /// nullopt while any of the cell's shards is missing.
+  [[nodiscard]] std::optional<CampaignResult> result(
+      const CampaignStore::CellRecord& cell);
+
+  [[nodiscard]] CampaignStore& store() noexcept { return store_; }
+
+ private:
+  CampaignStore store_;
+  FleetConfig config_;
+  bool loaded_ = false;
+};
+
+/// One worker process's engine: claim, run, record, repeat. Single-threaded
+/// by design — process-level parallelism is the fleet's whole point, and a
+/// worker wanting thread-level parallelism can simply be started N times.
+class FleetWorker {
+ public:
+  /// What one step() accomplished.
+  enum class Step {
+    Ran,      ///< claimed a shard, ran it, recorded it
+    Idle,     ///< pending work exists but is all actively leased by others
+    Done,     ///< every shard of every submitted cell is recorded
+    Stalled,  ///< only unrunnable-here cells remain, none actively leased
+  };
+
+  /// `workerId` must be unique per worker process; empty derives
+  /// "<pid>:<hex>" automatically (the pid prefix powers same-host liveness).
+  explicit FleetWorker(const std::string& storePath,
+                       std::string workerId = {}, FleetConfig config = {});
+  ~FleetWorker();
+
+  FleetWorker(const FleetWorker&) = delete;
+  FleetWorker& operator=(const FleetWorker&) = delete;
+
+  /// Claim and run at most one shard. Cost-ordered: cells by descending
+  /// (golden instructions × pending experiments), shards ascending within a
+  /// cell — the LPT order CampaignSuite uses, so the fleet finishes the
+  /// long pole first too.
+  Step step();
+
+  /// step() until Done or Stalled (or until `maxShards` fresh shards ran,
+  /// when nonzero — the worker-side checkpoint cap), sleeping pollMs
+  /// between Idle polls. Returns the final step state.
+  Step run(std::size_t maxShards = 0);
+
+  [[nodiscard]] const std::string& workerId() const noexcept { return id_; }
+  [[nodiscard]] std::size_t shardsRun() const noexcept { return shardsRun_; }
+
+ private:
+  struct CellExec;  ///< resolved workload + per-cell cache (fleet.cpp)
+
+  [[nodiscard]] std::uint64_t now() const;
+  [[nodiscard]] bool leaseActive(const CampaignStore::LeaseRecord& lease,
+                                 std::uint64_t nowMs) const;
+  CellExec* resolve(const CampaignStore::CellRecord& cell);
+
+  CampaignStore store_;
+  FleetConfig config_;
+  std::string id_;
+  std::size_t shardsRun_ = 0;
+  std::size_t claims_ = 0;
+  bool loaded_ = false;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CellExec>> execs_;
+  std::unordered_set<std::uint64_t> unrunnable_;
+};
+
+/// Options for runFleet(), the in-process fleet driver.
+struct LocalFleetOptions {
+  std::size_t workers = 2;  ///< worker processes to fork
+  FleetConfig config;
+  /// Crash injection: when nonzero, the FIRST worker kills itself
+  /// (SIGKILL, no cleanup) right after its Nth successful claim — the
+  /// canonical re-lease test. The remaining workers finish the work.
+  std::size_t killFirstWorkerAfterClaims = 0;
+  /// Per-worker cap forwarded to FleetWorker::run().
+  std::size_t maxShardsPerWorker = 0;
+};
+
+/// Run `suite`'s cells as a local fleet over the store at `storePath`:
+/// submit every expressible cell, fork `workers` worker processes, wait for
+/// them, then finish ANY remainder in-process (cells makeCell() refused,
+/// shards lost to crashed workers) with a resume-bound CampaignSuite over
+/// the same store. That final pass also performs the merge, so the returned
+/// results are bit-identical to `suite.run()` by the suite's own resume
+/// contract — regardless of worker count or crash pattern. On platforms
+/// without fork(), the whole suite runs in-process (results unchanged).
+///
+/// `config` must be the SuiteConfig `suite` was built with (it fixes the
+/// shard geometry); its record/resume stores are ignored in favor of the
+/// fleet store.
+std::vector<CampaignResult> runFleet(const CampaignSuite& suite,
+                                     SuiteConfig config,
+                                     const std::string& storePath,
+                                     const LocalFleetOptions& options = {});
+
+}  // namespace onebit::fi

@@ -1,0 +1,149 @@
+#include "util/file_lock.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#if defined(_WIN32)
+// The fleet tools are POSIX-only for now; on other platforms FileLock
+// degrades to in-process mutual exclusion and AtomicAppend to plain stdio.
+#include <cstdio>
+#else
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace onebit::util {
+
+struct FileLock::Impl {
+  std::recursive_mutex mutex;
+  int depth = 0;
+};
+
+FileLock::FileLock(std::string path)
+    : path_(std::move(path)), impl_(new Impl) {
+#if !defined(_WIN32)
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+#endif
+}
+
+FileLock::~FileLock() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  delete impl_;
+}
+
+void FileLock::lock() {
+  impl_->mutex.lock();
+  if (++impl_->depth > 1) return;  // reentrant: OS lock already held
+#if !defined(_WIN32)
+  if (fd_ >= 0) {
+    while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+    }
+  }
+#endif
+}
+
+void FileLock::unlock() {
+  if (impl_->depth > 0 && --impl_->depth == 0) {
+#if !defined(_WIN32)
+    if (fd_ >= 0) ::flock(fd_, LOCK_UN);
+#endif
+  }
+  impl_->mutex.unlock();
+}
+
+AtomicAppend::AtomicAppend(std::string path) : path_(std::move(path)) {
+#if !defined(_WIN32)
+  // O_RDWR, not O_WRONLY: the torn-tail probe pread()s the last byte.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+#endif
+}
+
+AtomicAppend::~AtomicAppend() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+bool AtomicAppend::appendLine(std::string_view line) {
+#if defined(_WIN32)
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size()
+                  && std::fputc('\n', f) != EOF && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+#else
+  if (fd_ < 0) return false;
+  // Heal a torn tail: if the file does not currently end in '\n' (a writer
+  // died mid-write), lead with a newline so the residue becomes one
+  // self-contained malformed line instead of swallowing this record. The
+  // check and the write are not atomic against OTHER appenders, but those
+  // only ever append whole '\n'-terminated chunks, so a stale check costs at
+  // most one harmless blank line.
+  bool needsNewline = false;
+  struct stat st{};
+  if (::fstat(fd_, &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      needsNewline = true;
+    }
+  }
+  std::string chunk;
+  chunk.reserve(line.size() + 2);
+  if (needsNewline) chunk += '\n';
+  chunk += line;
+  chunk += '\n';
+  // One write(): O_APPEND positions at EOF atomically, so concurrent
+  // appenders never interleave within each other's records.
+  std::size_t written = 0;
+  while (written < chunk.size()) {
+    const ::ssize_t n =
+        ::write(fd_, chunk.data() + written, chunk.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+    if (written < chunk.size()) return false;  // partial write: give up
+  }
+  while (::fdatasync(fd_) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+#endif
+}
+
+std::uint64_t wallClockMs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t currentPid() noexcept {
+#if defined(_WIN32)
+  return 0;
+#else
+  return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+bool processAlive(std::uint64_t pid) noexcept {
+#if defined(_WIN32)
+  return true;  // no probe: never re-lease early
+#else
+  if (pid == 0 || pid > 0x7fffffffULL) return true;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno == EPERM;  // exists but owned by someone else
+#endif
+}
+
+}  // namespace onebit::util

@@ -1,0 +1,100 @@
+// Multi-process coordination primitives for the campaign fleet: an advisory
+// file lock, a crash-tolerant atomic line appender, and process liveness.
+//
+// The fleet protocol (fi/fleet.hpp) promotes the JSONL campaign store into a
+// durable work queue shared by worker PROCESSES, which breaks the store's
+// original single-writer assumption in two ways:
+//
+//   * read-decide-append sequences (claiming a shard lease) must be atomic
+//     across processes, or two workers race to the same shard — FileLock, an
+//     advisory exclusive lock on a sibling ".lock" file, guards them;
+//   * appends from different processes must never tear or interleave a
+//     record line — AtomicAppend writes each line with ONE O_APPEND write()
+//     followed by fdatasync(), and heals a torn final line (the residue of a
+//     writer killed mid-write) by terminating it before appending, so a
+//     crashed neighbor costs one malformed line, never a poisoned record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace onebit::util {
+
+/// Advisory exclusive lock on `path` (created empty when missing), held for
+/// the duration of a cross-process critical section. Reentrant: the owning
+/// thread may lock() again (OS-level locks are per open file description,
+/// not per call); other threads of the same process serialize on an internal
+/// mutex exactly like foreign processes do on the OS lock. BasicLockable, so
+/// `std::lock_guard<util::FileLock>` works.
+///
+/// The lock file itself carries no data — it exists so the guarded file can
+/// be renamed/compacted without invalidating anyone's lock fd.
+class FileLock {
+ public:
+  explicit FileLock(std::string path);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  /// Blocks until the OS lock is held. Returns even if the lock file could
+  /// not be opened (degrades to thread-level mutual exclusion; ok() tells).
+  void lock();
+  void unlock();
+
+  /// True when the OS-level lock file is open (cross-process exclusion is
+  /// in effect, not just the in-process mutex).
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct Impl;
+  std::string path_;
+  int fd_ = -1;
+  Impl* impl_;  ///< recursive mutex + depth (kept out of the header)
+};
+
+/// Append-only line writer safe for concurrent writer PROCESSES:
+/// each appendLine() issues exactly one O_APPEND write() of "<line>\n"
+/// (prefixed by an extra '\n' when the file currently ends mid-line — the
+/// torn residue of a crashed writer — so the garbage is isolated as one
+/// malformed line instead of corrupting this record) and then fdatasync()s,
+/// making the record durable before the call returns. Callers wanting
+/// read-decide-append atomicity must additionally hold the FileLock; the
+/// append itself never tears regardless.
+class AtomicAppend {
+ public:
+  explicit AtomicAppend(std::string path);
+  ~AtomicAppend();
+
+  AtomicAppend(const AtomicAppend&) = delete;
+  AtomicAppend& operator=(const AtomicAppend&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+
+  /// Append `line` (which must not contain '\n') plus a newline in one
+  /// write, then flush it to disk. Returns false on any I/O failure.
+  bool appendLine(std::string_view line);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Milliseconds since the Unix epoch (system_clock) — the fleet's lease
+/// deadlines live on this clock so they are comparable across processes
+/// and hosts.
+std::uint64_t wallClockMs() noexcept;
+
+/// This process's id, as stamped into fleet worker ids.
+std::uint64_t currentPid() noexcept;
+
+/// Best-effort liveness probe for a SAME-HOST process id: true when the pid
+/// exists (even if owned by another user). Meaningless for foreign hosts and
+/// subject to pid reuse — the fleet uses it only to re-lease faster than the
+/// heartbeat deadline, never as the sole expiry signal.
+bool processAlive(std::uint64_t pid) noexcept;
+
+}  // namespace onebit::util

@@ -448,11 +448,27 @@ bool JsonlWriter::writeLine(const Json& record) {
 
 JsonlReadStats readJsonl(const std::string& path,
                          const std::function<void(Json&&)>& fn) {
+  // A final line without '\n' is a torn write from a killed process; it is
+  // parsed anyway (it may be complete if only the newline was lost) and
+  // counted as malformed when it is not.
+  return readJsonlFrom(path, 0, /*consumeTail=*/true, fn);
+}
+
+JsonlReadStats readJsonlFrom(const std::string& path, std::uint64_t offset,
+                             bool consumeTail,
+                             const std::function<void(Json&&)>& fn) {
   JsonlReadStats stats;
+  stats.endOffset = offset;
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return stats;  // missing file == empty store
+  if (offset != 0 &&
+      std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(file);
+    return stats;
+  }
 
   std::string line;
+  std::uint64_t consumed = offset;
   int c = 0;
   auto flushLine = [&] {
     if (line.empty()) return;
@@ -465,16 +481,18 @@ JsonlReadStats readJsonl(const std::string& path,
     line.clear();
   };
   while ((c = std::fgetc(file)) != EOF) {
+    ++consumed;
     if (c == '\n') {
       flushLine();
+      stats.endOffset = consumed;
     } else {
       line += static_cast<char>(c);
     }
   }
-  // A final line without '\n' is a torn write from a killed process; it is
-  // parsed anyway (it may be complete if only the newline was lost) and
-  // counted as malformed when it is not.
-  flushLine();
+  if (consumeTail) {
+    flushLine();
+    stats.endOffset = consumed;
+  }
   std::fclose(file);
   return stats;
 }

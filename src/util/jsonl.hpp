@@ -120,7 +120,10 @@ class JsonlWriter {
 struct JsonlReadStats {
   std::size_t lines = 0;      ///< non-empty lines seen
   std::size_t malformed = 0;  ///< lines that failed to parse (incl. a
-                              ///< truncated final line)
+                              ///< truncated final line when consumed)
+  /// Byte offset just past the last line consumed — the resume point for an
+  /// incremental re-read of an append-only file (readJsonlFrom).
+  std::uint64_t endOffset = 0;
 };
 
 /// Invoke `fn` for every parseable line of `path` in file order. A missing
@@ -128,5 +131,16 @@ struct JsonlReadStats {
 /// writer) are counted, not fatal.
 JsonlReadStats readJsonl(const std::string& path,
                          const std::function<void(Json&&)>& fn);
+
+/// Incremental variant for append-only files: read from byte `offset`
+/// (a previous read's endOffset, or 0). When `consumeTail` is false, a final
+/// line NOT terminated by '\n' is neither parsed nor counted and endOffset
+/// stops at its first byte, so a record another process is still appending
+/// (or the torn residue of a crashed one) is simply retried by the next
+/// read; when true, the tail is parsed like readJsonl does (it may be a
+/// complete record that merely lost its newline) and endOffset reaches EOF.
+JsonlReadStats readJsonlFrom(const std::string& path, std::uint64_t offset,
+                             bool consumeTail,
+                             const std::function<void(Json&&)>& fn);
 
 }  // namespace onebit::util

@@ -3,6 +3,10 @@
 // isolation, and the headline guarantee — a campaign interrupted after k
 // shards and resumed from its store is bit-identical to an uninterrupted
 // run, across thread counts (the ISSUE 2 acceptance criterion).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <string>
 
@@ -503,6 +507,246 @@ TEST_F(CampaignStoreFixture, CompactIgnoresAStaleTempFromAKilledRun) {
   EXPECT_EQ(loaded.workloadRecords, 0u);  // the ghost record must be gone
   EXPECT_EQ(store.findWorkload("stale-ghost"), nullptr);
   std::remove((path_ + ".compact.tmp").c_str());
+}
+
+TEST_F(CampaignStoreFixture, CellAndLeaseRecordsRoundTripThroughDisk) {
+  CampaignStore::CellRecord cell;
+  cell.key = 0xfeed;
+  cell.workload = "qsort";
+  cell.spec = "read/single";
+  cell.flipWidth = 32;
+  cell.experiments = 400;
+  cell.seed = 0xabc;
+  cell.shardSize = 16;
+  cell.hangFactor = 50;
+  cell.dynInstrs = 51234;
+  {
+    CampaignStore store(path_);
+    ASSERT_TRUE(store.appendCell(cell));
+    // Identical resubmission: succeeds but writes nothing (the load stats
+    // below prove only one line exists).
+    ASSERT_TRUE(store.appendCell(cell));
+    ASSERT_TRUE(store.appendLease(0xfeed, {96, 32, "1234:3f2a", 1, 777}));
+    // Heartbeat renewal: same epoch, pushed-out deadline — always recorded.
+    ASSERT_TRUE(store.appendLease(0xfeed, {96, 32, "1234:3f2a", 1, 999}));
+    ASSERT_TRUE(store.appendLease(0xfeed, {0, 32, "77:aa", 2, 500}));
+    // Invalid leases are refused outright, never written.
+    EXPECT_FALSE(store.appendLease(0xfeed, {0, 0, "77:aa", 1, 500}));
+    EXPECT_FALSE(store.appendLease(0xfeed, {0, 32, "77:aa", 0, 500}));
+  }
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.cellRecords, 1u);
+  EXPECT_EQ(stats.leaseRecords, 3u);
+  EXPECT_EQ(stats.malformed, 0u);
+  const CampaignStore::CellRecord* found = store.findCell(0xfeed);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, cell);  // every field survives the round trip
+  EXPECT_EQ(store.findCell(0xdead), nullptr);
+  ASSERT_EQ(store.cells().size(), 1u);
+  const auto renewed = store.latestLease(0xfeed, 96, 32);
+  ASSERT_TRUE(renewed.has_value());
+  EXPECT_EQ(renewed->epoch, 1u);
+  EXPECT_EQ(renewed->deadlineMs, 999u);  // the later renewal is the live one
+  EXPECT_EQ(renewed->worker, "1234:3f2a");
+  const auto other = store.latestLease(0xfeed, 0, 32);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->epoch, 2u);
+  EXPECT_FALSE(store.latestLease(0xfeed, 5, 32).has_value());
+  std::size_t visited = 0;
+  store.forEachLease(0xfeed,
+                     [&](const CampaignStore::LeaseRecord&) { ++visited; });
+  EXPECT_EQ(visited, 2u);  // one live lease per leased range
+}
+
+TEST_F(CampaignStoreFixture, StaleEpochOrderedLateNeverWinsTheLease) {
+  {
+    CampaignStore store(path_);
+    ASSERT_TRUE(store.appendLease(0xfeed, {0, 8, "2:bb", 2, 5000}));
+  }
+  {
+    // A resurrected worker's epoch-1 renewal lands AFTER the epoch-2
+    // re-lease in the file; the index must keep epoch 2.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "{\"v\":1,\"kind\":\"lease\",\"key\":\"0x000000000000feed\","
+        "\"first\":0,\"count\":8,\"worker\":\"1:aa\",\"epoch\":1,"
+        "\"deadline\":9000}\n",
+        f);
+    std::fclose(f);
+  }
+  CampaignStore store(path_);
+  store.load();
+  const auto lease = store.latestLease(0xfeed, 0, 8);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->epoch, 2u);
+  EXPECT_EQ(lease->worker, "2:bb");
+}
+
+TEST_F(CampaignStoreFixture, RefreshIndexesOnlyNewRecordsAndLeavesTheTail) {
+  CampaignStore reader(path_);
+  reader.load();
+  {
+    // A foreign writer process (modeled by a second instance) appends.
+    CampaignStore writer(path_);
+    writer.load();
+    ASSERT_TRUE(writer.appendLease(0xab, {0, 4, "1:aa", 1, 1000}));
+  }
+  const CampaignStore::LoadStats first = reader.refresh();
+  EXPECT_EQ(first.leaseRecords, 1u);
+  EXPECT_TRUE(reader.latestLease(0xab, 0, 4).has_value());
+  // Nothing new: the incremental read indexes nothing (and re-counts
+  // nothing — the offset moved past the already-seen records).
+  const CampaignStore::LoadStats second = reader.refresh();
+  EXPECT_EQ(second.leaseRecords, 0u);
+  EXPECT_EQ(second.malformed, 0u);
+
+  // A record mid-append (no newline yet) must be left for the NEXT refresh,
+  // not counted malformed and lost.
+  const char* const line =
+      "{\"v\":1,\"kind\":\"lease\",\"key\":\"0x00000000000000ab\","
+      "\"first\":4,\"count\":4,\"worker\":\"1:aa\",\"epoch\":1,"
+      "\"deadline\":2000}";
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(line, 1, 20, f);  // half the record, torn
+    std::fclose(f);
+  }
+  const CampaignStore::LoadStats torn = reader.refresh();
+  EXPECT_EQ(torn.leaseRecords, 0u);
+  EXPECT_EQ(torn.malformed, 0u);  // pending, not poisoned
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs(line + 20, f);  // the rest of the record
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  const CampaignStore::LoadStats completed = reader.refresh();
+  EXPECT_EQ(completed.leaseRecords, 1u);
+  EXPECT_TRUE(reader.latestLease(0xab, 4, 4).has_value());
+
+  // The file shrank underneath the reader (someone compacted it): refresh
+  // must fall back to a full, fresh re-read instead of reading garbage at a
+  // stale offset.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "{\"v\":1,\"kind\":\"lease\",\"key\":\"0x00000000000000cd\","
+        "\"first\":0,\"count\":4,\"worker\":\"2:bb\",\"epoch\":3,"
+        "\"deadline\":3000}\n",
+        f);
+    std::fclose(f);
+  }
+  const CampaignStore::LoadStats shrunk = reader.refresh();
+  EXPECT_EQ(shrunk.leaseRecords, 1u);
+  EXPECT_TRUE(reader.latestLease(0xcd, 0, 4).has_value());
+  EXPECT_FALSE(reader.latestLease(0xab, 0, 4).has_value());  // index rebuilt
+}
+
+TEST_F(CampaignStoreFixture, CompactKeepsLiveLeasesDropsExpiredAndSuperseded) {
+  {
+    CampaignStore store(path_);
+    CampaignStore::CellRecord cell;
+    cell.key = 0xab;
+    cell.workload = "w";
+    cell.spec = "read/single";
+    cell.flipWidth = 32;
+    cell.experiments = 12;
+    cell.seed = 1;
+    cell.shardSize = 4;
+    ASSERT_TRUE(store.appendCell(cell));
+    // (0,4): will be superseded by the shard record below.
+    ASSERT_TRUE(store.appendLease(0xab, {0, 4, "1:aa", 1, 9999}));
+    // (4,4): expires at nowMs = 2000.
+    ASSERT_TRUE(store.appendLease(0xab, {4, 4, "1:aa", 1, 1000}));
+    // (8,4): abandoned epoch 1, then re-leased — only epoch 2 is live.
+    ASSERT_TRUE(store.appendLease(0xab, {8, 4, "1:aa", 1, 1000}));
+    ASSERT_TRUE(store.appendLease(0xab, {8, 4, "2:bb", 2, 5000}));
+  }
+  {
+    // The shard record superseding lease (0,4), written by hand so the
+    // test needs no campaign run.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "{\"v\":1,\"kind\":\"shard\",\"key\":\"0x00000000000000ab\","
+        "\"spec\":\"read/single\",\"seed\":\"0x0000000000000001\","
+        "\"experiments\":12,\"candidates\":10,\"shard\":0,\"first\":0,"
+        "\"count\":4,\"outcomes\":[4,0,0,0,0],\"hist\":[[0,0,4]]}\n",
+        f);
+    std::fclose(f);
+  }
+  const auto stats = CampaignStore::compact(path_, /*nowMs=*/2000);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->cellRecords, 1u);
+  EXPECT_EQ(stats->shardRecords, 1u);
+  EXPECT_EQ(stats->leaseRecords, 1u);   // only (8,4) at epoch 2 survives
+  // One superseded-by-shard + one expired + the stale epoch-1 of (8,4).
+  EXPECT_EQ(stats->droppedLeases, 3u);
+  EXPECT_TRUE(stats->rewritten);
+
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats loaded = store.load();
+  EXPECT_EQ(loaded.cellRecords, 1u);
+  EXPECT_EQ(loaded.leaseRecords, 1u);
+  EXPECT_EQ(loaded.malformed, 0u);
+  ASSERT_NE(store.findCell(0xab), nullptr);
+  const auto live = store.latestLease(0xab, 8, 4);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(live->epoch, 2u);
+  EXPECT_FALSE(store.latestLease(0xab, 0, 4).has_value());
+  EXPECT_FALSE(store.latestLease(0xab, 4, 4).has_value());
+
+  // nowMs = 0 is the time-independent mode: the surviving lease is kept no
+  // matter its deadline, so the file is already canonical.
+  const auto again = CampaignStore::compact(path_, /*nowMs=*/0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->leaseRecords, 1u);
+  EXPECT_FALSE(again->rewritten);
+}
+
+TEST_F(CampaignStoreFixture, AtomicModeConcurrentAppendersNeverCorrupt) {
+  // Two writer PROCESSES share one Atomic-mode store (the fleet's whole
+  // premise): every record must arrive whole and loadable — zero torn or
+  // interleaved lines.
+  constexpr int kProcs = 2;
+  constexpr int kLeases = 50;
+  std::vector<pid_t> children;
+  for (int p = 0; p < kProcs; ++p) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      CampaignStore store(path_, CampaignStore::WriteMode::Atomic);
+      store.load();
+      bool ok = true;
+      for (int i = 0; ok && i < kLeases; ++i) {
+        const std::size_t range =
+            static_cast<std::size_t>(p * kLeases + i) * 4;
+        ok = store.appendLease(
+            0xf1ee7, {range, 4, std::to_string(p) + ":cc", 1,
+                      static_cast<std::uint64_t>(1000 + i)});
+      }
+      std::_Exit(ok ? 0 : 1);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  CampaignStore store(path_, CampaignStore::WriteMode::Atomic);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.leaseRecords,
+            static_cast<std::size_t>(kProcs) * kLeases);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  std::remove((path_ + ".lock").c_str());
 }
 
 TEST(CampaignStoreCompact, MissingFileIsANoOp) {

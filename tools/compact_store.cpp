@@ -1,10 +1,13 @@
 // Compact a campaign-results store in place: keep the newest record per
-// (campaign key, shard range) / workload name, drop torn lines. See
-// CampaignStore::compact and scripts/compact_store.sh.
+// (campaign key, shard range) / workload name / cell key, drop torn lines
+// and fleet leases that are superseded by a shard record or past their
+// heartbeat deadline. See CampaignStore::compact and
+// scripts/compact_store.sh.
 #include <cstdio>
 #include <cstring>
 
 #include "fi/campaign_store.hpp"
+#include "util/file_lock.hpp"
 
 int main(int argc, char** argv) {
   if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
@@ -12,16 +15,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string path = argv[1];
-  const auto stats = onebit::fi::CampaignStore::compact(path);
+  const auto stats =
+      onebit::fi::CampaignStore::compact(path, onebit::util::wallClockMs());
   if (!stats) {
     std::fprintf(stderr, "error: could not compact '%s' (I/O failure); "
                  "the original file is untouched\n", path.c_str());
     return 1;
   }
-  std::printf("%s: %zu shard record(s), %zu workload record(s) kept; "
-              "%zu duplicate(s), %zu malformed line(s) dropped%s\n",
+  std::printf("%s: %zu shard, %zu workload, %zu cell record(s), %zu live "
+              "lease(s) kept; %zu duplicate(s), %zu dead lease(s), "
+              "%zu malformed line(s) dropped%s\n",
               path.c_str(), stats->shardRecords, stats->workloadRecords,
-              stats->droppedDuplicates, stats->droppedMalformed,
+              stats->cellRecords, stats->leaseRecords,
+              stats->droppedDuplicates, stats->droppedLeases,
+              stats->droppedMalformed,
               stats->rewritten ? "" : " (already canonical; file untouched)");
   return 0;
 }

@@ -1,0 +1,171 @@
+// One-shot campaign-store query: per-campaign completion, outcome totals,
+// and fleet lease status, straight off the JSONL records (no resume logic,
+// no workload compilation — works on any store, including one a fleet is
+// actively writing). See fi/campaign_store.hpp for the record shapes.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "stats/outcome_counts.hpp"
+#include "stats/serialize.hpp"
+#include "util/file_lock.hpp"
+#include "util/jsonl.hpp"
+
+namespace {
+
+using onebit::util::Json;
+
+std::uint64_t hexField(const Json& record, const char* field) {
+  const Json* v = record.find(field);
+  if (v == nullptr) return 0;
+  const std::string_view s = v->asString();
+  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') return 0;
+  std::uint64_t out = 0;
+  for (const char c : s.substr(2)) {
+    out <<= 4;
+    if (c >= '0' && c <= '9') out |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return 0;
+  }
+  return out;
+}
+
+std::uint64_t uintField(const Json& record, const char* field) {
+  const Json* v = record.find(field);
+  return v != nullptr ? v->asUint(0) : 0;
+}
+
+std::string stringField(const Json& record, const char* field) {
+  const Json* v = record.find(field);
+  return v != nullptr ? std::string(v->asString()) : std::string();
+}
+
+using Range = std::pair<std::uint64_t, std::uint64_t>;  // (first, count)
+
+struct Campaign {
+  std::string workload;
+  std::string spec;
+  std::uint64_t experiments = 0;
+  bool submitted = false;  ///< has a fleet "cell" record
+  std::map<Range, onebit::stats::OutcomeCounts> shards;
+  std::map<Range, std::pair<std::uint64_t, std::uint64_t>>
+      leases;  ///< range → (epoch, deadline), newest per range
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr, "usage: %s STORE.jsonl\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::map<std::uint64_t, Campaign> campaigns;
+  std::size_t workloadRecords = 0;
+  std::size_t outcomeRecords = 0;
+  std::size_t unknownRecords = 0;
+  const onebit::util::JsonlReadStats read = onebit::util::readJsonl(
+      path, [&](Json&& record) {
+        const std::string kind = stringField(record, "kind");
+        const std::uint64_t key = hexField(record, "key");
+        if (kind == "shard" && key != 0) {
+          Campaign& c = campaigns[key];
+          if (c.workload.empty()) c.workload = stringField(record, "workload");
+          if (c.spec.empty()) c.spec = stringField(record, "spec");
+          if (c.experiments == 0) {
+            c.experiments = uintField(record, "experiments");
+          }
+          onebit::stats::OutcomeCounts counts;
+          const Json* outcomes = record.find("outcomes");
+          if (outcomes == nullptr ||
+              !onebit::stats::fromJson(*outcomes, counts)) {
+            return;
+          }
+          c.shards.emplace(Range{uintField(record, "first"),
+                                 uintField(record, "count")},
+                           counts);  // first record wins, like load()
+          return;
+        }
+        if (kind == "cell" && key != 0) {
+          Campaign& c = campaigns[key];
+          c.submitted = true;
+          c.workload = stringField(record, "workload");
+          c.spec = stringField(record, "spec");
+          c.experiments = uintField(record, "experiments");
+          return;
+        }
+        if (kind == "lease" && key != 0) {
+          Campaign& c = campaigns[key];
+          const Range range{uintField(record, "first"),
+                            uintField(record, "count")};
+          const std::uint64_t epoch = uintField(record, "epoch");
+          const auto [it, inserted] = c.leases.try_emplace(
+              range, epoch, uintField(record, "deadline"));
+          if (!inserted && epoch >= it->second.first) {
+            it->second = {epoch, uintField(record, "deadline")};
+          }
+          return;
+        }
+        if (kind == "workload") {
+          ++workloadRecords;
+          return;
+        }
+        if (kind == "outcome") {
+          ++outcomeRecords;
+          return;
+        }
+        ++unknownRecords;
+      });
+  if (read.lines == 0) {
+    std::printf("%s: empty or missing store\n", path.c_str());
+    return 0;
+  }
+  std::printf("%s: %zu campaign(s), %zu workload profile(s), %zu "
+              "outcome-cache record(s), %zu malformed, %zu unknown\n",
+              path.c_str(), campaigns.size(), workloadRecords,
+              outcomeRecords, read.malformed, unknownRecords);
+  const std::uint64_t nowMs = onebit::util::wallClockMs();
+  for (const auto& [key, c] : campaigns) {
+    std::uint64_t recorded = 0;
+    onebit::stats::OutcomeCounts totals;
+    for (const auto& [range, counts] : c.shards) {
+      recorded += range.second;
+      totals.merge(counts);
+    }
+    std::size_t active = 0;
+    std::size_t expired = 0;
+    for (const auto& [range, lease] : c.leases) {
+      if (c.shards.count(range) != 0) continue;  // superseded by a shard
+      if (lease.second > nowMs) ++active;
+      else ++expired;
+    }
+    const double pct = c.experiments != 0
+                           ? 100.0 * static_cast<double>(recorded) /
+                                 static_cast<double>(c.experiments)
+                           : 0.0;
+    std::printf("  0x%016" PRIx64 " %-14s %-24s %6" PRIu64 "/%-6" PRIu64
+                " (%5.1f%%)%s%s",
+                key, c.workload.empty() ? "-" : c.workload.c_str(),
+                c.spec.empty() ? "-" : c.spec.c_str(), recorded,
+                c.experiments, pct, c.submitted ? " [cell]" : "",
+                recorded >= c.experiments && c.experiments != 0
+                    ? " [complete]"
+                    : "");
+    if (active != 0 || expired != 0) {
+      std::printf("  leases: %zu active, %zu expired", active, expired);
+    }
+    std::printf("\n    ");
+    for (std::size_t o = 0; o < onebit::stats::kOutcomeCount; ++o) {
+      const std::string_view name = onebit::stats::outcomeName(
+          static_cast<onebit::stats::Outcome>(o));
+      std::printf("%s%.*s=%zu", o == 0 ? "" : " ",
+                  static_cast<int>(name.size()), name.data(),
+                  totals.count(static_cast<onebit::stats::Outcome>(o)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
