@@ -65,6 +65,27 @@
 //                       re-lease its shards (tests fault tolerance without
 //                       changing any output; 0/unset = off)
 //
+// Self-healing fleet knobs (see fi/supervisor.hpp and the "Self-healing
+// fleet" section of docs/ARCHITECTURE.md):
+//   ONEBIT_FLEET_SUPERVISE    1 = run the fleet under a FleetSupervisor:
+//                       crashed workers are respawned with capped
+//                       exponential backoff, shards that repeatedly kill
+//                       their workers are quarantined, and the final
+//                       in-process remainder pass finishes everything —
+//                       output stays bit-identical to the in-process run
+//   ONEBIT_POISON_RETRIES     mid-lease worker deaths on one shard range
+//                       before the supervisor quarantines it (default 3)
+//   ONEBIT_LEASE_QUANTILE     adaptive lease deadlines: quantile of
+//                       observed per-shard cost the deadline tracks
+//                       (default 0.9; 0 = fixed deadlines)
+//   ONEBIT_FLEET_POISON       test hook "NAME[:SHARD]": a worker SIGKILLs
+//                       itself right after claiming that shard (any shard
+//                       of NAME when :SHARD is omitted) — the supervised
+//                       fleet quarantines it and still converges
+//   ONEBIT_FLEET_CHAOS_KILL_MS  chaos hook: the supervisor SIGKILLs one
+//                       random live worker roughly this often (never
+//                       counted toward poison detection; 0/unset = off)
+//
 // Drivers that sweep several campaigns should not loop over campaign();
 // they should declare every (workload × spec) cell on a SweepBuilder and
 // run() it once: the whole sweep executes as ONE fi::CampaignSuite, shards
@@ -74,6 +95,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -83,6 +105,7 @@
 #include "fi/campaign_store.hpp"
 #include "fi/fleet.hpp"
 #include "fi/suite.hpp"
+#include "fi/supervisor.hpp"
 #include "progs/registry.hpp"
 #include "util/env.hpp"
 #include "util/file_lock.hpp"
@@ -247,16 +270,68 @@ inline std::size_t fleetWorkers() {
   return util::envSize("ONEBIT_FLEET_WORKERS");
 }
 
+/// Shared FleetConfig resolution for both fleet paths: lease, heartbeat,
+/// adaptive-deadline quantile (ONEBIT_LEASE_QUANTILE; 0 disables
+/// adaptation), and the ONEBIT_FLEET_POISON "NAME[:SHARD]" test hook.
+inline void applyFleetEnv(fi::FleetConfig& config) {
+  config.leaseMs = static_cast<std::uint64_t>(
+      util::envSize("ONEBIT_FLEET_LEASE_MS", config.leaseMs));
+  config.heartbeatMs = static_cast<std::uint64_t>(
+      util::envSize("ONEBIT_FLEET_HEARTBEAT_MS", config.heartbeatMs));
+  config.pruning = prunePolicyFromEnv().enabled;
+  const std::string quantile = util::envStr("ONEBIT_LEASE_QUANTILE", "");
+  if (!quantile.empty()) {
+    char* end = nullptr;
+    const double q = std::strtod(quantile.c_str(), &end);
+    if (end != quantile.c_str() && *end == '\0') {
+      if (q > 0.0 && q <= 1.0) {
+        config.leaseQuantile = q;
+      } else {
+        config.adaptiveLease = false;
+      }
+    }
+  }
+  const std::string poison = util::envStr("ONEBIT_FLEET_POISON", "");
+  if (!poison.empty()) {
+    const std::size_t colon = poison.rfind(':');
+    config.poisonWorkload = poison;
+    if (colon != std::string::npos && colon != 0 &&
+        colon + 1 < poison.size()) {
+      char* end = nullptr;
+      const unsigned long long s =
+          std::strtoull(poison.c_str() + colon + 1, &end, 10);
+      if (*end == '\0') {
+        config.poisonWorkload = poison.substr(0, colon);
+        config.poisonShard = static_cast<std::size_t>(s);
+      }
+    }
+  }
+}
+
 /// The local-fleet options selected by the ONEBIT_FLEET_* knobs.
 inline fi::LocalFleetOptions fleetOptionsFromEnv() {
   fi::LocalFleetOptions opts;
   opts.workers = fleetWorkers();
-  opts.config.leaseMs = static_cast<std::uint64_t>(
-      util::envSize("ONEBIT_FLEET_LEASE_MS", opts.config.leaseMs));
-  opts.config.heartbeatMs = static_cast<std::uint64_t>(
-      util::envSize("ONEBIT_FLEET_HEARTBEAT_MS", opts.config.heartbeatMs));
-  opts.config.pruning = prunePolicyFromEnv().enabled;
+  applyFleetEnv(opts.config);
   opts.killFirstWorkerAfterClaims = util::envSize("ONEBIT_FLEET_KILL_AFTER");
+  return opts;
+}
+
+/// True when ONEBIT_FLEET_SUPERVISE selects the self-healing fleet path.
+inline bool fleetSupervised() {
+  return util::envInt("ONEBIT_FLEET_SUPERVISE", 0) != 0;
+}
+
+/// The supervised-fleet options selected by the env knobs.
+inline fi::FleetSupervisorConfig supervisorOptionsFromEnv() {
+  fi::FleetSupervisorConfig opts;
+  opts.workers = fleetWorkers();
+  opts.poisonRetries = util::envSize("ONEBIT_POISON_RETRIES",
+                                     opts.poisonRetries);
+  opts.chaosKillMs = static_cast<std::uint64_t>(
+      util::envSize("ONEBIT_FLEET_CHAOS_KILL_MS"));
+  opts.maxShardsPerWorker = util::envSize("ONEBIT_MAX_SHARDS");
+  applyFleetEnv(opts.fleet);
   return opts;
 }
 
@@ -384,9 +459,22 @@ class SweepBuilder {
       storePath = util::envStr("TMPDIR", "/tmp") + "/onebit_fleet_" +
                   std::to_string(util::currentPid()) + ".jsonl";
     }
-    std::vector<fi::CampaignResult> results =
-        fi::runFleet(suite_, suiteConfigFromEnv(), storePath,
-                     fleetOptionsFromEnv());
+    std::vector<fi::CampaignResult> results;
+    if (fleetSupervised()) {
+      fi::FleetSupervisor::Report report;
+      results = fi::runSupervisedFleet(suite_, suiteConfigFromEnv(),
+                                       storePath, supervisorOptionsFromEnv(),
+                                       &report);
+      std::fprintf(stderr,
+                   "[fleet] supervised: %zu spawned, %zu restarts, "
+                   "%zu crashes (%zu chaos), %zu quarantined shard(s)%s\n",
+                   report.spawned, report.restarts, report.crashes,
+                   report.chaosKills, report.quarantined.size(),
+                   report.converged ? "" : " — did not converge");
+    } else {
+      results = fi::runFleet(suite_, suiteConfigFromEnv(), storePath,
+                             fleetOptionsFromEnv());
+    }
     if (temporary) {
       std::remove(storePath.c_str());
       std::remove((storePath + ".lock").c_str());

@@ -1,7 +1,9 @@
 #include "fi/campaign_store.hpp"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <tuple>
 
 #include "stats/serialize.hpp"
 #include "util/rng.hpp"
@@ -300,6 +302,34 @@ bool parseLeaseRecord(const util::Json& record, ParsedLease& out) {
   out.rec.worker = std::string(worker->asString());
   out.rec.epoch = epoch;
   out.rec.deadlineMs = deadline;
+  out.rec.costMs = getUint(record, "cost_ms", 0);  // optional: completions
+  return true;
+}
+
+/// One decoded-and-validated quarantine record (shared by load and compact).
+struct ParsedQuarantine {
+  std::uint64_t key = 0;
+  CampaignStore::QuarantineRecord rec;
+};
+
+bool parseQuarantineRecord(const util::Json& record, ParsedQuarantine& out) {
+  const util::Json* keyField = record.find("key");
+  const std::optional<std::uint64_t> key =
+      keyField != nullptr ? keyFromHex(keyField->asString()) : std::nullopt;
+  const std::uint64_t bad = ~0ULL;
+  const std::uint64_t first = getUint(record, "first", bad);
+  const std::uint64_t count = getUint(record, "count", bad);
+  if (!key || first == bad || count == 0 || count == bad) return false;
+  out.key = *key;
+  out.rec.first = static_cast<std::size_t>(first);
+  out.rec.count = static_cast<std::size_t>(count);
+  out.rec.crashes = getUint(record, "crashes", 0);
+  if (const util::Json* f = record.find("worker")) {
+    out.rec.worker = std::string(f->asString());
+  }
+  if (const util::Json* f = record.find("reason")) {
+    out.rec.reason = std::string(f->asString());
+  }
   return true;
 }
 
@@ -335,6 +365,29 @@ util::Json leaseToJson(std::uint64_t key,
   record.set("worker", util::Json::string(rec.worker));
   record.set("epoch", util::Json::number(rec.epoch));
   record.set("deadline", util::Json::number(rec.deadlineMs));
+  if (rec.costMs != 0) {
+    record.set("cost_ms", util::Json::number(rec.costMs));
+  }
+  return record;
+}
+
+util::Json quarantineToJson(std::uint64_t key,
+                            const CampaignStore::QuarantineRecord& rec) {
+  util::Json record = util::Json::object();
+  record.set("v", util::Json::number(CampaignStore::kFormatVersion));
+  record.set("kind", util::Json::string("quarantine"));
+  record.set("key", util::Json::string(keyToHex(key)));
+  record.set("first",
+             util::Json::number(static_cast<std::uint64_t>(rec.first)));
+  record.set("count",
+             util::Json::number(static_cast<std::uint64_t>(rec.count)));
+  record.set("crashes", util::Json::number(rec.crashes));
+  if (!rec.worker.empty()) {
+    record.set("worker", util::Json::string(rec.worker));
+  }
+  if (!rec.reason.empty()) {
+    record.set("reason", util::Json::string(rec.reason));
+  }
   return record;
 }
 
@@ -367,6 +420,7 @@ void CampaignStore::clearIndex() {
   cellOrder_.clear();
   cellIndex_.clear();
   leases_.clear();
+  quarantines_.clear();
   readOffset_ = 0;
 }
 
@@ -449,6 +503,19 @@ CampaignStore::LoadStats CampaignStore::readInto(std::uint64_t offset,
           }
           return;
         }
+        if (kind->asString() == "quarantine") {
+          ParsedQuarantine quarantine;
+          if (!parseQuarantineRecord(record, quarantine)) {
+            ++stats.malformed;
+            return;
+          }
+          if (indexQuarantine(quarantine.key, quarantine.rec)) {
+            ++stats.quarantineRecords;
+          } else {
+            ++stats.duplicates;
+          }
+          return;
+        }
         ++stats.malformed;  // unknown record kind
       });
   stats.malformed += read.malformed;
@@ -479,6 +546,12 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
            std::size_t>
       leaseAt;
   std::map<std::size_t, ParsedLease> leaseBody;  ///< kept index → decoded
+  // Newest quarantine per (key, range); like leases, survival is decided
+  // after the scan (a shard record anywhere in the file supersedes it).
+  std::map<std::pair<std::uint64_t, std::pair<std::size_t, std::size_t>>,
+           std::size_t>
+      quarantineAt;
+  std::map<std::size_t, ParsedQuarantine> quarantineBody;
   const util::JsonlReadStats read =
       util::readJsonl(path, [&](util::Json&& record) {
         const std::uint64_t v = getUint(record, "v", 0);
@@ -573,6 +646,28 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
           }
           return;
         }
+        if (kind->asString() == "quarantine") {
+          ParsedQuarantine quarantine;
+          if (!parseQuarantineRecord(record, quarantine)) {
+            ++stats.droppedMalformed;
+            return;
+          }
+          const auto [it, inserted] = quarantineAt.try_emplace(
+              {quarantine.key,
+               {quarantine.rec.first, quarantine.rec.count}},
+              kept.size());
+          if (inserted) {
+            quarantineBody.emplace(kept.size(), std::move(quarantine));
+            kept.push_back(std::move(record));
+          } else {
+            // Newest wins by file order (re-quarantines bump the count).
+            kept[it->second] = std::move(record);
+            quarantineBody.insert_or_assign(it->second,
+                                            std::move(quarantine));
+            ++stats.droppedQuarantines;
+          }
+          return;
+        }
         ++stats.droppedMalformed;  // unknown record kind
       });
   stats.droppedMalformed += read.malformed;  // torn/unparseable lines
@@ -591,15 +686,28 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
       ++stats.droppedLeases;
     }
   }
+  // Same post-filter for quarantines: a shard record for the range proves
+  // the work got finished (a --force pass, or a fixed workload), so the
+  // verdict is moot.
+  for (const auto& [index, quarantine] : quarantineBody) {
+    if (shardAt.count({quarantine.key,
+                       {quarantine.rec.first, quarantine.rec.count}}) != 0) {
+      kept[index] = util::Json();
+      quarantineAt.erase(
+          {quarantine.key, {quarantine.rec.first, quarantine.rec.count}});
+      ++stats.droppedQuarantines;
+    }
+  }
   stats.shardRecords = shardAt.size();
   stats.workloadRecords = workloadAt.size();
   stats.outcomeRecords = outcomeAt.size();
   stats.cellRecords = cellAt.size();
   stats.leaseRecords = leaseAt.size();
+  stats.quarantineRecords = quarantineAt.size();
   // Already canonical (including the missing-file case): leave the file
   // byte-identical instead of rewriting it.
   if (stats.droppedDuplicates == 0 && stats.droppedMalformed == 0 &&
-      stats.droppedLeases == 0) {
+      stats.droppedLeases == 0 && stats.droppedQuarantines == 0) {
     return stats;
   }
   // Crash-safe rewrite: write a sibling temp file, then rename over the
@@ -618,6 +726,188 @@ std::optional<CampaignStore::CompactStats> CampaignStore::compact(
         std::remove(tmp.c_str());
         return std::nullopt;
       }
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return std::nullopt;
+  }
+  stats.rewritten = true;
+  return stats;
+}
+
+namespace {
+
+/// Raw line split of a store file, preserving bytes exactly (fsck must keep
+/// surviving lines byte-identical, so it cannot round-trip through Json).
+struct RawLines {
+  std::vector<std::string> lines;
+  bool lastTerminated = true;  ///< final line ended with '\n'
+  bool missing = false;
+};
+
+RawLines readRawLines(const std::string& path) {
+  RawLines out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    out.missing = true;
+    return out;
+  }
+  std::string line;
+  int c = 0;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      out.lines.push_back(line);
+      line.clear();
+      out.lastTerminated = true;
+    } else {
+      line += static_cast<char>(c);
+      out.lastTerminated = false;
+    }
+  }
+  if (!line.empty()) out.lines.push_back(std::move(line));
+  std::fclose(f);
+  return out;
+}
+
+bool writeRawLines(const std::string& path, const char* mode,
+                   const std::vector<const std::string*>& lines) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const std::string* line : lines) {
+    if (std::fwrite(line->data(), 1, line->size(), f) != line->size() ||
+        std::fputc('\n', f) == EOF) {
+      ok = false;
+      break;
+    }
+  }
+  if (std::fflush(f) != 0) ok = false;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+std::optional<CampaignStore::FsckStats> CampaignStore::fsck(
+    const std::string& path, bool repair) {
+  FsckStats stats;
+  const RawLines raw = readRawLines(path);
+  if (raw.missing) return stats;  // missing file: clean and empty
+
+  // Identity of a VALUE record (shard = 0, outcome = 1): records whose
+  // bytes the determinism contract fixes given their identity. Scheduling
+  // kinds (cell/lease/quarantine/workload) are legitimately re-appended
+  // with new content — newest wins at load — so every one of their lines
+  // is kept and none can "conflict".
+  using Identity = std::tuple<int, std::uint64_t, std::uint64_t,
+                              std::uint64_t>;
+  std::map<Identity, std::size_t> firstAt;  ///< identity → index in `kept`
+  std::vector<std::size_t> kept;            ///< surviving line indices
+  std::vector<std::size_t> quarantined;     ///< sidecar-bound line indices
+
+  for (std::size_t i = 0; i < raw.lines.size(); ++i) {
+    const std::string& line = raw.lines[i];
+    if (line.empty()) continue;  // torn-tail healing residue; benign
+    const bool unterminatedTail =
+        i + 1 == raw.lines.size() && !raw.lastTerminated;
+    const std::optional<util::Json> record = util::Json::parse(line);
+    if (!record) {
+      // Unparseable: the unterminated final line is the classic torn write
+      // of a killed process; anything earlier is real mid-file damage.
+      if (unterminatedTail) {
+        ++stats.tornTail;
+      } else {
+        ++stats.garbage;
+      }
+      quarantined.push_back(i);
+      continue;
+    }
+    const std::uint64_t v = getUint(*record, "v", 0);
+    const util::Json* kind = record->find("kind");
+    if (v != kFormatVersion || kind == nullptr) {
+      ++stats.unknownKinds;  // possibly a future format: preserve verbatim
+      kept.push_back(i);
+      continue;
+    }
+    std::optional<Identity> identity;
+    bool valid = false;
+    if (kind->asString() == "shard") {
+      ParsedShard shard;
+      valid = parseShardRecord(*record, shard);
+      if (valid) identity = Identity{0, shard.key, shard.first, shard.count};
+    } else if (kind->asString() == "outcome") {
+      ParsedOutcome outcome;
+      valid = parseOutcomeRecord(*record, outcome);
+      if (valid) {
+        identity =
+            Identity{1, outcome.key, outcome.rec.boundary, outcome.rec.hash};
+      }
+    } else if (kind->asString() == "workload") {
+      WorkloadRecord rec;
+      valid = parseWorkloadRecord(*record, rec);
+    } else if (kind->asString() == "cell") {
+      CellRecord rec;
+      valid = parseCellRecord(*record, rec);
+    } else if (kind->asString() == "lease") {
+      ParsedLease lease;
+      valid = parseLeaseRecord(*record, lease);
+    } else if (kind->asString() == "quarantine") {
+      ParsedQuarantine quarantine;
+      valid = parseQuarantineRecord(*record, quarantine);
+    } else {
+      ++stats.unknownKinds;
+      kept.push_back(i);
+      continue;
+    }
+    if (!valid) {
+      // Parses as JSON but fails the kind's validation — a mangled (e.g.
+      // byte-flipped) record. load() skips it; repair quarantines it.
+      ++stats.integrityFailures;
+      quarantined.push_back(i);
+      continue;
+    }
+    if (identity) {
+      const auto [it, inserted] = firstAt.try_emplace(*identity, i);
+      if (!inserted) {
+        if (raw.lines[it->second] == line) {
+          ++stats.duplicateLines;  // benign cross-process re-record
+        } else {
+          // Same identity, different bytes: the determinism contract says
+          // this cannot happen to an intact store. Keep the first record
+          // (what load() indexes) and quarantine the imposter.
+          ++stats.conflicts;
+          quarantined.push_back(i);
+        }
+        continue;
+      }
+    }
+    ++stats.validRecords;
+    kept.push_back(i);
+  }
+  stats.quarantinedLines = quarantined.size();
+
+  if (!repair || stats.clean()) return stats;
+
+  // Quarantine sidecar first (append — successive fscks accumulate), then
+  // the crash-safe rewrite: surviving lines byte-identical, temp + rename.
+  if (!quarantined.empty()) {
+    std::vector<const std::string*> lines;
+    lines.reserve(quarantined.size());
+    for (const std::size_t i : quarantined) lines.push_back(&raw.lines[i]);
+    if (!writeRawLines(path + ".quarantined", "ab", lines)) {
+      return std::nullopt;
+    }
+  }
+  const std::string tmp = path + ".fsck.tmp";
+  std::remove(tmp.c_str());
+  {
+    std::vector<const std::string*> lines;
+    lines.reserve(kept.size());
+    for (const std::size_t i : kept) lines.push_back(&raw.lines[i]);
+    if (!writeRawLines(tmp, "wb", lines)) {
+      std::remove(tmp.c_str());
+      return std::nullopt;
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -662,18 +952,48 @@ bool CampaignStore::indexLease(std::uint64_t key, const LeaseRecord& record) {
   return true;
 }
 
+bool CampaignStore::indexQuarantine(std::uint64_t key,
+                                    const QuarantineRecord& record) {
+  auto& ranges = quarantines_[key];
+  const auto it = ranges.find(ShardRange{record.first, record.count});
+  if (it == ranges.end()) {
+    ranges.emplace(ShardRange{record.first, record.count}, record);
+    return true;
+  }
+  // Newest wins by append order: a re-quarantine bumps the crash count.
+  if (it->second == record) return false;
+  it->second = record;
+  return true;
+}
+
 bool CampaignStore::writeRecord(const util::Json& record) {
   // Callers hold mutex_ (and, in Atomic mode, the file lock — taken first).
+  bool ok = false;
+  int err = 0;
   if (mode_ == WriteMode::Atomic) {
     if (appender_ == nullptr) {
       appender_ = std::make_unique<util::AtomicAppend>(path_);
     }
-    return appender_->appendLine(record.dump());
+    ok = appender_->appendLine(record.dump());
+    err = appender_->lastErrno();
+  } else {
+    if (writer_ == nullptr) {
+      writer_ = std::make_unique<util::JsonlWriter>(path_);
+    }
+    ok = writer_->writeLine(record);
+    err = writer_->lastErrno();
   }
-  if (writer_ == nullptr) {
-    writer_ = std::make_unique<util::JsonlWriter>(path_);
-  }
-  return writer_->writeLine(record);
+  lastWriteErrno_.store(ok ? 0 : err, std::memory_order_relaxed);
+  return ok;
+}
+
+bool CampaignStore::lastWriteOutOfSpace() const noexcept {
+  const int err = lastWriteErrno_.load(std::memory_order_relaxed);
+#if defined(EDQUOT)
+  return err == ENOSPC || err == EDQUOT;
+#else
+  return err == ENOSPC;
+#endif
 }
 
 bool CampaignStore::appendShard(const CampaignMeta& meta,
@@ -804,6 +1124,43 @@ bool CampaignStore::appendLease(std::uint64_t key, const LeaseRecord& rec) {
   if (!writeRecord(record)) return false;
   indexLease(key, rec);
   return true;
+}
+
+bool CampaignStore::appendQuarantine(std::uint64_t key,
+                                     const QuarantineRecord& rec) {
+  if (rec.count == 0) return false;
+  const util::Json record = quarantineToJson(key, rec);
+  OptionalLockGuard fileGuard(fileLock_.get());
+  std::lock_guard lock(mutex_);
+  const auto ranges = quarantines_.find(key);
+  if (ranges != quarantines_.end()) {
+    const auto it = ranges->second.find(ShardRange{rec.first, rec.count});
+    if (it != ranges->second.end() && it->second == rec) {
+      return true;  // identical verdict already the live one
+    }
+  }
+  if (!writeRecord(record)) return false;
+  indexQuarantine(key, rec);
+  return true;
+}
+
+std::optional<CampaignStore::QuarantineRecord> CampaignStore::findQuarantine(
+    std::uint64_t key, std::size_t first, std::size_t count) const {
+  std::lock_guard lock(mutex_);
+  const auto ranges = quarantines_.find(key);
+  if (ranges == quarantines_.end()) return std::nullopt;
+  const auto it = ranges->second.find(ShardRange{first, count});
+  if (it == ranges->second.end()) return std::nullopt;
+  return it->second;
+}
+
+void CampaignStore::forEachQuarantine(
+    std::uint64_t key,
+    const std::function<void(const QuarantineRecord&)>& fn) const {
+  std::lock_guard lock(mutex_);
+  const auto ranges = quarantines_.find(key);
+  if (ranges == quarantines_.end()) return;
+  for (const auto& [range, rec] : ranges->second) fn(rec);
 }
 
 const CampaignStore::CellRecord* CampaignStore::findCell(

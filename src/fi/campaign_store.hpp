@@ -63,6 +63,21 @@
 //   moment a shard record for its range exists. Leases are pure scheduling:
 //   results are assembled from shard records alone, so a stale, raced, or
 //   double-claimed lease can waste work but never change an outcome.
+//   A completion renewal may carry `cost_ms` — the observed wall-clock of
+//   running the shard — which adaptive lease deadlines (fi/fleet.hpp)
+//   aggregate per cell. Cost lives in lease records, never shard records,
+//   because wall-clock is nondeterministic and shard records must stay
+//   byte-identical across runs.
+//
+//   quarantine record (kind "quarantine") — one poison-shard verdict from
+//   the fleet supervisor (fi/supervisor.hpp): workers leasing this range
+//   died `crashes` times mid-lease, so healthy workers skip it and the
+//   fleet converges on everything else instead of crash-looping:
+//     {"v":1,"kind":"quarantine","key":"0x<16 hex>","first":96,"count":32,
+//      "crashes":3,"worker":"1234:3f2a","reason":"worker died mid-lease"}
+//   The newest record per (key, range) wins (re-quarantining updates the
+//   crash count). A shard record for the range supersedes it — the work got
+//   done after all (e.g. by a `--force` pass) — and compact() then drops it.
 //
 // Writer concurrency: by default a store instance assumes it is the ONLY
 // writer process (appends are dedup'd against the in-memory index and
@@ -87,6 +102,7 @@
 // are ignored (and harmlessly re-run) rather than risk mis-merging.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -217,8 +233,26 @@ class CampaignStore {
     std::string worker;        ///< "<pid>:<hex nonce>" worker id
     std::uint64_t epoch = 0;   ///< claim generation, >= 1
     std::uint64_t deadlineMs = 0;  ///< heartbeat deadline, wallClockMs
+    /// Observed wall-clock of running the shard, stamped into the worker's
+    /// completion renewal (0 = not a completion). Feeds adaptive deadlines;
+    /// serialized as "cost_ms" only when nonzero, so pre-cost stores and
+    /// writers interoperate unchanged.
+    std::uint64_t costMs = 0;
 
     bool operator==(const LeaseRecord&) const = default;
+  };
+
+  /// One poison-shard verdict (kind "quarantine"): the supervisor observed
+  /// `crashes` worker deaths mid-lease on this range. Newest per
+  /// (key, first, count) wins; a shard record for the range supersedes it.
+  struct QuarantineRecord {
+    std::size_t first = 0;
+    std::size_t count = 0;
+    std::uint64_t crashes = 0;  ///< cumulative mid-lease worker deaths
+    std::string worker;         ///< last crashing worker id (diagnostic)
+    std::string reason;         ///< human-readable diagnostic
+
+    bool operator==(const QuarantineRecord&) const = default;
   };
 
   /// One outcome-equivalence cache entry (see fi/outcome_cache.hpp).
@@ -236,6 +270,7 @@ class CampaignStore {
     std::size_t outcomeRecords = 0;   ///< accepted outcome-cache records
     std::size_t cellRecords = 0;      ///< accepted fleet cell records
     std::size_t leaseRecords = 0;     ///< accepted fleet lease records
+    std::size_t quarantineRecords = 0;  ///< accepted quarantine records
     std::size_t malformed = 0;  ///< unparseable or integrity-failing lines
                                 ///< (incl. a torn final line)
     std::size_t duplicates = 0;  ///< re-recorded shards (first one wins)
@@ -247,10 +282,43 @@ class CampaignStore {
     std::size_t outcomeRecords = 0;   ///< surviving outcome-cache records
     std::size_t cellRecords = 0;      ///< surviving fleet cell records
     std::size_t leaseRecords = 0;     ///< surviving (still-live) leases
+    std::size_t quarantineRecords = 0;  ///< surviving quarantine records
     std::size_t droppedDuplicates = 0;  ///< superseded records dropped
     std::size_t droppedLeases = 0;  ///< expired/superseded leases dropped
+    std::size_t droppedQuarantines = 0;  ///< superseded quarantines dropped
     std::size_t droppedMalformed = 0;   ///< torn/invalid lines dropped
     bool rewritten = false;  ///< false = file was already canonical
+  };
+
+  /// What `fsck` found in (and, in repair mode, removed from) a store file.
+  /// Taxonomy: a line is exactly one of valid, a benign exact duplicate of
+  /// an earlier value record, the torn unparseable tail, mid-file garbage,
+  /// an integrity failure (parses as JSON but fails the kind's validation),
+  /// an unknown kind/version (preserved verbatim — it may be a future
+  /// format), or a conflict (same identity as an earlier value record but
+  /// different bytes — the earlier record wins, matching load()'s
+  /// first-wins rule).
+  struct FsckStats {
+    std::size_t validRecords = 0;     ///< well-formed records kept
+    std::size_t duplicateLines = 0;   ///< byte-identical value-record reruns
+    std::size_t tornTail = 0;         ///< unparseable unterminated last line
+    std::size_t garbage = 0;          ///< mid-file unparseable lines
+    std::size_t integrityFailures = 0;  ///< parse but fail validation
+    std::size_t unknownKinds = 0;     ///< unknown kind/version (kept)
+    std::size_t conflicts = 0;        ///< same identity, different bytes
+    std::size_t quarantinedLines = 0;  ///< lines bound for the sidecar
+    bool rewritten = false;           ///< repair actually rewrote the file
+
+    /// Evidence of corruption (distinct from benign duplicates): these are
+    /// the conditions fsck_store's exit code reports.
+    [[nodiscard]] bool corrupt() const noexcept {
+      return tornTail + garbage + integrityFailures + conflicts != 0;
+    }
+    /// Nothing for repair to do: the file is byte-for-byte canonical
+    /// already (unknown kinds are preserved, so they do not count).
+    [[nodiscard]] bool clean() const noexcept {
+      return !corrupt() && duplicateLines == 0;
+    }
   };
 
   /// Opens (lazily) the store at `path`. The file need not exist yet; the
@@ -322,8 +390,24 @@ class CampaignStore {
   /// or — when `nowMs` is nonzero (pass util::wallClockMs()) — expired
   /// (deadline <= nowMs). Pass nowMs = 0 to keep every unsuperseded lease
   /// regardless of age (time-independent compaction, e.g. in tests).
+  /// Quarantine records keep the newest per (key, range) unless a shard
+  /// record for the range exists (the shard got finished after all).
   static std::optional<CompactStats> compact(const std::string& path,
                                              std::uint64_t nowMs = 0);
+
+  /// Classify every line of the store at `path` (see FsckStats for the
+  /// taxonomy) and, when `repair` is true and the file is not clean(),
+  /// rewrite it crash-safely (temp + rename) keeping the surviving lines
+  /// BYTE-IDENTICAL in file order — so loading (and resuming from) the
+  /// repaired file indexes exactly the records load() would have accepted
+  /// from the original. Unrepairable lines (torn tail, garbage, integrity
+  /// failures, conflict losers) are appended to the "<path>.quarantined"
+  /// sidecar instead of silently dropped; unknown kinds/versions are
+  /// preserved in place. A missing file fscks as clean and empty. Returns
+  /// nullopt on I/O failure (the original file is preserved). Like
+  /// compact(), do not run repair on a store an open instance is appending
+  /// to.
+  static std::optional<FsckStats> fsck(const std::string& path, bool repair);
 
   /// Append one completed shard (thread-safe; serialized internally). The
   /// line is flushed before the call returns. A shard already present in
@@ -400,12 +484,42 @@ class CampaignStore {
   void forEachLease(std::uint64_t key,
                     const std::function<void(const LeaseRecord&)>& fn) const;
 
+  /// Append one quarantine verdict for a shard range of campaign `key`
+  /// (thread-safe). Skipped when the identical record is already the
+  /// indexed newest. Returns false on I/O error or an invalid record
+  /// (count of 0).
+  bool appendQuarantine(std::uint64_t key, const QuarantineRecord& record);
+
+  /// The live (newest) quarantine for (key, first, count), if any.
+  [[nodiscard]] std::optional<QuarantineRecord> findQuarantine(
+      std::uint64_t key, std::size_t first, std::size_t count) const;
+
+  /// Visit every quarantined shard range of campaign `key`. Same no-reentry
+  /// contract as forEachLease (the store mutex is held).
+  void forEachQuarantine(
+      std::uint64_t key,
+      const std::function<void(const QuarantineRecord&)>& fn) const;
+
   /// The cross-process advisory lock of an Atomic-mode store (nullptr in
   /// Buffered mode). Hold it (std::lock_guard) around read-decide-append
   /// sequences such as lease claims; individual appends self-lock.
   [[nodiscard]] util::FileLock* fileLock() noexcept {
     return fileLock_.get();
   }
+
+  /// errno of the last failed append through this store (0 after a
+  /// success). Meaningful on the thread that just observed an append
+  /// returning false.
+  [[nodiscard]] int lastWriteErrno() const noexcept {
+    return lastWriteErrno_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the last failed append hit an out-of-space condition
+  /// (ENOSPC/EDQUOT) — a pause-and-retry state, not a hard error: fleet
+  /// workers park on their heartbeat instead of exiting, because the disk
+  /// may drain (log rotation, another store compacting) without any code
+  /// change.
+  [[nodiscard]] bool lastWriteOutOfSpace() const noexcept;
 
  private:
   using ShardRange = std::pair<std::size_t, std::size_t>;  ///< (first, count)
@@ -414,6 +528,7 @@ class CampaignStore {
   bool indexShard(std::uint64_t key, ShardRange range, ShardAggregate agg);
   bool indexCell(const CellRecord& record);
   bool indexLease(std::uint64_t key, const LeaseRecord& record);
+  bool indexQuarantine(std::uint64_t key, const QuarantineRecord& record);
   void clearIndex();
   LoadStats readInto(std::uint64_t offset, bool consumeTail);
   bool writeRecord(const util::Json& record);
@@ -434,6 +549,9 @@ class CampaignStore {
   std::unordered_map<std::uint64_t, std::size_t> cellIndex_;  ///< key → idx
   std::unordered_map<std::uint64_t, std::map<ShardRange, LeaseRecord>>
       leases_;
+  std::unordered_map<std::uint64_t, std::map<ShardRange, QuarantineRecord>>
+      quarantines_;
+  std::atomic<int> lastWriteErrno_{0};  ///< errno of the last failed append
 };
 
 /// How a campaign engine (or a driver built on one) should use a store:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -79,6 +80,27 @@ std::shared_ptr<const Workload> defaultResolve(
 
 }  // namespace
 
+std::uint64_t adaptiveLeaseMs(std::vector<std::uint64_t> costsMs,
+                              double quantile, std::uint64_t baseMs) {
+  if (costsMs.empty() || !(quantile > 0.0) || quantile > 1.0 || baseMs == 0) {
+    return baseMs;
+  }
+  std::sort(costsMs.begin(), costsMs.end());
+  // Nearest-rank quantile: the smallest sample with at least `quantile` of
+  // the distribution at or below it.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(quantile * static_cast<double>(costsMs.size())));
+  rank = std::clamp<std::size_t>(rank, 1, costsMs.size());
+  const std::uint64_t q = costsMs[rank - 1];
+  // 4× headroom: a lease must comfortably outlive a typical shard, or the
+  // fleet steals work it should have waited for. The clamp keeps one wild
+  // sample from driving deadlines to zero or to forever.
+  const std::uint64_t headroom = q > ~0ULL / 4 ? ~0ULL : q * 4;
+  const std::uint64_t lo = std::max<std::uint64_t>(1, baseMs / 8);
+  const std::uint64_t hi = baseMs * 64;
+  return std::clamp(headroom, lo, hi);
+}
+
 // ---------------------------------------------------------------- FleetBroker
 
 FleetBroker::FleetBroker(const std::string& storePath, FleetConfig config)
@@ -144,6 +166,9 @@ std::vector<FleetBroker::CellStatus> FleetBroker::status() {
                            cell.shardExperiments(s)) != nullptr) {
         ++st.recordedShards;
         st.recordedExperiments += cell.shardExperiments(s);
+      } else if (store_.findQuarantine(cell.key, cell.shardFirst(s),
+                                       cell.shardExperiments(s))) {
+        ++st.quarantinedShards;
       }
     }
     // Snapshot first: forEachLease holds the store mutex across the
@@ -230,6 +255,10 @@ FleetWorker::FleetWorker(const std::string& storePath, std::string workerId,
                       0xffff));
     id_ = buf;
   }
+  // Per-worker jitter stream: scheduling-only, so seeding from the id and
+  // the wall clock costs no determinism.
+  jitterState_ = util::hashCombine(util::hashBytes(id_),
+                                   util::wallClockMs());
 }
 
 FleetWorker::~FleetWorker() = default;
@@ -289,15 +318,30 @@ FleetWorker::CellExec* FleetWorker::resolve(
   return execs_.emplace(cell.key, std::move(exec)).first->second.get();
 }
 
+std::uint64_t FleetWorker::leaseDurationFor(std::uint64_t cellKey) {
+  if (!config_.adaptiveLease) return config_.leaseMs;
+  // Completion leases carry the observed wall-clock of their shard; the
+  // deadline becomes a quantile of those costs (see adaptiveLeaseMs).
+  // Snapshot first — forEachLease holds the store mutex.
+  std::vector<std::uint64_t> costs;
+  store_.forEachLease(cellKey, [&](const CampaignStore::LeaseRecord& l) {
+    if (l.costMs != 0) costs.push_back(l.costMs);
+  });
+  return adaptiveLeaseMs(std::move(costs), config_.leaseQuantile,
+                         config_.leaseMs);
+}
+
 FleetWorker::Step FleetWorker::step() {
   struct Claim {
     CampaignStore::CellRecord cell;
     std::size_t shard = 0;
     std::uint64_t epoch = 0;
+    std::uint64_t leaseMs = 0;  ///< adaptive duration fixed at claim time
   };
   std::optional<Claim> claim;
   bool allRecorded = true;
   bool activeElsewhere = false;
+  bool quarantinedPending = false;
 
   {
     // The whole read-decide-append sequence is one cross-process critical
@@ -342,6 +386,13 @@ FleetWorker::Step FleetWorker::step() {
         const std::size_t first = cell.shardFirst(s);
         const std::size_t count = cell.shardExperiments(s);
         if (store_.findShard(cell.key, first, count) != nullptr) continue;
+        if (!config_.ignoreQuarantine &&
+            store_.findQuarantine(cell.key, first, count)) {
+          // Poison verdict from the supervisor: skip, so the fleet
+          // converges on everything else instead of crash-looping here.
+          quarantinedPending = true;
+          continue;
+        }
         const std::optional<CampaignStore::LeaseRecord> lease =
             store_.latestLease(cell.key, first, count);
         if (lease && leaseActive(*lease, nowMs)) {
@@ -353,9 +404,10 @@ FleetWorker::Step FleetWorker::step() {
         c2.cell = cell;
         c2.shard = s;
         c2.epoch = lease ? lease->epoch + 1 : 1;
+        c2.leaseMs = leaseDurationFor(cell.key);
         store_.appendLease(cell.key,
                            {first, count, id_, c2.epoch,
-                            nowMs + config_.leaseMs});
+                            nowMs + c2.leaseMs});
         claim = std::move(c2);
         break;
       }
@@ -364,10 +416,21 @@ FleetWorker::Step FleetWorker::step() {
 
   if (!claim) {
     if (allRecorded) return Step::Done;
-    return activeElsewhere ? Step::Idle : Step::Stalled;
+    if (activeElsewhere) return Step::Idle;
+    return quarantinedPending ? Step::Quarantined : Step::Stalled;
   }
   ++claims_;
   if (config_.onClaim) config_.onClaim(claims_);
+#if !defined(_WIN32)
+  if (!config_.poisonWorkload.empty() &&
+      claim->cell.workload == config_.poisonWorkload &&
+      (config_.poisonShard == static_cast<std::size_t>(-1) ||
+       config_.poisonShard == claim->shard)) {
+    // Artificial poison shard: die the way a real one kills its host —
+    // uncleanly, mid-lease, right after claiming.
+    ::raise(SIGKILL);
+  }
+#endif
 
   CellExec* exec = resolve(claim->cell);
   if (exec == nullptr) {
@@ -380,7 +443,8 @@ FleetWorker::Step FleetWorker::step() {
   const std::size_t first = cell.shardFirst(claim->shard);
   const std::size_t count = cell.shardExperiments(claim->shard);
   ShardTally acc;
-  std::uint64_t lastBeat = now();
+  const std::uint64_t startedMs = now();
+  std::uint64_t lastBeat = startedMs;
   for (std::size_t i = first; i < first + count; ++i) {
     const FaultPlan fp = FaultPlan::forExperiment(exec->model,
                                                   exec->candidates,
@@ -390,12 +454,45 @@ FleetWorker::Step FleetWorker::step() {
     if (t - lastBeat >= config_.resolvedHeartbeatMs()) {
       // Renew within our epoch: same claim, pushed-out deadline.
       store_.appendLease(cell.key, {first, count, id_, claim->epoch,
-                                    t + config_.leaseMs});
+                                    t + claim->leaseMs});
       lastBeat = t;
     }
   }
-  if (!store_.appendShard(exec->meta, claim->shard, first, count,
-                          {acc.counts, acc.hist})) {
+  bool recorded = store_.appendShard(exec->meta, claim->shard, first, count,
+                                     {acc.counts, acc.hist});
+  if (!recorded && store_.lastWriteOutOfSpace()) {
+    // Out of space is a pause-and-retry state, not a verdict: the computed
+    // shard is too expensive to throw away while the disk may drain (log
+    // rotation, a compaction elsewhere). Park on our heartbeat — keep the
+    // lease warm so nobody re-runs the shard under us — and keep retrying
+    // until the park budget runs out.
+    const std::uint64_t parkDeadline = now() + config_.resolvedParkMs();
+    std::fprintf(stderr,
+                 "fleet worker %s: store '%s' is out of space; parking "
+                 "shard %zu of '%s' for up to %llu ms\n",
+                 id_.c_str(), store_.path().c_str(), claim->shard,
+                 cell.workload.c_str(),
+                 static_cast<unsigned long long>(config_.resolvedParkMs()));
+    while (now() < parkDeadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(std::min<
+          std::uint64_t>(config_.resolvedHeartbeatMs(), 1000)));
+      const std::uint64_t t = now();
+      store_.appendLease(cell.key, {first, count, id_, claim->epoch,
+                                    t + claim->leaseMs});  // best-effort
+      recorded = store_.appendShard(exec->meta, claim->shard, first, count,
+                                    {acc.counts, acc.hist});
+      if (recorded || !store_.lastWriteOutOfSpace()) break;
+    }
+  }
+  if (recorded) {
+    // Completion renewal: stamp the shard's observed wall-clock into the
+    // lease stream (never the shard record — wall-clock is nondeterministic
+    // and shard records must stay byte-identical across runs). The deadline
+    // is already `now`: the shard record supersedes the lease anyway.
+    const std::uint64_t t = now();
+    const std::uint64_t cost = std::max<std::uint64_t>(1, t - startedMs);
+    store_.appendLease(cell.key, {first, count, id_, claim->epoch, t, cost});
+  } else {
     std::fprintf(stderr,
                  "fleet worker %s: store '%s' is not recording (write "
                  "failed); shard %zu of '%s' was computed but lost\n",
@@ -409,13 +506,29 @@ FleetWorker::Step FleetWorker::step() {
 FleetWorker::Step FleetWorker::run(std::size_t maxShards) {
   for (;;) {
     const Step step = this->step();
-    if (step == Step::Done || step == Step::Stalled) return step;
-    if (step == Step::Ran && maxShards != 0 && shardsRun_ >= maxShards) {
+    if (step == Step::Done || step == Step::Stalled ||
+        step == Step::Quarantined) {
       return step;
     }
+    if (step == Step::Ran) {
+      prevSleepMs_ = 0;  // work found: restart the jitter ramp
+      if (maxShards != 0 && shardsRun_ >= maxShards) return step;
+    }
     if (step == Step::Idle) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config_.pollMs));
+      // Decorrelated jitter (not fixed pollMs): uniform in
+      // [pollMs, 3 × previous sleep], capped at 16 × pollMs. N idle workers
+      // polling one store spread out instead of convoying on the flock at
+      // the same instant every period.
+      const std::uint64_t base = std::max<std::uint64_t>(1, config_.pollMs);
+      const std::uint64_t cap = base * 16;
+      const std::uint64_t prev = std::max(prevSleepMs_, base);
+      std::uint64_t sleep = base;
+      if (const std::uint64_t span = prev * 3 - base; span != 0) {
+        sleep = base + util::SplitMix64(jitterState_++).next() % span;
+      }
+      sleep = std::min(sleep, cap);
+      prevSleepMs_ = sleep;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
     }
   }
 }
@@ -461,7 +574,9 @@ std::vector<CampaignResult> runFleet(const CampaignSuite& suite,
             FleetWorker worker(storePath, {}, std::move(cfg));
             const FleetWorker::Step last =
                 worker.run(options.maxShardsPerWorker);
-            exitCode = last == FleetWorker::Step::Stalled ? 3 : 0;
+            exitCode = last == FleetWorker::Step::Stalled      ? 3
+                       : last == FleetWorker::Step::Quarantined ? 4
+                                                                : 0;
           } catch (...) {
             exitCode = 1;
           }

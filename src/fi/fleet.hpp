@@ -58,9 +58,39 @@ struct FleetConfig {
   /// Heartbeat period; 0 resolves to leaseMs / 3 (three missed beats lose
   /// the lease).
   std::uint64_t heartbeatMs = 0;
-  /// Idle poll period for FleetWorker::run() when every pending shard is
-  /// actively leased by someone else.
+  /// Base idle poll period for FleetWorker::run() when every pending shard
+  /// is actively leased by someone else. Workers sleep with decorrelated
+  /// jitter around this (uniform in [pollMs, 3 × previous sleep], capped at
+  /// 16 × pollMs), so N workers sharing one store spread out instead of
+  /// convoying on the flock every pollMs.
   std::uint64_t pollMs = 50;
+  /// Adapt lease deadlines to observed per-shard cost: when completion
+  /// leases with cost_ms exist for a cell, a new claim's lease duration is
+  /// adaptiveLeaseMs(costs, leaseQuantile, leaseMs) instead of the fixed
+  /// leaseMs — slow cells stop being falsely stolen, fast cells recover
+  /// quickly. Scheduling-only; never affects results.
+  bool adaptiveLease = true;
+  /// The cost quantile adaptive deadlines budget for (0 < q <= 1). The
+  /// default 0.9 tolerates the occasional slow shard without letting one
+  /// outlier set every deadline.
+  double leaseQuantile = 0.9;
+  /// Out-of-space park budget: when recording a computed shard fails with
+  /// ENOSPC/EDQUOT, the worker keeps its lease warm and retries the append
+  /// for this long before giving the shard up (it re-runs later), instead
+  /// of exiting — the disk may drain without any code change. 0 resolves
+  /// to 2 × leaseMs.
+  std::uint64_t parkMs = 0;
+  /// Claim shards that carry a quarantine record anyway — the `--force`
+  /// finishing pass. Off, workers skip them so a crash-looping shard cannot
+  /// take the whole fleet down with it.
+  bool ignoreQuarantine = false;
+  /// Chaos/poison hook: when nonempty, this worker SIGKILLs itself
+  /// immediately after claiming a shard of the named workload (any shard,
+  /// or only `poisonShard` when that is not npos) — a deterministic stand-in
+  /// for a shard that reliably kills its host process, used by the
+  /// supervisor tests and the chaos smoke script.
+  std::string poisonWorkload;
+  std::size_t poisonShard = static_cast<std::size_t>(-1);
   /// Re-lease immediately when the lease holder's pid (the prefix of its
   /// worker id) no longer exists on THIS host — a fast path for single-host
   /// fleets; expiry alone is always sufficient. Disable for fleets spanning
@@ -88,7 +118,18 @@ struct FleetConfig {
   [[nodiscard]] std::uint64_t resolvedHeartbeatMs() const noexcept {
     return heartbeatMs != 0 ? heartbeatMs : leaseMs / 3;
   }
+  [[nodiscard]] std::uint64_t resolvedParkMs() const noexcept {
+    return parkMs != 0 ? parkMs : 2 * leaseMs;
+  }
 };
+
+/// The adaptive lease duration for a cell: the `quantile`-th observed
+/// per-shard cost (from completion leases' cost_ms) times a 4× headroom
+/// factor, clamped to [baseMs / 8, baseMs × 64] so a wild sample can never
+/// drive deadlines to zero or infinity. No samples → baseMs (the fixed
+/// default). Pure; exposed for unit testing.
+std::uint64_t adaptiveLeaseMs(std::vector<std::uint64_t> costsMs,
+                              double quantile, std::uint64_t baseMs);
 
 /// Submits work to a fleet store and reports on its progress. Stateless
 /// beyond the store handle: every query re-reads the file, so a broker can
@@ -102,6 +143,7 @@ class FleetBroker {
     std::size_t recordedShards = 0;
     std::size_t activeLeases = 0;   ///< live leases on unrecorded shards
     std::size_t expiredLeases = 0;  ///< lapsed leases on unrecorded shards
+    std::size_t quarantinedShards = 0;  ///< unrecorded, quarantine verdict
     [[nodiscard]] bool complete() const noexcept {
       return recordedExperiments >= cell.experiments;
     }
@@ -157,6 +199,8 @@ class FleetWorker {
     Idle,     ///< pending work exists but is all actively leased by others
     Done,     ///< every shard of every submitted cell is recorded
     Stalled,  ///< only unrunnable-here cells remain, none actively leased
+    Quarantined,  ///< only quarantined shards remain (finish with a
+                  ///< `--force` / ignoreQuarantine pass)
   };
 
   /// `workerId` must be unique per worker process; empty derives
@@ -174,9 +218,10 @@ class FleetWorker {
   /// long pole first too.
   Step step();
 
-  /// step() until Done or Stalled (or until `maxShards` fresh shards ran,
-  /// when nonzero — the worker-side checkpoint cap), sleeping pollMs
-  /// between Idle polls. Returns the final step state.
+  /// step() until Done, Stalled, or Quarantined (or until `maxShards` fresh
+  /// shards ran, when nonzero — the worker-side checkpoint cap), sleeping
+  /// with decorrelated jitter around pollMs between Idle polls. Returns the
+  /// final step state.
   Step run(std::size_t maxShards = 0);
 
   [[nodiscard]] const std::string& workerId() const noexcept { return id_; }
@@ -189,6 +234,7 @@ class FleetWorker {
   [[nodiscard]] bool leaseActive(const CampaignStore::LeaseRecord& lease,
                                  std::uint64_t nowMs) const;
   CellExec* resolve(const CampaignStore::CellRecord& cell);
+  [[nodiscard]] std::uint64_t leaseDurationFor(std::uint64_t cellKey);
 
   CampaignStore store_;
   FleetConfig config_;
@@ -196,6 +242,8 @@ class FleetWorker {
   std::size_t shardsRun_ = 0;
   std::size_t claims_ = 0;
   bool loaded_ = false;
+  std::uint64_t jitterState_ = 0;  ///< decorrelated-jitter RNG state
+  std::uint64_t prevSleepMs_ = 0;  ///< previous idle sleep (jitter input)
   std::unordered_map<std::uint64_t, std::unique_ptr<CellExec>> execs_;
   std::unordered_set<std::uint64_t> unrunnable_;
 };

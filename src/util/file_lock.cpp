@@ -1,7 +1,9 @@
 #include "util/file_lock.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <mutex>
+#include <thread>
 
 #if defined(_WIN32)
 // The fleet tools are POSIX-only for now; on other platforms FileLock
@@ -13,11 +15,14 @@
 #include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
-
-#include <cerrno>
 #endif
 
 namespace onebit::util {
+
+namespace {
+/// Retries for a persistent short write before appendLine gives up.
+constexpr int kShortWriteRetries = 4;
+}  // namespace
 
 struct FileLock::Impl {
   std::recursive_mutex mutex;
@@ -72,6 +77,18 @@ AtomicAppend::~AtomicAppend() {
 #endif
 }
 
+bool AtomicAppend::outOfSpace() const noexcept {
+#if defined(_WIN32)
+  return false;
+#else
+  return errno_ == ENOSPC
+#if defined(EDQUOT)
+         || errno_ == EDQUOT
+#endif
+      ;
+#endif
+}
+
 bool AtomicAppend::appendLine(std::string_view line) {
 #if defined(_WIN32)
   std::FILE* f = std::fopen(path_.c_str(), "ab");
@@ -79,9 +96,13 @@ bool AtomicAppend::appendLine(std::string_view line) {
   const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size()
                   && std::fputc('\n', f) != EOF && std::fflush(f) == 0;
   std::fclose(f);
+  errno_ = ok ? 0 : EIO;
   return ok;
 #else
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    errno_ = EBADF;
+    return false;
+  }
   // Heal a torn tail: if the file does not currently end in '\n' (a writer
   // died mid-write), lead with a newline so the residue becomes one
   // self-contained malformed line instead of swallowing this record. The
@@ -102,21 +123,39 @@ bool AtomicAppend::appendLine(std::string_view line) {
   chunk += line;
   chunk += '\n';
   // One write(): O_APPEND positions at EOF atomically, so concurrent
-  // appenders never interleave within each other's records.
+  // appenders never interleave within each other's records. A short write
+  // (seen only at the edge of a full disk) already tore the record on
+  // disk, so finishing it is strictly better than abandoning it — and the
+  // continuation is safe here because every CampaignStore append holds the
+  // store's FileLock, so no foreign line can slip into the gap. Transient
+  // shortfalls are retried with a small backoff before giving up.
   std::size_t written = 0;
+  int attempts = 0;
   while (written < chunk.size()) {
     const ::ssize_t n =
         ::write(fd_, chunk.data() + written, chunk.size() - written);
     if (n < 0) {
+      errno_ = errno;
       if (errno == EINTR) continue;
       return false;
     }
     written += static_cast<std::size_t>(n);
-    if (written < chunk.size()) return false;  // partial write: give up
+    if (written < chunk.size()) {
+      if (++attempts > kShortWriteRetries) {
+        errno_ = ENOSPC;  // the classic cause of a persistent short write
+        return false;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(attempts * 10));
+    }
   }
   while (::fdatasync(fd_) != 0) {
-    if (errno != EINTR) return false;
+    if (errno != EINTR) {
+      errno_ = errno;
+      return false;
+    }
   }
+  errno_ = 0;
   return true;
 #endif
 }

@@ -64,6 +64,14 @@ class FileLock {
 /// making the record durable before the call returns. Callers wanting
 /// read-decide-append atomicity must additionally hold the FileLock; the
 /// append itself never tears regardless.
+///
+/// Transient failures (EINTR, short writes — in practice only seen at the
+/// edge of a full disk or quota) are retried a few times with a short
+/// backoff before giving up. A short write that ultimately fails leaves a
+/// torn line; the next successful append heals it, and fsck classifies it.
+/// On failure lastErrno() tells the caller whether the condition is a
+/// pause-and-retry state (ENOSPC/EDQUOT: the disk may drain) or a hard
+/// error.
 class AtomicAppend {
  public:
   explicit AtomicAppend(std::string path);
@@ -78,9 +86,18 @@ class AtomicAppend {
   /// write, then flush it to disk. Returns false on any I/O failure.
   bool appendLine(std::string_view line);
 
+  /// errno of the last appendLine() failure (0 after a success). ENOSPC and
+  /// EDQUOT mean "out of space": the write may succeed later without any
+  /// code change, so callers should park and retry rather than abort.
+  [[nodiscard]] int lastErrno() const noexcept { return errno_; }
+
+  /// True when the last failure was an out-of-space condition.
+  [[nodiscard]] bool outOfSpace() const noexcept;
+
  private:
   std::string path_;
   int fd_ = -1;
+  int errno_ = 0;
 };
 
 /// Milliseconds since the Unix epoch (system_clock) — the fleet's lease

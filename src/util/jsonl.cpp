@@ -437,13 +437,30 @@ JsonlWriter::~JsonlWriter() {
 }
 
 bool JsonlWriter::writeLine(const Json& record) {
-  if (file_ == nullptr) return false;
-  const std::string line = record.dump();
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+  if (file_ == nullptr) {
+    errno_ = EBADF;
     return false;
   }
-  if (std::fputc('\n', file_) == EOF) return false;
-  return std::fflush(file_) == 0;
+  const std::string line = record.dump();
+  errno = 0;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    errno_ = errno != 0 ? errno : EIO;
+    return false;
+  }
+  if (std::fputc('\n', file_) == EOF) {
+    errno_ = errno != 0 ? errno : EIO;
+    return false;
+  }
+  // fflush can be interrupted by a signal before any data moved; retrying is
+  // safe because stdio tracks what it already drained.
+  while (std::fflush(file_) != 0) {
+    if (errno != EINTR) {
+      errno_ = errno != 0 ? errno : EIO;
+      return false;
+    }
+  }
+  errno_ = 0;
+  return true;
 }
 
 JsonlReadStats readJsonl(const std::string& path,

@@ -110,10 +110,17 @@ class JsonlWriter {
   [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
 
   /// Write one record + newline and flush. Returns false on I/O failure.
+  /// Transient interruptions (EINTR during the flush) are retried; on a
+  /// real failure lastErrno() reports the cause so callers can distinguish
+  /// a full disk (pause and retry later) from a hard error.
   bool writeLine(const Json& record);
+
+  /// errno of the last writeLine() failure (0 after a success).
+  [[nodiscard]] int lastErrno() const noexcept { return errno_; }
 
  private:
   std::FILE* file_ = nullptr;
+  int errno_ = 0;
 };
 
 /// Whole-file JSONL reader.

@@ -8,7 +8,10 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -759,6 +762,328 @@ TEST(CampaignStoreCompact, MissingFileIsANoOp) {
   EXPECT_FALSE(stats->rewritten);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   EXPECT_EQ(f, nullptr);  // compaction must not create the file
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST_F(CampaignStoreFixture, QuarantineRecordsRoundTripNewestWins) {
+  CampaignStore::QuarantineRecord q;
+  q.first = 96;
+  q.count = 32;
+  q.crashes = 3;
+  q.worker = "1234:3f2a";
+  q.reason = "worker died 3 times mid-lease on 'qsort'";
+  {
+    CampaignStore store(path_);
+    ASSERT_TRUE(store.appendQuarantine(0xfeed, q));
+    // Identical re-append: succeeds without writing a second line.
+    ASSERT_TRUE(store.appendQuarantine(0xfeed, q));
+    // Escalated verdict: newest wins.
+    CampaignStore::QuarantineRecord more = q;
+    more.crashes = 5;
+    ASSERT_TRUE(store.appendQuarantine(0xfeed, more));
+    // Invalid (empty range) is refused outright.
+    EXPECT_FALSE(store.appendQuarantine(0xfeed, {96, 0, 1, "", ""}));
+  }
+  CampaignStore store(path_);
+  const CampaignStore::LoadStats stats = store.load();
+  EXPECT_EQ(stats.quarantineRecords, 2u);
+  EXPECT_EQ(stats.malformed, 0u);
+  const auto found = store.findQuarantine(0xfeed, 96, 32);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->crashes, 5u);
+  EXPECT_EQ(found->worker, "1234:3f2a");
+  EXPECT_EQ(found->reason, q.reason);
+  EXPECT_FALSE(store.findQuarantine(0xfeed, 0, 32).has_value());
+  EXPECT_FALSE(store.findQuarantine(0xdead, 96, 32).has_value());
+  std::size_t visited = 0;
+  store.forEachQuarantine(
+      0xfeed, [&](const CampaignStore::QuarantineRecord&) { ++visited; });
+  EXPECT_EQ(visited, 1u);  // one live verdict per range
+}
+
+TEST_F(CampaignStoreFixture, CompactKeepsLiveQuarantinesDropsSuperseded) {
+  {
+    CampaignStore store(path_);
+    ASSERT_TRUE(store.appendQuarantine(0xab, {0, 4, 3, "1:aa", "poison"}));
+    ASSERT_TRUE(store.appendQuarantine(0xab, {0, 4, 4, "1:aa", "poison"}));
+    ASSERT_TRUE(store.appendQuarantine(0xab, {4, 4, 3, "1:aa", "poison"}));
+  }
+  {
+    // A --force pass recorded shard (0,4): its quarantine is superseded.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "{\"v\":1,\"kind\":\"shard\",\"key\":\"0x00000000000000ab\","
+        "\"spec\":\"read/single\",\"seed\":\"0x0000000000000001\","
+        "\"experiments\":12,\"candidates\":10,\"shard\":0,\"first\":0,"
+        "\"count\":4,\"outcomes\":[4,0,0,0,0],\"hist\":[[0,0,4]]}\n",
+        f);
+    std::fclose(f);
+  }
+  const auto stats = CampaignStore::compact(path_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->quarantineRecords, 1u);  // only the live (4,4) verdict
+  // The stale crashes=3 line of (0,4) plus its superseded survivor.
+  EXPECT_EQ(stats->droppedQuarantines, 2u);
+  EXPECT_TRUE(stats->rewritten);
+
+  CampaignStore store(path_);
+  EXPECT_EQ(store.load().quarantineRecords, 1u);
+  EXPECT_FALSE(store.findQuarantine(0xab, 0, 4).has_value());
+  const auto live = store.findQuarantine(0xab, 4, 4);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(live->crashes, 3u);
+}
+
+TEST_F(CampaignStoreFixture, LeaseCostSurvivesTheRoundTripOnlyWhenStamped) {
+  {
+    CampaignStore store(path_);
+    ASSERT_TRUE(store.appendLease(0xfeed, {0, 32, "1:aa", 1, 500}));
+    ASSERT_TRUE(store.appendLease(0xfeed, {32, 32, "1:aa", 1, 777, 1234}));
+  }
+  {
+    // Plain claims must serialize exactly as pre-cost writers did: no
+    // cost_ms field at all, so old and new fleet binaries interoperate.
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string bytes(4096, '\0');
+    bytes.resize(std::fread(bytes.data(), 1, bytes.size(), f));
+    std::fclose(f);
+    const std::size_t firstLineEnd = bytes.find('\n');
+    ASSERT_NE(firstLineEnd, std::string::npos);
+    EXPECT_EQ(bytes.substr(0, firstLineEnd).find("cost_ms"),
+              std::string::npos);
+    EXPECT_NE(bytes.find("\"cost_ms\":1234"), std::string::npos);
+  }
+  CampaignStore store(path_);
+  store.load();
+  const auto plain = store.latestLease(0xfeed, 0, 32);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->costMs, 0u);
+  const auto stamped = store.latestLease(0xfeed, 32, 32);
+  ASSERT_TRUE(stamped.has_value());
+  EXPECT_EQ(stamped->costMs, 1234u);
+}
+
+TEST_F(CampaignStoreFixture, FsckLeavesACleanStoreUntouched) {
+  {
+    CampaignStore store(path_);
+    CampaignEngine(baseConfig()).recordTo(store, "guinea-pig").run(*workload_);
+  }
+  std::string before;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) before.append(buf, n);
+    std::fclose(f);
+  }
+  const auto stats = CampaignStore::fsck(path_, /*repair=*/true);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->clean());
+  EXPECT_FALSE(stats->corrupt());
+  EXPECT_FALSE(stats->rewritten);
+  EXPECT_EQ(stats->validRecords, kExperiments / kShardSize);  // shard lines
+  std::string after;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) after.append(buf, n);
+    std::fclose(f);
+  }
+  EXPECT_EQ(before, after);
+}
+
+class CampaignStoreFsckFixture : public CampaignStoreFixture {
+ protected:
+  void TearDown() override {
+    std::remove((path_ + ".quarantined").c_str());
+    CampaignStoreFixture::TearDown();
+  }
+
+  /// Record the full campaign, then rewrite the store file through
+  /// `mutate(lines)` to inject mid-file damage.
+  void recordAndMutate(
+      const std::function<void(std::vector<std::string>&)>& mutate) {
+    {
+      CampaignStore store(path_);
+      CampaignEngine(baseConfig()).recordTo(store).run(*workload_);
+    }
+    std::vector<std::string> lines;
+    {
+      std::FILE* f = std::fopen(path_.c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      std::string line;
+      int c = 0;
+      while ((c = std::fgetc(f)) != EOF) {
+        if (c == '\n') {
+          lines.push_back(line);
+          line.clear();
+        } else {
+          line += static_cast<char>(c);
+        }
+      }
+      std::fclose(f);
+    }
+    ASSERT_EQ(lines.size(), kExperiments / kShardSize);
+    mutate(lines);
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (const std::string& l : lines) {
+      std::fwrite(l.data(), 1, l.size(), f);
+      std::fputc('\n', f);
+    }
+    std::fclose(f);
+  }
+
+  /// Post-repair: the store loads clean and resumes bit-identically, with
+  /// `intactShards` shards' worth of records surviving the damage.
+  void expectRepairedResume(std::size_t intactShards) {
+    CampaignStore store(path_);
+    const CampaignStore::LoadStats loaded = store.load();
+    EXPECT_EQ(loaded.shardRecords, intactShards);
+    EXPECT_EQ(loaded.malformed, 0u);
+    EXPECT_EQ(loaded.duplicates, 0u);
+    CampaignEngine engine(baseConfig());
+    engine.resumeFrom(store);
+    const CampaignResult r = engine.run(*workload_);
+    const CampaignResult ref = uninterrupted();
+    EXPECT_EQ(r.resumedExperiments, intactShards * kShardSize);
+    EXPECT_EQ(r.counts, ref.counts);
+    EXPECT_EQ(r.activationHist, ref.activationHist);
+  }
+};
+
+TEST_F(CampaignStoreFsckFixture, ByteFlippedRecordIsQuarantinedAndRepaired) {
+  // Flip one outcome digit of a mid-file record: it still parses as JSON
+  // but fails the shard tally integrity check.
+  recordAndMutate([](std::vector<std::string>& lines) {
+    std::string& victim = lines[4];
+    const std::size_t at = victim.find("\"outcomes\":[");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t digit = at + std::strlen("\"outcomes\":[");
+    victim[digit] = victim[digit] == '9' ? '8' : '9';
+  });
+  // load() skips the mangled record rather than merging garbage.
+  {
+    CampaignStore store(path_);
+    const CampaignStore::LoadStats loaded = store.load();
+    EXPECT_EQ(loaded.shardRecords, kExperiments / kShardSize - 1);
+    EXPECT_EQ(loaded.malformed, 1u);
+  }
+  const auto check = CampaignStore::fsck(path_, /*repair=*/false);
+  ASSERT_TRUE(check.has_value());
+  EXPECT_EQ(check->integrityFailures, 1u);
+  EXPECT_TRUE(check->corrupt());
+  EXPECT_FALSE(check->rewritten);
+
+  const auto repaired = CampaignStore::fsck(path_, /*repair=*/true);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->integrityFailures, 1u);
+  EXPECT_EQ(repaired->quarantinedLines, 1u);
+  EXPECT_TRUE(repaired->rewritten);
+  // The mangled line is preserved in the sidecar, not destroyed.
+  std::FILE* sidecar = std::fopen((path_ + ".quarantined").c_str(), "rb");
+  ASSERT_NE(sidecar, nullptr);
+  std::fclose(sidecar);
+
+  expectRepairedResume(kExperiments / kShardSize - 1);
+  const auto again = CampaignStore::fsck(path_, /*repair=*/true);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->clean());  // repair converges in one pass
+}
+
+TEST_F(CampaignStoreFsckFixture, DuplicatedLineIsBenignButRepairable) {
+  recordAndMutate([](std::vector<std::string>& lines) {
+    lines.insert(lines.begin() + 3, lines[2]);  // byte-identical re-record
+  });
+  const auto check = CampaignStore::fsck(path_, /*repair=*/false);
+  ASSERT_TRUE(check.has_value());
+  EXPECT_EQ(check->duplicateLines, 1u);
+  EXPECT_FALSE(check->corrupt());  // expected on fleet stores
+  EXPECT_FALSE(check->clean());    // but worth compacting away
+
+  const auto repaired = CampaignStore::fsck(path_, /*repair=*/true);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->duplicateLines, 1u);
+  EXPECT_EQ(repaired->quarantinedLines, 0u);  // dropped, not quarantined
+  EXPECT_TRUE(repaired->rewritten);
+  expectRepairedResume(kExperiments / kShardSize);
+}
+
+TEST_F(CampaignStoreFsckFixture, GarbageBetweenValidRecordsIsQuarantined) {
+  recordAndMutate([](std::vector<std::string>& lines) {
+    lines.insert(lines.begin() + 2, "\x01\x02 not json at all");
+    lines.insert(lines.begin() + 6, "{\"v\":1,\"kind\":\"shard\",\"key");
+  });
+  {
+    CampaignStore store(path_);
+    const CampaignStore::LoadStats loaded = store.load();
+    EXPECT_EQ(loaded.shardRecords, kExperiments / kShardSize);
+    EXPECT_EQ(loaded.malformed, 2u);  // skipped, remaining records intact
+  }
+  const auto repaired = CampaignStore::fsck(path_, /*repair=*/true);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->garbage, 2u);
+  EXPECT_EQ(repaired->tornTail, 0u);  // mid-file, not a torn tail
+  EXPECT_EQ(repaired->quarantinedLines, 2u);
+  EXPECT_TRUE(repaired->corrupt());
+  EXPECT_TRUE(repaired->rewritten);
+  expectRepairedResume(kExperiments / kShardSize);
+}
+
+TEST_F(CampaignStoreFsckFixture, TornTailAndConflictAreToldApart) {
+  recordAndMutate([](std::vector<std::string>& lines) {
+    // A conflicting rewrite of some record: same identity, different bytes.
+    // Swap two unequal outcome buckets — the tally still balances, so the
+    // imposter is integrity-valid and only the conflict check can catch it.
+    for (const std::string& line : lines) {
+      std::string imposter = line;
+      const std::size_t at = imposter.find("\"outcomes\":[");
+      ASSERT_NE(at, std::string::npos);
+      const std::size_t open = at + std::strlen("\"outcomes\":[");
+      const std::size_t comma = imposter.find(',', open);
+      const std::size_t comma2 = imposter.find(',', comma + 1);
+      const std::string a = imposter.substr(open, comma - open);
+      const std::string b = imposter.substr(comma + 1, comma2 - comma - 1);
+      if (a == b) continue;
+      imposter.replace(open, comma2 - open, b + "," + a);
+      lines.push_back(std::move(imposter));
+      return;
+    }
+    FAIL() << "no record with two unequal outcome buckets";
+  });
+  {
+    // Kill-mid-write on top: half a record, no newline.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"v\":1,\"kind\":\"shard\",\"key\":\"0x00", f);
+    std::fclose(f);
+  }
+  const auto repaired = CampaignStore::fsck(path_, /*repair=*/true);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->tornTail, 1u);
+  EXPECT_EQ(repaired->conflicts, 1u);
+  EXPECT_EQ(repaired->garbage, 0u);
+  EXPECT_EQ(repaired->quarantinedLines, 2u);
+  EXPECT_TRUE(repaired->rewritten);
+  // First wins on conflict — exactly what load() indexes — so the repaired
+  // store resumes bit-identically to the undamaged one.
+  expectRepairedResume(kExperiments / kShardSize);
+}
+
+TEST(CampaignStoreFsck, MissingFileIsCleanAndNotCreated) {
+  const std::string path = ::testing::TempDir() + "no_such_store_fsck.jsonl";
+  std::remove(path.c_str());
+  const auto stats = CampaignStore::fsck(path, /*repair=*/true);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->clean());
+  EXPECT_FALSE(stats->rewritten);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
   if (f != nullptr) std::fclose(f);
 }
 

@@ -7,9 +7,12 @@
 //   fleet_broker STORE [--status]
 //     print per-cell progress (default action)
 //   fleet_broker STORE --wait [--poll-ms N]
-//     block until every submitted cell is fully recorded; exit 0
+//     block until every submitted cell is fully recorded; exit 0. If the
+//     fleet converged with quarantined shards (nothing running, every
+//     missing shard quarantined), exit 4 instead of hanging.
 //
-// Exit codes: 0 = ok / complete, 1 = error, 2 = usage.
+// Exit codes: 0 = ok / complete, 1 = error, 2 = usage,
+// 4 = only quarantined shards remain.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -50,16 +53,27 @@ int printStatus(onebit::fi::FleetBroker& broker) {
     return 0;
   }
   std::size_t complete = 0;
+  std::size_t quarantined = 0;
   for (const auto& st : cells) {
     if (st.complete()) ++complete;
+    quarantined += st.quarantinedShards;
     std::printf("%-14s %-24s %6zu/%-6zu exp  %4zu/%-4zu shards  "
-                "leases: %zu active, %zu expired%s\n",
+                "leases: %zu active, %zu expired",
                 st.cell.workload.c_str(), st.cell.spec.c_str(),
                 st.recordedExperiments, st.cell.experiments,
                 st.recordedShards, st.cell.shardCount(), st.activeLeases,
-                st.expiredLeases, st.complete() ? "  [complete]" : "");
+                st.expiredLeases);
+    if (st.quarantinedShards != 0) {
+      std::printf("  quarantined: %zu", st.quarantinedShards);
+    }
+    std::printf("%s\n", st.complete() ? "  [complete]" : "");
   }
-  std::printf("%zu/%zu cell(s) complete\n", complete, cells.size());
+  std::printf("%zu/%zu cell(s) complete", complete, cells.size());
+  if (quarantined != 0) {
+    std::printf(", %zu shard(s) quarantined (workers need --force)",
+                quarantined);
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -87,7 +101,29 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
       }
-      while (!broker.complete()) {
+      for (;;) {
+        if (broker.complete()) break;
+        // Converged-with-quarantine: nothing is running and every missing
+        // shard carries a quarantine verdict — waiting longer is hopeless
+        // without a --force worker. Surface that instead of hanging.
+        const auto cells = broker.status();
+        bool blocked = !cells.empty();
+        for (const auto& st : cells) {
+          if (st.complete()) continue;
+          const std::size_t missing =
+              st.cell.shardCount() - st.recordedShards;
+          if (st.activeLeases != 0 || st.quarantinedShards < missing) {
+            blocked = false;
+            break;
+          }
+        }
+        if (blocked) {
+          printStatus(broker);
+          std::fprintf(stderr,
+                       "only quarantined shards remain; run a worker with "
+                       "--force to finish them\n");
+          return 4;
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
       }
       return printStatus(broker);

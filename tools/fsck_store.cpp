@@ -1,0 +1,69 @@
+// Campaign-store fsck: classify every line of a JSONL store (valid,
+// byte-identical duplicate, torn tail, mid-file garbage, integrity failure,
+// duplicate-key conflict, unknown kind) and optionally repair in place.
+//
+//   fsck_store STORE.jsonl            check only, print the classification
+//   fsck_store STORE.jsonl --repair   also rewrite the store when needed
+//
+// Repair is crash-safe (tmp file + rename) and byte-preserving: surviving
+// lines are copied verbatim, so a repaired store resumes bit-identically.
+// Unrepairable lines are appended to STORE.jsonl.quarantined for forensics
+// before the rewrite, never silently dropped. See CampaignStore::fsck.
+//
+// Exit codes: 0 = clean (or repairable duplicates only), 5 = corruption
+// found (after repair: corruption WAS found and the store was rewritten),
+// 1 = I/O error, 2 = usage.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "fi/campaign_store.hpp"
+
+int main(int argc, char** argv) {
+  bool repair = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 || !path.empty()) {
+      path.clear();
+      break;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s STORE.jsonl [--repair]\n", argv[0]);
+    return 2;
+  }
+  const std::optional<onebit::fi::CampaignStore::FsckStats> stats =
+      onebit::fi::CampaignStore::fsck(path, repair);
+  if (!stats) {
+    std::fprintf(stderr, "error: cannot fsck '%s'\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu valid record(s), %zu duplicate line(s), "
+              "%zu torn tail, %zu garbage, %zu integrity failure(s), "
+              "%zu conflict(s), %zu unknown-kind (kept)\n",
+              path.c_str(), stats->validRecords, stats->duplicateLines,
+              stats->tornTail, stats->garbage, stats->integrityFailures,
+              stats->conflicts, stats->unknownKinds);
+  if (stats->quarantinedLines != 0) {
+    std::printf("%zu unrepairable line(s) %s %s.quarantined\n",
+                stats->quarantinedLines,
+                stats->rewritten ? "moved to" : "would move to",
+                path.c_str());
+  }
+  if (stats->rewritten) {
+    std::printf("store rewritten (%zu surviving record(s))\n",
+                stats->validRecords);
+  } else if (!stats->clean()) {
+    std::printf("re-run with --repair to rewrite the store\n");
+  }
+  if (stats->corrupt()) return 5;
+  std::printf("%s\n", stats->clean()      ? "clean"
+              : stats->rewritten ? "clean after dedup"
+                                 : "duplicate lines only (benign)");
+  return 0;
+}

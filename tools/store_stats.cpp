@@ -1,7 +1,13 @@
 // One-shot campaign-store query: per-campaign completion, outcome totals,
-// and fleet lease status, straight off the JSONL records (no resume logic,
-// no workload compilation — works on any store, including one a fleet is
-// actively writing). See fi/campaign_store.hpp for the record shapes.
+// fleet lease status, quarantined shard ranges, and a per-worker progress
+// rollup, straight off the JSONL records (no resume logic, no workload
+// compilation — works on any store, including one a fleet is actively
+// writing). See fi/campaign_store.hpp for the record shapes.
+//
+// The rollup groups by the full worker id. The fleet's default ids are
+// "<pid>:<hex nonce>"; multi-host fleets that pass `--id host/pid` style
+// ids get a de-facto per-host grouping for free.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -45,14 +51,30 @@ std::string stringField(const Json& record, const char* field) {
 
 using Range = std::pair<std::uint64_t, std::uint64_t>;  // (first, count)
 
+struct LeaseInfo {
+  std::uint64_t epoch = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t costMs = 0;  ///< nonzero only on completion stamps
+  std::string worker;
+};
+
 struct Campaign {
   std::string workload;
   std::string spec;
   std::uint64_t experiments = 0;
   bool submitted = false;  ///< has a fleet "cell" record
   std::map<Range, onebit::stats::OutcomeCounts> shards;
-  std::map<Range, std::pair<std::uint64_t, std::uint64_t>>
-      leases;  ///< range → (epoch, deadline), newest per range
+  std::map<Range, LeaseInfo> leases;          ///< newest per range
+  std::map<Range, std::uint64_t> quarantines; ///< range → crashes, newest
+};
+
+/// One row of the per-worker rollup, accumulated across campaigns.
+struct WorkerStat {
+  std::uint64_t shards = 0;       ///< completed shards stamped by this worker
+  std::uint64_t experiments = 0;  ///< experiments inside those shards
+  std::uint64_t costMs = 0;       ///< summed observed shard cost
+  std::size_t activeLeases = 0;
+  std::size_t expiredLeases = 0;
 };
 
 }  // namespace
@@ -66,6 +88,7 @@ int main(int argc, char** argv) {
   std::map<std::uint64_t, Campaign> campaigns;
   std::size_t workloadRecords = 0;
   std::size_t outcomeRecords = 0;
+  std::size_t quarantineRecords = 0;
   std::size_t unknownRecords = 0;
   const onebit::util::JsonlReadStats read = onebit::util::readJsonl(
       path, [&](Json&& record) {
@@ -101,12 +124,23 @@ int main(int argc, char** argv) {
           Campaign& c = campaigns[key];
           const Range range{uintField(record, "first"),
                             uintField(record, "count")};
-          const std::uint64_t epoch = uintField(record, "epoch");
-          const auto [it, inserted] = c.leases.try_emplace(
-              range, epoch, uintField(record, "deadline"));
-          if (!inserted && epoch >= it->second.first) {
-            it->second = {epoch, uintField(record, "deadline")};
+          LeaseInfo info;
+          info.epoch = uintField(record, "epoch");
+          info.deadline = uintField(record, "deadline");
+          info.costMs = uintField(record, "cost_ms");
+          info.worker = stringField(record, "worker");
+          const auto [it, inserted] = c.leases.try_emplace(range, info);
+          if (!inserted && info.epoch >= it->second.epoch) {
+            it->second = std::move(info);
           }
+          return;
+        }
+        if (kind == "quarantine" && key != 0) {
+          Campaign& c = campaigns[key];
+          ++quarantineRecords;
+          c.quarantines[Range{uintField(record, "first"),
+                              uintField(record, "count")}] =
+              uintField(record, "crashes");  // newest wins, like load()
           return;
         }
         if (kind == "workload") {
@@ -124,10 +158,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::printf("%s: %zu campaign(s), %zu workload profile(s), %zu "
-              "outcome-cache record(s), %zu malformed, %zu unknown\n",
+              "outcome-cache record(s), %zu quarantine record(s), %zu "
+              "malformed, %zu unknown\n",
               path.c_str(), campaigns.size(), workloadRecords,
-              outcomeRecords, read.malformed, unknownRecords);
+              outcomeRecords, quarantineRecords, read.malformed,
+              unknownRecords);
   const std::uint64_t nowMs = onebit::util::wallClockMs();
+  std::map<std::string, WorkerStat> workers;
   for (const auto& [key, c] : campaigns) {
     std::uint64_t recorded = 0;
     onebit::stats::OutcomeCounts totals;
@@ -137,10 +174,32 @@ int main(int argc, char** argv) {
     }
     std::size_t active = 0;
     std::size_t expired = 0;
+    std::uint64_t oldestOverdueMs = 0;  ///< the lease-age column
     for (const auto& [range, lease] : c.leases) {
-      if (c.shards.count(range) != 0) continue;  // superseded by a shard
-      if (lease.second > nowMs) ++active;
-      else ++expired;
+      if (c.shards.count(range) != 0) {
+        // Superseded by a shard record: if the completion stamp carries an
+        // observed cost, attribute the shard to the worker that ran it.
+        if (lease.costMs != 0 && !lease.worker.empty()) {
+          WorkerStat& w = workers[lease.worker];
+          ++w.shards;
+          w.experiments += range.second;
+          w.costMs += lease.costMs;
+        }
+        continue;
+      }
+      WorkerStat& w = workers[lease.worker.empty() ? "-" : lease.worker];
+      if (lease.deadline > nowMs) {
+        ++active;
+        ++w.activeLeases;
+      } else {
+        ++expired;
+        ++w.expiredLeases;
+        oldestOverdueMs = std::max(oldestOverdueMs, nowMs - lease.deadline);
+      }
+    }
+    std::size_t quarantined = 0;
+    for (const auto& [range, crashes] : c.quarantines) {
+      if (c.shards.count(range) == 0) ++quarantined;  // still blocking
     }
     const double pct = c.experiments != 0
                            ? 100.0 * static_cast<double>(recorded) /
@@ -156,6 +215,12 @@ int main(int argc, char** argv) {
                     : "");
     if (active != 0 || expired != 0) {
       std::printf("  leases: %zu active, %zu expired", active, expired);
+      if (expired != 0) {
+        std::printf(" (oldest %" PRIu64 " ms overdue)", oldestOverdueMs);
+      }
+    }
+    if (quarantined != 0) {
+      std::printf("  quarantined: %zu shard(s)", quarantined);
     }
     std::printf("\n    ");
     for (std::size_t o = 0; o < onebit::stats::kOutcomeCount; ++o) {
@@ -166,6 +231,19 @@ int main(int argc, char** argv) {
                   totals.count(static_cast<onebit::stats::Outcome>(o)));
     }
     std::printf("\n");
+  }
+  if (!workers.empty()) {
+    std::printf("  workers:\n");
+    for (const auto& [id, w] : workers) {
+      std::printf("    %-24s %4" PRIu64 " shard(s)  %6" PRIu64
+                  " experiment(s)  %8" PRIu64 " ms observed",
+                  id.c_str(), w.shards, w.experiments, w.costMs);
+      if (w.activeLeases != 0 || w.expiredLeases != 0) {
+        std::printf("  leases: %zu active, %zu expired", w.activeLeases,
+                    w.expiredLeases);
+      }
+      std::printf("\n");
+    }
   }
   return 0;
 }
