@@ -101,6 +101,7 @@
 #include <utility>
 #include <vector>
 
+#include "analytics/knobs.hpp"
 #include "fi/campaign.hpp"
 #include "fi/campaign_store.hpp"
 #include "fi/fleet.hpp"
@@ -118,44 +119,14 @@ struct NamedWorkload {
   fi::Workload workload;
 };
 
-inline std::uint64_t masterSeed() {
-  return static_cast<std::uint64_t>(util::envInt("ONEBIT_SEED", 2017));
-}
-
-inline std::size_t experimentsPerCampaign(std::size_t fallback) {
-  return util::envSize("ONEBIT_EXPERIMENTS", fallback);
-}
-
-/// True when `name` passes the ONEBIT_PROGRAMS comma-list filter (an unset
-/// or empty filter selects everything).
-inline bool programSelected(const std::string& name) {
-  const std::string filter = util::envStr("ONEBIT_PROGRAMS", "");
-  if (filter.empty()) return true;
-  const std::vector<std::string> items = util::splitList(filter);
-  return std::find(items.begin(), items.end(), name) != items.end();
-}
-
-/// True when the model passes the ONEBIT_SPECS filter (an unset or empty
-/// filter selects everything). The list is semicolon-separated — multi-bit
-/// labels like "write/m=3,w=1" contain commas. Each item is parsed through
-/// FaultModel::parse and matched as a MODEL (FaultModel::matches), not as a
-/// raw string, so any spelling that denotes the same (domain, pattern,
-/// spread) cell selects it; an item that does not parse falls back to an
-/// exact label comparison. Drivers apply this when building their spec
-/// axes, so tables shrink coherently, the same way ONEBIT_PROGRAMS drops
-/// whole workload rows.
-inline bool specSelected(const fi::FaultModel& model) {
-  const std::string filter = util::envStr("ONEBIT_SPECS", "");
-  if (filter.empty()) return true;
-  for (const std::string& item : util::splitList(filter, ';')) {
-    if (const auto parsed = fi::FaultModel::parse(item)) {
-      if (parsed->matches(model)) return true;
-    } else if (item == model.label()) {
-      return true;
-    }
-  }
-  return false;
-}
+// The selection knobs (seed, scale, program/spec filters, flip width) live
+// in analytics/knobs.hpp so the drivers and the figure-regenerating
+// `report` tool resolve the same campaign cells from the same environment —
+// re-exported here under the historical names every driver already uses.
+using analytics::masterSeed;
+using analytics::experimentsPerCampaign;
+using analytics::programSelected;
+using analytics::specSelected;
 
 /// The golden-prefix snapshot policy selected by the environment knobs.
 /// ONEBIT_SNAPSHOT_INTERVAL: 0 disables the cache, a positive value pins the
@@ -215,9 +186,7 @@ inline std::vector<NamedWorkload> loadWorkloads() {
 /// Integer flip width used by the paper-artifact harnesses. Defaults to 32
 /// (the paper's LLVM i32 registers); ONEBIT_FLIP_WIDTH=64 selects the raw
 /// VM register width instead.
-inline unsigned flipWidth() {
-  return static_cast<unsigned>(util::envInt("ONEBIT_FLIP_WIDTH", 32));
-}
+using analytics::flipWidth;
 
 /// The process-wide campaign store named by ONEBIT_STORE, loaded once on
 /// first use; nullptr when the knob is unset.
@@ -501,7 +470,7 @@ inline fi::CampaignResult campaign(const fi::Workload& w,
 
 /// Print a table as aligned text, or CSV when ONEBIT_CSV=1 (for plotting).
 inline void emitTable(const util::TextTable& table) {
-  if (util::envInt("ONEBIT_CSV", 0) != 0) {
+  if (analytics::csvEnabled()) {
     std::fputs(table.renderCsv().c_str(), stdout);
   } else {
     std::fputs(table.render().c_str(), stdout);

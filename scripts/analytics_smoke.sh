@@ -1,0 +1,76 @@
+#!/bin/sh
+# Analytics smoke: the store-backed `report` tool must regenerate paper
+# figures from records alone. Run the fig1 driver against a store, then
+# require:
+#
+#   1. `report --figure fig1` stdout is byte-identical to the driver's,
+#      in text mode AND in CSV mode (ONEBIT_CSV=1 / --csv),
+#   2. a partial store (driver capped at one shard per cell) exits 3 and
+#      every affected cell carries an explicit "incomplete(...)" marker —
+#      partial data is marked, never reported as a final value,
+#   3. `report --trend` across the partial and the complete snapshot marks
+#      the partial column explicitly,
+#   4. `report --watch --once` renders one dashboard frame over the store,
+#   5. `store_stats --json` emits the machine-readable summary.
+#
+#   scripts/analytics_smoke.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build; it must contain bench_fig1_single_bit,
+# report, and store_stats (built by the default CMake configuration).
+set -eu
+
+build=${1:-build}
+
+for tool in bench_fig1_single_bit report store_stats; do
+  if [ ! -x "$build/$tool" ]; then
+    echo "error: $build/$tool not found or not executable; build first" >&2
+    echo "  cmake -B $build -S . && cmake --build $build -j" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/onebit_analytics_smoke.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT
+
+export ONEBIT_EXPERIMENTS=${ONEBIT_EXPERIMENTS:-64}
+export ONEBIT_PROGRAMS=${ONEBIT_PROGRAMS:-qsort,crc32}
+
+echo "== fig1 driver run against a store"
+ONEBIT_STORE="$tmp/fig1.jsonl" \
+  "$build/bench_fig1_single_bit" > "$tmp/fig1_driver.txt"
+
+echo "== report --figure fig1: byte-identical to the driver (text)"
+"$build/report" --figure fig1 "$tmp/fig1.jsonl" > "$tmp/fig1_report.txt"
+diff "$tmp/fig1_driver.txt" "$tmp/fig1_report.txt"
+
+echo "== report --figure fig1: byte-identical to the driver (CSV)"
+ONEBIT_STORE="$tmp/fig1.jsonl" ONEBIT_RESUME=1 ONEBIT_CSV=1 \
+  "$build/bench_fig1_single_bit" > "$tmp/fig1_driver.csv"
+"$build/report" --csv --figure fig1 "$tmp/fig1.jsonl" > "$tmp/fig1_report.csv"
+diff "$tmp/fig1_driver.csv" "$tmp/fig1_report.csv"
+
+echo "== partial store: exit 3 + explicit incomplete markers"
+ONEBIT_STORE="$tmp/partial.jsonl" ONEBIT_SHARD_SIZE=8 ONEBIT_MAX_SHARDS=1 \
+  "$build/bench_fig1_single_bit" > /dev/null
+rc=0
+"$build/report" --figure fig1 "$tmp/partial.jsonl" > "$tmp/partial.txt" || rc=$?
+if [ "$rc" != 3 ]; then
+  echo "error: report on a partial store exited $rc, want 3" >&2
+  exit 1
+fi
+grep -q 'incomplete(' "$tmp/partial.txt"
+
+echo "== trend across the partial and the complete snapshot"
+"$build/report" --trend "$tmp/partial.jsonl" "$tmp/fig1.jsonl" \
+  > "$tmp/trend.txt"
+grep -q 'partial' "$tmp/trend.txt"
+
+echo "== watch dashboard, one frame"
+"$build/report" --watch --once "$tmp/fig1.jsonl" > "$tmp/watch.txt"
+grep -q 'report --watch' "$tmp/watch.txt"
+
+echo "== store_stats --json"
+"$build/store_stats" --json "$tmp/fig1.jsonl" > "$tmp/stats.json"
+grep -q '"campaigns"' "$tmp/stats.json"
+
+echo "analytics smoke: OK"

@@ -1,0 +1,103 @@
+#!/usr/bin/env sh
+# Analytics benchmark: times the store-backed query layer, and writes a
+# BENCH_10.json perf record.
+#
+#   1. Synthesizes a large (default ~100k-record) campaign store of valid
+#      shard records and times `report --summary` and `report --group`
+#      over it — pure read+aggregate wall-clock, no experiment execution.
+#   2. Runs the real fig1 driver against a store and times the figure
+#      regeneration (`report --figure fig1`), re-checking byte-identity
+#      with the driver's stdout on the way.
+#
+# Usage: scripts/bench_report.sh [build-dir] [output-json]
+# Knobs (env):
+#   BENCH_CAMPAIGNS     synthetic campaigns                (default 1000)
+#   BENCH_SHARDS        shard records per campaign         (default 100)
+#   BENCH_EXPERIMENTS   fig1 experiments per campaign      (default 64)
+#   BENCH_PROGRAMS      fig1 ONEBIT_PROGRAMS filter        (default qsort,crc32)
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_10.json}"
+CAMPAIGNS="${BENCH_CAMPAIGNS:-1000}"
+SHARDS="${BENCH_SHARDS:-100}"
+FIG1_N="${BENCH_EXPERIMENTS:-64}"
+PROGRAMS="${BENCH_PROGRAMS:-qsort,crc32}"
+
+for tool in bench_fig1_single_bit report; do
+  [ -x "$BUILD_DIR/$tool" ] || {
+    echo "error: $BUILD_DIR/$tool not built" >&2
+    exit 1
+  }
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+now_ms() {
+  # POSIX date has no %N; GNU date does. Fall back to second resolution.
+  if date +%s%3N | grep -q 'N'; then
+    echo "$(( $(date +%s) * 1000 ))"
+  else
+    date +%s%3N
+  fi
+}
+
+echo "== synthesizing $CAMPAIGNS campaigns x $SHARDS shards" >&2
+# Valid v1 shard records: 10 experiments per shard, all Benign, histogram
+# bucket 0 carrying all 10 (load() validates outcome and histogram totals).
+awk -v campaigns="$CAMPAIGNS" -v shards="$SHARDS" 'BEGIN {
+  for (c = 0; c < campaigns; c++) {
+    key = sprintf("0x%016x", 1000000 + c)
+    seed = sprintf("0x%016x", 2017 + c)
+    for (s = 0; s < shards; s++) {
+      printf "{\"v\":1,\"kind\":\"shard\",\"key\":\"%s\",\"workload\":\"synth%d\",\"spec\":\"read/single\",\"seed\":\"%s\",\"experiments\":%d,\"candidates\":4096,\"shard\":%d,\"first\":%d,\"count\":10,\"outcomes\":[10,0,0,0,0],\"hist\":[[0,0,10]]}\n", \
+             key, c % 16, seed, shards * 10, s, s * 10
+    }
+  }
+}' > "$TMP/big.jsonl"
+RECORDS="$(wc -l < "$TMP/big.jsonl" | tr -d ' ')"
+
+time_cmd() {
+  _start="$(now_ms)"
+  "$@" > /dev/null
+  _end="$(now_ms)"
+  echo "$(( _end - _start ))"
+}
+
+SUMMARY_MS="$(time_cmd "$BUILD_DIR/report" --summary "$TMP/big.jsonl")"
+GROUP_MS="$(time_cmd "$BUILD_DIR/report" --group "$TMP/big.jsonl")"
+JSON_MS="$(time_cmd "$BUILD_DIR/report" --json --summary "$TMP/big.jsonl")"
+echo "   summary: ${SUMMARY_MS} ms  group: ${GROUP_MS} ms  json: ${JSON_MS} ms ($RECORDS records)" >&2
+
+echo "== fig1 figure regeneration (n=$FIG1_N, programs=$PROGRAMS)" >&2
+env ONEBIT_EXPERIMENTS="$FIG1_N" ONEBIT_PROGRAMS="$PROGRAMS" \
+    ONEBIT_STORE="$TMP/fig1.jsonl" \
+    "$BUILD_DIR/bench_fig1_single_bit" > "$TMP/fig1_driver.txt"
+FIG_START="$(now_ms)"
+env ONEBIT_EXPERIMENTS="$FIG1_N" ONEBIT_PROGRAMS="$PROGRAMS" \
+    "$BUILD_DIR/report" --figure fig1 "$TMP/fig1.jsonl" > "$TMP/fig1_report.txt"
+FIG_MS="$(( $(now_ms) - FIG_START ))"
+if ! diff -q "$TMP/fig1_driver.txt" "$TMP/fig1_report.txt" > /dev/null; then
+  echo "error: report --figure fig1 is not byte-identical to the driver" >&2
+  diff "$TMP/fig1_driver.txt" "$TMP/fig1_report.txt" >&2 || true
+  exit 1
+fi
+echo "   figure regen: ${FIG_MS} ms (byte-identical)" >&2
+
+# Assemble BENCH_10.json (no jq dependency).
+{
+  printf '{\n'
+  printf '  "bench": "PR10 analytics: store-backed query layer",\n'
+  printf '  "metric": "wall-clock ms to aggregate a synthetic store and regenerate fig1",\n'
+  printf '  "store": {"campaigns": %s, "shard_records": %s},\n' \
+         "$CAMPAIGNS" "$RECORDS"
+  printf '  "aggregate": {"summary_ms": %s, "group_ms": %s, "summary_json_ms": %s},\n' \
+         "$SUMMARY_MS" "$GROUP_MS" "$JSON_MS"
+  printf '  "figure_regen": {"experiments": %s, "fig1_ms": %s, "byte_identical": true}\n' \
+         "$FIG1_N" "$FIG_MS"
+  printf '}\n'
+} > "$OUT_JSON"
+
+echo "wrote $OUT_JSON:" >&2
+cat "$OUT_JSON"

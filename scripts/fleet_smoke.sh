@@ -9,18 +9,22 @@
 #      (sorted + deduplicated: re-run shards are byte-duplicates by the
 #      determinism contract),
 #   3. store_stats reads the fleet store and reports it complete,
-#   4. compaction drops every (superseded) lease, and the compacted store
+#   4. `report --figure fig1` regenerates the solo CSV byte-identically
+#      from the fleet store's records, and `report --watch --once` renders
+#      a dashboard frame over it,
+#   5. compaction drops every (superseded) lease, and the compacted store
 #      still resumes to the same CSV.
 #
 #   scripts/fleet_smoke.sh [BUILD_DIR]
 #
 # BUILD_DIR defaults to ./build; it must contain bench_fig1_single_bit,
-# store_stats, and compact_store (built by the default CMake configuration).
+# store_stats, report, and compact_store (built by the default CMake
+# configuration).
 set -eu
 
 build=${1:-build}
 
-for tool in bench_fig1_single_bit store_stats compact_store; do
+for tool in bench_fig1_single_bit store_stats report compact_store; do
   if [ ! -x "$build/$tool" ]; then
     echo "error: $build/$tool not found or not executable; build first" >&2
     echo "  cmake -B $build -S . && cmake --build $build -j" >&2
@@ -56,6 +60,14 @@ diff "$tmp/shards_solo.jsonl" "$tmp/shards_fleet.jsonl"
 
 echo "== store_stats on the fleet store"
 "$build/store_stats" "$tmp/fleet.jsonl"
+
+echo "== report --figure fig1 regenerates the solo CSV from the fleet store"
+"$build/report" --figure fig1 "$tmp/fleet.jsonl" > "$tmp/fig1_report.csv"
+diff "$tmp/fig1_solo.csv" "$tmp/fig1_report.csv"
+
+echo "== report --watch --once renders a dashboard frame"
+"$build/report" --watch --once "$tmp/fleet.jsonl" > "$tmp/watch.txt"
+grep -q 'report --watch' "$tmp/watch.txt"
 
 echo "== compact: every lease of a finished run is superseded"
 "$build/compact_store" "$tmp/fleet.jsonl"

@@ -1,0 +1,92 @@
+// Figure regeneration from the campaign store: rebuild the stdout of the
+// paper-artifact drivers (bench/fig1_single_bit, fig2_same_register,
+// fig3_activated_errors, fig4_fig5_table3) from recorded shard aggregates
+// alone — no workload compilation, no experiment execution.
+//
+// Contract:
+//   * When the store holds every campaign cell a figure needs (same
+//     ONEBIT_SEED / ONEBIT_EXPERIMENTS / ONEBIT_PROGRAMS / ONEBIT_SPECS /
+//     ONEBIT_FLIP_WIDTH / ONEBIT_CSV knobs the driver ran under), the
+//     rendered text is BYTE-IDENTICAL to the driver's stdout — CI diffs
+//     the two (scripts/analytics_smoke.sh).
+//   * A cell that is only partially recorded, absent, or ambiguous is
+//     NEVER silently folded into a figure value: the affected table cells
+//     are replaced by explicit "incomplete(recorded/expected)" /
+//     "missing" / "ambiguous" markers, derived counts (Fig. 4's RQ2/RQ3
+//     lines) are replaced by an unavailable note, and
+//     FigureOutput::complete() turns false (the report CLI exits 3).
+//
+// Cell resolution matches campaigns by (workload, spec label, seed,
+// experiments) — the identity a shard record carries — and disambiguates
+// flip-width variants (which share a spec label but have distinct campaign
+// keys) through the fleet cell record's explicit flip_width when present;
+// two otherwise indistinguishable candidates render as "ambiguous", never
+// merged.
+//
+// The per-cell seed-salt walks below mirror the drivers' statement for
+// statement (the drivers stay the single source of truth for EXECUTION;
+// this layer only re-derives which cells they ran). Selection knobs are
+// shared with the drivers through analytics/knobs.hpp, so the two cannot
+// drift on seed, scale, filters, width, or CSV mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analytics/dataset.hpp"
+#include "fi/fault_model.hpp"
+
+namespace onebit::analytics {
+
+/// How the store answered for one figure campaign cell.
+struct CellResolution {
+  enum class State {
+    Complete,   ///< every experiment recorded — exact figure value
+    Partial,    ///< some shards recorded (a live or interrupted campaign)
+    Missing,    ///< no matching campaign in the store
+    Ambiguous,  ///< several flip-width-indistinguishable candidates
+  };
+  State state = State::Missing;
+  stats::OutcomeCounts counts;       ///< recorded shards only
+  fi::ActivationHistogram hist{};    ///< recorded shards only
+  std::size_t recorded = 0;
+  std::size_t expected = 0;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return state == State::Complete;
+  }
+};
+
+/// Resolve one campaign cell against the Dataset. `model` must carry the
+/// flip width the driver applied (knobs::flipWidth()); `experiments` and
+/// `seed` are the driver's resolved per-cell values.
+CellResolution resolveCell(const Dataset& ds, const std::string& workload,
+                           const fi::FaultModel& model, std::uint64_t seed,
+                           std::size_t experiments);
+
+/// A regenerated figure.
+struct FigureOutput {
+  std::string text;                 ///< the driver's stdout (or marked-up
+                                    ///< partial rendering)
+  std::size_t cells = 0;            ///< campaign cells the figure needs
+  std::size_t incompleteCells = 0;  ///< of those: partial/missing/ambiguous
+
+  [[nodiscard]] bool complete() const noexcept {
+    return incompleteCells == 0;
+  }
+};
+
+/// Render figure `id` ("fig1".."fig4"; "fig5" and "table3" alias "fig4",
+/// which prints all three artifacts like the driver does) from the Dataset
+/// under the current ONEBIT_* selection knobs. Returns nullopt for an
+/// unknown id.
+std::optional<FigureOutput> renderFigure(std::string_view id,
+                                         const Dataset& ds);
+
+/// The known figure ids, for usage text: "fig1 fig2 fig3 fig4 (aliases:
+/// fig5, table3)".
+std::string_view figureIds();
+
+}  // namespace onebit::analytics

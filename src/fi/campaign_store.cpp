@@ -153,6 +153,7 @@ struct ParsedShard {
   std::size_t first = 0;
   std::size_t count = 0;
   CampaignStore::ShardAggregate agg;
+  CampaignStore::CampaignMeta meta;
 };
 
 /// Decode a "shard" record. Integrity: the shard range must lie inside the
@@ -178,6 +179,18 @@ bool parseShardRecord(const util::Json& record, ParsedShard& out) {
   out.key = *key;
   out.first = static_cast<std::size_t>(first);
   out.count = static_cast<std::size_t>(count);
+  out.meta.key = *key;
+  if (const util::Json* f = record.find("workload")) {
+    out.meta.workload = std::string(f->asString());
+  }
+  if (const util::Json* f = record.find("spec")) {
+    out.meta.specLabel = std::string(f->asString());
+  }
+  if (const util::Json* f = record.find("seed")) {
+    out.meta.seed = keyFromHex(f->asString()).value_or(0);
+  }
+  out.meta.experiments = static_cast<std::size_t>(experiments);
+  out.meta.candidates = getUint(record, "candidates", 0);
   return true;
 }
 
@@ -415,6 +428,7 @@ CampaignStore::LoadStats CampaignStore::refresh() {
 
 void CampaignStore::clearIndex() {
   shards_.clear();
+  metas_.clear();
   workloads_.clear();
   outcomes_.clear();
   cellOrder_.clear();
@@ -434,6 +448,7 @@ CampaignStore::LoadStats CampaignStore::readInto(std::uint64_t offset,
         const util::Json* kind = record.find("kind");
         if (v != kFormatVersion || kind == nullptr) {
           ++stats.malformed;
+          ++stats.unknownKinds;  // foreign version: possibly a future format
           return;
         }
         if (kind->asString() == "shard") {
@@ -442,6 +457,7 @@ CampaignStore::LoadStats CampaignStore::readInto(std::uint64_t offset,
             ++stats.malformed;
             return;
           }
+          metas_.try_emplace(shard.key, std::move(shard.meta));
           if (indexShard(shard.key, {shard.first, shard.count},
                          std::move(shard.agg))) {
             ++stats.shardRecords;
@@ -517,6 +533,7 @@ CampaignStore::LoadStats CampaignStore::readInto(std::uint64_t offset,
           return;
         }
         ++stats.malformed;  // unknown record kind
+        ++stats.unknownKinds;
       });
   stats.malformed += read.malformed;
   readOffset_ = read.endOffset;
@@ -1036,6 +1053,7 @@ bool CampaignStore::appendShard(const CampaignMeta& meta,
     return true;
   }
   if (!writeRecord(record)) return false;
+  metas_.try_emplace(meta.key, meta);
   indexShard(meta.key, {firstExperiment, experimentCount}, aggregate);
   return true;
 }
@@ -1228,6 +1246,43 @@ const CampaignStore::WorkloadRecord* CampaignStore::findWorkload(
   std::lock_guard lock(mutex_);
   const auto it = workloads_.find(name);
   return it != workloads_.end() ? &it->second : nullptr;
+}
+
+CampaignStore::Snapshot CampaignStore::snapshot() const {
+  // One mutex acquisition, full copy: Snapshot consumers hold nothing of the
+  // store afterwards (see the Snapshot doc comment). The file lock is NOT
+  // taken — this reads the in-memory index only, so it can never contend
+  // with other processes appending to a shared fleet store.
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (const auto& [key, ranges] : shards_) {
+    Snapshot::Campaign& c = snap.campaigns[key];
+    c.meta.key = key;
+    c.shards = ranges;
+  }
+  for (const auto& [key, meta] : metas_) {
+    snap.campaigns[key].meta = meta;
+  }
+  for (const CellRecord& cell : cellOrder_) {
+    Snapshot::Campaign& c = snap.campaigns[cell.key];
+    c.meta.key = cell.key;
+    c.cell = cell;
+  }
+  for (const auto& [key, ranges] : leases_) {
+    Snapshot::Campaign& c = snap.campaigns[key];
+    c.meta.key = key;
+    c.leases = ranges;
+  }
+  for (const auto& [key, ranges] : quarantines_) {
+    Snapshot::Campaign& c = snap.campaigns[key];
+    c.meta.key = key;
+    c.quarantines = ranges;
+  }
+  snap.workloads = workloads_;
+  for (const auto& [key, entries] : outcomes_) {
+    snap.outcomeEntries[key] = entries.size();
+  }
+  return snap;
 }
 
 }  // namespace onebit::fi

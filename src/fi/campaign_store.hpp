@@ -274,6 +274,30 @@ class CampaignStore {
     std::size_t malformed = 0;  ///< unparseable or integrity-failing lines
                                 ///< (incl. a torn final line)
     std::size_t duplicates = 0;  ///< re-recorded shards (first one wins)
+    /// Of `malformed`: lines that parsed as JSON but carried an unknown
+    /// record kind or a foreign format version — possibly a future format
+    /// (fsck preserves them), as opposed to actual damage.
+    std::size_t unknownKinds = 0;
+
+    /// Non-empty lines this read consumed (every line lands in exactly one
+    /// accepted/malformed/duplicate bucket).
+    [[nodiscard]] std::size_t lines() const noexcept {
+      return shardRecords + workloadRecords + outcomeRecords + cellRecords +
+             leaseRecords + quarantineRecords + malformed + duplicates;
+    }
+
+    LoadStats& operator+=(const LoadStats& o) noexcept {
+      shardRecords += o.shardRecords;
+      workloadRecords += o.workloadRecords;
+      outcomeRecords += o.outcomeRecords;
+      cellRecords += o.cellRecords;
+      leaseRecords += o.leaseRecords;
+      quarantineRecords += o.quarantineRecords;
+      malformed += o.malformed;
+      duplicates += o.duplicates;
+      unknownKinds += o.unknownKinds;
+      return *this;
+    }
   };
 
   struct CompactStats {
@@ -500,6 +524,40 @@ class CampaignStore {
       std::uint64_t key,
       const std::function<void(const QuarantineRecord&)>& fn) const;
 
+  /// A shard-range key: (first experiment, experiment count).
+  using Range = std::pair<std::size_t, std::size_t>;
+
+  /// A self-contained copy of the in-memory index, taken under ONE mutex
+  /// acquisition — the sanctioned read surface for external consumers
+  /// (src/analytics/): unlike the forEach* visitors above, nothing of the
+  /// store is held while a Snapshot is processed, so readers can never
+  /// trip the no-reentry contract, block appending writers, or observe a
+  /// half-indexed refresh. The copy is immutable and survives any later
+  /// load()/refresh()/append on the source store.
+  struct Snapshot {
+    /// Everything indexed under one campaign key. `meta` is stamped from
+    /// the first shard record seen (or, failing that, carries only the key
+    /// with `experiments == 0` — a campaign known so far only through
+    /// scheduling records).
+    struct Campaign {
+      CampaignMeta meta;
+      std::optional<CellRecord> cell;  ///< fleet submission, when present
+      std::map<Range, ShardAggregate> shards;       ///< first-wins
+      std::map<Range, LeaseRecord> leases;          ///< newest per range
+      std::map<Range, QuarantineRecord> quarantines;  ///< newest per range
+    };
+    std::map<std::uint64_t, Campaign> campaigns;  ///< key-ordered
+    std::map<std::string, WorkloadRecord, std::less<>> workloads;
+    /// Outcome-cache entry count per cache key (analytics only needs the
+    /// volume; resume reads entries through forEachOutcome).
+    std::map<std::uint64_t, std::size_t> outcomeEntries;
+  };
+
+  /// Copy the current index (see Snapshot). Safe to call on a store other
+  /// processes are appending to — it reads only what load()/refresh() has
+  /// already indexed; poll refresh() first for the newest records.
+  [[nodiscard]] Snapshot snapshot() const;
+
   /// The cross-process advisory lock of an Atomic-mode store (nullptr in
   /// Buffered mode). Hold it (std::lock_guard) around read-decide-append
   /// sequences such as lease claims; individual appends self-lock.
@@ -522,7 +580,7 @@ class CampaignStore {
   [[nodiscard]] bool lastWriteOutOfSpace() const noexcept;
 
  private:
-  using ShardRange = std::pair<std::size_t, std::size_t>;  ///< (first, count)
+  using ShardRange = Range;  ///< (first, count)
   using OutcomeKey = std::pair<std::uint64_t, std::uint64_t>;  ///< (bnd, hash)
 
   bool indexShard(std::uint64_t key, ShardRange range, ShardAggregate agg);
@@ -542,6 +600,11 @@ class CampaignStore {
   std::uint64_t readOffset_ = 0;  ///< resume point for refresh()
   std::unordered_map<std::uint64_t, std::map<ShardRange, ShardAggregate>>
       shards_;
+  /// Campaign meta per key, from the first shard record seen (first-wins,
+  /// like the shard index) — serves snapshot() so analytics can match
+  /// records by (workload, spec, seed, experiments) without recomputing
+  /// campaign keys (which would need compiled workloads).
+  std::unordered_map<std::uint64_t, CampaignMeta> metas_;
   std::map<std::string, WorkloadRecord, std::less<>> workloads_;
   std::unordered_map<std::uint64_t, std::map<OutcomeKey, OutcomeRecord>>
       outcomes_;

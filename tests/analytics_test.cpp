@@ -1,0 +1,363 @@
+// Analytics subsystem tests (src/analytics/): the Dataset reader over
+// campaign stores, the group-by/progress aggregations, and — through the
+// sibling binaries in the build directory — the figure-regeneration
+// contract: `report --figure figN` over a complete store is byte-identical
+// to the driver's stdout, and a partial (live or interrupted) store is
+// always EXPLICITLY marked partial, never reported as a final value.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/dataset.hpp"
+#include "analytics/summary.hpp"
+#include "analytics/trend.hpp"
+#include "fi/campaign_store.hpp"
+
+namespace onebit::analytics {
+namespace {
+
+using fi::CampaignStore;
+using stats::Outcome;
+
+constexpr std::uint64_t kKey = 0xabcdef0123456789ULL;
+constexpr std::size_t kExperiments = 60;
+constexpr std::size_t kShardSize = 20;  // 3 shards
+
+CampaignStore::CampaignMeta testMeta() {
+  CampaignStore::CampaignMeta meta;
+  meta.key = kKey;
+  meta.workload = "crc32";
+  meta.specLabel = "read/single";
+  meta.seed = 0x5eedULL;
+  meta.experiments = kExperiments;
+  meta.candidates = 1234;
+  return meta;
+}
+
+/// Shard `i` of the synthetic campaign: distinguishable outcome mix so
+/// aggregation mistakes show up as wrong totals, not just wrong counts.
+/// The store validates histTotal == count on load, so the histogram must
+/// bucket every experiment (10 Benign, 7 Detected, 3 SDC per shard).
+CampaignStore::ShardAggregate testShard(std::size_t i) {
+  CampaignStore::ShardAggregate agg;
+  for (std::size_t k = 0; k < kShardSize; ++k) {
+    agg.counts.add(k % 2 == 0 ? Outcome::Benign
+                              : (k % 3 == 0 ? Outcome::SDC
+                                            : Outcome::Detected));
+  }
+  agg.hist[static_cast<std::size_t>(Outcome::Benign)][0] = 10;
+  agg.hist[static_cast<std::size_t>(Outcome::Detected)][i + 1] = 7;
+  agg.hist[static_cast<std::size_t>(Outcome::SDC)][2] = 3;
+  return agg;
+}
+
+void writeShards(CampaignStore& store, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_TRUE(store.appendShard(testMeta(), i, i * kShardSize, kShardSize,
+                                  testShard(i)));
+  }
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class AnalyticsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "analytics_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(AnalyticsFixture, DatasetAggregatesACompleteCampaign) {
+  {
+    CampaignStore store(path_);
+    store.load();
+    writeShards(store, 3);
+  }
+  Dataset ds;
+  ds.addStore(path_);
+  ASSERT_EQ(ds.campaigns().size(), 1u);
+  const CampaignTable& table = ds.campaigns().at(kKey);
+  EXPECT_EQ(table.workload(), "crc32");
+  EXPECT_EQ(table.specLabel(), "read/single");
+  EXPECT_EQ(table.recordedExperiments(), kExperiments);
+  EXPECT_EQ(table.expectedExperiments(), kExperiments);
+  EXPECT_TRUE(table.complete());
+  EXPECT_EQ(table.totals().total(), kExperiments);
+  EXPECT_EQ(table.totals().count(Outcome::Benign), 30u);
+  // Histograms merge across shards: one bucket per shard, value 7.
+  const fi::ActivationHistogram hist = table.histogram();
+  EXPECT_EQ(hist[static_cast<std::size_t>(Outcome::Detected)][1], 7u);
+  EXPECT_EQ(hist[static_cast<std::size_t>(Outcome::Detected)][3], 7u);
+}
+
+TEST_F(AnalyticsFixture, PartialCampaignIsNeverReportedComplete) {
+  {
+    CampaignStore store(path_);
+    store.load();
+    writeShards(store, 2);  // 40 of 60 experiments
+  }
+  Dataset ds;
+  ds.addStore(path_);
+  const CampaignTable& table = ds.campaigns().at(kKey);
+  EXPECT_EQ(table.recordedExperiments(), 40u);
+  EXPECT_FALSE(table.complete());
+  // ... and a campaign whose expected size is unknown must not be promoted
+  // to complete just because recorded == 0 == expected.
+  CampaignTable unknown;
+  EXPECT_FALSE(unknown.complete());
+  // The group rollup carries the same flag and marks the SDC% partial.
+  const std::vector<GroupRow> rows = groupBy(ds, GroupAxes{});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].complete());
+  const std::string text = renderTable(groupTable(rows), false);
+  EXPECT_NE(text.find("(partial)"), std::string::npos);
+}
+
+TEST_F(AnalyticsFixture, TornTailAndGarbageDoNotChangeAggregates) {
+  {
+    CampaignStore store(path_);
+    store.load();
+    writeShards(store, 3);
+  }
+  Dataset clean;
+  clean.addStore(path_);
+  // Mid-file garbage is impossible to append here, but a torn tail — a
+  // writer killed mid-record — is exactly what a live fleet store can show
+  // a reader. Also a fully garbled line (unterminated, then terminated).
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "{\"kind\":\"shard\",\"v\":1,\"key\":\"0x";  // torn, no newline
+  }
+  Dataset torn;
+  torn.addStore(path_);
+  ASSERT_EQ(torn.campaigns().size(), 1u);
+  EXPECT_EQ(torn.campaigns().at(kKey).totals().raw(),
+            clean.campaigns().at(kKey).totals().raw());
+  EXPECT_EQ(torn.campaigns().at(kKey).recordedExperiments(), kExperiments);
+}
+
+TEST_F(AnalyticsFixture, CompactedStoreAggregatesIdentically) {
+  const std::string dup = path_ + ".dup";
+  {
+    CampaignStore store(path_);
+    store.load();
+    writeShards(store, 3);
+  }
+  // Cross-process writers bypass each other's in-memory dedup, so a shared
+  // store accumulates duplicate records — modeled here by doubling the
+  // file, the pattern compact() exists for.
+  {
+    std::ofstream out(dup, std::ios::trunc);
+    out << readFile(path_) << readFile(path_);  // every record twice
+  }
+  Dataset original;
+  original.addStore(path_);
+  ASSERT_TRUE(CampaignStore::compact(dup).has_value());
+  Dataset compacted;
+  compacted.addStore(dup);
+  EXPECT_EQ(compacted.campaigns().at(kKey).totals().raw(),
+            original.campaigns().at(kKey).totals().raw());
+  EXPECT_EQ(compacted.campaigns().at(kKey).recordedExperiments(),
+            kExperiments);
+  EXPECT_EQ(compacted.campaigns().at(kKey).histogram(),
+            original.campaigns().at(kKey).histogram());
+  std::remove(dup.c_str());
+}
+
+TEST_F(AnalyticsFixture, MultiStoreMergeIsIdempotentFirstWins) {
+  const std::string full = path_ + ".full";
+  {
+    CampaignStore store(path_);
+    store.load();
+    writeShards(store, 2);  // partial snapshot
+  }
+  {
+    CampaignStore store(full);
+    store.load();
+    writeShards(store, 3);  // complete snapshot of the same campaign
+  }
+  Dataset merged;
+  merged.addStore(path_);
+  merged.addStore(full);
+  ASSERT_EQ(merged.campaigns().size(), 1u);
+  const CampaignTable& table = merged.campaigns().at(kKey);
+  // Overlapping shard ranges must merge by identity, not double-count.
+  EXPECT_EQ(table.recordedExperiments(), kExperiments);
+  EXPECT_TRUE(table.complete());
+  EXPECT_EQ(table.totals().total(), kExperiments);
+  EXPECT_EQ(merged.sources().size(), 2u);
+  std::remove(full.c_str());
+}
+
+TEST_F(AnalyticsFixture, PollPicksUpRecordsALiveWriterAppends) {
+  CampaignStore writer(path_);
+  writer.load();
+  writeShards(writer, 1);
+  Dataset ds;
+  ds.addStore(path_);
+  EXPECT_EQ(ds.campaigns().at(kKey).recordedExperiments(), kShardSize);
+  EXPECT_FALSE(ds.campaigns().at(kKey).complete());
+  // The fleet keeps appending while the dashboard watches.
+  writeShards(writer, 3);
+  ds.poll();
+  EXPECT_EQ(ds.campaigns().at(kKey).recordedExperiments(), kExperiments);
+  EXPECT_TRUE(ds.campaigns().at(kKey).complete());
+  // A reader must never create a writer-side lock file.
+  EXPECT_NE(::access(path_.c_str(), F_OK), -1);
+  EXPECT_EQ(::access((path_ + ".lock").c_str(), F_OK), -1);
+}
+
+TEST_F(AnalyticsFixture, SnapshotMatchesVisitorWalk) {
+  CampaignStore store(path_);
+  store.load();
+  writeShards(store, 3);
+  CampaignStore::LeaseRecord lease;
+  lease.first = 0;
+  lease.count = kShardSize;
+  lease.worker = "w1";
+  lease.epoch = 1;
+  lease.deadlineMs = 42;
+  ASSERT_TRUE(store.appendLease(kKey, lease));
+  const CampaignStore::Snapshot snap = store.snapshot();
+  ASSERT_EQ(snap.campaigns.size(), 1u);
+  const auto& campaign = snap.campaigns.at(kKey);
+  EXPECT_EQ(campaign.meta.workload, "crc32");
+  EXPECT_EQ(campaign.shards.size(), 3u);
+  EXPECT_EQ(campaign.leases.size(), 1u);
+  for (const auto& [range, agg] : campaign.shards) {
+    const auto* direct = store.findShard(kKey, range.first, range.second);
+    ASSERT_NE(direct, nullptr);
+    EXPECT_EQ(agg.counts.raw(), direct->counts.raw());
+  }
+  // The snapshot is a copy: later appends must not mutate it.
+  CampaignStore::LeaseRecord renewal = lease;
+  renewal.deadlineMs = 99;
+  ASSERT_TRUE(store.appendLease(kKey, renewal));
+  EXPECT_EQ(snap.campaigns.at(kKey).leases.begin()->second.deadlineMs, 42u);
+}
+
+TEST_F(AnalyticsFixture, StoreTrendMarksPartialSnapshotsExplicitly) {
+  const std::string later = path_ + ".later";
+  {
+    CampaignStore store(path_);
+    store.load();
+    writeShards(store, 1);
+  }
+  {
+    CampaignStore store(later);
+    store.load();
+    writeShards(store, 3);
+  }
+  const std::string text =
+      renderTable(storeTrendTable({path_, later}), false);
+  EXPECT_NE(text.find("partial 20/60"), std::string::npos);
+  const util::Json json = storeTrendJson({path_, later});
+  const util::Json* cells = json.find("cells");
+  ASSERT_NE(cells, nullptr);
+  std::remove(later.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Figure byte-identity, through the real binaries. The test locates its
+// sibling executables next to its own binary and skips (never fails) when
+// they are absent — e.g. under a partial build.
+
+std::string buildDir() {
+  std::array<char, 4096> buf{};
+  const ssize_t n = ::readlink("/proc/self/exe", buf.data(), buf.size() - 1);
+  if (n <= 0) return {};
+  std::string path(buf.data(), static_cast<std::size_t>(n));
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool exists(const std::string& path) {
+  return ::access(path.c_str(), X_OK) == 0;
+}
+
+int runShell(const std::string& command) {
+  const int rc = std::system(command.c_str());
+  return rc < 0 ? rc : WEXITSTATUS(rc);
+}
+
+class FigureIdentityFixture : public AnalyticsFixture {
+ protected:
+  void SetUp() override {
+    AnalyticsFixture::SetUp();
+    dir_ = buildDir();
+    if (dir_.empty() || !exists(dir_ + "/bench_fig1_single_bit") ||
+        !exists(dir_ + "/report")) {
+      GTEST_SKIP() << "driver/report binaries not built next to the test";
+    }
+    out_ = path_ + ".out";
+    // A tiny but real slice of Fig. 1: one program, 20 experiments/cell.
+    env_ = "ONEBIT_EXPERIMENTS=20 ONEBIT_PROGRAMS=crc32 ";
+  }
+  void TearDown() override {
+    std::remove(out_.c_str());
+    std::remove((out_ + ".2").c_str());
+    AnalyticsFixture::TearDown();
+  }
+
+  std::string dir_;
+  std::string out_;
+  std::string env_;
+};
+
+TEST_F(FigureIdentityFixture, ReportRegeneratesFig1ByteIdentically) {
+  ASSERT_EQ(runShell("env " + env_ + "ONEBIT_STORE=" + path_ + " " + dir_ +
+                     "/bench_fig1_single_bit > " + out_ + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(runShell("env " + env_ + dir_ + "/report --figure fig1 " +
+                     path_ + " > " + out_ + ".2 2>/dev/null"),
+            0);
+  EXPECT_EQ(readFile(out_), readFile(out_ + ".2"));
+}
+
+TEST_F(FigureIdentityFixture, IncompleteStoreExitsThreeWithMarkers) {
+  // Cap the driver at one shard per cell: the store ends up partial, the
+  // way a live or interrupted campaign would.
+  ASSERT_EQ(runShell("env " + env_ +
+                     "ONEBIT_SHARD_SIZE=8 ONEBIT_MAX_SHARDS=1 ONEBIT_STORE=" +
+                     path_ + " " + dir_ +
+                     "/bench_fig1_single_bit > /dev/null 2>&1"),
+            0);
+  EXPECT_EQ(runShell("env " + env_ + dir_ + "/report --figure fig1 " +
+                     path_ + " > " + out_ + " 2>/dev/null"),
+            3);
+  const std::string text = readFile(out_);
+  EXPECT_NE(text.find("incomplete("), std::string::npos);
+  // No unmarked percentage sneaks into the partial table rows.
+  EXPECT_EQ(text.find("20.0%"), std::string::npos);
+}
+
+TEST_F(FigureIdentityFixture, MissingCampaignRendersMissingMarker) {
+  // Empty store: every cell is absent.
+  { std::ofstream out(path_, std::ios::trunc); }
+  EXPECT_EQ(runShell("env " + env_ + dir_ + "/report --figure fig1 " +
+                     path_ + " > " + out_ + " 2>/dev/null"),
+            3);
+  EXPECT_NE(readFile(out_).find("missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onebit::analytics

@@ -1,249 +1,49 @@
 // One-shot campaign-store query: per-campaign completion, outcome totals,
 // fleet lease status, quarantined shard ranges, and a per-worker progress
-// rollup, straight off the JSONL records (no resume logic, no workload
-// compilation — works on any store, including one a fleet is actively
-// writing). See fi/campaign_store.hpp for the record shapes.
+// rollup — a thin shell over the analytics readers (src/analytics/), so the
+// numbers here and in `report` can never disagree. Works on any store,
+// including one a fleet is actively writing: the Dataset opens the file
+// read-only, takes no lock, and tolerates a torn tail.
 //
 // The rollup groups by the full worker id. The fleet's default ids are
 // "<pid>:<hex nonce>"; multi-host fleets that pass `--id host/pid` style
 // ids get a de-facto per-host grouping for free.
-#include <algorithm>
-#include <cinttypes>
+//
+// Text output is byte-stable across releases (scripts and CI diff it);
+// `--json` emits the same data as one machine-readable document.
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <string>
-#include <utility>
 
-#include "stats/outcome_counts.hpp"
-#include "stats/serialize.hpp"
+#include "analytics/dataset.hpp"
+#include "analytics/summary.hpp"
 #include "util/file_lock.hpp"
-#include "util/jsonl.hpp"
-
-namespace {
-
-using onebit::util::Json;
-
-std::uint64_t hexField(const Json& record, const char* field) {
-  const Json* v = record.find(field);
-  if (v == nullptr) return 0;
-  const std::string_view s = v->asString();
-  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') return 0;
-  std::uint64_t out = 0;
-  for (const char c : s.substr(2)) {
-    out <<= 4;
-    if (c >= '0' && c <= '9') out |= static_cast<std::uint64_t>(c - '0');
-    else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint64_t>(c - 'a' + 10);
-    else return 0;
-  }
-  return out;
-}
-
-std::uint64_t uintField(const Json& record, const char* field) {
-  const Json* v = record.find(field);
-  return v != nullptr ? v->asUint(0) : 0;
-}
-
-std::string stringField(const Json& record, const char* field) {
-  const Json* v = record.find(field);
-  return v != nullptr ? std::string(v->asString()) : std::string();
-}
-
-using Range = std::pair<std::uint64_t, std::uint64_t>;  // (first, count)
-
-struct LeaseInfo {
-  std::uint64_t epoch = 0;
-  std::uint64_t deadline = 0;
-  std::uint64_t costMs = 0;  ///< nonzero only on completion stamps
-  std::string worker;
-};
-
-struct Campaign {
-  std::string workload;
-  std::string spec;
-  std::uint64_t experiments = 0;
-  bool submitted = false;  ///< has a fleet "cell" record
-  std::map<Range, onebit::stats::OutcomeCounts> shards;
-  std::map<Range, LeaseInfo> leases;          ///< newest per range
-  std::map<Range, std::uint64_t> quarantines; ///< range → crashes, newest
-};
-
-/// One row of the per-worker rollup, accumulated across campaigns.
-struct WorkerStat {
-  std::uint64_t shards = 0;       ///< completed shards stamped by this worker
-  std::uint64_t experiments = 0;  ///< experiments inside those shards
-  std::uint64_t costMs = 0;       ///< summed observed shard cost
-  std::size_t activeLeases = 0;
-  std::size_t expiredLeases = 0;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
-    std::fprintf(stderr, "usage: %s STORE.jsonl\n", argv[0]);
+  bool json = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (path == nullptr && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--json] STORE.jsonl\n", argv[0]);
     return 2;
   }
-  const std::string path = argv[1];
-  std::map<std::uint64_t, Campaign> campaigns;
-  std::size_t workloadRecords = 0;
-  std::size_t outcomeRecords = 0;
-  std::size_t quarantineRecords = 0;
-  std::size_t unknownRecords = 0;
-  const onebit::util::JsonlReadStats read = onebit::util::readJsonl(
-      path, [&](Json&& record) {
-        const std::string kind = stringField(record, "kind");
-        const std::uint64_t key = hexField(record, "key");
-        if (kind == "shard" && key != 0) {
-          Campaign& c = campaigns[key];
-          if (c.workload.empty()) c.workload = stringField(record, "workload");
-          if (c.spec.empty()) c.spec = stringField(record, "spec");
-          if (c.experiments == 0) {
-            c.experiments = uintField(record, "experiments");
-          }
-          onebit::stats::OutcomeCounts counts;
-          const Json* outcomes = record.find("outcomes");
-          if (outcomes == nullptr ||
-              !onebit::stats::fromJson(*outcomes, counts)) {
-            return;
-          }
-          c.shards.emplace(Range{uintField(record, "first"),
-                                 uintField(record, "count")},
-                           counts);  // first record wins, like load()
-          return;
-        }
-        if (kind == "cell" && key != 0) {
-          Campaign& c = campaigns[key];
-          c.submitted = true;
-          c.workload = stringField(record, "workload");
-          c.spec = stringField(record, "spec");
-          c.experiments = uintField(record, "experiments");
-          return;
-        }
-        if (kind == "lease" && key != 0) {
-          Campaign& c = campaigns[key];
-          const Range range{uintField(record, "first"),
-                            uintField(record, "count")};
-          LeaseInfo info;
-          info.epoch = uintField(record, "epoch");
-          info.deadline = uintField(record, "deadline");
-          info.costMs = uintField(record, "cost_ms");
-          info.worker = stringField(record, "worker");
-          const auto [it, inserted] = c.leases.try_emplace(range, info);
-          if (!inserted && info.epoch >= it->second.epoch) {
-            it->second = std::move(info);
-          }
-          return;
-        }
-        if (kind == "quarantine" && key != 0) {
-          Campaign& c = campaigns[key];
-          ++quarantineRecords;
-          c.quarantines[Range{uintField(record, "first"),
-                              uintField(record, "count")}] =
-              uintField(record, "crashes");  // newest wins, like load()
-          return;
-        }
-        if (kind == "workload") {
-          ++workloadRecords;
-          return;
-        }
-        if (kind == "outcome") {
-          ++outcomeRecords;
-          return;
-        }
-        ++unknownRecords;
-      });
-  if (read.lines == 0) {
-    std::printf("%s: empty or missing store\n", path.c_str());
-    return 0;
-  }
-  std::printf("%s: %zu campaign(s), %zu workload profile(s), %zu "
-              "outcome-cache record(s), %zu quarantine record(s), %zu "
-              "malformed, %zu unknown\n",
-              path.c_str(), campaigns.size(), workloadRecords,
-              outcomeRecords, quarantineRecords, read.malformed,
-              unknownRecords);
+  namespace analytics = onebit::analytics;
+  analytics::Dataset ds;
+  ds.addStore(path);
   const std::uint64_t nowMs = onebit::util::wallClockMs();
-  std::map<std::string, WorkerStat> workers;
-  for (const auto& [key, c] : campaigns) {
-    std::uint64_t recorded = 0;
-    onebit::stats::OutcomeCounts totals;
-    for (const auto& [range, counts] : c.shards) {
-      recorded += range.second;
-      totals.merge(counts);
-    }
-    std::size_t active = 0;
-    std::size_t expired = 0;
-    std::uint64_t oldestOverdueMs = 0;  ///< the lease-age column
-    for (const auto& [range, lease] : c.leases) {
-      if (c.shards.count(range) != 0) {
-        // Superseded by a shard record: if the completion stamp carries an
-        // observed cost, attribute the shard to the worker that ran it.
-        if (lease.costMs != 0 && !lease.worker.empty()) {
-          WorkerStat& w = workers[lease.worker];
-          ++w.shards;
-          w.experiments += range.second;
-          w.costMs += lease.costMs;
-        }
-        continue;
-      }
-      WorkerStat& w = workers[lease.worker.empty() ? "-" : lease.worker];
-      if (lease.deadline > nowMs) {
-        ++active;
-        ++w.activeLeases;
-      } else {
-        ++expired;
-        ++w.expiredLeases;
-        oldestOverdueMs = std::max(oldestOverdueMs, nowMs - lease.deadline);
-      }
-    }
-    std::size_t quarantined = 0;
-    for (const auto& [range, crashes] : c.quarantines) {
-      if (c.shards.count(range) == 0) ++quarantined;  // still blocking
-    }
-    const double pct = c.experiments != 0
-                           ? 100.0 * static_cast<double>(recorded) /
-                                 static_cast<double>(c.experiments)
-                           : 0.0;
-    std::printf("  0x%016" PRIx64 " %-14s %-24s %6" PRIu64 "/%-6" PRIu64
-                " (%5.1f%%)%s%s",
-                key, c.workload.empty() ? "-" : c.workload.c_str(),
-                c.spec.empty() ? "-" : c.spec.c_str(), recorded,
-                c.experiments, pct, c.submitted ? " [cell]" : "",
-                recorded >= c.experiments && c.experiments != 0
-                    ? " [complete]"
-                    : "");
-    if (active != 0 || expired != 0) {
-      std::printf("  leases: %zu active, %zu expired", active, expired);
-      if (expired != 0) {
-        std::printf(" (oldest %" PRIu64 " ms overdue)", oldestOverdueMs);
-      }
-    }
-    if (quarantined != 0) {
-      std::printf("  quarantined: %zu shard(s)", quarantined);
-    }
-    std::printf("\n    ");
-    for (std::size_t o = 0; o < onebit::stats::kOutcomeCount; ++o) {
-      const std::string_view name = onebit::stats::outcomeName(
-          static_cast<onebit::stats::Outcome>(o));
-      std::printf("%s%.*s=%zu", o == 0 ? "" : " ",
-                  static_cast<int>(name.size()), name.data(),
-                  totals.count(static_cast<onebit::stats::Outcome>(o)));
-    }
-    std::printf("\n");
-  }
-  if (!workers.empty()) {
-    std::printf("  workers:\n");
-    for (const auto& [id, w] : workers) {
-      std::printf("    %-24s %4" PRIu64 " shard(s)  %6" PRIu64
-                  " experiment(s)  %8" PRIu64 " ms observed",
-                  id.c_str(), w.shards, w.experiments, w.costMs);
-      if (w.activeLeases != 0 || w.expiredLeases != 0) {
-        std::printf("  leases: %zu active, %zu expired", w.activeLeases,
-                    w.expiredLeases);
-      }
-      std::printf("\n");
-    }
+  if (json) {
+    std::printf("%s\n", analytics::summaryJson(ds, nowMs).dump().c_str());
+  } else {
+    std::fputs(analytics::renderSummaryText(ds, nowMs).c_str(), stdout);
   }
   return 0;
 }
